@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every module regenerates one table or figure of the paper.  Synthesis
+runs are expensive (the paper's own runtimes range from 0.8 s to 489 s
+with Gurobi), so full-pipeline benchmarks use ``benchmark.pedantic``
+with a single round and cache the result for the accompanying
+assertions on the *shape* of the numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assays import get_case, schedule_for
+from repro.baseline.valve_count import traditional_design
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+
+def synthesize_cell(case_name: str, policy_index: int, mapper=None):
+    """One Table-1 cell: (traditional design, synthesis result)."""
+    case = get_case(case_name)
+    graph = case.graph()
+    policy = case.policies(policy_index)[policy_index - 1]
+    schedule = schedule_for(case, policy)
+    design = traditional_design(graph, policy, schedule)
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid, mapper=mapper)
+    ).synthesize(graph, schedule)
+    return design, result
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

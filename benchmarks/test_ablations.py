@@ -1,0 +1,117 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper table — these quantify what each ingredient of the method
+buys, on the Mixing Tree p1 instance:
+
+* mapper engines: monolithic-window ILP vs rolling horizon vs greedy;
+* the c5 storage-overlap permission (eq. 12) on vs off;
+* the routing-convenient constraints (eqs. 13-16) on vs off;
+* rolling-horizon window size.
+"""
+
+import pytest
+
+from repro.assays import get_case, schedule_for
+from repro.core.mappers import GreedyMapper, WindowedILPMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+
+def _setup():
+    case = get_case("mixing_tree")
+    graph = case.graph()
+    schedule = schedule_for(case, case.policy1())
+    return case, graph, schedule
+
+
+def _synthesize(case, graph, schedule, **config_kwargs):
+    config = SynthesisConfig(grid=case.grid, **config_kwargs)
+    return ReliabilitySynthesizer(config).synthesize(graph, schedule)
+
+
+class TestMapperAblation:
+    def test_greedy_engine(self, run_once):
+        case, graph, schedule = _setup()
+        result = run_once(
+            _synthesize, case, graph, schedule, mapper=GreedyMapper()
+        )
+        assert result.metrics.setting1.max_peristaltic <= 160
+
+    def test_windowed_engine(self, run_once):
+        case, graph, schedule = _setup()
+        result = run_once(_synthesize, case, graph, schedule)
+        # The ILP engine reaches the paper's 2-ops-per-valve regime.
+        assert result.metrics.setting1.max_peristaltic <= 120
+
+    def test_windowed_no_refinement(self, run_once):
+        case, graph, schedule = _setup()
+        mapper = WindowedILPMapper(window_size=4, refine_passes=0)
+        result = run_once(_synthesize, case, graph, schedule, mapper=mapper)
+        assert result.metrics.setting1.max_peristaltic <= 160
+
+
+class TestStorageOverlapAblation:
+    def test_with_overlap_permission(self, run_once):
+        case, graph, schedule = _setup()
+        result = run_once(
+            _synthesize, case, graph, schedule, allow_storage_overlap=True
+        )
+        assert result.metrics.setting1.max_total < 280
+
+    def test_without_overlap_permission(self, run_once):
+        """Pinning every c5 to 0 must still synthesize (more area use)."""
+        case, graph, schedule = _setup()
+        result = run_once(
+            _synthesize, case, graph, schedule, allow_storage_overlap=False
+        )
+        assert result.metrics.setting1.max_total < 280
+        placements = {
+            n: d.placement for n, d in result.devices.items()
+        }
+        assert result.storage_plan.overlap_violations(placements) == set()
+
+
+class TestRoutingConvenientAblation:
+    def test_disabled_distance_constraints(self, run_once):
+        """Without eqs. (13)-(16) the wear can only improve, paths grow."""
+        case, graph, schedule = _setup()
+        free = run_once(
+            _synthesize, case, graph, schedule, routing_convenient=False
+        )
+        constrained = _synthesize(case, graph, schedule)
+        assert (
+            free.metrics.mapping_objective
+            <= constrained.metrics.mapping_objective
+        )
+        free_len = sum(r.length for r in free.routes)
+        constrained_len = sum(r.length for r in constrained.routes)
+        # The constraints exist to keep transports short: dropping them
+        # must not make routing shorter on aggregate.
+        assert constrained_len <= free_len * 1.2
+
+
+class TestWindowSizeAblation:
+    @pytest.mark.parametrize("window_size", [2, 6])
+    def test_window_sweep(self, run_once, window_size):
+        case, graph, schedule = _setup()
+        mapper = WindowedILPMapper(window_size=window_size)
+        result = run_once(_synthesize, case, graph, schedule, mapper=mapper)
+        assert result.metrics.setting1.max_peristaltic <= 160
+
+
+class TestAlapAblation:
+    """ALAP re-timing (extension): less storage time, same makespan."""
+
+    def test_alap_reduces_storage_pressure(self, run_once):
+        from repro.assay.alap import alap_adjust, storage_time_saved
+
+        case, graph, schedule = _setup()
+
+        def run():
+            adjusted = alap_adjust(schedule)
+            result = _synthesize(case, graph, adjusted)
+            return adjusted, result
+
+        adjusted, result = run_once(run)
+        assert adjusted.makespan == schedule.makespan
+        assert storage_time_saved(schedule, adjusted) >= 0
+        assert result.metrics.setting1.max_peristaltic <= 160

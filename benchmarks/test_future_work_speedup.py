@@ -1,0 +1,22 @@
+"""Future-work bench: execution speedup from the dynamic architecture.
+
+The paper's conclusion names execution speedup as future work; this
+bench quantifies it (not a paper table).  The dynamic architecture runs
+each assay as fast as its dependency structure allows, and the faster
+schedule is verified to fit the case's grid by actually synthesizing it.
+"""
+
+from repro.experiments.acceleration import run_speedup
+
+
+def test_speedup_over_all_cases(run_once):
+    rows = run_once(run_speedup)
+    assert len(rows) == 12
+    for row in rows:
+        assert row.speedup >= 1.0
+        assert row.area_feasible
+    # p1 (fewest mixers) shows the largest benefit; the dilution ladder
+    # with its wide stages approaches 3x.
+    p1 = {row.case: row.speedup for row in rows if row.policy == "p1"}
+    assert p1["interpolating_dilution"] > 2.0
+    assert p1["pcr"] > 1.4

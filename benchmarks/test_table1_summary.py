@@ -1,0 +1,40 @@
+"""The headline claim of the abstract, over all 12 Table-1 rows.
+
+"Compared with traditional designs, the largest number of valve
+actuations can be reduced by 72.97% averagely, while the number of
+valves is reduced by 10.62%."
+
+This summary runs the full table with the fast greedy mapper (one
+benchmark round), so the averages below are a *lower bound* on what the
+ILP engines deliver; the per-case modules measure those.
+"""
+
+from repro.core.mappers import GreedyMapper
+from repro.experiments.table1 import format_table, run_table1, summarize
+
+
+def test_table1_headline_averages(run_once):
+    rows = run_once(run_table1, mapper=GreedyMapper())
+    assert len(rows) == 12
+    summary = summarize(rows)
+
+    # Setting-2 improvement: the paper's 72.97% headline; the greedy
+    # engine must stay in the same regime.
+    assert summary["avg_imp2_percent"] > 50
+    # Setting-1 improvement: paper 55.76%.
+    assert summary["avg_imp1_percent"] > 30
+    # Valve saving: paper 10.62% — ours must be positive on average.
+    assert summary["avg_impv_percent"] > 0
+
+    # Per-row sanity.  Setting 2 always beats the baseline; under the
+    # conservative setting 1 the greedy engine may *tie* the baseline on
+    # the rows whose traditional chip is already balanced (vs_tmax = 80
+    # means two ops per pump valve — the minimum any engine can reach
+    # when the grid forces one reuse), so allow the control-wear margin.
+    for row in rows:
+        assert row.vs2_total < row.vs_tmax
+        assert row.vs1_total <= row.vs_tmax + 5
+        assert row.vs2_total <= row.vs1_total
+
+    print()
+    print(format_table(rows))

@@ -1,0 +1,76 @@
+"""A custom serial-dilution assay written in the text format.
+
+Run::
+
+    python examples/custom_dilution_assay.py
+
+Shows the plain-text assay format, scheduling against a constrained
+mixer bank (one mixer per size — a traditional p1 design), and how the
+dynamic architecture supports the non-1:1 mixing ratios the paper
+highlights (Section 1: no dedicated per-ratio mixers needed).
+"""
+
+from repro import GridSpec, ReliabilitySynthesizer, SynthesisConfig
+from repro.assay import (
+    ListScheduler,
+    SchedulerConfig,
+    graph_from_text,
+    schedule_to_text,
+)
+from repro.baseline import Policy, traditional_design
+from repro.viz import render_gantt
+
+ASSAY_TEXT = """
+# assay serial_dilution
+input stock  volume=5
+input buf0   volume=5
+input buf1   volume=5
+input buf2   volume=5
+input buf3   volume=5
+
+# Each step mixes the previous product with fresh buffer.  The ratios
+# differ per step: 1:1 halves the concentration, 1:3 quarters it.
+mix step0 stock buf0  duration=8  volume=8   ratio=1:1
+mix step1 step0 buf1  duration=10 volume=10  ratio=1:4
+mix step2 step1 buf2  duration=6  volume=6   ratio=1:2
+mix step3 step2 buf3  duration=4  volume=4   ratio=1:3
+detect check step3 duration=2
+"""
+
+
+def main() -> None:
+    graph = graph_from_text(ASSAY_TEXT)
+    graph.validate()
+    print(f"assay {graph.name!r}: {len(graph)} operations, "
+          f"{len(graph.mix_operations())} mixing")
+    for op in graph.mix_operations():
+        parts = op.ratio.volumes(op.volume)
+        print(f"  {op.name}: volume {op.volume}, ratio {op.ratio} "
+              f"-> parts {parts}")
+
+    # Traditional p1 bank: one mixer per size class, one detector.
+    policy = Policy(index=1, mixers={4: 1, 6: 1, 8: 1, 10: 1}, detectors=1)
+    schedule = ListScheduler(
+        SchedulerConfig(mixers=dict(policy.mixers), detectors=1)
+    ).schedule(graph)
+    print("\nschedule (text format):")
+    print(schedule_to_text(schedule))
+    print(render_gantt(schedule))
+
+    design = traditional_design(graph, policy, schedule)
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=GridSpec(10, 10))
+    ).synthesize(graph, schedule)
+
+    m = result.metrics
+    print(f"\ntraditional design: vs_tmax = {design.max_pump_actuations}, "
+          f"#v = {design.valve_count}")
+    print(f"dynamic devices:    vs_1max = {m.setting1}, "
+          f"vs_2max = {m.setting2}, #v = {m.used_valves}")
+    print("\nNote: the four different ratios run on *one* architecture —")
+    print("a traditional chip would need a dedicated mixer per ratio "
+          "and port layout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Chip-lifetime study: dedicated mixers vs valve-role-changing.
+
+Run::
+
+    python examples/reliability_comparison.py
+
+Valves on flow-based biochips survive only "a few thousand" reliable
+actuations (Section 1).  This example sweeps the number of mixing
+operations executed on (a) one dedicated mixer, (b) one role-rotating
+mixer (Figure 3) and (c) the full dynamic architecture, and reports how
+many operations fit into a wear budget before the first valve dies.
+"""
+
+from repro import GridSpec, ReliabilitySynthesizer, SynthesisConfig
+from repro.assay import ListScheduler, SchedulerConfig, SequencingGraph
+from repro.baseline import DedicatedMixer
+from repro.core import RoleRotatingMixer
+
+#: Reliable actuations before a valve wears out (order of magnitude
+#: from the paper's citation [4]: "a few thousand times").
+WEAR_BUDGET = 4000
+
+
+def ops_until_worn_dedicated() -> int:
+    """Operations one dedicated mixer survives."""
+    mixer = DedicatedMixer(volume=8)
+    ops = 0
+    while True:
+        mixer.run_operations(1)
+        if mixer.max_actuations() > WEAR_BUDGET:
+            return ops
+        ops += 1
+
+
+def ops_until_worn_rotating() -> int:
+    """Operations one role-rotating 8-valve mixer survives."""
+    mixer = RoleRotatingMixer(ring_size=8)
+    ops = 0
+    while True:
+        mixer.run_operation()
+        if mixer.max_actuations > WEAR_BUDGET:
+            return ops
+        ops += 1
+
+
+def chain_assay(n_ops: int) -> SequencingGraph:
+    graph = SequencingGraph(f"chain{n_ops}")
+    graph.add_input("seed", volume=4)
+    previous = "seed"
+    for i in range(n_ops):
+        graph.add_input(f"buf{i}", volume=4)
+        graph.add_mix(f"m{i}", (previous, f"buf{i}"), duration=4, volume=8)
+        previous = f"m{i}"
+    return graph
+
+
+def dynamic_wear_per_op(n_ops: int = 12) -> float:
+    """Average max-wear growth per operation on a 12x12 architecture."""
+    graph = chain_assay(n_ops)
+    schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=GridSpec(12, 12))
+    ).synthesize(graph, schedule)
+    return result.metrics.setting1.max_total / n_ops
+
+
+def main() -> None:
+    dedicated = ops_until_worn_dedicated()
+    rotating = ops_until_worn_rotating()
+    per_op = dynamic_wear_per_op()
+    dynamic = int(WEAR_BUDGET / per_op)
+
+    print(f"wear budget per valve: {WEAR_BUDGET} actuations\n")
+    print(f"dedicated mixer:        {dedicated:>5} operations "
+          "(every op costs its 3 pump valves 40 actuations)")
+    print(f"role-rotating mixer:    {rotating:>5} operations "
+          "(Figure 3: the pump trio rotates around the ring)")
+    print(f"dynamic architecture:   {dynamic:>5} operations "
+          f"(whole-chip balancing, ~{per_op:.1f} max-wear per op)")
+    print()
+    print(f"role changing alone extends the mixer life "
+          f"{rotating / dedicated:.1f}x;")
+    print(f"the full dynamic-device mapping reaches "
+          f"{dynamic / dedicated:.1f}x the dedicated-chip lifetime.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — reliability-aware synthesis for flow-based microfluidic biochips.
+
+A from-scratch reproduction of Tseng, Li, Ho & Schlichtmann,
+*"Reliability-aware Synthesis for Flow-based Microfluidic Biochips by
+Dynamic-device Mapping"* (DAC 2015).
+
+Quickstart::
+
+    from repro import (
+        SequencingGraph, ListScheduler, SchedulerConfig,
+        ReliabilitySynthesizer, SynthesisConfig, GridSpec,
+    )
+
+    graph = SequencingGraph("demo")
+    graph.add_input("sample")
+    graph.add_input("reagent")
+    graph.add_mix("mix1", ["sample", "reagent"], duration=8, volume=8)
+
+    schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=GridSpec(8, 8))
+    ).synthesize(graph, schedule)
+    print(result.metrics.setting1)   # largest actuation count, e.g. 41(40)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.ilp` — from-scratch MILP stack (simplex + branch & bound);
+* :mod:`repro.assay` — sequencing graphs, schedules, list scheduler;
+* :mod:`repro.architecture` — the valve-centered architecture;
+* :mod:`repro.core` — dynamic-device mapping & Algorithm 1 (the paper);
+* :mod:`repro.routing` — Dijkstra transport routing;
+* :mod:`repro.baseline` — traditional dedicated-device designs;
+* :mod:`repro.assays` — the four benchmark assays of Table 1;
+* :mod:`repro.experiments` — Table 1 / figure reproduction harness;
+* :mod:`repro.viz` — text Gantt charts, chip snapshots, heat maps.
+"""
+
+from repro.errors import ReproError
+from repro.geometry import GridSpec, Point, Rect
+from repro.assay import (
+    ListScheduler,
+    MixRatio,
+    Operation,
+    OperationKind,
+    Schedule,
+    SchedulerConfig,
+    SequencingGraph,
+)
+from repro.architecture import (
+    Chip,
+    ChipPort,
+    DeviceType,
+    DynamicDevice,
+    Placement,
+    PortKind,
+    Valve,
+    ValveRole,
+    VirtualValveGrid,
+)
+from repro.core import (
+    GreedyMapper,
+    ILPMapper,
+    ReliabilitySynthesizer,
+    RoleRotatingMixer,
+    SynthesisConfig,
+    SynthesisResult,
+    WindowedILPMapper,
+)
+from repro.baseline import Policy, bind_operations, traditional_design
+from repro.assays import CASES, get_case, list_cases, schedule_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GridSpec",
+    "Point",
+    "Rect",
+    "ListScheduler",
+    "MixRatio",
+    "Operation",
+    "OperationKind",
+    "Schedule",
+    "SchedulerConfig",
+    "SequencingGraph",
+    "Chip",
+    "ChipPort",
+    "DeviceType",
+    "DynamicDevice",
+    "Placement",
+    "PortKind",
+    "Valve",
+    "ValveRole",
+    "VirtualValveGrid",
+    "GreedyMapper",
+    "ILPMapper",
+    "ReliabilitySynthesizer",
+    "RoleRotatingMixer",
+    "SynthesisConfig",
+    "SynthesisResult",
+    "WindowedILPMapper",
+    "Policy",
+    "bind_operations",
+    "traditional_design",
+    "CASES",
+    "get_case",
+    "list_cases",
+    "schedule_for",
+    "__version__",
+]

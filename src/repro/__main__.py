@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``table1 [case ...]`` — regenerate Table 1 (all cases by default);
+* ``figures [figN ...]`` — regenerate the paper's figures;
+* ``cases`` — list the benchmark assays;
+* ``synth ASSAY_FILE [--grid N] [--schedule SCHEDULE_FILE]`` —
+  synthesize a user assay written in the text format
+  (see :mod:`repro.assay.textio`), printing metrics and placements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.textio import graph_from_text, schedule_from_text
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.geometry import GridSpec
+from repro.viz import actuation_summary, render_gantt, render_heatmap
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import main as table1_main
+
+    table1_main(args.cases or None)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import main as figures_main
+
+    figures_main(args.figures or None)
+    return 0
+
+
+def _cmd_cases(_: argparse.Namespace) -> int:
+    from repro.assays import list_cases
+
+    for case in list_cases():
+        print(
+            f"{case.name:<24} {case.title:<24} "
+            f"{case.total_operations:>3} ops "
+            f"({case.mix_operations} mixing), grid "
+            f"{case.grid.width}x{case.grid.height}"
+        )
+    return 0
+
+
+def _cmd_speedup(args: argparse.Namespace) -> int:
+    from repro.experiments.acceleration import main as speedup_main
+
+    speedup_main(args.cases or None)
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    text = Path(args.assay).read_text()
+    graph = graph_from_text(text)
+    graph.validate()
+    if args.schedule:
+        schedule = schedule_from_text(
+            Path(args.schedule).read_text(), graph
+        )
+        schedule.validate()
+    else:
+        schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+
+    print(render_gantt(schedule))
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=GridSpec(args.grid, args.grid))
+    ).synthesize(graph, schedule)
+    m = result.metrics
+    print(f"\nvs 1max = {m.setting1}   vs 2max = {m.setting2}")
+    print(f"#v = {m.used_valves}   role-changing valves = "
+          f"{m.role_changing_valves}   mapper = {m.mapper}")
+    print("\nplacements:")
+    for name, device in sorted(result.devices.items()):
+        print(f"  {name:>12} -> {device.placement} "
+              f"[{device.start},{device.end})")
+    print("\n" + render_heatmap(result.grid_setting1))
+    print(actuation_summary(result.grid_setting1))
+    if args.simulate:
+        from repro.core.simulation import simulate
+
+        report = simulate(result)
+        print(
+            f"\nsimulation: OK — {report.transports_executed} transports, "
+            f"{report.products_delivered} product(s) delivered, peak "
+            f"occupancy {report.peak_occupied_cells} cells"
+        )
+    if args.export:
+        from repro.core.export import design_json
+
+        Path(args.export).write_text(design_json(result))
+        print(f"design written to {args.export}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliability-aware synthesis for flow-based "
+        "microfluidic biochips (DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    p_table.add_argument("cases", nargs="*", help="benchmark case names")
+    p_table.set_defaults(func=_cmd_table1)
+
+    p_fig = sub.add_parser("figures", help="regenerate the figures")
+    p_fig.add_argument(
+        "figures", nargs="*",
+        help="fig2 fig3 fig5 fig7 fig9 fig10 (default: all)",
+    )
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_cases = sub.add_parser("cases", help="list benchmark assays")
+    p_cases.set_defaults(func=_cmd_cases)
+
+    p_speed = sub.add_parser(
+        "speedup", help="future-work study: dynamic-architecture speedup"
+    )
+    p_speed.add_argument("cases", nargs="*", help="benchmark case names")
+    p_speed.set_defaults(func=_cmd_speedup)
+
+    p_synth = sub.add_parser("synth", help="synthesize a text-format assay")
+    p_synth.add_argument("assay", help="assay description file")
+    p_synth.add_argument(
+        "--schedule", help="schedule file (default: list-schedule it)"
+    )
+    p_synth.add_argument(
+        "--grid", type=int, default=10, help="grid side length (default 10)"
+    )
+    p_synth.add_argument(
+        "--simulate", action="store_true",
+        help="replay the result on the chip simulator",
+    )
+    p_synth.add_argument(
+        "--export", metavar="FILE",
+        help="write the manufactured design as JSON",
+    )
+    p_synth.set_defaults(func=_cmd_synth)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

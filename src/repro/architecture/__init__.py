@@ -1,0 +1,53 @@
+"""The valve-centered architecture (Section 3.1).
+
+Virtual valves arranged on a regular grid; every component — mixers,
+storages, flow-channel walls — is constructed out of valves, so devices
+are *dynamic*: formed and dissolved on request during the assay, with
+valves changing role (control / pump / wall) over time.
+"""
+
+from repro.architecture.valve import Valve, ValveRole
+from repro.architecture.valve_grid import VirtualValveGrid
+from repro.architecture.device_types import (
+    DeviceType,
+    DEVICE_TYPES,
+    device_type,
+    types_for_volume,
+    min_device_dimension,
+)
+from repro.architecture.device import DeviceKind, DynamicDevice, Placement
+from repro.architecture.port import ChipPort, PortKind
+from repro.architecture.chip import Chip
+from repro.architecture.channel_edges import (
+    ChannelEdge,
+    edge_between,
+    path_edges,
+    ring_edges,
+)
+from repro.architecture.control_pins import (
+    ControlPinReport,
+    assign_control_pins,
+)
+
+__all__ = [
+    "Valve",
+    "ValveRole",
+    "VirtualValveGrid",
+    "DeviceType",
+    "DEVICE_TYPES",
+    "device_type",
+    "types_for_volume",
+    "min_device_dimension",
+    "DeviceKind",
+    "DynamicDevice",
+    "Placement",
+    "ChipPort",
+    "PortKind",
+    "Chip",
+    "ChannelEdge",
+    "edge_between",
+    "path_edges",
+    "ring_edges",
+    "ControlPinReport",
+    "assign_control_pins",
+]

@@ -1,0 +1,77 @@
+"""The chip: a virtual valve grid plus boundary ports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ArchitectureError
+from repro.geometry import GridSpec, Point
+from repro.architecture.port import ChipPort, PortKind
+from repro.architecture.valve_grid import VirtualValveGrid
+
+
+class Chip:
+    """A valve-centered biochip: grid + ports.
+
+    The default port layout matches the paper's PCR example (Section 4):
+    two input ports and one output port.  Ports sit on boundary cells of
+    the grid; routing paths start/end there (Section 3.5).
+    """
+
+    def __init__(
+        self, spec: GridSpec, ports: Optional[List[ChipPort]] = None
+    ) -> None:
+        self.spec = spec
+        self.grid = VirtualValveGrid(spec)
+        self.ports: Dict[str, ChipPort] = {}
+        for port in ports if ports is not None else self.default_ports(spec):
+            self.add_port(port)
+
+    @staticmethod
+    def default_ports(spec: GridSpec) -> List[ChipPort]:
+        """Two inputs on the left edge, one output on the right edge."""
+        third = max(spec.height // 3, 1)
+        return [
+            ChipPort("in0", Point(0, min(2 * third, spec.height - 1)), PortKind.INPUT),
+            ChipPort("in1", Point(0, third), PortKind.INPUT),
+            ChipPort(
+                "out0",
+                Point(spec.width - 1, spec.height // 2),
+                PortKind.OUTPUT,
+            ),
+        ]
+
+    def add_port(self, port: ChipPort) -> None:
+        if port.name in self.ports:
+            raise ArchitectureError(f"duplicate port name {port.name!r}")
+        if not self.spec.in_bounds(port.position):
+            raise ArchitectureError(f"port {port.name} at {port.position} off grid")
+        if not self._on_boundary(port.position):
+            raise ArchitectureError(
+                f"port {port.name} at {port.position} must sit on the chip "
+                "boundary"
+            )
+        self.ports[port.name] = port
+
+    def _on_boundary(self, p: Point) -> bool:
+        return (
+            p.x == 0
+            or p.y == 0
+            or p.x == self.spec.width - 1
+            or p.y == self.spec.height - 1
+        )
+
+    def input_ports(self) -> List[ChipPort]:
+        return [p for p in self.ports.values() if p.is_input]
+
+    def output_ports(self) -> List[ChipPort]:
+        return [p for p in self.ports.values() if not p.is_input]
+
+    def port(self, name: str) -> ChipPort:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise ArchitectureError(f"unknown port {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Chip({self.spec.width}x{self.spec.height}, {len(self.ports)} ports)"

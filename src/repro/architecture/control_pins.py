@@ -1,0 +1,111 @@
+"""Control-pin sharing: addressing the architecture's control effort.
+
+Section 3.1 motivates virtual valves with control cost: "the number of
+valves implemented on the chip can be very large, which leads to much
+control effort."  Each physical valve needs an off-chip pressure
+source; two valves can share one source (a *control pin*) when they
+switch identically for the whole assay — a standard control-layer
+optimization for flow-based biochips.
+
+This module derives each kept valve's **switching signature** from a
+synthesis result — the chronological sequence of (time, action) pairs
+that drive it — and groups valves with equal signatures onto shared
+pins.  Pump valves of one mixer share trivially only if they sit in the
+same peristaltic phase; we conservatively split every ring into the
+three phase groups of a 3-phase peristaltic drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.geometry import Point
+from repro.core.result import SynthesisResult
+
+#: A peristaltic pump drives its valves in three interleaved phases.
+PERISTALTIC_PHASES = 3
+
+Signature = Tuple[Tuple[int, str], ...]
+
+
+@dataclass(frozen=True)
+class ControlPinReport:
+    """Valve-to-pin assignment for one synthesized design."""
+
+    pin_of: Dict[Point, int]
+    signatures: Dict[int, Signature]
+
+    @property
+    def valve_count(self) -> int:
+        return len(self.pin_of)
+
+    @property
+    def pin_count(self) -> int:
+        return len(self.signatures)
+
+    @property
+    def sharing_factor(self) -> float:
+        """Valves per pin (1.0 = no sharing possible)."""
+        if not self.signatures:
+            return 1.0
+        return self.valve_count / self.pin_count
+
+    def pins_by_size(self) -> List[int]:
+        """Group sizes, largest first."""
+        sizes: Dict[int, int] = {}
+        for pin in self.pin_of.values():
+            sizes[pin] = sizes.get(pin, 0) + 1
+        return sorted(sizes.values(), reverse=True)
+
+
+def _valve_signatures(result: SynthesisResult) -> Dict[Point, List[Tuple[int, str]]]:
+    """Chronological switching actions per kept valve."""
+    events: Dict[Point, List[Tuple[int, str]]] = {}
+
+    def record(cell: Point, time: int, action: str) -> None:
+        events.setdefault(cell, []).append((time, action))
+
+    for device in result.devices.values():
+        ring = device.placement.pump_cells()
+        # Formation opens the circulation channel.
+        for cell in ring:
+            record(cell, device.start, f"open:{device.operation}")
+        for cell in device.rect.interior_cells():
+            record(cell, device.start, f"open:{device.operation}")
+        # Peristalsis drives the ring in three interleaved phases.
+        for index, cell in enumerate(ring):
+            phase = index % PERISTALTIC_PHASES
+            record(
+                cell,
+                device.mix_start,
+                f"pump:{device.operation}:phase{phase}",
+            )
+
+    for route in result.routes:
+        for cell in route.cells:
+            record(cell, route.time, f"path:{route.event.label}")
+
+    for actions in events.values():
+        actions.sort()
+    return events
+
+
+def assign_control_pins(result: SynthesisResult) -> ControlPinReport:
+    """Group kept valves with identical switching signatures onto pins."""
+    signatures = _valve_signatures(result)
+    # Only valves the design keeps (actuated) need pins.
+    kept = {v.position for v in result.grid_setting1.actuated_valves()}
+
+    pin_of: Dict[Point, int] = {}
+    pin_signatures: Dict[int, Signature] = {}
+    by_signature: Dict[Signature, int] = {}
+    for cell in sorted(kept):
+        signature: Signature = tuple(signatures.get(cell, ()))
+        pin = by_signature.get(signature)
+        if pin is None:
+            pin = len(by_signature)
+            by_signature[signature] = pin
+            pin_signatures[pin] = signature
+        pin_of[cell] = pin
+    return ControlPinReport(pin_of=pin_of, signatures=pin_signatures)

@@ -1,0 +1,102 @@
+"""Dynamic devices: placements, rings, walls.
+
+A dynamic device is a rectangle of virtual valves that exists for part
+of the assay.  The same placement serves first as an **in-situ storage**
+(Section 3.3, collecting early parent products) and then as the
+**mixer** of its operation — "s_c is turned to d_c".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.geometry import GridSpec, Point, Rect
+from repro.architecture.device_types import DeviceType
+
+
+class DeviceKind(enum.Enum):
+    """Lifecycle stage of a dynamic device region."""
+
+    STORAGE = "storage"  # collecting parent products ahead of schedule
+    MIXER = "mixer"  # executing the mixing operation
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A device type anchored at a grid position — one ``s[x,y,k,i]=1``."""
+
+    device_type: DeviceType
+    corner: Point
+
+    @property
+    def rect(self) -> Rect:
+        return Rect(
+            self.corner.x,
+            self.corner.y,
+            self.device_type.width,
+            self.device_type.height,
+        )
+
+    def pump_cells(self) -> List[Point]:
+        """The perimeter ring — the valves that pump while mixing."""
+        return self.rect.perimeter_cells()
+
+    def wall_cells(self, grid: GridSpec) -> List[Point]:
+        """On-grid wall valves (the chip edge walls cost nothing)."""
+        return grid.clip(self.rect.wall_cells())
+
+    def port_cells(self) -> List[Point]:
+        """Ring cells usable as device ports.
+
+        Because the boundary is made of valves, "we are free to choose
+        device ports from multiple locations" (Section 1) — any ring
+        valve may be opened toward a routing path.
+        """
+        return self.pump_cells()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.device_type.name}@{self.corner}"
+
+
+@dataclass(frozen=True)
+class DynamicDevice:
+    """A placed device bound to one operation over a time interval."""
+
+    operation: str
+    placement: Placement
+    start: int  # formation time (storage formation when buffering)
+    end: int  # dissolution time (operation completion)
+    mix_start: int  # when the region switches STORAGE -> MIXER
+
+    @property
+    def rect(self) -> Rect:
+        return self.placement.rect
+
+    @property
+    def device_type(self) -> DeviceType:
+        return self.placement.device_type
+
+    @property
+    def volume(self) -> int:
+        return self.device_type.volume
+
+    def kind_at(self, t: int) -> DeviceKind | None:
+        """STORAGE/MIXER at time ``t``, or None when not alive."""
+        if not self.alive_at(t):
+            return None
+        return DeviceKind.STORAGE if t < self.mix_start else DeviceKind.MIXER
+
+    def alive_at(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    def overlaps_in_time(self, other: "DynamicDevice") -> bool:
+        """Whether the two devices' lifetimes intersect."""
+        return self.start < other.end and other.start < self.end
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicDevice({self.operation}: {self.placement} "
+            f"[{self.start},{self.end}))"
+        )

@@ -1,0 +1,126 @@
+"""The dynamic device type registry (shape x orientation).
+
+Section 3.2: "k represents the index of a device type, which includes
+device shape and orientation, such as 1 for 3x3, 2 for 2x4, and 3 for
+4x2".  A device type is a ``width x height`` block of valves whose
+perimeter ring is the circulation-flow channel; all ring valves act as
+pump valves while the device mixes, so the ring length is both the pump
+valve count and the mixer's volume in units:
+
+    volume = 2 * (width + height) - 4
+
+which makes the 3x3 mixer an "8-units volume" device (Figure 6a) and
+gives the 2x4 mixer its 8 pump valves (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True, order=True)
+class DeviceType:
+    """A device shape+orientation, identified by its index ``k``."""
+
+    index: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ArchitectureError(
+                f"device type {self.width}x{self.height}: a circulation "
+                "ring needs both dimensions >= 2"
+            )
+
+    @property
+    def volume(self) -> int:
+        """Mixer volume in units == number of pump (ring) valves."""
+        return 2 * (self.width + self.height) - 4
+
+    @property
+    def name(self) -> str:
+        return f"{self.width}x{self.height}"
+
+    @property
+    def min_dimension(self) -> int:
+        return min(self.width, self.height)
+
+    def rotated(self) -> "DeviceType":
+        """The same shape in the other orientation (index unchanged lookup
+        must go through :func:`device_type`)."""
+        return device_type(self.height, self.width)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _build_registry() -> List[DeviceType]:
+    """All shapes for the paper's four mixer volume classes (4/6/8/10).
+
+    Both orientations of every non-square shape are registered, because
+    "two 2x4 mixers with different orientations ... can be generated in
+    the same region at different time" with disjoint pump valves
+    (Figure 5d) — orientation is a real degree of freedom for wear
+    spreading.
+    """
+    dims: List[Tuple[int, int]] = [
+        (2, 2),                          # volume 4
+        (2, 3), (3, 2),                  # volume 6
+        (2, 4), (4, 2), (3, 3),          # volume 8
+        (2, 5), (5, 2), (3, 4), (4, 3),  # volume 10
+    ]
+    return [DeviceType(k, w, h) for k, (w, h) in enumerate(dims)]
+
+
+#: The global registry, index == position (the ILP's ``k``).
+DEVICE_TYPES: List[DeviceType] = _build_registry()
+
+_BY_DIMS: Dict[Tuple[int, int], DeviceType] = {
+    (t.width, t.height): t for t in DEVICE_TYPES
+}
+
+_BY_VOLUME: Dict[int, List[DeviceType]] = {}
+for _t in DEVICE_TYPES:
+    _BY_VOLUME.setdefault(_t.volume, []).append(_t)
+
+
+def device_type(width: int, height: int) -> DeviceType:
+    """Look up the registered type with the given dimensions."""
+    try:
+        return _BY_DIMS[(width, height)]
+    except KeyError:
+        raise ArchitectureError(
+            f"no registered device type {width}x{height}"
+        ) from None
+
+
+def types_for_volume(volume: int) -> List[DeviceType]:
+    """All shapes/orientations providing ``volume`` units.
+
+    These are the candidate ``k`` values of the selection variables for
+    an operation of that volume.
+    """
+    try:
+        return list(_BY_VOLUME[volume])
+    except KeyError:
+        raise ArchitectureError(
+            f"no device type of volume {volume}; available: "
+            f"{sorted(_BY_VOLUME)}"
+        ) from None
+
+
+@lru_cache(maxsize=1)
+def min_device_dimension() -> int:
+    """The constant ``d`` of Section 3.4.
+
+    "A constant d, which is the minimum dimension of all devices, is set
+    to the maximum distance between the dynamic devices for two
+    sequential operations, so that no other device can be inserted
+    between them."
+    """
+    return min(t.min_dimension for t in DEVICE_TYPES)

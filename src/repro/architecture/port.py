@@ -1,0 +1,35 @@
+"""Chip ports: where samples enter and waste/product leaves."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Point
+
+
+class PortKind(enum.Enum):
+    """Direction of flow through a chip port (Section 3.5)."""
+
+    INPUT = "input"  # connected to an off-chip sample pump
+    OUTPUT = "output"  # connected to a waste sink / product collector
+
+
+@dataclass(frozen=True)
+class ChipPort:
+    """A named opening on the chip boundary.
+
+    The PCR example of Section 4 uses "two input ports for samples and
+    reagents, and one output port for waste and final product".
+    """
+
+    name: str
+    position: Point
+    kind: PortKind
+
+    @property
+    def is_input(self) -> bool:
+        return self.kind is PortKind.INPUT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.kind.value}@{self.position})"

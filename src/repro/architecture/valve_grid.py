@@ -1,0 +1,117 @@
+"""The grid of virtual valves and its actuation bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ArchitectureError
+from repro.geometry import GridSpec, Point
+from repro.architecture.valve import Valve, ValveRole
+
+
+class VirtualValveGrid:
+    """A ``width x height`` matrix of virtual valves (Section 3.1).
+
+    Valves are created lazily on first touch, but *every* grid position
+    is a virtual valve conceptually; positions never touched end the
+    synthesis non-actuated and are removed from the manufactured design
+    (Algorithm 1, L20).
+    """
+
+    def __init__(self, spec: GridSpec) -> None:
+        self.spec = spec
+        self._valves: Dict[Point, Valve] = {}
+
+    # -- access ---------------------------------------------------------
+
+    def valve(self, position: Point) -> Valve:
+        """The valve at ``position`` (created on first access)."""
+        if not self.spec.in_bounds(position):
+            raise ArchitectureError(f"position {position} is off the grid")
+        valve = self._valves.get(position)
+        if valve is None:
+            valve = Valve(position)
+            self._valves[position] = valve
+        return valve
+
+    def valves(self) -> List[Valve]:
+        """All touched valves, in deterministic position order."""
+        return [self._valves[p] for p in sorted(self._valves)]
+
+    def actuated_valves(self) -> List[Valve]:
+        """Valves that survive non-actuated-valve removal."""
+        return [v for v in self.valves() if v.is_actuated]
+
+    # -- actuation -------------------------------------------------------
+
+    def actuate(
+        self, positions: Iterable[Point], role: ValveRole, times: int = 1
+    ) -> None:
+        """Record ``times`` actuations in ``role`` for each position."""
+        for p in positions:
+            self.valve(p).actuate(role, times)
+
+    # -- aggregate metrics (the evaluation columns) ------------------------
+
+    @property
+    def used_valve_count(self) -> int:
+        """``#v`` of Table 1 for our method: valves ever actuated."""
+        return len(self.actuated_valves())
+
+    @property
+    def max_total_actuations(self) -> int:
+        """``vs max`` — the reliability objective after synthesis."""
+        return max((v.total_actuations for v in self._valves.values()), default=0)
+
+    @property
+    def max_peristaltic_actuations(self) -> int:
+        """The parenthesized part of ``vs 1max``: peristalsis only."""
+        return max(
+            (v.peristaltic_actuations for v in self._valves.values()), default=0
+        )
+
+    def role_changing_valves(self) -> List[Valve]:
+        """Valves that played two or more roles (the paper's key idea)."""
+        return [v for v in self.valves() if len(v.roles_played) >= 2]
+
+    def actuation_histogram(self) -> Dict[int, int]:
+        """Map actuation-count -> number of valves with that count."""
+        histogram: Dict[int, int] = {}
+        for v in self._valves.values():
+            histogram[v.total_actuations] = (
+                histogram.get(v.total_actuations, 0) + 1
+            )
+        return histogram
+
+    # -- matrix exports (Figure 10 style) ----------------------------------
+
+    def total_actuation_matrix(self) -> np.ndarray:
+        """``height x width`` array of total actuation counts.
+
+        Row 0 is the *top* row of the chip so printing the array looks
+        like the snapshots of Figure 10.
+        """
+        matrix = np.zeros((self.spec.height, self.spec.width), dtype=int)
+        for p, valve in self._valves.items():
+            matrix[self.spec.height - 1 - p.y, p.x] = valve.total_actuations
+        return matrix
+
+    def peristaltic_matrix(self) -> np.ndarray:
+        """Like :meth:`total_actuation_matrix` for pump actuations only."""
+        matrix = np.zeros((self.spec.height, self.spec.width), dtype=int)
+        for p, valve in self._valves.items():
+            matrix[self.spec.height - 1 - p.y, p.x] = valve.peristaltic_actuations
+        return matrix
+
+    def reset(self) -> None:
+        """Zero every counter (placements are unaffected — counters only)."""
+        for valve in self._valves.values():
+            valve.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VirtualValveGrid({self.spec.width}x{self.spec.height}, "
+            f"{self.used_valve_count} actuated)"
+        )

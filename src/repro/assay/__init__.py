@@ -1,0 +1,48 @@
+"""Bioassay substrate: operations, sequencing graphs, schedules.
+
+The synthesis problem (Section 2.3) takes two inputs:
+
+1. a **bioassay sequencing graph** — operation relations, durations,
+   volumes and input proportions (:class:`SequencingGraph`);
+2. a **bioassay scheduling result** — the start time of each operation
+   (:class:`Schedule`).
+
+This package models both, plus the resource-constrained list scheduler
+used to produce scheduling results for the traditional mixer banks of
+each experiment policy (Section 4).
+"""
+
+from repro.assay.operation import MixRatio, Operation, OperationKind
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.assay.schedule import Schedule, ScheduledOperation
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.alap import alap_adjust, storage_time_saved
+from repro.assay.concentration import (
+    dilution_factor,
+    propagate_concentrations,
+)
+from repro.assay.textio import (
+    graph_from_text,
+    graph_to_text,
+    schedule_from_text,
+    schedule_to_text,
+)
+
+__all__ = [
+    "MixRatio",
+    "Operation",
+    "OperationKind",
+    "SequencingGraph",
+    "Schedule",
+    "ScheduledOperation",
+    "ListScheduler",
+    "SchedulerConfig",
+    "alap_adjust",
+    "storage_time_saved",
+    "dilution_factor",
+    "propagate_concentrations",
+    "graph_from_text",
+    "graph_to_text",
+    "schedule_from_text",
+    "schedule_to_text",
+]

@@ -1,0 +1,127 @@
+"""ALAP schedule adjustment: start operations as late as possible.
+
+In-situ storages exist because parent products arrive before their
+consumer starts (Section 3.3); the longer the gap, the longer the
+storage occupies chip area.  Delaying a parent operation — without
+moving anything after it — shortens its product's storage phase.
+
+:func:`alap_adjust` pushes every mixing operation as late as its
+children (and the makespan) allow, keeping the schedule feasible:
+
+* a parent must still finish ``transport_delay`` before each child
+  starts;
+* device bindings (traditional designs) keep their mutual exclusion;
+* the makespan never grows.
+
+The result is a schedule with the same finish time but strictly less
+*total* storage time (the instantaneous peak may shift) — useful on its
+own for traditional chips and as a storage-pressure ablation for the
+dynamic architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+
+
+def _total_storage_time(
+    graph: SequencingGraph, starts: Dict[str, int]
+) -> int:
+    """Sum of storage-phase lengths under an assignment of starts."""
+    total = 0
+    for op in graph.mix_operations():
+        start = starts[op.name]
+        for parent in graph.parents(op.name):
+            if parent.is_input:
+                continue
+            parent_end = starts[parent.name] + parent.duration
+            if parent_end < start:
+                total += start - parent_end
+    return total
+
+
+def _alap_starts(schedule: Schedule, checked: bool) -> Dict[str, int]:
+    """ALAP start times; ``checked`` rejects storage-increasing moves.
+
+    Classic ALAP (``checked=False``) moves whole subtrees toward their
+    consumers, which usually shrinks storage but can stretch it when a
+    multi-parent consumer slides away from an unmovable parent; the
+    checked variant evaluates every single move exactly but misses
+    moves that only pay off jointly.  :func:`alap_adjust` runs both and
+    keeps the better.
+    """
+    graph = schedule.graph
+    delay = schedule.transport_delay
+    makespan = schedule.makespan
+    starts: Dict[str, int] = {
+        name: entry.start for name, entry in schedule.entries.items()
+    }
+    device_busy: Dict[str, List[int]] = {}  # device -> committed starts
+
+    for op in reversed(graph.topological_order()):
+        so = schedule[op.name]
+        if op.is_input:
+            continue
+        children = graph.children(op.name)
+        if children:
+            latest_end = min(
+                starts[c.name] - (0 if c.is_input else delay)
+                for c in children
+            )
+        else:
+            latest_end = makespan
+        candidate = latest_end - op.duration
+        if so.device is not None:
+            # Stay before any later operation committed on this device.
+            for other_start in device_busy.get(so.device, []):
+                candidate = min(candidate, other_start - op.duration)
+        candidate = max(candidate, so.start)  # never earlier than before
+        if candidate > so.start:
+            before = _total_storage_time(graph, starts)
+            starts[op.name] = candidate
+            if checked and _total_storage_time(graph, starts) > before:
+                starts[op.name] = so.start  # the move costs storage: undo
+        if so.device is not None:
+            device_busy.setdefault(so.device, []).append(starts[op.name])
+    return starts
+
+
+def alap_adjust(schedule: Schedule) -> Schedule:
+    """A new schedule, re-timed so total storage time never grows.
+
+    Runs classic ALAP (joint subtree moves) and the per-move-checked
+    variant, and keeps whichever leaves less total storage time; since
+    the checked variant never accepts a worsening move, the result is
+    guaranteed not to exceed the input schedule's storage time, at an
+    unchanged makespan.
+    """
+    graph = schedule.graph
+    classic = _alap_starts(schedule, checked=False)
+    checked = _alap_starts(schedule, checked=True)
+    best = min(
+        (classic, checked),
+        key=lambda starts: _total_storage_time(graph, starts),
+    )
+
+    adjusted = Schedule(graph, transport_delay=schedule.transport_delay)
+    for op in graph.operations():
+        adjusted.add(op.name, best[op.name], schedule[op.name].device)
+    adjusted.validate()
+    return adjusted
+
+
+def storage_time_saved(before: Schedule, after: Schedule) -> int:
+    """Total storage time-units removed by an adjustment."""
+
+    def total(schedule: Schedule) -> int:
+        out = 0
+        for so in schedule.scheduled_mixes():
+            interval = schedule.storage_interval(so.name)
+            if interval is not None:
+                out += interval[1] - interval[0]
+        return out
+
+    return total(before) - total(after)

@@ -1,0 +1,87 @@
+"""Concentration tracking through a sequencing graph.
+
+Dilution assays exist to hit target concentrations: an exponential
+dilution halves the sample concentration at every 1:1 step, an
+interpolating dilution produces values between its two inputs (Ren et
+al. [11]).  Given concentrations for the input fluids, this module
+propagates them through the mixing ratios of the graph:
+
+    c_out = sum_i (part_i / total) * c_in_i
+
+which is exact for ideal mixing.  Used to validate the benchmark
+generators semantically and as a user-facing planning tool.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Union
+
+from repro.errors import AssayError
+from repro.assay.operation import OperationKind
+from repro.assay.sequencing_graph import SequencingGraph
+
+Number = Union[int, float, Fraction]
+
+
+def propagate_concentrations(
+    graph: SequencingGraph,
+    inputs: Mapping[str, Number],
+) -> Dict[str, Fraction]:
+    """Concentration of every operation's product.
+
+    ``inputs`` maps every INPUT operation to its concentration (any
+    real number; exact :class:`fractions.Fraction` arithmetic is used
+    internally, so chains of 1:1 dilutions produce exact powers of two).
+    MIX operations combine parents by their ratio, aligned with the
+    graph's parent order; DETECT/OUTPUT operations pass their parent's
+    concentration through.
+    """
+    concentrations: Dict[str, Fraction] = {}
+    for op in graph.topological_order():
+        if op.kind is OperationKind.INPUT:
+            if op.name not in inputs:
+                raise AssayError(
+                    f"no input concentration given for {op.name!r}"
+                )
+            concentrations[op.name] = Fraction(inputs[op.name])
+            continue
+        parents = graph.parents(op.name)
+        if op.kind is OperationKind.MIX:
+            ratio = op.ratio
+            if ratio is not None and len(ratio.parts) == len(parents):
+                parts = ratio.parts
+            else:
+                parts = tuple(1 for _ in parents)
+            total = sum(parts)
+            concentrations[op.name] = sum(
+                (
+                    Fraction(part, total) * concentrations[parent.name]
+                    for part, parent in zip(parts, parents)
+                ),
+                Fraction(0),
+            )
+        else:  # DETECT / OUTPUT: observe, do not change
+            concentrations[op.name] = concentrations[parents[0].name]
+    return concentrations
+
+
+def dilution_factor(
+    graph: SequencingGraph,
+    inputs: Mapping[str, Number],
+    operation: str,
+    reference: str,
+) -> Fraction:
+    """How much ``operation``'s product dilutes the ``reference`` input.
+
+    E.g. a three-step 1:1 serial dilution of a pure sample returns 8.
+    """
+    concentrations = propagate_concentrations(graph, inputs)
+    target = concentrations[graph.operation(operation).name]
+    source = concentrations[graph.operation(reference).name]
+    if target == 0:
+        raise AssayError(
+            f"{operation!r} contains none of {reference!r}; the dilution "
+            "factor is unbounded"
+        )
+    return source / target

@@ -1,0 +1,117 @@
+"""Assay operations: inputs, mixing, detection, output."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import AssayError
+
+#: The dedicated-mixer volume classes of the paper's traditional designs
+#: (Section 4: "we assume there are 4 different sizes of mixers").
+MIXER_SIZES: Tuple[int, ...] = (4, 6, 8, 10)
+
+
+class OperationKind(enum.Enum):
+    """What an operation does on the chip."""
+
+    INPUT = "input"  # sample/reagent dispensed from a chip port
+    MIX = "mix"  # peristaltic mixing of parent products
+    DETECT = "detect"  # optical detection, occupies a detector
+    OUTPUT = "output"  # final product / waste leaves through a port
+
+
+@dataclass(frozen=True)
+class MixRatio:
+    """Input proportions of a mixing operation, e.g. 1:1 or 1:3.
+
+    The paper's architecture supports assays "with input samples in
+    different proportions" (Section 1) because device ports can be chosen
+    among wall valves; traditional chips would need a dedicated mixer per
+    ratio.  Ratios are stored normalized by their gcd.
+    """
+
+    parts: Tuple[int, ...] = (1, 1)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise AssayError("a mix ratio needs at least two parts")
+        if any(p <= 0 for p in self.parts):
+            raise AssayError(f"mix ratio parts must be positive: {self.parts}")
+        g = 0
+        for p in self.parts:
+            g = math.gcd(g, p)
+        object.__setattr__(self, "parts", tuple(p // g for p in self.parts))
+
+    @property
+    def total(self) -> int:
+        """Sum of the normalized parts."""
+        return sum(self.parts)
+
+    def volumes(self, total_volume: int) -> Tuple[int, ...]:
+        """Split ``total_volume`` units according to the ratio.
+
+        ``total_volume`` must be divisible by the ratio total — mixers
+        hold whole volume units.
+        """
+        if total_volume % self.total != 0:
+            raise AssayError(
+                f"volume {total_volume} is not divisible by ratio "
+                f"{':'.join(map(str, self.parts))}"
+            )
+        unit = total_volume // self.total
+        return tuple(p * unit for p in self.parts)
+
+    def __str__(self) -> str:
+        return ":".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A node of the sequencing graph.
+
+    ``volume`` is the total fluid volume the operation works on, in the
+    paper's volume units; for MIX operations it selects the mixer size
+    class (4, 6, 8 or 10).  ``duration`` is in time units (tu), matching
+    the Gantt chart of Figure 9.
+    """
+
+    name: str
+    kind: OperationKind
+    duration: int = 0
+    volume: int = 0
+    ratio: MixRatio | None = None
+    metadata: Dict[str, str] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AssayError("operation needs a name")
+        if self.duration < 0:
+            raise AssayError(f"{self.name}: negative duration")
+        if self.volume < 0:
+            raise AssayError(f"{self.name}: negative volume")
+        if self.kind is OperationKind.MIX:
+            if self.duration <= 0:
+                raise AssayError(f"{self.name}: mixing needs a positive duration")
+            if self.volume not in MIXER_SIZES:
+                raise AssayError(
+                    f"{self.name}: mix volume {self.volume} is not one of "
+                    f"the mixer size classes {MIXER_SIZES}"
+                )
+            if self.ratio is None:
+                object.__setattr__(self, "ratio", MixRatio((1, 1)))
+        elif self.ratio is not None:
+            raise AssayError(f"{self.name}: only mix operations carry a ratio")
+
+    @property
+    def is_mix(self) -> bool:
+        return self.kind is OperationKind.MIX
+
+    @property
+    def is_input(self) -> bool:
+        return self.kind is OperationKind.INPUT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.kind.value})"

@@ -1,0 +1,173 @@
+"""Scheduling results (input 2 of the problem formulation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.assay.operation import Operation
+from repro.assay.sequencing_graph import SequencingGraph
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One operation with its start time and (optional) device binding.
+
+    ``device`` is the identifier of the dedicated device the operation
+    is bound to in a traditional design (e.g. ``"mixer8.0"``); dynamic
+    devices are assigned later by the synthesis, so the field stays
+    ``None`` for our method's inputs.
+    """
+
+    operation: Operation
+    start: int
+    device: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.operation.name
+
+    @property
+    def end(self) -> int:
+        return self.start + self.operation.duration
+
+    @property
+    def interval(self) -> Tuple[int, int]:
+        """Half-open execution interval ``[start, end)``."""
+        return (self.start, self.end)
+
+
+@dataclass
+class Schedule:
+    """Start times for every operation of a sequencing graph.
+
+    The schedule, together with the graph, determines when in-situ
+    storages exist (Section 3.3): the storage of operation *i* appears
+    when the first parent product arrives and becomes *i*'s device when
+    *i* starts.
+    """
+
+    graph: SequencingGraph
+    transport_delay: int = 3  # tu, matching the PCR example of Section 4
+    entries: Dict[str, ScheduledOperation] = field(default_factory=dict)
+
+    def add(self, name: str, start: int, device: Optional[str] = None) -> None:
+        op = self.graph.operation(name)
+        if name in self.entries:
+            raise SchedulingError(f"operation {name!r} scheduled twice")
+        if start < 0:
+            raise SchedulingError(f"operation {name!r} starts before t=0")
+        self.entries[name] = ScheduledOperation(op, start, device)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __getitem__(self, name: str) -> ScheduledOperation:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise SchedulingError(f"operation {name!r} is not scheduled") from None
+
+    def start(self, name: str) -> int:
+        return self[name].start
+
+    def end(self, name: str) -> int:
+        return self[name].end
+
+    @property
+    def makespan(self) -> int:
+        """Completion time of the whole assay."""
+        return max((so.end for so in self.entries.values()), default=0)
+
+    def scheduled_mixes(self) -> List[ScheduledOperation]:
+        """Mixing operations ordered by (start, name) — the mapping order."""
+        mixes = [so for so in self.entries.values() if so.operation.is_mix]
+        return sorted(mixes, key=lambda so: (so.start, so.name))
+
+    # -- storage analysis (Section 3.3) ------------------------------------
+
+    def storage_interval(self, name: str) -> Optional[Tuple[int, int]]:
+        """When operation ``name``'s in-situ storage exists.
+
+        The storage appears when the first parent product arrives
+        (parent end + transport delay, cf. Figure 7/9: s6 appears at
+        t=3+... immediately after o3/o4 complete) and disappears when
+        the operation itself starts (the storage *becomes* the device).
+        Returns ``None`` when no buffering is needed (no mix parents, or
+        all products arrive exactly at the start).
+        """
+        so = self[name]
+        arrivals = [
+            self.end(p.name) for p in self.graph.parents(name) if not p.is_input
+        ]
+        if not arrivals:
+            return None
+        first = min(arrivals)
+        if first >= so.start:
+            return None
+        return (first, so.start)
+
+    def device_interval(self, name: str) -> Tuple[int, int]:
+        """Lifetime of the dynamic device region for operation ``name``.
+
+        From storage formation (or operation start when no storage is
+        needed) until the operation completes.  Two operations whose
+        device intervals intersect must not overlap on the chip
+        (eq. 3 applies to them).
+        """
+        so = self[name]
+        storage = self.storage_interval(name)
+        begin = storage[0] if storage else so.start
+        return (begin, so.end)
+
+    def stored_products(self, t: int) -> List[str]:
+        """Parents whose product sits in some storage at time ``t``.
+
+        Drives the traditional design's dedicated-storage sizing: "the
+        number of cells in the storage is determined by the largest
+        number of simultaneous accesses to the storage" (Section 4).
+        """
+        stored: List[str] = []
+        for name in self.entries:
+            for parent in self.graph.parents(name):
+                if parent.is_input:
+                    continue
+                if self.end(parent.name) <= t < self.start(name):
+                    stored.append(parent.name)
+        return stored
+
+    def peak_storage_demand(self) -> int:
+        """Largest number of simultaneously stored products."""
+        times = sorted({so.end for so in self.entries.values()})
+        return max((len(self.stored_products(t)) for t in times), default=0)
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the schedule is complete and respects precedence.
+
+        A child may start no earlier than ``parent.end + transport_delay``
+        for non-input parents (products must travel between devices), and
+        no earlier than 0 for input parents.
+        """
+        for op in self.graph.operations():
+            if op.name not in self.entries:
+                raise SchedulingError(f"operation {op.name!r} is not scheduled")
+        for name, so in self.entries.items():
+            for parent in self.graph.parents(name):
+                if parent.is_input:
+                    continue
+                earliest = self.end(parent.name) + self.transport_delay
+                if so.start < earliest:
+                    raise SchedulingError(
+                        f"{name} starts at {so.start} but parent "
+                        f"{parent.name} finishes at {self.end(parent.name)} "
+                        f"(+{self.transport_delay} transport)"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.graph.name}: {len(self.entries)} ops, "
+            f"makespan {self.makespan})"
+        )

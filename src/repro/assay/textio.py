@@ -1,0 +1,139 @@
+"""Plain-text serialization for assays and schedules.
+
+A small line-oriented format so examples and tests can ship assay
+descriptions as readable files:
+
+.. code-block:: text
+
+    # assay pcr
+    input  s1
+    input  r1
+    mix    o1  s1 r1   duration=15 volume=8 ratio=1:1
+    detect d1  o1      duration=2
+
+    # schedule (start times)
+    o1 @ 0 on mixer8.0
+
+Blank lines and ``#`` comments are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import AssayError, SchedulingError
+from repro.assay.operation import MixRatio, Operation, OperationKind
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+
+
+def graph_to_text(graph: SequencingGraph) -> str:
+    """Serialize a sequencing graph to the text format."""
+    lines: List[str] = [f"# assay {graph.name}"]
+    for op in graph.operations():
+        parents = " ".join(p.name for p in graph.parents(op.name))
+        if op.kind is OperationKind.INPUT:
+            lines.append(f"input {op.name} volume={op.volume}")
+        elif op.kind is OperationKind.MIX:
+            lines.append(
+                f"mix {op.name} {parents} duration={op.duration} "
+                f"volume={op.volume} ratio={op.ratio}"
+            )
+        elif op.kind is OperationKind.DETECT:
+            lines.append(f"detect {op.name} {parents} duration={op.duration}")
+        else:
+            lines.append(f"output {op.name} {parents}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_from_text(text: str) -> SequencingGraph:
+    """Parse the text format back into a sequencing graph."""
+    graph: SequencingGraph | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if "#" not in raw[:1] else ""
+        if raw.lstrip().startswith("#"):
+            comment = raw.lstrip()[1:].strip()
+            if comment.startswith("assay ") and graph is None:
+                graph = SequencingGraph(comment.split(None, 1)[1])
+            continue
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if graph is None:
+            graph = SequencingGraph()
+        tokens = line.split()
+        kind = tokens[0]
+        try:
+            if kind == "input":
+                kwargs = dict(t.split("=", 1) for t in tokens[2:] if "=" in t)
+                graph.add_input(tokens[1], volume=int(kwargs.get("volume", 0)))
+            elif kind == "mix":
+                name = tokens[1]
+                parents = [t for t in tokens[2:] if "=" not in t]
+                kwargs = dict(t.split("=", 1) for t in tokens[2:] if "=" in t)
+                ratio = MixRatio(
+                    tuple(int(p) for p in kwargs.get("ratio", "1:1").split(":"))
+                )
+                graph.add_mix(
+                    name,
+                    parents,
+                    duration=int(kwargs["duration"]),
+                    volume=int(kwargs["volume"]),
+                    ratio=ratio,
+                )
+            elif kind == "detect":
+                name = tokens[1]
+                parents = [t for t in tokens[2:] if "=" not in t]
+                kwargs = dict(t.split("=", 1) for t in tokens[2:] if "=" in t)
+                graph.add_detect(name, parents[0], duration=int(kwargs["duration"]))
+            elif kind == "output":
+                name = tokens[1]
+                graph.add_operation(Operation(name, OperationKind.OUTPUT))
+                graph.add_dependency(tokens[2], name)
+            else:
+                raise AssayError(f"line {lineno}: unknown directive {kind!r}")
+        except (IndexError, KeyError, ValueError) as exc:
+            raise AssayError(f"line {lineno}: cannot parse {raw!r}") from exc
+    if graph is None:
+        raise AssayError("empty assay description")
+    return graph
+
+
+def schedule_to_text(schedule: Schedule) -> str:
+    """Serialize start times (and bindings) to the text format."""
+    lines = [f"# schedule transport_delay={schedule.transport_delay}"]
+    for name in sorted(
+        schedule.entries, key=lambda n: (schedule.start(n), n)
+    ):
+        so = schedule.entries[name]
+        suffix = f" on {so.device}" if so.device else ""
+        lines.append(f"{name} @ {so.start}{suffix}")
+    return "\n".join(lines) + "\n"
+
+
+def schedule_from_text(text: str, graph: SequencingGraph) -> Schedule:
+    """Parse start times; the sequencing graph supplies the operations."""
+    transport_delay = 3
+    entries: List[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.startswith("#"):
+            for token in stripped[1:].split():
+                if token.startswith("transport_delay="):
+                    transport_delay = int(token.split("=", 1)[1])
+            continue
+        if not stripped:
+            continue
+        tokens = stripped.split()
+        try:
+            name = tokens[0]
+            assert tokens[1] == "@"
+            start = int(tokens[2])
+            device = tokens[4] if len(tokens) > 4 and tokens[3] == "on" else None
+            entries.append((name, start, device))
+        except (IndexError, ValueError, AssertionError) as exc:
+            raise SchedulingError(f"line {lineno}: cannot parse {raw!r}") from exc
+    schedule = Schedule(graph, transport_delay=transport_delay)
+    for name, start, device in entries:
+        schedule.add(name, start, device)
+    return schedule

@@ -1,0 +1,45 @@
+"""Benchmark assays: the four test cases of the paper's evaluation.
+
+Section 4: "The four test cases are from widely used laboratory
+protocols [11] [12]."  The protocols' exact sequencing graphs are not
+printed in the paper, so the generators here build structurally faithful
+DAGs — a PCR mixing tree matching Figure 9, a binary mixing tree, an
+interpolating-dilution lattice (Ren et al. [11]) and exponential-dilution
+chains (Chakrabarty & Su [12]) — whose operation counts and per-size
+mixer demand reproduce Table 1's ``#op`` and ``#m`` columns exactly.
+"""
+
+from repro.assays.pcr import pcr_graph, pcr_fig9_schedule, pcr_policy1
+from repro.assays.mixing_tree import mixing_tree_graph, mixing_tree_policy1
+from repro.assays.interpolating_dilution import (
+    interpolating_dilution_graph,
+    interpolating_dilution_policy1,
+)
+from repro.assays.exponential_dilution import (
+    exponential_dilution_graph,
+    exponential_dilution_policy1,
+)
+from repro.assays.registry import (
+    BenchmarkCase,
+    CASES,
+    get_case,
+    list_cases,
+    schedule_for,
+)
+
+__all__ = [
+    "pcr_graph",
+    "pcr_fig9_schedule",
+    "pcr_policy1",
+    "mixing_tree_graph",
+    "mixing_tree_policy1",
+    "interpolating_dilution_graph",
+    "interpolating_dilution_policy1",
+    "exponential_dilution_graph",
+    "exponential_dilution_policy1",
+    "BenchmarkCase",
+    "CASES",
+    "get_case",
+    "list_cases",
+    "schedule_for",
+]

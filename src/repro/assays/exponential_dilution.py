@@ -1,0 +1,90 @@
+"""The Exponential Dilution test case — 103 operations, 47 mixing.
+
+Exponential (serial) dilution after Chakrabarty & Su [12]: each step
+mixes the previous product 1:1 with fresh buffer, halving the
+concentration.  Four independent chains run over four samples:
+
+* chains 1–3: 12 steps each, volume plan
+  ``10,10,10,8,8,8,6,6,6,6,4,4``;
+* chain 4: 11 steps, volume plan ``10,10,10,8,8,8,8,6,6,6,6``;
+* five detections: one on each chain's final product plus one on the
+  midpoint of chain 1.
+
+Totals: 51 inputs (4 samples + 47 buffers) + 47 mixes + 5 detects = 103
+operations, with mixer demand ``#m = 6-16-13-12`` matching Table 1.
+Duration = volume (tu) for mixes, 2 tu per detection; every sixth step
+uses a non-1:1 ratio to exercise proportion support.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.assay.operation import MixRatio
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.policies import Policy
+
+#: Volume plan per chain (chains 1-3 share the 12-step plan).
+_CHAIN_PLANS: Tuple[Tuple[int, ...], ...] = (
+    (10, 10, 10, 8, 8, 8, 6, 6, 6, 6, 4, 4),
+    (10, 10, 10, 8, 8, 8, 6, 6, 6, 6, 4, 4),
+    (10, 10, 10, 8, 8, 8, 6, 6, 6, 6, 4, 4),
+    (10, 10, 10, 8, 8, 8, 8, 6, 6, 6, 6),
+)
+
+#: Non-1:1 ratio used on every sixth step, keyed by volume class.
+_SPECIAL_RATIOS: Dict[int, Tuple[int, int]] = {
+    4: (1, 3),
+    6: (1, 2),
+    8: (1, 3),
+    10: (1, 4),
+}
+_RATIO_PERIOD = 6
+
+_DETECT_DURATION = 2
+
+
+def exponential_dilution_graph() -> SequencingGraph:
+    """Build the exponential-dilution chains (103 ops, 47 mixing)."""
+    graph = SequencingGraph("exponential_dilution")
+
+    step_counter = 0
+    tails: List[str] = []
+    midpoint: str | None = None
+    for c, plan in enumerate(_CHAIN_PLANS):
+        sample = f"sample{c}"
+        graph.add_input(sample, volume=5)
+        previous = sample
+        for j, volume in enumerate(plan):
+            buffer = f"buf{c}_{j}"
+            graph.add_input(buffer, volume=5)
+            step_counter += 1
+            ratio = (
+                MixRatio(_SPECIAL_RATIOS[volume])
+                if step_counter % _RATIO_PERIOD == 0
+                else MixRatio((1, 1))
+            )
+            name = f"e{c}_{j}"
+            graph.add_mix(
+                name,
+                (previous, buffer),
+                duration=volume,
+                volume=volume,
+                ratio=ratio,
+            )
+            previous = name
+            if c == 0 and j == len(plan) // 2:
+                midpoint = name
+        tails.append(previous)
+
+    assert midpoint is not None
+    for i, product in enumerate(tails + [midpoint]):
+        graph.add_detect(f"det{i}", product, duration=_DETECT_DURATION)
+
+    graph.validate()
+    return graph
+
+
+def exponential_dilution_policy1() -> Policy:
+    """Exponential Dilution's p1 (#d = 10: 7 mixers + 3 detectors)."""
+    return Policy(index=1, mixers={4: 1, 6: 2, 8: 2, 10: 2}, detectors=3)

@@ -1,0 +1,99 @@
+"""The Interpolating Dilution test case — 71 operations, 35 mixing.
+
+Interpolating (serial) dilution after Ren, Srinivasan & Fair [11]:
+target concentrations are produced by 1:1 mixes of neighbouring
+concentrations, stage by stage:
+
+* **stage 1** — 12 primary dilutions: sample_i mixed 1:1 with buffer_i
+  (12 mixes, volume 10 each);
+* **stage 2** — 11 interpolations of adjacent stage-1 products
+  (volume 8 x 9, volume 6 x 2);
+* **stage 3** — 12 interpolations of adjacent stage-2 products
+  (volume 6 x 7, volume 4 x 5), each followed by a detection.
+
+Totals: 24 inputs + 35 mixes + 12 detects = 71 operations, with mixer
+demand ``#m = 5-9-9-12`` matching Table 1.  Duration = volume (tu) for
+mixes, 2 tu per detection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.assay.operation import MixRatio
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.policies import Policy
+
+#: Stage volume plans (one entry per mix, in creation order).
+_STAGE1_VOLUMES: Tuple[int, ...] = (10,) * 12
+_STAGE2_VOLUMES: Tuple[int, ...] = (8,) * 9 + (6,) * 2
+_STAGE3_VOLUMES: Tuple[int, ...] = (6,) * 7 + (4,) * 5
+
+#: Detection time per sample.
+_DETECT_DURATION = 2
+
+
+def interpolating_dilution_graph() -> SequencingGraph:
+    """Build the interpolating-dilution lattice (71 ops, 35 mixing)."""
+    graph = SequencingGraph("interpolating_dilution")
+
+    samples: List[str] = []
+    buffers: List[str] = []
+    for i in range(12):
+        graph.add_input(f"sample{i}", volume=5)
+        graph.add_input(f"buffer{i}", volume=5)
+        samples.append(f"sample{i}")
+        buffers.append(f"buffer{i}")
+
+    # Stage 1: primary 1:1 dilutions of each sample.
+    stage1: List[str] = []
+    for i, volume in enumerate(_STAGE1_VOLUMES):
+        name = f"d1_{i}"
+        graph.add_mix(
+            name,
+            (samples[i], buffers[i]),
+            duration=volume,
+            volume=volume,
+            ratio=MixRatio((1, 1)),
+        )
+        stage1.append(name)
+
+    # Stage 2: interpolate adjacent stage-1 concentrations.
+    stage2: List[str] = []
+    for i, volume in enumerate(_STAGE2_VOLUMES):
+        name = f"d2_{i}"
+        graph.add_mix(
+            name,
+            (stage1[i], stage1[i + 1]),
+            duration=volume,
+            volume=volume,
+            ratio=MixRatio((1, 1)),
+        )
+        stage2.append(name)
+
+    # Stage 3: interpolate adjacent stage-2 concentrations; wrap at the
+    # end so stage 3 also has 12 members.
+    stage3: List[str] = []
+    for i, volume in enumerate(_STAGE3_VOLUMES):
+        left = stage2[i % len(stage2)]
+        right = stage2[(i + 1) % len(stage2)]
+        name = f"d3_{i}"
+        graph.add_mix(
+            name,
+            (left, right),
+            duration=volume,
+            volume=volume,
+            ratio=MixRatio((1, 1)),
+        )
+        stage3.append(name)
+
+    for i, product in enumerate(stage3):
+        graph.add_detect(f"det{i}", product, duration=_DETECT_DURATION)
+
+    graph.validate()
+    return graph
+
+
+def interpolating_dilution_policy1() -> Policy:
+    """Interpolating Dilution's p1 (#d = 7: 5 mixers + 2 detectors)."""
+    return Policy(index=1, mixers={4: 1, 6: 1, 8: 1, 10: 2}, detectors=2)

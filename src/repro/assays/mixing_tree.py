@@ -1,0 +1,76 @@
+"""The Mixing Tree test case — 37 operations, 18 of them mixing.
+
+A binary mixing tree over 19 input fluids: products are combined
+pairwise, queue-style, until a single final product remains (n inputs
+need n-1 mixing operations).  Volume classes are assigned small-to-large
+from the leaves toward the root — early combinations involve little
+fluid, the final combinations the most — realizing Table 1's demand
+``#m = 2-4-5-7`` (two size-4, four size-6, five size-8, seven size-10
+operations).  Mixing duration scales with mixer volume (duration =
+volume in tu), and a deterministic sprinkling of non-1:1 ratios
+exercises the paper's different-proportion support.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Tuple
+
+from repro.assay.operation import MixRatio
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.policies import Policy
+
+#: Volume of the k-th mixing operation (creation order, leaves first).
+_VOLUME_SEQUENCE: Tuple[int, ...] = (
+    4, 4,
+    6, 6, 6, 6,
+    8, 8, 8, 8, 8,
+    10, 10, 10, 10, 10, 10, 10,
+)
+
+#: Non-1:1 ratio used every RATIO_PERIOD-th mix, keyed by volume class.
+_SPECIAL_RATIOS: Dict[int, Tuple[int, int]] = {
+    4: (1, 3),
+    6: (1, 2),
+    8: (1, 3),
+    10: (1, 4),
+}
+_RATIO_PERIOD = 5
+
+
+def mixing_tree_graph(n_inputs: int = 19) -> SequencingGraph:
+    """Build a binary mixing tree over ``n_inputs`` fluids.
+
+    The default 19 inputs yield the paper's instance: 18 mixing
+    operations, 37 operations total.  Other sizes reuse the volume
+    sequence cyclically (useful for scaling studies).
+    """
+    graph = SequencingGraph("mixing_tree")
+    queue: deque[str] = deque()
+    for i in range(n_inputs):
+        graph.add_input(f"in{i}", volume=2)
+        queue.append(f"in{i}")
+
+    k = 0
+    while len(queue) > 1:
+        left = queue.popleft()
+        right = queue.popleft()
+        volume = _VOLUME_SEQUENCE[k % len(_VOLUME_SEQUENCE)]
+        ratio = (
+            MixRatio(_SPECIAL_RATIOS[volume])
+            if (k + 1) % _RATIO_PERIOD == 0
+            else MixRatio((1, 1))
+        )
+        name = f"m{k + 1}"
+        graph.add_mix(name, (left, right), duration=volume, volume=volume,
+                      ratio=ratio)
+        queue.append(name)
+        k += 1
+
+    graph.validate()
+    return graph
+
+
+def mixing_tree_policy1() -> Policy:
+    """Mixing Tree's p1: one mixer per size class, no detector (#d = 4)."""
+    return Policy(index=1, mixers={4: 1, 6: 1, 8: 1, 10: 1}, detectors=0)

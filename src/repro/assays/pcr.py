@@ -1,0 +1,86 @@
+"""The PCR test case — 15 operations, 7 of them mixing.
+
+Polymerase chain reaction mixing stage: eight input fluids are combined
+pairwise in a binary mixing tree of seven operations.  Durations and the
+dependency structure follow Figure 9 exactly (time axis ticks 0, 2, 3,
+6, 9, 12, 15, 18, 22, 25, 29 with a 3-tu transport delay):
+
+========  ========  ========  =======
+op        parents   duration  volume
+========  ========  ========  =======
+o1        in1,in2   15        8
+o2        in3,in4   12        8
+o3        in5,in6   3         8
+o4        in7,in8   3         8
+o5        o1,o2     4         10
+o6        o3,o4     3         4
+o7        o5,o6     4         10
+========  ========  ========  =======
+
+The volume classes realize Table 1's PCR demand ``#m = 1-0-4-2``
+(one size-4, four size-8, two size-10 operations).
+"""
+
+from __future__ import annotations
+
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.policies import Policy
+
+#: (name, parents, duration, volume) rows of the table above.
+_PCR_MIXES = (
+    ("o1", ("in1", "in2"), 15, 8),
+    ("o2", ("in3", "in4"), 12, 8),
+    ("o3", ("in5", "in6"), 3, 8),
+    ("o4", ("in7", "in8"), 3, 8),
+    ("o5", ("o1", "o2"), 4, 10),
+    ("o6", ("o3", "o4"), 3, 4),
+    ("o7", ("o5", "o6"), 4, 10),
+)
+
+#: Start times read off the Gantt chart of Figure 9.
+FIG9_STARTS = {
+    "o1": 0,
+    "o2": 0,
+    "o3": 0,
+    "o4": 0,
+    "o6": 6,
+    "o5": 18,
+    "o7": 25,
+}
+
+#: Transport delay of the PCR example (Section 4: "3 time-units (tu)").
+FIG9_TRANSPORT_DELAY = 3
+
+
+def pcr_graph() -> SequencingGraph:
+    """Build the PCR sequencing graph (15 ops, 7 mixing)."""
+    graph = SequencingGraph("pcr")
+    for i in range(1, 9):
+        graph.add_input(f"in{i}", volume=4)
+    for name, parents, duration, volume in _PCR_MIXES:
+        graph.add_mix(name, parents, duration=duration, volume=volume)
+    graph.validate()
+    return graph
+
+
+def pcr_fig9_schedule(graph: SequencingGraph | None = None) -> Schedule:
+    """The exact scheduling result of Figure 9.
+
+    This is the resource-*unconstrained* schedule (o1..o4 run in
+    parallel); it is the input of the synthesis example in Figures 9/10.
+    """
+    graph = graph or pcr_graph()
+    schedule = Schedule(graph, transport_delay=FIG9_TRANSPORT_DELAY)
+    for op in graph.operations():
+        if op.is_input:
+            schedule.add(op.name, 0)
+    for name, start in FIG9_STARTS.items():
+        schedule.add(name, start)
+    schedule.validate()
+    return schedule
+
+
+def pcr_policy1() -> Policy:
+    """PCR's p1: one mixer per used size class, no detector (#d = 3)."""
+    return Policy(index=1, mixers={4: 1, 8: 1, 10: 1}, detectors=0)

@@ -1,0 +1,136 @@
+"""Registry of the four benchmark cases and their experiment setup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import AssayError
+from repro.assay.schedule import Schedule
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.policies import Policy, mixer_demand, policy_sequence
+from repro.geometry import GridSpec
+
+from repro.assays.exponential_dilution import (
+    exponential_dilution_graph,
+    exponential_dilution_policy1,
+)
+from repro.assays.interpolating_dilution import (
+    interpolating_dilution_graph,
+    interpolating_dilution_policy1,
+)
+from repro.assays.mixing_tree import mixing_tree_graph, mixing_tree_policy1
+from repro.assays.pcr import pcr_graph, pcr_policy1
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One row group of Table 1.
+
+    ``grid`` is the virtual valve grid used by our method for this case
+    (a synthesis parameter — the paper does not publish its grid sizes;
+    see DESIGN.md §4).
+    """
+
+    name: str
+    title: str
+    build_graph: Callable[[], SequencingGraph]
+    policy1: Callable[[], Policy]
+    grid: GridSpec
+    total_operations: int
+    mix_operations: int
+
+    def graph(self) -> SequencingGraph:
+        graph = self.build_graph()
+        if len(graph) != self.total_operations:
+            raise AssayError(
+                f"{self.name}: generator produced {len(graph)} operations, "
+                f"expected {self.total_operations}"
+            )
+        if len(graph.mix_operations()) != self.mix_operations:
+            raise AssayError(
+                f"{self.name}: generator produced "
+                f"{len(graph.mix_operations())} mixing operations, expected "
+                f"{self.mix_operations}"
+            )
+        return graph
+
+    def policies(self, count: int = 3) -> List[Policy]:
+        """p1..p_count under the growth rule of Section 4."""
+        return policy_sequence(
+            self.policy1(), mixer_demand(self.build_graph()), count
+        )
+
+
+CASES: Dict[str, BenchmarkCase] = {
+    case.name: case
+    for case in (
+        BenchmarkCase(
+            name="pcr",
+            title="PCR",
+            build_graph=pcr_graph,
+            policy1=pcr_policy1,
+            grid=GridSpec(9, 9),
+            total_operations=15,
+            mix_operations=7,
+        ),
+        BenchmarkCase(
+            name="mixing_tree",
+            title="Mixing Tree",
+            build_graph=mixing_tree_graph,
+            policy1=mixing_tree_policy1,
+            grid=GridSpec(11, 11),
+            total_operations=37,
+            mix_operations=18,
+        ),
+        BenchmarkCase(
+            name="interpolating_dilution",
+            title="Interpolating Dilution",
+            build_graph=interpolating_dilution_graph,
+            policy1=interpolating_dilution_policy1,
+            grid=GridSpec(14, 14),
+            total_operations=71,
+            mix_operations=35,
+        ),
+        BenchmarkCase(
+            name="exponential_dilution",
+            title="Exponential Dilution",
+            build_graph=exponential_dilution_graph,
+            policy1=exponential_dilution_policy1,
+            grid=GridSpec(15, 15),
+            total_operations=103,
+            mix_operations=47,
+        ),
+    )
+}
+
+
+def get_case(name: str) -> BenchmarkCase:
+    try:
+        return CASES[name]
+    except KeyError:
+        raise AssayError(
+            f"unknown benchmark case {name!r}; available: {sorted(CASES)}"
+        ) from None
+
+
+def list_cases() -> List[BenchmarkCase]:
+    return list(CASES.values())
+
+
+def schedule_for(
+    case: BenchmarkCase, policy: Policy, transport_delay: int = 3
+) -> Schedule:
+    """The scheduling result used as synthesis input for one policy.
+
+    Section 4: "Correspondingly, we can obtain different scheduling
+    results as the inputs for experiments" — the schedule is produced by
+    list scheduling over the policy's mixer bank.
+    """
+    config = SchedulerConfig(
+        mixers=dict(policy.mixers),
+        detectors=policy.detectors if policy.detectors else None,
+        transport_delay=transport_delay,
+    )
+    return ListScheduler(config).schedule(case.graph())

@@ -1,0 +1,45 @@
+"""Traditional flow-based biochip designs — the paper's comparison base.
+
+A traditional design uses *dedicated* devices: mixers of fixed sizes
+(4/6/8/10 volume units), a dedicated storage sized by the peak number of
+simultaneously stored products, and detectors.  Operations are bound to
+mixers by an **optimal binding** that distributes operations as evenly
+as possible (Section 4), and the policy index p1/p2/p3 grows the mixer
+bank by adding a mixer to every size class under the heaviest loading.
+"""
+
+from repro.baseline.policies import (
+    Policy,
+    balanced_loads,
+    mixer_demand,
+    next_policy,
+    policy_sequence,
+    distribution_string,
+)
+from repro.baseline.binding import OptimalBinding, bind_operations
+from repro.baseline.dedicated import (
+    DedicatedMixer,
+    DedicatedStorage,
+    DedicatedDetector,
+    PUMP_ACTUATIONS_PER_OP,
+    PUMP_VALVES_PER_DEDICATED_MIXER,
+)
+from repro.baseline.valve_count import TraditionalDesign, traditional_design
+
+__all__ = [
+    "Policy",
+    "balanced_loads",
+    "mixer_demand",
+    "next_policy",
+    "policy_sequence",
+    "distribution_string",
+    "OptimalBinding",
+    "bind_operations",
+    "DedicatedMixer",
+    "DedicatedStorage",
+    "DedicatedDetector",
+    "PUMP_ACTUATIONS_PER_OP",
+    "PUMP_VALVES_PER_DEDICATED_MIXER",
+    "TraditionalDesign",
+    "traditional_design",
+]

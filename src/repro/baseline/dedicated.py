@@ -1,0 +1,131 @@
+"""Dedicated devices of traditional flow-based biochips.
+
+The reference mixer is the one of Figure 2: a circular flow channel with
+9 valves — 3 pump valves forming the peristaltic pump and 6 control
+valves guiding loading and draining.  Figure 2(f) fixes the actuation
+profile of one mixing operation:
+
+* each pump valve is actuated 40 times (constant from [9], Section 2.1);
+* the two control valves shared between loading and draining phases are
+  actuated 4 times per operation, the remaining control valves twice.
+
+Generalization to other sizes keeps 3 pump valves (the peristaltic pump
+needs exactly three phases) and gives a volume-``v`` mixer ``v - 2``
+control valves, i.e. ``v + 1`` valves total (9 for the volume-8 mixer of
+Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ArchitectureError
+
+#: Actuations of one pump valve during one mixing operation (from [9]).
+PUMP_ACTUATIONS_PER_OP: int = 40
+
+#: A dedicated peristaltic pump always uses three valves (Figure 2).
+PUMP_VALVES_PER_DEDICATED_MIXER: int = 3
+
+#: Control-valve actuations per operation: the two port valves shared by
+#: fill and drain phases cycle 4 times, the others twice (Figure 2(f)).
+SHARED_CONTROL_ACTUATIONS_PER_OP: int = 4
+CONTROL_ACTUATIONS_PER_OP: int = 2
+SHARED_CONTROL_VALVES: int = 2
+
+
+@dataclass
+class DedicatedMixer:
+    """A fixed-function mixer of one volume class."""
+
+    volume: int
+    name: str = ""
+    operations_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.volume < 4:
+            raise ArchitectureError(
+                f"dedicated mixer volume {self.volume} too small for a "
+                "circulation channel"
+            )
+        if not self.name:
+            self.name = f"mixer{self.volume}"
+
+    @property
+    def pump_valves(self) -> int:
+        return PUMP_VALVES_PER_DEDICATED_MIXER
+
+    @property
+    def control_valves(self) -> int:
+        return self.volume - 2
+
+    @property
+    def valve_count(self) -> int:
+        """Total valves: ``volume + 1`` (9 for the Figure-2 mixer)."""
+        return self.pump_valves + self.control_valves
+
+    def run_operations(self, count: int = 1) -> None:
+        """Execute ``count`` mixing operations on this mixer."""
+        if count < 0:
+            raise ArchitectureError("cannot run a negative operation count")
+        self.operations_run += count
+
+    # -- wear profile ------------------------------------------------------
+
+    def pump_actuations(self) -> int:
+        """Actuations of each pump valve so far (Figure 2(f): 80 after 2)."""
+        return self.operations_run * PUMP_ACTUATIONS_PER_OP
+
+    def control_actuations(self) -> List[int]:
+        """Per-control-valve actuations, shared port valves first."""
+        shared = min(SHARED_CONTROL_VALVES, self.control_valves)
+        return [self.operations_run * SHARED_CONTROL_ACTUATIONS_PER_OP] * shared + [
+            self.operations_run * CONTROL_ACTUATIONS_PER_OP
+        ] * (self.control_valves - shared)
+
+    def max_actuations(self) -> int:
+        """Largest per-valve actuation count on this mixer."""
+        if self.operations_run == 0:
+            return 0
+        return max([self.pump_actuations()] + self.control_actuations())
+
+    def actuation_profile(self) -> Dict[str, List[int]]:
+        """Full wear snapshot, for the Figure 2(f) reproduction."""
+        return {
+            "pump": [self.pump_actuations()] * self.pump_valves,
+            "control": self.control_actuations(),
+        }
+
+
+@dataclass
+class DedicatedStorage:
+    """A dedicated on-chip storage with ``cells`` product slots.
+
+    Section 4: "the number of cells in the storage is determined by the
+    largest number of simultaneous accesses to the storage."  Each cell
+    needs an isolation valve pair plus an access valve; the storage adds
+    a two-valve port to the routing network.
+    """
+
+    cells: int
+
+    VALVES_PER_CELL: int = 3
+    BASE_VALVES: int = 2
+
+    @property
+    def valve_count(self) -> int:
+        return self.cells * self.VALVES_PER_CELL + self.BASE_VALVES
+
+
+@dataclass
+class DedicatedDetector:
+    """A detection site: a chamber bounded by four control valves."""
+
+    name: str = "detector"
+
+    VALVES: int = 4
+
+    @property
+    def valve_count(self) -> int:
+        return self.VALVES

@@ -1,0 +1,122 @@
+"""Mixer-bank policies p1/p2/p3 for traditional designs.
+
+Section 4: "we add one more mixer for each mixer type that is under the
+heaviest loading as the policy index increases to alleviate the heavy
+burden."  The *loading* of a mixer is the number of operations bound to
+it under the optimal (balanced) binding; a size class's heaviest-loaded
+mixer carries ``ceil(#ops_of_size / #mixers_of_size)`` operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+from repro.errors import BindingError
+from repro.assay.operation import MIXER_SIZES
+from repro.assay.sequencing_graph import SequencingGraph
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A traditional design's device bank.
+
+    ``mixers`` maps mixer volume class to mixer count; ``detectors`` is
+    the number of dedicated detectors.  ``index`` is the 1-based policy
+    number (p1, p2, ...).
+    """
+
+    index: int
+    mixers: Dict[int, int] = field(default_factory=dict)
+    detectors: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"p{self.index}"
+
+    @property
+    def mixer_count(self) -> int:
+        return sum(self.mixers.values())
+
+    @property
+    def device_count(self) -> int:
+        """``#d`` of Table 1: mixers plus detectors."""
+        return self.mixer_count + self.detectors
+
+
+def mixer_demand(graph: SequencingGraph) -> Dict[int, int]:
+    """Number of mixing operations per volume class."""
+    demand: Dict[int, int] = {}
+    for op in graph.mix_operations():
+        demand[op.volume] = demand.get(op.volume, 0) + 1
+    return demand
+
+
+def balanced_loads(n_ops: int, n_mixers: int) -> List[int]:
+    """Even distribution of ``n_ops`` over ``n_mixers``, descending.
+
+    This is the optimal binding's per-mixer loading for one size class:
+    e.g. 5 operations on 2 mixers -> ``[3, 2]``.
+    """
+    if n_mixers <= 0:
+        if n_ops:
+            raise BindingError(f"{n_ops} operations but no mixer for them")
+        return []
+    base, extra = divmod(n_ops, n_mixers)
+    return [base + 1] * extra + [base] * (n_mixers - extra)
+
+
+def max_load(policy: Policy, demand: Dict[int, int]) -> int:
+    """Heaviest per-mixer loading over all size classes."""
+    worst = 0
+    for size, n_ops in demand.items():
+        loads = balanced_loads(n_ops, policy.mixers.get(size, 0))
+        if loads:
+            worst = max(worst, loads[0])
+    return worst
+
+
+def next_policy(policy: Policy, demand: Dict[int, int]) -> Policy:
+    """The next policy: one more mixer for *every* heaviest-loaded type.
+
+    PCR p2 -> p3 in Table 1 shows the "every" part: size-8 and size-10
+    are both at load 2, and p3 adds one mixer to each.
+    """
+    heaviest = max_load(policy, demand)
+    if heaviest == 0:
+        raise BindingError("no operations to balance; policy cannot grow")
+    mixers = dict(policy.mixers)
+    for size, n_ops in demand.items():
+        loads = balanced_loads(n_ops, policy.mixers.get(size, 0))
+        if loads and loads[0] == heaviest:
+            mixers[size] = mixers.get(size, 0) + 1
+    return replace(policy, index=policy.index + 1, mixers=mixers)
+
+
+def policy_sequence(p1: Policy, demand: Dict[int, int], count: int = 3) -> List[Policy]:
+    """p1 and its successors under the growth rule, ``count`` in total."""
+    policies = [p1]
+    while len(policies) < count:
+        policies.append(next_policy(policies[-1], demand))
+    return policies
+
+
+def distribution_string(policy: Policy, demand: Dict[int, int]) -> str:
+    """Table 1's ``#m 4-6-8-10`` column, e.g. ``1-0-(2,2)-2``.
+
+    Per size class: ``0`` when unused, the single load when one mixer,
+    or the parenthesized loads when several.
+    """
+    parts: List[str] = []
+    for size in MIXER_SIZES:
+        n_ops = demand.get(size, 0)
+        n_mixers = policy.mixers.get(size, 0)
+        if n_ops == 0:
+            parts.append("0")
+            continue
+        loads = balanced_loads(n_ops, n_mixers)
+        if len(loads) == 1:
+            parts.append(str(loads[0]))
+        else:
+            parts.append("(" + ",".join(str(l) for l in loads) + ")")
+    return "-".join(parts)

@@ -1,0 +1,92 @@
+"""Valve counting for complete traditional designs (``#v`` baseline).
+
+The paper reports the number of valves of each traditional design but
+not the layout generator behind it, so this module implements a
+documented parametric model (see DESIGN.md §3.3):
+
+* each dedicated mixer of volume ``v`` contributes ``v + 1`` valves
+  (Figure 2: the volume-8 mixer has 9);
+* the dedicated storage contributes 3 valves per cell plus 2, with the
+  cell count equal to the schedule's peak number of simultaneously
+  stored products (Section 4);
+* every device (mixer, detector, storage) taps into the chip's routing
+  network through a switch region of ``TAP_VALVES`` valves — this
+  models the control valves of the channel network between devices;
+* each chip port needs an isolation valve pair.
+
+The constants are calibrated so the PCR row lands near the paper's
+values; the policy *trend* (each added mixer costs its own valves plus a
+tap) is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.binding import OptimalBinding, bind_operations
+from repro.baseline.dedicated import (
+    DedicatedDetector,
+    DedicatedMixer,
+    DedicatedStorage,
+)
+from repro.baseline.policies import Policy
+
+#: Valves of the routing-network switch region connecting one device.
+TAP_VALVES: int = 10
+
+#: Isolation valves per chip port.
+PORT_VALVES: int = 2
+
+#: Chip ports of the reference floorplan (two inputs + one output).
+DEFAULT_PORTS: int = 3
+
+
+@dataclass
+class TraditionalDesign:
+    """A complete traditional chip for one assay and policy."""
+
+    policy: Policy
+    binding: OptimalBinding
+    storage: DedicatedStorage
+    detectors: List[DedicatedDetector] = field(default_factory=list)
+    ports: int = DEFAULT_PORTS
+
+    @property
+    def mixers(self) -> List[DedicatedMixer]:
+        return self.binding.mixers
+
+    @property
+    def valve_count(self) -> int:
+        """``#v`` of Table 1 for the traditional design."""
+        mixer_valves = sum(m.valve_count for m in self.mixers)
+        detector_valves = sum(d.valve_count for d in self.detectors)
+        device_count = len(self.mixers) + len(self.detectors) + 1  # + storage
+        return (
+            mixer_valves
+            + detector_valves
+            + self.storage.valve_count
+            + device_count * TAP_VALVES
+            + self.ports * PORT_VALVES
+        )
+
+    @property
+    def max_pump_actuations(self) -> int:
+        """``vs_tmax`` — see :class:`OptimalBinding`."""
+        return self.binding.max_pump_actuations
+
+
+def traditional_design(
+    graph: SequencingGraph,
+    policy: Policy,
+    schedule: Schedule,
+) -> TraditionalDesign:
+    """Assemble the traditional design for one (assay, policy) pair."""
+    binding = bind_operations(graph, policy, schedule)
+    storage = DedicatedStorage(cells=max(schedule.peak_storage_demand(), 1))
+    detectors = [
+        DedicatedDetector(f"detector.{i}") for i in range(policy.detectors)
+    ]
+    return TraditionalDesign(policy, binding, storage, detectors)

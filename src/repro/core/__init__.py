@@ -1,0 +1,96 @@
+"""The paper's core contribution: reliability-aware dynamic-device mapping.
+
+Pipeline (Algorithm 1):
+
+1. read the sequencing graph and scheduling result
+   (:mod:`repro.core.tasks` turns them into mapping tasks);
+2. dynamic-device mapping — the ILP of Section 3.2/3.3/3.4 built by
+   :mod:`repro.core.mapping_model` and solved by one of the mappers in
+   :mod:`repro.core.mappers`, inside the storage-feasibility repeat loop
+   (:mod:`repro.core.storage`);
+3. routing between devices and chip ports (:mod:`repro.routing`);
+4. actuation accounting for both evaluation settings
+   (:mod:`repro.core.actuation`) and non-actuated valve removal.
+
+:class:`~repro.core.synthesis.ReliabilitySynthesizer` runs the whole
+pipeline and returns a :class:`~repro.core.result.SynthesisResult`.
+"""
+
+from repro.core.rates import (
+    DEDICATED_MIXER_TOTAL_ACTUATIONS,
+    pump_rate_setting1,
+    pump_rate_setting2,
+)
+from repro.core.tasks import MappingTask, build_tasks
+from repro.core.mapping_model import MappingModelBuilder, MappingSpec
+from repro.core.mappers import (
+    GreedyMapper,
+    ILPMapper,
+    MappingResult,
+    WindowedILPMapper,
+)
+from repro.core.storage import StoragePlan, product_volume
+from repro.core.actuation import ActuationAccountant, AccountingPolicy
+from repro.core.role_rotation import RoleRotatingMixer
+from repro.core.result import SynthesisMetrics, SynthesisResult
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.core.lifetime import (
+    DEFAULT_WEAR_BUDGET,
+    LifetimeEstimate,
+    lifetime_gain,
+    synthesis_lifetime,
+    traditional_lifetime,
+)
+from repro.core.edge_wear import EdgeWearReport, edge_wear
+from repro.core.export import design_dict, design_json, design_listing
+from repro.core.repetition import (
+    RepetitionPlan,
+    leveled_lifetime,
+    plan_repetitions,
+)
+from repro.core.simulation import (
+    ChipSimulator,
+    SimulationError,
+    SimulationReport,
+    simulate,
+)
+
+__all__ = [
+    "DEDICATED_MIXER_TOTAL_ACTUATIONS",
+    "pump_rate_setting1",
+    "pump_rate_setting2",
+    "MappingTask",
+    "build_tasks",
+    "MappingModelBuilder",
+    "MappingSpec",
+    "GreedyMapper",
+    "ILPMapper",
+    "MappingResult",
+    "WindowedILPMapper",
+    "StoragePlan",
+    "product_volume",
+    "ActuationAccountant",
+    "AccountingPolicy",
+    "RoleRotatingMixer",
+    "SynthesisMetrics",
+    "SynthesisResult",
+    "ReliabilitySynthesizer",
+    "SynthesisConfig",
+    "DEFAULT_WEAR_BUDGET",
+    "LifetimeEstimate",
+    "lifetime_gain",
+    "synthesis_lifetime",
+    "traditional_lifetime",
+    "EdgeWearReport",
+    "edge_wear",
+    "design_dict",
+    "design_json",
+    "design_listing",
+    "RepetitionPlan",
+    "leveled_lifetime",
+    "plan_repetitions",
+    "ChipSimulator",
+    "SimulationError",
+    "SimulationReport",
+    "simulate",
+]

@@ -1,0 +1,93 @@
+"""Channel-edge wear analysis (the physically exact valve view).
+
+The primary accounting keys valves by grid cell (what Figure 10 draws);
+on a fabricated chip each valve controls a *channel segment* between
+two adjacent cells (see :mod:`repro.architecture.channel_edges`).  This
+module replays a synthesis result at edge granularity:
+
+* a mixing operation wears every segment of its circulation ring by the
+  per-valve pump rate;
+* a transport wears every segment its path flows through by one cycle.
+
+Because rotated rings use disjoint segments even where they share cells
+(Figure 5(d)), edge wear is a *lower bound* on the cell-keyed wear: the
+cell view conservatively merges any segments that meet in a cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.architecture.channel_edges import ChannelEdge, path_edges, ring_edges
+from repro.architecture.device import DynamicDevice
+from repro.core.actuation import AccountingPolicy
+from repro.core.result import SynthesisResult
+from repro.routing.path import RoutedPath
+
+
+@dataclass
+class EdgeWearReport:
+    """Per-channel-segment actuation counts of one synthesis result."""
+
+    pump: Dict[ChannelEdge, int] = field(default_factory=dict)
+    control: Dict[ChannelEdge, int] = field(default_factory=dict)
+
+    def total(self, edge: ChannelEdge) -> int:
+        return self.pump.get(edge, 0) + self.control.get(edge, 0)
+
+    @property
+    def edges_used(self) -> int:
+        """Channel valves the design actually needs (edge-view #v)."""
+        return len(set(self.pump) | set(self.control))
+
+    @property
+    def max_total(self) -> int:
+        edges = set(self.pump) | set(self.control)
+        return max((self.total(e) for e in edges), default=0)
+
+    @property
+    def max_pump(self) -> int:
+        return max(self.pump.values(), default=0)
+
+    def role_changing_edges(self) -> List[ChannelEdge]:
+        """Segments that both pumped and carried transport."""
+        return sorted(set(self.pump) & set(self.control))
+
+
+def edge_wear(
+    result: SynthesisResult, setting: int = 1
+) -> EdgeWearReport:
+    """Replay a synthesis result at channel-edge granularity."""
+    policy = AccountingPolicy(setting=setting)
+    report = EdgeWearReport()
+    _account_devices(report, result.devices.values(), policy)
+    _account_routes(report, result.routes, policy)
+    return report
+
+
+def _account_devices(
+    report: EdgeWearReport,
+    devices: Iterable[DynamicDevice],
+    policy: AccountingPolicy,
+) -> None:
+    for device in devices:
+        rate = policy.pump_rate(device.volume)
+        for edge in ring_edges(device.rect):
+            report.pump[edge] = report.pump.get(edge, 0) + rate
+            if policy.device_formation:
+                report.control[edge] = (
+                    report.control.get(edge, 0) + policy.device_formation
+                )
+
+
+def _account_routes(
+    report: EdgeWearReport,
+    routes: Iterable[RoutedPath],
+    policy: AccountingPolicy,
+) -> None:
+    if not policy.path_use:
+        return
+    for route in routes:
+        for edge in path_edges(route.cells):
+            report.control[edge] = report.control.get(edge, 0) + policy.path_use

@@ -1,0 +1,88 @@
+"""Transport-event extraction (what the router must realize).
+
+From the sequencing graph and schedule, every fluid movement on the
+chip becomes a :class:`~repro.routing.path.TransportEvent`:
+
+* **product transfer** — when a mix parent finishes, its product moves
+  to the child's region (which is exactly then serving as the child's
+  in-situ storage, or the child device itself);
+* **input loading** — INPUT parents are pumped in from a chip input
+  port when the mixing operation starts (input ports alternate
+  round-robin, mirroring the two sample/reagent ports of the paper's
+  PCR example);
+* **product removal** — a mixing operation whose product is not
+  consumed by another on-grid mixing operation sends it to an output
+  port: at the consumer's start time for DETECT/OUTPUT children
+  (detection happens off-grid at the port-side detector), at its own
+  end otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SynthesisError
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.architecture.chip import Chip
+from repro.routing.path import TransportEvent
+from repro.core.storage import product_volume
+
+
+def build_transport_events(
+    graph: SequencingGraph, schedule: Schedule, chip: Chip
+) -> List[TransportEvent]:
+    """All transports of the assay, in deterministic order."""
+    inputs = chip.input_ports()
+    outputs = chip.output_ports()
+    if not inputs or not outputs:
+        raise SynthesisError("the chip needs at least one input and one "
+                             "output port for transport routing")
+
+    events: List[TransportEvent] = []
+    input_rr = 0
+    for so in schedule.scheduled_mixes():
+        name = so.name
+        for parent in graph.parents(name):
+            if parent.is_input:
+                port = inputs[input_rr % len(inputs)]
+                input_rr += 1
+                events.append(
+                    TransportEvent(
+                        time=so.start,
+                        source=port.name,
+                        target=name,
+                        source_is_port=True,
+                        volume=product_volume(graph, name, parent.name),
+                    )
+                )
+            elif parent.is_mix:
+                events.append(
+                    TransportEvent(
+                        time=schedule.end(parent.name),
+                        source=parent.name,
+                        target=name,
+                        volume=product_volume(graph, name, parent.name),
+                    )
+                )
+        # Where does the product go?
+        mix_children = [c for c in graph.children(name) if c.is_mix]
+        if mix_children:
+            continue  # consumed by later mixing operations (handled above)
+        other_children = [c for c in graph.children(name) if not c.is_mix]
+        if other_children:
+            leave_at = min(schedule.start(c.name) for c in other_children)
+        else:
+            leave_at = so.end
+        port = outputs[0]
+        events.append(
+            TransportEvent(
+                time=leave_at,
+                source=name,
+                target=port.name,
+                target_is_port=True,
+                volume=so.operation.volume,
+            )
+        )
+    events.sort(key=lambda e: (e.time, e.source, e.target))
+    return events

@@ -1,0 +1,508 @@
+"""Mappers: solve the dynamic-device mapping problem.
+
+Three interchangeable engines (see DESIGN.md §3.2):
+
+* :class:`ILPMapper` — the paper's monolithic ILP, solved exactly.
+  Used for small cases (PCR-scale) and as the ground truth in tests.
+* :class:`WindowedILPMapper` — rolling horizon: operations are
+  processed in start-time order in windows; each window solves the
+  *same* ILP with earlier placements committed as constants.  This is
+  the default for the larger benchmark assays, where the monolithic
+  model is out of reach for an open-source MIP stack.
+* :class:`GreedyMapper` — a fast deterministic balancer: each operation
+  takes the feasible placement minimizing the resulting maximum valve
+  load.  Serves as a lower baseline and as the fallback when a window
+  turns out infeasible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.geometry import Point
+from repro.architecture.device import Placement
+from repro.ilp.solution import SolveStatus
+from repro.core.mapping_model import MappingModelBuilder, MappingSpec, Pair
+from repro.core.tasks import MappingTask
+
+
+@dataclass
+class MappingResult:
+    """Placements for every task plus solve diagnostics."""
+
+    placements: Dict[str, Placement]
+    objective: int  # max pump load achieved (setting-1 rates)
+    mapper: str
+    used_overlaps: List[Pair] = field(default_factory=list)
+    wall_time: float = 0.0
+    optimal: bool = False
+
+    def rect_of(self, name: str):
+        return self.placements[name].rect
+
+
+class BaseMapper:
+    """Common interface: :meth:`map_tasks` on a :class:`MappingSpec`."""
+
+    name = "base"
+
+    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+        raise NotImplementedError
+
+
+class ILPMapper(BaseMapper):
+    """The monolithic ILP of Section 3.2, solved to optimality."""
+
+    name = "ilp"
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        time_limit: Optional[float] = None,
+        **solver_kwargs,
+    ) -> None:
+        self.backend = backend
+        self.time_limit = time_limit
+        self.solver_kwargs = solver_kwargs
+
+    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+        start = time.monotonic()
+        built = MappingModelBuilder(spec).build()
+        solution = built.model.solve(
+            backend=self.backend,
+            time_limit=self.time_limit,
+            **self.solver_kwargs,
+        )
+        if not solution.status.has_solution:
+            raise SynthesisError(
+                f"dynamic-device mapping ILP is {solution.status.value} "
+                f"({built.model!r})"
+            )
+        placements = built.extract_placements(solution)
+        return MappingResult(
+            placements=placements,
+            objective=int(round(solution.value(built.w))),
+            mapper=self.name,
+            used_overlaps=built.extract_overlaps(solution),
+            wall_time=time.monotonic() - start,
+            optimal=solution.status is SolveStatus.OPTIMAL,
+        )
+
+
+class WindowedILPMapper(BaseMapper):
+    """Rolling-horizon ILP: exact model, committed prefix.
+
+    Tasks sorted by (start, name) are solved ``window_size`` at a time;
+    placements of earlier windows enter later windows as fixed devices
+    with their accumulated pump load.  On an infeasible window (the
+    committed prefix can paint the ILP into a corner) the window falls
+    back to the greedy balancer, which ignores no constraint but
+    searches placement-by-placement.
+    """
+
+    name = "windowed_ilp"
+
+    def __init__(
+        self,
+        window_size: int = 5,
+        backend: str = "scipy",
+        time_limit_per_window: Optional[float] = 20.0,
+        refine_passes: int = 2,
+    ) -> None:
+        if window_size < 1:
+            raise SynthesisError("window size must be at least 1")
+        self.window_size = window_size
+        self.backend = backend
+        self.time_limit_per_window = time_limit_per_window
+        self.refine_passes = refine_passes
+
+    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+        start_time = time.monotonic()
+        try:
+            result = self._rolling_and_refine(spec)
+        except SynthesisError:
+            # A window dead-ended (the committed prefix saturated the
+            # grid for some window split).  The one-task-at-a-time
+            # greedy search is strictly more flexible about splits, so
+            # use it for the whole problem rather than fail.
+            result = GreedyMapper().map_tasks(spec)
+        result.wall_time = time.monotonic() - start_time
+        return result
+
+    def _rolling_and_refine(self, spec: MappingSpec) -> MappingResult:
+        ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
+        placements: Dict[str, Placement] = {}
+        overlaps: List[Pair] = []
+        all_optimal = True
+
+        def merge_overlaps(result: MappingResult) -> None:
+            nonlocal overlaps
+            overlaps = [
+                p
+                for p in overlaps
+                if p[1] not in result.placements
+                and p[0] not in result.placements
+            ] + result.used_overlaps
+
+        # Rolling-horizon pass: windows in start order, earlier windows
+        # committed as constants.
+        for lo in range(0, len(ordered), self.window_size):
+            window = ordered[lo : lo + self.window_size]
+            result = self._solve_window(spec, window, ordered, placements)
+            if result.mapper == GreedyMapper.name or not result.optimal:
+                all_optimal = False
+            merge_overlaps(result)
+            for task in window:
+                placements[task.name] = result.placements[task.name]
+
+        # Refinement: coordinate descent over windows, now with *all*
+        # other placements fixed.  Each window re-solve can only keep or
+        # lower the maximum load (its previous assignment stays
+        # feasible); a window whose re-solve fails keeps its old
+        # placement (refinement is opportunistic).  Passes alternate the
+        # window offset so wear stacked across an unlucky rolling-pass
+        # window boundary is also re-optimized jointly.
+        for pass_index in range(self.refine_passes):
+            offset = (self.window_size // 2) if pass_index % 2 == 0 else 0
+            starts = list(range(offset, len(ordered), self.window_size))
+            if offset:
+                starts = [0] + starts
+            for lo in starts:
+                hi = min(lo + self.window_size, len(ordered))
+                if lo == 0 and offset:
+                    hi = offset
+                window = ordered[lo:hi]
+                if not window:
+                    continue
+                discouraged = self._max_load_cells(spec, ordered, placements)
+                saved = {t.name: placements.pop(t.name) for t in window}
+                saved_overlaps = list(overlaps)
+                try:
+                    result = self._solve_window(
+                        spec, window, ordered, placements,
+                        discouraged=discouraged,
+                    )
+                except SynthesisError:
+                    placements.update(saved)
+                    continue
+                merge_overlaps(result)
+                new = {t.name: result.placements[t.name] for t in window}
+                placements.update(new)
+                if self._total_objective(
+                    spec, ordered, placements
+                ) > self._total_objective(
+                    spec, ordered, {**placements, **saved}
+                ):
+                    placements.update(saved)  # keep the better assignment
+                    overlaps = saved_overlaps
+
+        # Targeted refinement: repeatedly re-solve the tasks that pump
+        # the worst-loaded valve *together*.  Wear stacking is a
+        # same-cell phenomenon, so this attacks exactly the group the
+        # fixed window partitions may have split.  Progress is measured
+        # lexicographically — (max load, number of valves at the max) —
+        # so plateau moves that thin out the set of critical valves
+        # still count as improvements.
+        for _ in range(2 * len(ordered)):
+            measure = self._load_measure(spec, ordered, placements)
+            culprits = self._tasks_on_worst_valve(spec, ordered, placements)
+            if len(culprits) < 2:
+                break
+            window = culprits[: self.window_size]
+            discouraged = self._max_load_cells(spec, ordered, placements)
+            saved = {t.name: placements.pop(t.name) for t in window}
+            saved_overlaps = list(overlaps)
+            try:
+                result = self._solve_window(
+                    spec, window, ordered, placements,
+                    discouraged=discouraged,
+                )
+            except SynthesisError:
+                placements.update(saved)
+                break
+            merge_overlaps(result)
+            placements.update(
+                {t.name: result.placements[t.name] for t in window}
+            )
+            if self._load_measure(spec, ordered, placements) >= measure:
+                placements.update(saved)  # no improvement: stop
+                overlaps = saved_overlaps
+                break
+
+        objective = self._total_objective(spec, ordered, placements)
+        return MappingResult(
+            placements=placements,
+            objective=objective,
+            mapper=self.name,
+            used_overlaps=sorted(set(overlaps)),
+            optimal=all_optimal and len(ordered) <= self.window_size,
+        )
+
+    @staticmethod
+    def _cell_loads(
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+    ) -> Dict[Point, int]:
+        load: Dict[Point, int] = dict(spec.base_load)
+        for task in ordered:
+            placement = placements.get(task.name)
+            if placement is None:
+                continue
+            for cell in placement.pump_cells():
+                load[cell] = load.get(cell, 0) + task.pump_rate
+        return load
+
+    @classmethod
+    def _load_measure(
+        cls,
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+    ) -> Tuple[int, int]:
+        """(max load, #valves at the max) — lexicographic progress."""
+        load = cls._cell_loads(spec, ordered, placements)
+        if not load:
+            return (0, 0)
+        peak = max(load.values())
+        return (peak, sum(1 for v in load.values() if v == peak))
+
+    @classmethod
+    def _max_load_cells(
+        cls,
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+    ) -> frozenset:
+        load = cls._cell_loads(spec, ordered, placements)
+        if not load:
+            return frozenset()
+        peak = max(load.values())
+        return frozenset(c for c, v in load.items() if v == peak)
+
+    @staticmethod
+    def _tasks_on_worst_valve(
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+    ) -> List[MappingTask]:
+        """Tasks whose pump rings cover the most-loaded valve."""
+        load: Dict[Point, int] = dict(spec.base_load)
+        for task in ordered:
+            for cell in placements[task.name].pump_cells():
+                load[cell] = load.get(cell, 0) + task.pump_rate
+        if not load:
+            return []
+        worst_cell = max(sorted(load), key=lambda c: load[c])
+        return [
+            task
+            for task in ordered
+            if worst_cell in placements[task.name].pump_cells()
+        ]
+
+    def _solve_window(
+        self,
+        spec: MappingSpec,
+        window: List[MappingTask],
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+        discouraged: frozenset = frozenset(),
+    ) -> MappingResult:
+        """Solve one window with every placed task fixed as a constant."""
+        from repro.architecture.device import DynamicDevice
+
+        fixed: Dict[str, DynamicDevice] = dict(spec.fixed)
+        base_load: Dict[Point, int] = dict(spec.base_load)
+        window_names = {t.name for t in window}
+        for task in ordered:
+            placement = placements.get(task.name)
+            if placement is None or task.name in window_names:
+                continue
+            fixed[task.name] = DynamicDevice(
+                operation=task.name,
+                placement=placement,
+                start=task.start,
+                end=task.end,
+                mix_start=task.mix_start,
+            )
+            for cell in placement.pump_cells():
+                base_load[cell] = base_load.get(cell, 0) + task.pump_rate
+        window_spec = MappingSpec(
+            grid=spec.grid,
+            tasks=window,
+            fixed=fixed,
+            base_load=base_load,
+            forbidden_overlaps=set(spec.forbidden_overlaps),
+            blocked_cells=spec.blocked_cells,
+            anchor_stride=spec.anchor_stride,
+            distance_limit=spec.distance_limit,
+            allow_storage_overlap=spec.allow_storage_overlap,
+            routing_convenient=spec.routing_convenient,
+            parent_pairs=set(spec.parent_pairs),
+            discouraged_cells=discouraged,
+        )
+        try:
+            return ILPMapper(
+                backend=self.backend,
+                time_limit=self.time_limit_per_window,
+            ).map_tasks(window_spec)
+        except SynthesisError:
+            return GreedyMapper().map_tasks(window_spec)
+
+    @staticmethod
+    def _total_objective(
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+    ) -> int:
+        load: Dict[Point, int] = dict(spec.base_load)
+        for task in ordered:
+            for cell in placements[task.name].pump_cells():
+                load[cell] = load.get(cell, 0) + task.pump_rate
+        return max(load.values(), default=0)
+
+
+class GreedyMapper(BaseMapper):
+    """Deterministic greedy balancer.
+
+    Tasks in (start, name) order take the placement minimizing, in
+    lexicographic order: the resulting maximum pump load on the ring,
+    the total pre-existing load under the ring (prefer fresh valves),
+    the gap to committed parent devices, then corner coordinates and
+    type index (determinism).  Non-overlap with temporally intersecting
+    committed devices is a hard filter; the (parent, child)
+    storage-overlap permission mirrors the ILP's c5.
+
+    The routing-convenient distance limit is *two-tier*: placements
+    within distance ``d`` of every committed parent are strictly
+    preferred, but when none exists (greedy commitment of the parents
+    can make the limit unsatisfiable, unlike in the joint ILP) the limit
+    is dropped for that operation — the Dijkstra router still connects
+    the devices, only over a longer path.
+    """
+
+    name = "greedy"
+
+    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+        from repro.architecture.device import DynamicDevice
+
+        start_time = time.monotonic()
+        ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
+        committed: Dict[str, DynamicDevice] = dict(spec.fixed)
+        base_load: Dict[Point, int] = dict(spec.base_load)
+        placements: Dict[str, Placement] = {}
+        overlaps: List[Pair] = []
+        d = spec.resolved_distance_limit()
+
+        for task in ordered:
+            # Two candidate tiers: within the distance limit / anywhere.
+            best_key: Dict[bool, Optional[tuple]] = {True: None, False: None}
+            best: Dict[bool, Optional[Placement]] = {True: None, False: None}
+            best_overlaps: Dict[bool, List[Pair]] = {True: [], False: []}
+            for placement in spec.candidate_placements(task):
+                rect = placement.rect
+                pair_overlaps: List[Pair] = []
+                feasible = True
+                for other_name, device in committed.items():
+                    if not (task.start < device.end and device.start < task.end):
+                        continue
+                    if not rect.overlaps(device.rect):
+                        continue
+                    pair = spec.storage_pair(task.name, other_name)
+                    if (
+                        pair is not None
+                        and spec.allow_storage_overlap
+                        and pair not in spec.forbidden_overlaps
+                    ):
+                        pair_overlaps.append(pair)
+                        continue
+                    feasible = False
+                    break
+                if not feasible:
+                    continue
+                near = d is None or self._near_parents(task, rect, committed, d)
+                ring = placement.pump_cells()
+                peak = max(base_load.get(c, 0) + task.pump_rate for c in ring)
+                reuse = sum(base_load.get(c, 0) for c in ring)
+                gap = self._parent_gap(task, rect, committed)
+                contact = self._foreign_contact(task, rect, committed)
+                key = (
+                    peak,
+                    reuse,
+                    len(pair_overlaps),
+                    gap,
+                    contact,
+                    rect.x,
+                    rect.y,
+                    placement.device_type.index,
+                )
+                if best_key[near] is None or key < best_key[near]:
+                    best_key[near] = key
+                    best[near] = placement
+                    best_overlaps[near] = pair_overlaps
+            tier = True if best[True] is not None else False
+            if best[tier] is None:
+                raise SynthesisError(
+                    f"greedy mapper found no feasible placement for "
+                    f"{task.name} on the {spec.grid.width}x"
+                    f"{spec.grid.height} grid"
+                )
+            chosen, chosen_overlaps = best[tier], best_overlaps[tier]
+            placements[task.name] = chosen
+            overlaps.extend(chosen_overlaps)
+            committed[task.name] = DynamicDevice(
+                operation=task.name,
+                placement=chosen,
+                start=task.start,
+                end=task.end,
+                mix_start=task.mix_start,
+            )
+            for cell in chosen.pump_cells():
+                base_load[cell] = base_load.get(cell, 0) + task.pump_rate
+
+        return MappingResult(
+            placements=placements,
+            objective=max(base_load.values(), default=0),
+            mapper=self.name,
+            used_overlaps=overlaps,
+            wall_time=time.monotonic() - start_time,
+            optimal=False,
+        )
+
+    @staticmethod
+    def _near_parents(task, rect, committed, d: int) -> bool:
+        for parent in task.mix_parents:
+            device = committed.get(parent)
+            if device is not None and not rect.within_distance(device.rect, d):
+                return False
+        return True
+
+    @staticmethod
+    def _parent_gap(task, rect, committed) -> int:
+        """Total boundary gap to committed parents (soft proximity)."""
+        return sum(
+            rect.gap_distance(committed[parent].rect)
+            for parent in task.mix_parents
+            if parent in committed
+        )
+
+    @staticmethod
+    def _foreign_contact(task, rect, committed) -> int:
+        """Area shared between this device's margin and non-parent devices.
+
+        Flush placement against unrelated concurrent devices builds
+        solid walls that can disconnect the routing grid; penalizing the
+        contact keeps one-cell corridors open (the ILP avoids this
+        implicitly through its joint placement freedom).
+        """
+        margin = rect.expanded(1)
+        contact = 0
+        for name, device in committed.items():
+            if name in task.mix_parents:
+                continue
+            if task.start < device.end and device.start < task.end:
+                contact += margin.overlap_area(device.rect)
+        return contact

@@ -1,0 +1,50 @@
+"""Pump actuation rates for the two evaluation settings (Section 4).
+
+A dedicated mixer's peristaltic pump has 3 valves actuated 40 times per
+mixing operation, i.e. a **total** of 120 pump actuations per operation.
+A dynamic mixer's circulation ring uses *all* ring valves as pump
+valves, so the paper evaluates two settings:
+
+* **setting 1** (conservative): every ring valve is still actuated 40
+  times per operation, exactly like a dedicated pump valve;
+* **setting 2**: the per-valve count is scaled so the mixer total stays
+  120 — e.g. a ring of 8 valves pumps 120/8 = 15 times each.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.baseline.dedicated import (
+    PUMP_ACTUATIONS_PER_OP,
+    PUMP_VALVES_PER_DEDICATED_MIXER,
+)
+
+#: Total pump actuations of one mixing operation on a dedicated mixer
+#: (3 valves x 40 actuations).
+DEDICATED_MIXER_TOTAL_ACTUATIONS: int = (
+    PUMP_ACTUATIONS_PER_OP * PUMP_VALVES_PER_DEDICATED_MIXER
+)
+
+
+def pump_rate_setting1(ring_size: int) -> int:
+    """Per-valve pump actuations per operation under setting 1 (= 40)."""
+    if ring_size <= 0:
+        raise SynthesisError(f"ring size must be positive, got {ring_size}")
+    return PUMP_ACTUATIONS_PER_OP
+
+
+def pump_rate_setting2(ring_size: int) -> int:
+    """Per-valve pump actuations per operation under setting 2.
+
+    ``120 / ring`` — 15 for a ring of 8 (the paper's example), 12 for a
+    ring of 10, 20 for 6, 30 for 4.  All four mixer volumes divide 120,
+    so the division is exact.
+    """
+    if ring_size <= 0:
+        raise SynthesisError(f"ring size must be positive, got {ring_size}")
+    if DEDICATED_MIXER_TOTAL_ACTUATIONS % ring_size != 0:
+        raise SynthesisError(
+            f"ring size {ring_size} does not divide the dedicated total "
+            f"{DEDICATED_MIXER_TOTAL_ACTUATIONS}"
+        )
+    return DEDICATED_MIXER_TOTAL_ACTUATIONS // ring_size

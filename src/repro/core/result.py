@@ -1,0 +1,124 @@
+"""Synthesis results and their metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.architecture.chip import Chip
+from repro.architecture.device import DynamicDevice
+from repro.architecture.valve import ValveRole
+from repro.architecture.valve_grid import VirtualValveGrid
+from repro.core.actuation import AccountingPolicy
+from repro.core.storage import StoragePlan
+from repro.routing.path import RoutedPath
+
+
+@dataclass(frozen=True)
+class SettingMetrics:
+    """Wear numbers of one evaluation setting.
+
+    ``max_total`` / ``max_peristaltic`` are Table 1's
+    ``vs max (peristaltic)`` pair, e.g. "45(40)".
+    """
+
+    setting: int
+    max_total: int
+    max_peristaltic: int
+
+    def __str__(self) -> str:
+        return f"{self.max_total}({self.max_peristaltic})"
+
+
+@dataclass(frozen=True)
+class SynthesisMetrics:
+    """Everything Table 1 reports about one synthesis run."""
+
+    setting1: SettingMetrics
+    setting2: SettingMetrics
+    used_valves: int  # #v: valves kept after non-actuated removal
+    role_changing_valves: int
+    mapping_objective: int  # the ILP's w (setting-1 pump load)
+    mapper: str
+    algorithm_iterations: int  # Algorithm 1 repeat count (L4-L9)
+    wall_time: float
+
+
+@dataclass
+class SynthesisResult:
+    """Output of the reliability-aware synthesis (Section 2.3).
+
+    "The bioassay synthesis result, which specifies the device
+    locations, shapes and orientations" — :attr:`devices` — plus the
+    routing paths, the populated valve grids of both evaluation
+    settings, and the aggregate metrics.
+    """
+
+    graph: SequencingGraph
+    schedule: Schedule
+    chip: Chip
+    devices: Dict[str, DynamicDevice]
+    routes: List[RoutedPath]
+    storage_plan: StoragePlan
+    grid_setting1: VirtualValveGrid
+    grid_setting2: VirtualValveGrid
+    metrics: SynthesisMetrics
+
+    def device_of(self, operation: str) -> DynamicDevice:
+        return self.devices[operation]
+
+    def grid_for(self, setting: int) -> VirtualValveGrid:
+        return self.grid_setting1 if setting == 1 else self.grid_setting2
+
+    # -- snapshots (Figure 10) ---------------------------------------------
+
+    def snapshot(self, t: int, setting: int = 1) -> np.ndarray:
+        """Cumulative actuation counts up to (and including) time ``t``.
+
+        Replays the synthesis chronologically: pump wear lands when an
+        operation's mixing starts, wall wear at device formation and
+        dissolution, control wear when a transport runs.  Row 0 of the
+        returned array is the top of the chip, like Figure 10.
+        """
+        policy = AccountingPolicy(setting=setting)
+        grid = VirtualValveGrid(self.chip.spec)
+        for device in self.devices.values():
+            if t >= device.mix_start:
+                grid.actuate(
+                    device.placement.pump_cells(),
+                    ValveRole.PUMP,
+                    policy.pump_rate(device.volume),
+                )
+            if t >= device.start and policy.device_formation:
+                grid.actuate(
+                    device.placement.pump_cells(),
+                    ValveRole.CONTROL,
+                    policy.device_formation,
+                )
+                grid.actuate(
+                    device.rect.interior_cells(),
+                    ValveRole.CONTROL,
+                    policy.device_formation,
+                )
+        for route in self.routes:
+            if route.time <= t:
+                grid.actuate(route.cells, ValveRole.CONTROL, policy.path_use)
+        return grid.total_actuation_matrix()
+
+    def active_devices(self, t: int) -> List[DynamicDevice]:
+        return [d for d in self.devices.values() if d.alive_at(t)]
+
+    def final_valve_positions(self):
+        """Positions of the valves kept in the manufactured design."""
+        return [v.position for v in self.grid_setting1.actuated_valves()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        m = self.metrics
+        return (
+            f"SynthesisResult({self.graph.name}: vs1={m.setting1} "
+            f"vs2={m.setting2} #v={m.used_valves} via {m.mapper})"
+        )

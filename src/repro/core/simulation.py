@@ -1,0 +1,265 @@
+"""Execution simulation: replay a synthesis result on a virtual chip.
+
+The mapping model and router enforce their constraints statically; this
+module *executes* the synthesized assay step by step and verifies that
+the chip state stays physically consistent throughout:
+
+* a region is formed before fluid arrives and holds exactly the
+  products the schedule says it holds;
+* every transport moves a product along its routed path while the path
+  cells are free (source, target and pass-through storages excluded);
+* two alive devices never hold overlapping cells unless one is the
+  other's parent (the c5 permission) — and then only while the
+  overlapped storage has room;
+* every mixing operation sees all of its input products before it
+  starts, and the final products reach the output port.
+
+The simulator raises :class:`SimulationError` on the first violation,
+with the time step and the conflicting entities — the dynamic
+equivalent of a waveform checker in hardware verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.geometry import Point
+from repro.architecture.device import DeviceKind
+from repro.core.result import SynthesisResult
+from repro.routing.path import RoutedPath
+
+
+class SimulationError(ReproError):
+    """A physical inconsistency found while replaying the synthesis."""
+
+
+@dataclass
+class SimulationEvent:
+    """One thing that happened during the replay (the simulation log)."""
+
+    time: int
+    kind: str  # "form" | "transport" | "mix" | "dissolve" | "output"
+    subject: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"t={self.time:>3} {self.kind:<9} {self.subject} {self.detail}"
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of a full replay."""
+
+    events: List[SimulationEvent] = field(default_factory=list)
+    products_delivered: int = 0
+    transports_executed: int = 0
+    peak_occupied_cells: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return True  # a report only exists when the replay succeeded
+
+    def log(self) -> str:
+        return "\n".join(str(e) for e in self.events)
+
+
+class ChipSimulator:
+    """Replays a :class:`SynthesisResult` and checks consistency."""
+
+    def __init__(self, result: SynthesisResult) -> None:
+        self.result = result
+        self.graph = result.graph
+        self.schedule = result.schedule
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> SimulationReport:
+        """Execute the whole assay; raises :class:`SimulationError`."""
+        result = self.result
+        report = SimulationReport()
+
+        # Products currently sitting in each operation's region.
+        holdings: Dict[str, Set[str]] = {name: set() for name in result.devices}
+        delivered_out: Set[str] = set()
+
+        timeline = self._timeline()
+        for t in timeline:
+            self._check_spatial_consistency(t)
+            for device in result.devices.values():
+                if device.start == t:
+                    report.events.append(
+                        SimulationEvent(t, "form", device.operation,
+                                        f"at {device.placement}")
+                    )
+            for route in [r for r in result.routes if r.time == t]:
+                self._execute_transport(route, holdings, delivered_out, report)
+            for device in result.devices.values():
+                if device.mix_start == t:
+                    self._check_inputs_present(device.operation, holdings)
+                    report.events.append(
+                        SimulationEvent(t, "mix", device.operation)
+                    )
+                if device.end == t:
+                    report.events.append(
+                        SimulationEvent(t, "dissolve", device.operation)
+                    )
+            occupied = sum(
+                d.rect.area for d in result.devices.values() if d.alive_at(t)
+            )
+            report.peak_occupied_cells = max(report.peak_occupied_cells, occupied)
+
+        self._check_all_products_accounted(delivered_out)
+        report.products_delivered = len(delivered_out)
+        report.transports_executed = len(result.routes)
+        return report
+
+    # -- timeline ------------------------------------------------------------
+
+    def _timeline(self) -> List[int]:
+        times: Set[int] = set()
+        for device in self.result.devices.values():
+            times.update((device.start, device.mix_start, device.end))
+        for route in self.result.routes:
+            times.add(route.time)
+        return sorted(times)
+
+    # -- checks ---------------------------------------------------------------
+
+    def _check_spatial_consistency(self, t: int) -> None:
+        alive = [d for d in self.result.devices.values() if d.alive_at(t)]
+        for i, a in enumerate(alive):
+            for b in alive[i + 1:]:
+                if not a.rect.overlaps(b.rect):
+                    continue
+                pair = self._parent_child(a.operation, b.operation)
+                if pair is None:
+                    raise SimulationError(
+                        f"t={t}: unrelated devices {a.operation} and "
+                        f"{b.operation} overlap at "
+                        f"{a.rect.intersection(b.rect)}"
+                    )
+                parent, child = pair
+                child_device = self.result.devices[child]
+                if child_device.kind_at(t) is not DeviceKind.STORAGE:
+                    raise SimulationError(
+                        f"t={t}: {child} overlaps its parent {parent} "
+                        "while mixing (only the storage phase may overlap)"
+                    )
+                overlap = a.rect.overlap_area(b.rect)
+                free = self.result.storage_plan.free_space(child, t)
+                stored = self._stored_volume(child, t)
+                capacity = child_device.volume
+                if overlap > capacity - stored:
+                    raise SimulationError(
+                        f"t={t}: storage {child} has {capacity - stored} "
+                        f"free units but overlaps {parent} by {overlap}"
+                    )
+
+    def _execute_transport(
+        self,
+        route: RoutedPath,
+        holdings: Dict[str, Set[str]],
+        delivered_out: Set[str],
+        report: SimulationReport,
+    ) -> None:
+        event = route.event
+        t = route.time
+        # The path must stay clear of every unrelated alive device.
+        for device in self.result.devices.values():
+            if not device.alive_at(t):
+                continue
+            if device.operation in (event.source, event.target):
+                continue
+            passable = device.kind_at(t) is DeviceKind.STORAGE
+            blocked_cells = [
+                c
+                for c in route.cells
+                if device.rect.contains(c)
+                and c not in self._endpoint_cells(event)
+            ]
+            if blocked_cells and not passable:
+                raise SimulationError(
+                    f"t={t}: transport {event.label} crosses the active "
+                    f"mixer {device.operation} at {blocked_cells[0]}"
+                )
+        # Bookkeeping: what moved where.
+        if event.source_is_port:
+            holdings[event.target].add(f"input:{event.source}@{t}")
+        elif event.target_is_port:
+            delivered_out.add(event.source)
+            holdings[event.source].clear()
+        else:
+            holdings[event.source].clear()
+            holdings[event.target].add(event.source)
+        report.events.append(
+            SimulationEvent(t, "transport", event.label,
+                            f"{len(route.cells)} cells")
+        )
+
+    def _check_inputs_present(
+        self, operation: str, holdings: Dict[str, Set[str]]
+    ) -> None:
+        expected = {
+            p.name for p in self.graph.mix_parents(operation)
+        }
+        have = {h for h in holdings[operation] if not h.startswith("input:")}
+        if not expected <= have:
+            raise SimulationError(
+                f"{operation} starts mixing without products "
+                f"{sorted(expected - have)}"
+            )
+        n_input_parents = sum(
+            1 for p in self.graph.parents(operation) if p.is_input
+        )
+        n_loaded = sum(
+            1 for h in holdings[operation] if h.startswith("input:")
+        )
+        if n_loaded < n_input_parents:
+            raise SimulationError(
+                f"{operation} starts mixing with only {n_loaded} of "
+                f"{n_input_parents} input loadings"
+            )
+
+    def _check_all_products_accounted(self, delivered_out: Set[str]) -> None:
+        for op in self.graph.mix_operations():
+            children = self.graph.children(op.name)
+            if not any(c.is_mix for c in children):
+                if op.name not in delivered_out:
+                    raise SimulationError(
+                        f"final product of {op.name} never reached an "
+                        "output port"
+                    )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _parent_child(self, a: str, b: str) -> Optional[Tuple[str, str]]:
+        if b in {p.name for p in self.graph.mix_parents(a)}:
+            return (b, a)
+        if a in {p.name for p in self.graph.mix_parents(b)}:
+            return (a, b)
+        return None
+
+    def _stored_volume(self, child: str, t: int) -> int:
+        info = self.result.storage_plan.storage(child)
+        return info.stored_volume(t) if info else 0
+
+    def _endpoint_cells(self, event) -> Set[Point]:
+        cells: Set[Point] = set()
+        for name, is_port in (
+            (event.source, event.source_is_port),
+            (event.target, event.target_is_port),
+        ):
+            if is_port:
+                cells.add(self.result.chip.port(name).position)
+            elif name in self.result.devices:
+                cells.update(
+                    self.result.devices[name].placement.port_cells()
+                )
+        return cells
+
+
+def simulate(result: SynthesisResult) -> SimulationReport:
+    """Replay ``result``; raises :class:`SimulationError` on violations."""
+    return ChipSimulator(result).run()

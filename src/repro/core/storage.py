@@ -1,0 +1,145 @@
+"""In-situ on-chip storage planning (Section 3.3).
+
+The storage of operation *i* occupies the same region as *i*'s future
+device: it appears when the first parent product arrives and "is turned
+to d_i" when the operation starts.  While a parent device is still
+active, the child storage may overlap it (the c5 permission, eq. 12) —
+but only as long as the overlapped cells are not needed to hold
+products.  Algorithm 1 (L6–L8) checks this after each mapping and
+forbids the violating (storage, device) pairs before re-solving; the
+same free-space bookkeeping also powers routing pass-through
+(Figure 8(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import AssayError
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.architecture.device import Placement
+from repro.core.mapping_model import Pair
+
+
+def product_volume(graph: SequencingGraph, child: str, parent: str) -> int:
+    """Volume units parent's product contributes to child's mix.
+
+    When the child's ratio names as many parts as the child has parents,
+    the parts are aligned with the graph's parent order (a 1:3 mix of
+    (a, b) takes 1 part of a); otherwise the volume splits evenly.
+    """
+    child_op = graph.operation(child)
+    parents = graph.parents(child)
+    names = [p.name for p in parents]
+    if parent not in names:
+        raise AssayError(f"{parent!r} is not a parent of {child!r}")
+    ratio = child_op.ratio
+    if ratio is not None and len(ratio.parts) == len(parents):
+        try:
+            return ratio.volumes(child_op.volume)[names.index(parent)]
+        except AssayError:
+            pass  # indivisible ratio: fall through to the even split
+    return max(child_op.volume // max(len(parents), 1), 1)
+
+
+@dataclass(frozen=True)
+class StorageInfo:
+    """Derived storage data for one mixing operation."""
+
+    operation: str
+    capacity: int  # volume units == ring cells of the future device
+    start: int  # first product arrival
+    mix_start: int  # storage becomes the mixer here
+    arrivals: Tuple[Tuple[int, str, int], ...]  # (time, parent, volume)
+
+    def stored_volume(self, t: int) -> int:
+        """Units held at time ``t`` (0 outside the storage phase)."""
+        if not self.start <= t < self.mix_start:
+            return 0
+        return sum(vol for at, _, vol in self.arrivals if at <= t)
+
+    def free_space(self, t: int) -> int:
+        """Free units at time ``t`` (0 outside the storage phase)."""
+        if not self.start <= t < self.mix_start:
+            return 0
+        return max(self.capacity - self.stored_volume(t), 0)
+
+
+class StoragePlan:
+    """All in-situ storages of one scheduled assay."""
+
+    def __init__(self, graph: SequencingGraph, schedule: Schedule) -> None:
+        self.graph = graph
+        self.schedule = schedule
+        self._storages: Dict[str, StorageInfo] = {}
+        for so in schedule.scheduled_mixes():
+            name = so.name
+            interval = schedule.storage_interval(name)
+            if interval is None:
+                continue
+            arrivals = tuple(
+                sorted(
+                    (
+                        schedule.end(p.name),
+                        p.name,
+                        product_volume(graph, name, p.name),
+                    )
+                    for p in graph.parents(name)
+                    if not p.is_input
+                )
+            )
+            self._storages[name] = StorageInfo(
+                operation=name,
+                capacity=so.operation.volume,
+                start=interval[0],
+                mix_start=interval[1],
+                arrivals=arrivals,
+            )
+
+    def storage(self, name: str) -> Optional[StorageInfo]:
+        return self._storages.get(name)
+
+    def storages(self) -> List[StorageInfo]:
+        return [self._storages[k] for k in sorted(self._storages)]
+
+    def free_space(self, name: str, t: int) -> int:
+        """Routing-facing free space of operation ``name``'s region."""
+        info = self._storages.get(name)
+        if info is None:
+            return 0
+        return info.free_space(t)
+
+    # -- Algorithm 1 L6-L8 ---------------------------------------------------
+
+    def overlap_violations(
+        self, placements: Dict[str, Placement]
+    ) -> Set[Pair]:
+        """(parent, child) pairs whose overlap exceeds free storage space.
+
+        For each child storage overlapping a parent device in space and
+        time, the overlapped cells are unavailable for products; the
+        pair violates when, at the last instant of coexistence, stored
+        products plus overlapped cells exceed the storage capacity.
+        """
+        violations: Set[Pair] = set()
+        for name, info in self._storages.items():
+            child_rect = placements.get(name)
+            if child_rect is None:
+                continue
+            for parent in self.graph.mix_parents(name):
+                parent_placement = placements.get(parent.name)
+                if parent_placement is None:
+                    continue
+                parent_end = self.schedule.end(parent.name)
+                coexist_end = min(parent_end, info.mix_start)
+                if coexist_end <= info.start:
+                    continue  # no temporal overlap with the storage phase
+                overlap = child_rect.rect.overlap_area(parent_placement.rect)
+                if overlap == 0:
+                    continue
+                stored = info.stored_volume(coexist_end - 1)
+                if overlap > info.capacity - stored:
+                    violations.add((parent.name, name))
+        return violations

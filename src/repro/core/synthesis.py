@@ -1,0 +1,211 @@
+"""Algorithm 1: the full reliability-aware synthesis pipeline."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.errors import RoutingError, SynthesisError
+from repro.geometry import GridSpec
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.architecture.chip import Chip
+from repro.architecture.device import DynamicDevice
+from repro.architecture.port import ChipPort
+from repro.core.actuation import AccountingPolicy, ActuationAccountant
+from repro.core.events import build_transport_events
+from repro.core.mappers import (
+    BaseMapper,
+    ILPMapper,
+    WindowedILPMapper,
+)
+from repro.core.mapping_model import MappingSpec, Pair
+from repro.core.result import SettingMetrics, SynthesisMetrics, SynthesisResult
+from repro.core.storage import StoragePlan
+from repro.core.tasks import MappingTask, build_tasks
+from repro.routing.router import Router, RoutingContext
+
+
+@dataclass
+class SynthesisConfig:
+    """Tunable parameters of the synthesis.
+
+    ``mapper=None`` selects automatically: the monolithic ILP up to
+    ``ilp_task_limit`` mixing operations, the rolling-horizon windowed
+    ILP beyond (see DESIGN.md §3.2).
+    """
+
+    grid: GridSpec
+    mapper: Optional[BaseMapper] = None
+    ports: Optional[List[ChipPort]] = None
+    anchor_stride: int = 1
+    distance_limit: Optional[int] = None
+    routing_convenient: bool = True
+    allow_storage_overlap: bool = True
+    ilp_task_limit: int = 8
+    ilp_backend: str = "scipy"
+    window_size: int = 5
+    max_algorithm_iterations: int = 25
+
+    def resolve_mapper(self, n_tasks: int) -> BaseMapper:
+        if self.mapper is not None:
+            return self.mapper
+        if n_tasks <= self.ilp_task_limit:
+            return ILPMapper(backend=self.ilp_backend)
+        return WindowedILPMapper(
+            window_size=self.window_size, backend=self.ilp_backend
+        )
+
+
+class ReliabilitySynthesizer:
+    """Maps a scheduled bioassay onto the valve-centered architecture.
+
+    Implements Algorithm 1: repeated dynamic-device mapping until every
+    in-situ storage overlap fits the available free space (L4–L9),
+    transport routing with storage pass-through and rip-up (L10–L19),
+    and removal of non-actuated virtual valves (L20) via the actuation
+    accounting.
+    """
+
+    def __init__(self, config: SynthesisConfig) -> None:
+        self.config = config
+
+    def _map_with_storage_repair(
+        self,
+        tasks: List[MappingTask],
+        storage_plan: StoragePlan,
+        mapper: BaseMapper,
+        blocked: frozenset,
+    ):
+        """Algorithm 1 L3-L9: map, check storage overlaps, repair."""
+        config = self.config
+        forbidden: Set[Pair] = set()
+        iterations = 0
+        while iterations < config.max_algorithm_iterations:
+            iterations += 1
+            spec = MappingSpec(
+                grid=config.grid,
+                tasks=tasks,
+                forbidden_overlaps=set(forbidden),
+                blocked_cells=blocked,
+                anchor_stride=config.anchor_stride,
+                distance_limit=config.distance_limit,
+                routing_convenient=config.routing_convenient,
+                allow_storage_overlap=config.allow_storage_overlap,
+            )
+            mapping = mapper.map_tasks(spec)
+            violations = storage_plan.overlap_violations(mapping.placements)
+            fresh = violations - forbidden
+            if not fresh:
+                return mapping, iterations
+            forbidden |= fresh
+        raise SynthesisError(
+            "storage-overlap repair did not converge within "
+            f"{config.max_algorithm_iterations} iterations"
+        )
+
+    def synthesize(
+        self, graph: SequencingGraph, schedule: Schedule
+    ) -> SynthesisResult:
+        start_time = time.monotonic()
+        config = self.config
+        # L1-L2: read inputs, build the virtual valve architecture.
+        graph.validate()
+        schedule.validate()
+        chip = Chip(config.grid, config.ports)
+        tasks = build_tasks(graph, schedule)
+        if not tasks:
+            raise SynthesisError("the assay has no mixing operations to map")
+        storage_plan = StoragePlan(graph, schedule)
+        mapper = config.resolve_mapper(len(tasks))
+
+        # Escalating placement reservations: 1) only the port cells;
+        # 2) the full port neighborhoods (an enclosed port gets a
+        # corridor); 3) the whole chip boundary ring (a guaranteed
+        # ring corridor connecting every region and port).  Most runs
+        # succeed on the first attempt with the best wear numbers; the
+        # later attempts trade placement freedom for routability when a
+        # mapper builds solid walls.
+        port_cells = frozenset(p.position for p in chip.ports.values())
+        port_areas = frozenset(
+            cell
+            for p in chip.ports.values()
+            for cell in [p.position, *p.position.neighbors8()]
+            if config.grid.in_bounds(cell)
+        )
+        boundary = frozenset(
+            cell
+            for cell in config.grid.cells()
+            if cell.x in (0, config.grid.width - 1)
+            or cell.y in (0, config.grid.height - 1)
+        )
+        attempts = [port_cells, port_areas, port_areas | boundary]
+        last_error: Optional[RoutingError] = None
+        for blocked in attempts:
+            try:
+                mapping, iterations = self._map_with_storage_repair(
+                    tasks, storage_plan, mapper, blocked
+                )
+                devices: Dict[str, DynamicDevice] = {}
+                for task in tasks:
+                    devices[task.name] = DynamicDevice(
+                        operation=task.name,
+                        placement=mapping.placements[task.name],
+                        start=task.start,
+                        end=task.end,
+                        mix_start=task.mix_start,
+                    )
+                # L10-L19: routing.
+                events = build_transport_events(graph, schedule, chip)
+                router = Router(
+                    RoutingContext(
+                        chip=chip,
+                        devices=devices,
+                        free_space=storage_plan.free_space,
+                    )
+                )
+                routes = router.route_all(events)
+                break
+            except RoutingError as error:
+                last_error = error
+        else:
+            raise SynthesisError(
+                f"routing failed even with reserved port corridors: "
+                f"{last_error}"
+            )
+
+        # L20 + evaluation: actuation accounting for both settings; the
+        # non-actuated virtual valves simply never appear in the grids.
+        grid1 = ActuationAccountant(
+            config.grid, AccountingPolicy(setting=1)
+        ).run(devices.values(), routes)
+        grid2 = ActuationAccountant(
+            config.grid, AccountingPolicy(setting=2)
+        ).run(devices.values(), routes)
+
+        metrics = SynthesisMetrics(
+            setting1=SettingMetrics(
+                1, grid1.max_total_actuations, grid1.max_peristaltic_actuations
+            ),
+            setting2=SettingMetrics(
+                2, grid2.max_total_actuations, grid2.max_peristaltic_actuations
+            ),
+            used_valves=grid1.used_valve_count,
+            role_changing_valves=len(grid1.role_changing_valves()),
+            mapping_objective=mapping.objective,
+            mapper=mapping.mapper,
+            algorithm_iterations=iterations,
+            wall_time=time.monotonic() - start_time,
+        )
+        return SynthesisResult(
+            graph=graph,
+            schedule=schedule,
+            chip=chip,
+            devices=devices,
+            routes=routes,
+            storage_plan=storage_plan,
+            grid_setting1=grid1,
+            grid_setting2=grid2,
+            metrics=metrics,
+        )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so downstream users can catch one type.  Subsystems
+define their own subclasses here (rather than in their own packages) to
+avoid import cycles between substrate packages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction (e.g. an empty rectangle)."""
+
+
+class ModelError(ReproError):
+    """Invalid MILP model construction (bad bounds, unknown variable...)."""
+
+
+class SolverError(ReproError):
+    """An MILP/LP solve failed in an unexpected way."""
+
+
+class InfeasibleError(SolverError):
+    """The model was proven infeasible."""
+
+    def __init__(self, message: str = "model is infeasible") -> None:
+        super().__init__(message)
+
+
+class UnboundedError(SolverError):
+    """The model was proven unbounded."""
+
+    def __init__(self, message: str = "model is unbounded") -> None:
+        super().__init__(message)
+
+
+class AssayError(ReproError):
+    """Invalid bioassay description (cycles, bad volumes, bad ratios...)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a feasible schedule."""
+
+
+class ArchitectureError(ReproError):
+    """Invalid chip architecture construction or valve operation."""
+
+
+class PlacementError(ReproError):
+    """A device placement is illegal (out of grid, overlap...)."""
+
+
+class SynthesisError(ReproError):
+    """Dynamic-device mapping / synthesis failed."""
+
+
+class RoutingError(ReproError):
+    """No routing path could be found for a required connection."""
+
+
+class BindingError(ReproError):
+    """Traditional-design binding failed (no mixer of a required size...)."""

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.paper_data` — the published Table 1 numbers
+  and headline averages, as reference data;
+* :mod:`repro.experiments.table1` — run any subset of the 12 rows with
+  this reproduction and compare;
+* :mod:`repro.experiments.figures` — reproduce Figures 2, 3, 5, 7, 9
+  and 10;
+* :mod:`repro.experiments.acceleration` — the future-work speedup study;
+* :mod:`repro.experiments.reporting` — text-table formatting.
+
+Command line::
+
+    python -m repro.experiments.table1 [case ...]
+    python -m repro.experiments.figures [fig2|fig3|fig5|fig7|fig9|fig10]
+    python -m repro.experiments.acceleration [case ...]
+
+Submodule attributes are re-exported lazily so running a submodule with
+``python -m`` does not import it twice.
+"""
+
+from typing import TYPE_CHECKING
+
+_LAZY = {
+    "PAPER_TABLE1": "repro.experiments.paper_data",
+    "PaperRow": "repro.experiments.paper_data",
+    "paper_row": "repro.experiments.paper_data",
+    "Table1Row": "repro.experiments.table1",
+    "run_cell": "repro.experiments.table1",
+    "run_table1": "repro.experiments.table1",
+    "summarize": "repro.experiments.table1",
+    "format_table": "repro.experiments.table1",
+    "run_speedup": "repro.experiments.acceleration",
+    "format_speedup": "repro.experiments.acceleration",
+}
+
+__all__ = sorted(_LAZY)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.experiments.paper_data import PAPER_TABLE1, PaperRow, paper_row
+    from repro.experiments.table1 import (
+        Table1Row,
+        format_table,
+        run_cell,
+        run_table1,
+        summarize,
+    )
+    from repro.experiments.acceleration import format_speedup, run_speedup
+
+
+def __getattr__(name: str):
+    import importlib
+
+    try:
+        module = importlib.import_module(_LAZY[name])
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.experiments' has no attribute {name!r}"
+        ) from None
+    return getattr(module, name)

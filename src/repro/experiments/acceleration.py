@@ -1,0 +1,114 @@
+"""Future-work study: assay speedup on the dynamic architecture.
+
+The paper's conclusion: "the architecture may also bring benefits to
+some aspects other than reliability, such as to speed up the bioassay
+execution, which will be considered in the future."  This module
+quantifies that benefit with the machinery already built:
+
+* the **traditional** schedule is bound by the policy's mixer bank
+  (operations of one size class serialize on its dedicated mixers);
+* the **dynamic** schedule has no device-count bound — parallelism is
+  limited only by precedence, transport delay and chip *area*, and the
+  area claim is verified by actually synthesizing the faster schedule
+  onto the case's grid.
+
+Run as a script::
+
+    python -m repro.experiments.acceleration [case ...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.assays.registry import BenchmarkCase, get_case, list_cases, schedule_for
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.core.mappers import GreedyMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.experiments.reporting import format_columns
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """Makespan comparison for one (case, policy) pair."""
+
+    case: str
+    policy: str
+    traditional_makespan: int
+    dynamic_makespan: int
+    area_feasible: bool  # the dynamic schedule synthesized onto the grid
+
+    @property
+    def speedup(self) -> float:
+        if self.dynamic_makespan == 0:
+            return 1.0
+        return self.traditional_makespan / self.dynamic_makespan
+
+
+def dynamic_schedule(case: BenchmarkCase, transport_delay: int = 3):
+    """Device-unconstrained schedule (parallelism limited by the DAG)."""
+    return ListScheduler(
+        SchedulerConfig(transport_delay=transport_delay)
+    ).schedule(case.graph())
+
+
+def measure_case(case: BenchmarkCase, policy_count: int = 3) -> List[SpeedupRow]:
+    """Speedup rows for every policy of one benchmark case."""
+    graph = case.graph()
+    fast = dynamic_schedule(case)
+    try:
+        ReliabilitySynthesizer(
+            SynthesisConfig(grid=case.grid, mapper=GreedyMapper())
+        ).synthesize(graph, fast)
+        feasible = True
+    except Exception:
+        feasible = False
+    rows = []
+    for policy in case.policies(policy_count):
+        slow = schedule_for(case, policy)
+        rows.append(
+            SpeedupRow(
+                case=case.name,
+                policy=policy.name,
+                traditional_makespan=slow.makespan,
+                dynamic_makespan=fast.makespan,
+                area_feasible=feasible,
+            )
+        )
+    return rows
+
+
+def run_speedup(case_names: Optional[Sequence[str]] = None) -> List[SpeedupRow]:
+    cases = [get_case(n) for n in case_names] if case_names else list_cases()
+    rows: List[SpeedupRow] = []
+    for case in cases:
+        rows.extend(measure_case(case))
+    return rows
+
+
+def format_speedup(rows: Sequence[SpeedupRow]) -> str:
+    header = ["case", "po", "T_trad(tu)", "T_dyn(tu)", "speedup", "fits grid"]
+    body = [
+        [
+            r.case,
+            r.policy,
+            r.traditional_makespan,
+            r.dynamic_makespan,
+            f"{r.speedup:.2f}x",
+            "yes" if r.area_feasible else "NO",
+        ]
+        for r in rows
+    ]
+    return format_columns(header, body)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import sys
+
+    names = list(argv if argv is not None else sys.argv[1:]) or None
+    print(format_speedup(run_speedup(names)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,312 @@
+"""Reproductions of the paper's figures.
+
+Each ``figureN()`` returns structured data; ``render_figureN()`` turns
+it into printable text.  Run as a script::
+
+    python -m repro.experiments.figures            # all figures
+    python -m repro.experiments.figures fig10      # one figure
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.assays.pcr import pcr_fig9_schedule, pcr_graph
+from repro.baseline.dedicated import DedicatedMixer
+from repro.core.role_rotation import RoleRotatingMixer
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.core.result import SynthesisResult
+from repro.geometry import GridSpec, Point
+from repro.architecture.device import Placement
+from repro.architecture.device_types import device_type
+from repro.architecture.channel_edges import ring_edges
+from repro.viz.ascii_chip import render_snapshot
+from repro.viz.gantt import render_gantt
+
+#: Snapshot times of Figure 10.
+FIG10_TIMES: Tuple[int, ...] = (2, 6, 9, 12, 15, 18, 25)
+
+
+# -- Figure 2: the dedicated mixer's wear imbalance --------------------------
+
+def figure2(operations: int = 2) -> Dict[str, List[int]]:
+    """Actuation profile of a dedicated volume-8 mixer (Figure 2(f))."""
+    mixer = DedicatedMixer(volume=8)
+    mixer.run_operations(operations)
+    return mixer.actuation_profile()
+
+
+def render_figure2() -> str:
+    profile = figure2()
+    return (
+        "Figure 2(f): dedicated mixer after two mixing operations\n"
+        f"  pump valves:    {profile['pump']}\n"
+        f"  control valves: {profile['control']}\n"
+        f"  largest count:  {max(profile['pump'] + profile['control'])} "
+        f"(valves: {len(profile['pump']) + len(profile['control'])})"
+    )
+
+
+# -- Figure 3: valve-role-changing on one mixer --------------------------------
+
+@dataclass(frozen=True)
+class Figure3Data:
+    dedicated_max: int
+    dedicated_valves: int
+    rotating_max: int
+    rotating_valves: int
+    greedy_max: int
+    counts: Tuple[int, ...]
+
+
+def figure3() -> Figure3Data:
+    """Two operations on a role-rotating 8-valve mixer vs Figure 2."""
+    dedicated = DedicatedMixer(volume=8)
+    dedicated.run_operations(2)
+    rotating = RoleRotatingMixer(ring_size=8)
+    rotating.run_fig3()
+    greedy = RoleRotatingMixer(ring_size=8)
+    greedy.run_operation()
+    greedy.run_operation()
+    return Figure3Data(
+        dedicated_max=dedicated.max_actuations(),
+        dedicated_valves=dedicated.valve_count,
+        rotating_max=rotating.max_actuations,
+        rotating_valves=rotating.valve_count,
+        greedy_max=greedy.max_actuations,
+        counts=tuple(rotating.counts),
+    )
+
+
+def render_figure3() -> str:
+    data = figure3()
+    return (
+        "Figure 3: valve-role-changing concept (two mixing operations)\n"
+        f"  dedicated mixer:      max {data.dedicated_max} with "
+        f"{data.dedicated_valves} valves\n"
+        f"  role-rotating mixer:  max {data.rotating_max} with "
+        f"{data.rotating_valves} valves  (per-valve: {list(data.counts)})\n"
+        f"  greedy rotation:      max {data.greedy_max}"
+    )
+
+
+# -- Figure 4: mixers of different sizes in the same area -------------------------
+
+@dataclass(frozen=True)
+class Figure4Data:
+    smaller: Placement
+    larger: Placement
+    shared_area: int
+    extra_ring_valves: int
+
+
+def figure4() -> Figure4Data:
+    """A smaller and a larger mixer using the same chip area.
+
+    Wall valves form the device boundary, so the same region can host a
+    2x3 mixer now and a 3x4 mixer later — "providing the possibility to
+    change the size and function of devices" (Section 2.2).
+    """
+    smaller = Placement(device_type(2, 3), Point(1, 1))
+    larger = Placement(device_type(3, 4), Point(0, 0))
+    shared = smaller.rect.overlap_area(larger.rect)
+    extra = len(
+        set(larger.pump_cells()) - set(smaller.rect.cells())
+    )
+    return Figure4Data(
+        smaller=smaller,
+        larger=larger,
+        shared_area=shared,
+        extra_ring_valves=extra,
+    )
+
+
+def render_figure4() -> str:
+    data = figure4()
+    return (
+        "Figure 4: dynamic mixers of different sizes in the same area\n"
+        f"  smaller mixer: {data.smaller} (volume "
+        f"{data.smaller.device_type.volume})\n"
+        f"  larger mixer:  {data.larger} (volume "
+        f"{data.larger.device_type.volume})\n"
+        f"  the larger device reuses all {data.shared_area} cells of the "
+        f"smaller one\n"
+        f"  and recruits {data.extra_ring_valves} additional wall/ring "
+        "valves when formed"
+    )
+
+
+# -- Figure 5: orientation sharing on the architecture --------------------------
+
+@dataclass(frozen=True)
+class Figure5Data:
+    horizontal: Placement
+    vertical: Placement
+    area_overlap: int
+    shared_pump_cells: int
+    shared_pump_channel_valves: int
+
+
+def figure5() -> Figure5Data:
+    """Two 8-unit mixers of different orientations in the same region.
+
+    Their rectangles overlap, yet their pump valves — the *channel
+    segments* their circulation rings flow through — are completely
+    disjoint: the 4x2 ring pumps horizontal segments where the 2x4 ring
+    pumps vertical ones (Figure 5(d)).  The coarser cell view shares
+    grid sites, which is why the primary (cell-keyed) model is
+    conservative; see :mod:`repro.architecture.channel_edges`.
+    """
+    horizontal = Placement(device_type(4, 2), Point(0, 1))
+    vertical = Placement(device_type(2, 4), Point(1, 0))
+    shared_cells = set(horizontal.pump_cells()) & set(vertical.pump_cells())
+    shared_edges = set(ring_edges(horizontal.rect)) & set(
+        ring_edges(vertical.rect)
+    )
+    return Figure5Data(
+        horizontal=horizontal,
+        vertical=vertical,
+        area_overlap=horizontal.rect.overlap_area(vertical.rect),
+        shared_pump_cells=len(shared_cells),
+        shared_pump_channel_valves=len(shared_edges),
+    )
+
+
+def render_figure5() -> str:
+    data = figure5()
+    return (
+        "Figure 5(d): 4x2 and 2x4 dynamic mixers sharing one region\n"
+        f"  placements: {data.horizontal} and {data.vertical}\n"
+        f"  overlapping cells: {data.area_overlap}\n"
+        f"  shared pump valves (channel segments): "
+        f"{data.shared_pump_channel_valves}  <- 'completely different'\n"
+        f"  shared grid cells under both rings: {data.shared_pump_cells} "
+        f"(the conservative cell view)"
+    )
+
+
+# -- Figure 7: in-situ storage life cycle -----------------------------------------
+
+def _figure7_assay() -> Tuple[SequencingGraph, Schedule]:
+    """The oa/ob -> oc example of Figure 7."""
+    graph = SequencingGraph("figure7")
+    for i in range(4):
+        graph.add_input(f"in{i}", volume=4)
+    graph.add_mix("oa", ("in0", "in1"), duration=4, volume=8)
+    graph.add_mix("ob", ("in2", "in3"), duration=9, volume=8)
+    graph.add_mix("oc", ("oa", "ob"), duration=5, volume=8)
+    schedule = Schedule(graph, transport_delay=3)
+    for i in range(4):
+        schedule.add(f"in{i}", 0)
+    schedule.add("oa", 0)
+    schedule.add("ob", 0)
+    schedule.add("oc", 12)
+    schedule.validate()
+    return graph, schedule
+
+
+@dataclass(frozen=True)
+class Figure7Data:
+    graph: SequencingGraph
+    schedule: Schedule
+    storage_interval: Tuple[int, int]
+    result: SynthesisResult
+
+
+def figure7(grid: GridSpec = GridSpec(6, 6)) -> Figure7Data:
+    """Synthesize the Figure-7 micro assay and expose s_c's lifetime.
+
+    The small default grid makes space scarce enough that the overlap
+    permission between s_c and its still-running parent device matters.
+    """
+    graph, schedule = _figure7_assay()
+    interval = schedule.storage_interval("oc")
+    assert interval is not None
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=grid)
+    ).synthesize(graph, schedule)
+    return Figure7Data(graph, schedule, interval, result)
+
+
+def render_figure7() -> str:
+    data = figure7()
+    oc = data.result.device_of("oc")
+    overlap_oa = oc.rect.overlap_area(data.result.device_of("oa").rect)
+    overlap_ob = oc.rect.overlap_area(data.result.device_of("ob").rect)
+    info = data.result.storage_plan.storage("oc")
+    assert info is not None
+    fill = ", ".join(
+        f"t={t}: {info.stored_volume(t)}/{info.capacity}"
+        for t in sorted({at for at, _, _ in info.arrivals})
+    )
+    return (
+        "Figure 7: in-situ on-chip storage s_c\n"
+        + render_gantt(data.schedule)
+        + f"\n  s_c exists over {data.storage_interval} and becomes d_c at "
+        f"t={data.schedule.start('oc')}tu\n"
+        f"  product arrivals fill s_c: {fill}\n"
+        f"  area shared with parent devices: oa={overlap_oa} cells "
+        f"(oa already finished), ob={overlap_ob} cells (c5 permission)"
+    )
+
+
+# -- Figure 9: the PCR scheduling result --------------------------------------------
+
+def figure9() -> Schedule:
+    return pcr_fig9_schedule()
+
+
+def render_figure9() -> str:
+    return "Figure 9: scheduling result of case PCR in p1\n" + render_gantt(
+        figure9(), names=[f"o{i}" for i in range(1, 8)]
+    )
+
+
+# -- Figure 10: synthesis snapshots ----------------------------------------------------
+
+def figure10(times: Sequence[int] = FIG10_TIMES) -> Tuple[SynthesisResult, List[str]]:
+    """Synthesize PCR/p1 (Figure 9 schedule) and snapshot it."""
+    graph = pcr_graph()
+    schedule = pcr_fig9_schedule(graph)
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=GridSpec(9, 9))
+    ).synthesize(graph, schedule)
+    panels = [render_snapshot(result, t) for t in times]
+    return result, panels
+
+
+def render_figure10() -> str:
+    result, panels = figure10()
+    header = (
+        "Figure 10: snapshots of the PCR/p1 synthesis (setting 1)\n"
+        f"  vs1 = {result.metrics.setting1}, #v = "
+        f"{result.metrics.used_valves}\n"
+    )
+    return header + "\n\n".join(panels)
+
+
+_RENDERERS = {
+    "fig2": render_figure2,
+    "fig3": render_figure3,
+    "fig4": render_figure4,
+    "fig5": render_figure5,
+    "fig7": render_figure7,
+    "fig9": render_figure9,
+    "fig10": render_figure10,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import sys
+
+    names = list(argv if argv is not None else sys.argv[1:]) or list(_RENDERERS)
+    for name in names:
+        print(_RENDERERS[name]())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_columns(
+    header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align ``rows`` under ``header``, right-justifying numbers.
+
+    Floats print with two decimals; everything else via ``str``.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows: List[List[str]] = [list(header)]
+    for row in rows:
+        text_rows.append([fmt(v) for v in row])
+    widths = [
+        max(len(r[i]) for r in text_rows) for i in range(len(header))
+    ]
+    lines: List[str] = []
+    for idx, row in enumerate(text_rows):
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def percent(before: float, after: float) -> float:
+    """Improvement of ``after`` over ``before`` in percent."""
+    if before == 0:
+        return 0.0
+    return (before - after) / before * 100.0

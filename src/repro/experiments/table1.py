@@ -1,0 +1,198 @@
+"""Table 1: the paper's main experimental comparison.
+
+For every (benchmark case, policy) pair, this module
+
+1. builds the assay and the policy's traditional design, computing the
+   exact baseline columns (#d, #m, vs_tmax, #v);
+2. schedules the assay on the policy's mixer bank;
+3. runs the reliability-aware synthesis on the valve-centered
+   architecture and reads off vs 1max, vs 2max and #v;
+4. reports the improvement columns next to the published numbers.
+
+Run as a script::
+
+    python -m repro.experiments.table1             # all 12 rows
+    python -m repro.experiments.table1 pcr         # one case
+    REPRO_MAPPER=greedy python -m repro.experiments.table1   # fast mode
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.assays.registry import BenchmarkCase, get_case, list_cases, schedule_for
+from repro.baseline.policies import Policy, distribution_string, mixer_demand
+from repro.baseline.valve_count import traditional_design
+from repro.core.mappers import BaseMapper, GreedyMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.experiments.paper_data import (
+    PAPER_AVERAGE_IMP1,
+    PAPER_AVERAGE_IMP2,
+    PAPER_AVERAGE_IMPV,
+    paper_row,
+)
+from repro.experiments.reporting import format_columns, percent
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row, mirroring the paper's columns."""
+
+    case: str
+    policy: str
+    num_ops: int
+    num_mix_ops: int
+    num_devices: int
+    m_distribution: str
+    vs_tmax: int
+    v_traditional: int
+    vs1_total: int
+    vs1_pump: int
+    imp1_percent: float
+    vs2_total: int
+    vs2_pump: int
+    imp2_percent: float
+    v_ours: int
+    impv_percent: float
+    runtime_seconds: float
+    mapper: str
+
+    @property
+    def vs1(self) -> str:
+        return f"{self.vs1_total}({self.vs1_pump})"
+
+    @property
+    def vs2(self) -> str:
+        return f"{self.vs2_total}({self.vs2_pump})"
+
+
+def _mapper_from_env() -> Optional[BaseMapper]:
+    """Honor REPRO_MAPPER=greedy for quick runs."""
+    if os.environ.get("REPRO_MAPPER", "").lower() == "greedy":
+        return GreedyMapper()
+    return None
+
+
+def run_cell(
+    case: BenchmarkCase,
+    policy: Policy,
+    mapper: Optional[BaseMapper] = None,
+) -> Table1Row:
+    """Measure one (case, policy) cell of Table 1."""
+    graph = case.graph()
+    demand = mixer_demand(graph)
+    schedule = schedule_for(case, policy)
+    design = traditional_design(graph, policy, schedule)
+
+    start = time.monotonic()
+    config = SynthesisConfig(grid=case.grid, mapper=mapper or _mapper_from_env())
+    result = ReliabilitySynthesizer(config).synthesize(graph, schedule)
+    runtime = time.monotonic() - start
+
+    metrics = result.metrics
+    vs_tmax = design.max_pump_actuations
+    return Table1Row(
+        case=case.name,
+        policy=policy.name,
+        num_ops=len(graph),
+        num_mix_ops=len(graph.mix_operations()),
+        num_devices=policy.device_count,
+        m_distribution=distribution_string(policy, demand),
+        vs_tmax=vs_tmax,
+        v_traditional=design.valve_count,
+        vs1_total=metrics.setting1.max_total,
+        vs1_pump=metrics.setting1.max_peristaltic,
+        imp1_percent=percent(vs_tmax, metrics.setting1.max_total),
+        vs2_total=metrics.setting2.max_total,
+        vs2_pump=metrics.setting2.max_peristaltic,
+        imp2_percent=percent(vs_tmax, metrics.setting2.max_total),
+        v_ours=metrics.used_valves,
+        impv_percent=percent(design.valve_count, metrics.used_valves),
+        runtime_seconds=runtime,
+        mapper=metrics.mapper,
+    )
+
+
+def run_table1(
+    case_names: Optional[Sequence[str]] = None,
+    policy_count: int = 3,
+    mapper: Optional[BaseMapper] = None,
+) -> List[Table1Row]:
+    """Measure all rows for the selected cases (default: all four)."""
+    cases = (
+        [get_case(n) for n in case_names] if case_names else list_cases()
+    )
+    rows: List[Table1Row] = []
+    for case in cases:
+        for policy in case.policies(policy_count):
+            rows.append(run_cell(case, policy, mapper=mapper))
+    return rows
+
+
+def summarize(rows: Sequence[Table1Row]) -> dict:
+    """Average improvements — the paper's bottom line."""
+    n = len(rows)
+    return {
+        "avg_imp1_percent": sum(r.imp1_percent for r in rows) / n,
+        "avg_imp2_percent": sum(r.imp2_percent for r in rows) / n,
+        "avg_impv_percent": sum(r.impv_percent for r in rows) / n,
+    }
+
+
+def format_table(rows: Sequence[Table1Row], with_paper: bool = True) -> str:
+    """Render measured rows (and the published values) as text."""
+    header = [
+        "case", "po", "#d", "#m4-6-8-10", "vs_tmax", "#v_t",
+        "vs1", "imp1%", "vs2", "imp2%", "#v", "impv%", "T(s)",
+    ]
+    body = []
+    for r in rows:
+        body.append([
+            r.case, r.policy, r.num_devices, r.m_distribution, r.vs_tmax,
+            r.v_traditional, r.vs1, r.imp1_percent, r.vs2, r.imp2_percent,
+            r.v_ours, r.impv_percent, r.runtime_seconds,
+        ])
+    out = [format_columns(header, body)]
+    summary = summarize(rows)
+    out.append(
+        f"\naverages: imp1 {summary['avg_imp1_percent']:.2f}%  "
+        f"imp2 {summary['avg_imp2_percent']:.2f}%  "
+        f"impv {summary['avg_impv_percent']:.2f}%"
+    )
+    if with_paper:
+        paper_body = []
+        for r in rows:
+            try:
+                p = paper_row(r.case, int(r.policy[1:]))
+            except Exception:
+                continue
+            paper_body.append([
+                p.case, f"p{p.policy}", p.num_devices, p.m_distribution,
+                p.vs_tmax, p.v_traditional,
+                f"{p.vs1_total}({p.vs1_pump})", p.imp1_percent,
+                f"{p.vs2_total}({p.vs2_pump})", p.imp2_percent,
+                p.v_ours, p.impv_percent, p.runtime_seconds,
+            ])
+        if paper_body:
+            out.append("\npublished values (Table 1):")
+            out.append(format_columns(header, paper_body))
+            out.append(
+                f"\npublished averages: imp1 {PAPER_AVERAGE_IMP1}%  "
+                f"imp2 {PAPER_AVERAGE_IMP2}%  impv {PAPER_AVERAGE_IMPV}%"
+            )
+    return "\n".join(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import sys
+
+    names = list(argv if argv is not None else sys.argv[1:]) or None
+    rows = run_table1(names)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

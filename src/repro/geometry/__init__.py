@@ -1,0 +1,25 @@
+"""Integer-grid geometry substrate.
+
+The valve-centered architecture of the paper (Section 3.1) arranges
+virtual valves on a regular integer grid.  This package provides the
+small geometric vocabulary everything else is written in:
+
+* :class:`~repro.geometry.point.Point` — an integer grid coordinate;
+* :class:`~repro.geometry.rect.Rect` — an axis-aligned rectangle of grid
+  cells, used for device footprints and the paper's boundary variables
+  ``b_le, b_ri, b_up, b_do`` (eq. 3);
+* :class:`~repro.geometry.grid.GridSpec` — the bounds of the virtual
+  valve grid plus neighborhood iteration.
+"""
+
+from repro.geometry.point import Point, manhattan_distance, chebyshev_distance
+from repro.geometry.rect import Rect
+from repro.geometry.grid import GridSpec
+
+__all__ = [
+    "Point",
+    "Rect",
+    "GridSpec",
+    "manhattan_distance",
+    "chebyshev_distance",
+]

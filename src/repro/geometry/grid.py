@@ -1,0 +1,79 @@
+"""Bounds and iteration helpers for the virtual valve grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Dimensions of a ``width`` x ``height`` virtual valve grid.
+
+    A ``GridSpec`` is pure geometry — it knows which coordinates exist,
+    not what occupies them (that is
+    :class:`repro.architecture.valve_grid.VirtualValveGrid`).
+    """
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(
+                f"grid dimensions must be positive, got "
+                f"{self.width}x{self.height}"
+            )
+
+    @property
+    def bounds(self) -> Rect:
+        """The full grid as a rectangle anchored at the origin."""
+        return Rect(0, 0, self.width, self.height)
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of virtual valve positions."""
+        return self.width * self.height
+
+    def in_bounds(self, p: Point) -> bool:
+        """Whether ``p`` is a valid valve coordinate."""
+        return 0 <= p.x < self.width and 0 <= p.y < self.height
+
+    def contains_rect(self, r: Rect) -> bool:
+        """Whether the rectangle lies entirely on the grid."""
+        return r.x >= 0 and r.y >= 0 and r.right <= self.width and r.top <= self.height
+
+    def clip(self, points: Iterator[Point] | List[Point]) -> List[Point]:
+        """Keep only the points that lie on the grid.
+
+        Used for wall valves: a device placed against the chip edge needs
+        no wall valves there, the chip boundary is a physical wall.
+        """
+        return [p for p in points if self.in_bounds(p)]
+
+    def cells(self) -> Iterator[Point]:
+        """Yield every valve coordinate, row-major from the bottom-left."""
+        for y in range(self.height):
+            for x in range(self.width):
+                yield Point(x, y)
+
+    def neighbors4(self, p: Point) -> List[Point]:
+        """In-bounds axis-aligned neighbors of ``p``."""
+        return [q for q in p.neighbors4() if self.in_bounds(q)]
+
+    def placements(self, width: int, height: int) -> Iterator[Rect]:
+        """Yield every on-grid placement of a ``width`` x ``height`` block.
+
+        This enumerates the candidate locations behind the selection
+        variables ``s[x,y,k,i]`` of Section 3.2 for one device type.
+        """
+        for y in range(self.height - height + 1):
+            for x in range(self.width - width + 1):
+                yield Rect(x, y, width, height)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridSpec({self.width}x{self.height})"

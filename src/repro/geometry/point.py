@@ -1,0 +1,53 @@
+"""Integer grid points and distances."""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+
+class Point(NamedTuple):
+    """An integer coordinate on the virtual valve grid.
+
+    ``x`` grows to the right, ``y`` grows upward, matching the coordinate
+    system of Figure 5(a) in the paper.  Being a :class:`NamedTuple`,
+    points are hashable, comparable and unpack as ``(x, y)``.
+    """
+
+    x: int
+    y: int
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def neighbors4(self) -> Iterator["Point"]:
+        """Yield the four axis-aligned neighbors (may be off-grid).
+
+        Flow channels on a flow-based biochip run horizontally and
+        vertically, so routing uses 4-connectivity.
+        """
+        yield Point(self.x + 1, self.y)
+        yield Point(self.x - 1, self.y)
+        yield Point(self.x, self.y + 1)
+        yield Point(self.x, self.y - 1)
+
+    def neighbors8(self) -> Iterator["Point"]:
+        """Yield the eight surrounding points (may be off-grid)."""
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                yield Point(self.x + dx, self.y + dy)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x},{self.y})"
+
+
+def manhattan_distance(a: Point, b: Point) -> int:
+    """L1 distance between two grid points."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def chebyshev_distance(a: Point, b: Point) -> int:
+    """L-infinity distance between two grid points."""
+    return max(abs(a.x - b.x), abs(a.y - b.y))

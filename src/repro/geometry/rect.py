@@ -1,0 +1,198 @@
+"""Axis-aligned rectangles of grid cells.
+
+A :class:`Rect` models a block of valves — a device footprint in the
+valve-centered architecture.  Its half-open boundary coordinates play the
+role of the paper's ``b_le, b_ri, b_up, b_do`` variables (Figure 6a): two
+rectangles overlap exactly when none of the four disjunction terms of
+eq. (3) holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A ``width`` x ``height`` block of grid cells anchored at ``(x, y)``.
+
+    ``(x, y)`` is the left-bottom corner, following the selection-variable
+    convention of Section 3.2.  Cells covered are
+    ``{x .. x+width-1} x {y .. y+height-1}``; the *exclusive* boundaries
+    ``right = x + width`` and ``top = y + height`` are the paper's
+    ``b_ri`` / ``b_up``.
+    """
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(
+                f"rectangle dimensions must be positive, got "
+                f"{self.width}x{self.height}"
+            )
+
+    # -- boundary coordinates (paper's b variables) --------------------
+
+    @property
+    def left(self) -> int:
+        """``b_le`` — inclusive left boundary."""
+        return self.x
+
+    @property
+    def right(self) -> int:
+        """``b_ri`` — exclusive right boundary."""
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> int:
+        """``b_do`` — inclusive bottom boundary."""
+        return self.y
+
+    @property
+    def top(self) -> int:
+        """``b_up`` — exclusive top boundary."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> int:
+        """Number of grid cells covered."""
+        return self.width * self.height
+
+    @property
+    def corner(self) -> Point:
+        """The left-bottom anchor as a :class:`Point`."""
+        return Point(self.x, self.y)
+
+    # -- predicates -----------------------------------------------------
+
+    def contains(self, p: Point) -> bool:
+        """Whether grid cell ``p`` lies inside this rectangle."""
+        return self.x <= p.x < self.right and self.y <= p.y < self.top
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the two rectangles share at least one grid cell.
+
+        This is the negation of the paper's non-overlap disjunction
+        (eq. 3): overlap iff NOT (ri1 <= le2 or le1 >= ri2 or
+        up1 <= do2 or do1 >= up2).
+        """
+        return not (
+            self.right <= other.left
+            or self.left >= other.right
+            or self.top <= other.bottom
+            or self.bottom >= other.top
+        )
+
+    def overlap_area(self, other: "Rect") -> int:
+        """Number of grid cells shared by the two rectangles."""
+        dx = min(self.right, other.right) - max(self.left, other.left)
+        dy = min(self.top, other.top) - max(self.bottom, other.bottom)
+        if dx <= 0 or dy <= 0:
+            return 0
+        return dx * dy
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The shared rectangle, or ``None`` when disjoint."""
+        left = max(self.left, other.left)
+        right = min(self.right, other.right)
+        bottom = max(self.bottom, other.bottom)
+        top = min(self.top, other.top)
+        if right <= left or top <= bottom:
+            return None
+        return Rect(left, bottom, right - left, top - bottom)
+
+    def gap_distance(self, other: "Rect") -> int:
+        """Chebyshev-style gap between two rectangles.
+
+        0 when they touch or overlap; otherwise the largest of the
+        horizontal and vertical separations.  This is the quantity the
+        routing-convenient constraints (eqs. 13–16) bound by ``d``: the
+        constraints hold exactly when ``gap_distance < d`` on both axes.
+        """
+        dx = max(other.left - self.right, self.left - other.right, 0)
+        dy = max(other.bottom - self.top, self.bottom - other.top, 0)
+        return max(dx, dy)
+
+    def within_distance(self, other: "Rect", d: int) -> bool:
+        """The paper's routing-convenient predicate (eqs. 13–16).
+
+        ``b_i1,ri > b_i2,le - d`` and the three symmetric conditions,
+        i.e. the boundary gap on each axis is strictly below ``d``.
+        """
+        return (
+            self.right > other.left - d
+            and self.left < other.right + d
+            and self.top > other.bottom - d
+            and self.bottom < other.top + d
+        )
+
+    # -- iteration ------------------------------------------------------
+
+    def cells(self) -> Iterator[Point]:
+        """Yield every grid cell covered, row-major from the bottom."""
+        for yy in range(self.y, self.top):
+            for xx in range(self.x, self.right):
+                yield Point(xx, yy)
+
+    def perimeter_cells(self) -> List[Point]:
+        """The ring of boundary cells, counter-clockwise from the anchor.
+
+        For a dynamic mixer this ring is the circulation-flow channel, so
+        its cells are exactly the *pump valves* of the device
+        (Section 3.1; a 2x4 mixer has 8 pump valves, a 3x3 has 8).
+        The counter-clockwise order is the peristaltic actuation order.
+        """
+        if self.width == 1:
+            return [Point(self.x, yy) for yy in range(self.y, self.top)]
+        if self.height == 1:
+            return [Point(xx, self.y) for xx in range(self.x, self.right)]
+        ring: List[Point] = []
+        # bottom edge, left -> right
+        for xx in range(self.x, self.right):
+            ring.append(Point(xx, self.y))
+        # right edge, upward (excluding corners already visited)
+        for yy in range(self.y + 1, self.top):
+            ring.append(Point(self.right - 1, yy))
+        # top edge, right -> left
+        for xx in range(self.right - 2, self.x - 1, -1):
+            ring.append(Point(xx, self.top - 1))
+        # left edge, downward
+        for yy in range(self.top - 2, self.y, -1):
+            ring.append(Point(self.x, yy))
+        return ring
+
+    def interior_cells(self) -> Iterator[Point]:
+        """Yield the cells strictly inside the perimeter ring."""
+        for yy in range(self.y + 1, self.top - 1):
+            for xx in range(self.x + 1, self.right - 1):
+                yield Point(xx, yy)
+
+    def wall_cells(self) -> List[Point]:
+        """The ring of cells one step *outside* this rectangle.
+
+        These are the positions of the *wall valves* that form the
+        device boundary (Section 2.2, Figure 4).  Cells may lie off-grid;
+        callers clip against the :class:`~repro.geometry.grid.GridSpec`
+        (the physical chip edge acts as a wall for free).
+        """
+        return self.expanded(1).perimeter_cells()
+
+    def expanded(self, margin: int) -> "Rect":
+        """This rectangle grown by ``margin`` cells on every side."""
+        return Rect(
+            self.x - margin,
+            self.y - margin,
+            self.width + 2 * margin,
+            self.height + 2 * margin,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Rect({self.x},{self.y} {self.width}x{self.height})"

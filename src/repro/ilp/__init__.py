@@ -1,0 +1,44 @@
+"""A small mixed-integer linear programming stack, built from scratch.
+
+The paper solves its dynamic-device mapping model with Gurobi (Section 4).
+Gurobi is proprietary, so this package provides the substrate instead:
+
+* a modeling layer in the spirit of the paper's formulation —
+  :class:`~repro.ilp.model.Model`, :class:`~repro.ilp.variable.Var`,
+  :class:`~repro.ilp.expr.LinExpr`,
+  :class:`~repro.ilp.constraint.Constraint` — including the big-M
+  disjunction helper used for the non-overlap constraints (eqs. 3–8);
+* a dense **two-phase primal simplex** LP solver
+  (:mod:`repro.ilp.simplex`) written from scratch;
+* a **branch & bound** MILP solver (:mod:`repro.ilp.branch_bound`) on top
+  of the simplex;
+* an optional fast backend that maps the same model onto
+  :func:`scipy.optimize.milp` (HiGHS).
+
+The model is backend-independent: tests assert that the from-scratch
+solver and HiGHS agree on every optimum.
+"""
+
+from repro.ilp.variable import Var, VarType
+from repro.ilp.expr import LinExpr
+from repro.ilp.constraint import Constraint, Sense
+from repro.ilp.model import Model, quicksum
+from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.solver import solve, available_backends
+from repro.ilp.lp_format import to_lp_string, write_lp
+
+__all__ = [
+    "Var",
+    "VarType",
+    "LinExpr",
+    "Constraint",
+    "Sense",
+    "Model",
+    "quicksum",
+    "Solution",
+    "SolveStatus",
+    "solve",
+    "available_backends",
+    "to_lp_string",
+    "write_lp",
+]

@@ -1,0 +1,183 @@
+"""A from-scratch branch & bound MILP solver.
+
+Solves a :class:`repro.ilp.model.Model` by LP-relaxation branch & bound:
+
+* relaxations solved by the from-scratch simplex
+  (:mod:`repro.ilp.simplex`) or, optionally, :func:`scipy.optimize.linprog`;
+* best-bound node selection (min-heap on the relaxation objective) with
+  most-fractional branching;
+* optional node and time limits; when the search is cut short the best
+  incumbent is returned with status FEASIBLE.
+
+This solver exists so the whole reproduction runs without any external
+MIP engine; the HiGHS backend (:mod:`repro.ilp.scipy_backend`) is the
+faster default for large mapping models, and tests assert both agree.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ilp.model import Model
+from repro.ilp.simplex import LpResult, solve_lp
+from repro.ilp.solution import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    tiebreak: int
+    bounds: List[Tuple[float, float]] = field(compare=False)
+    depth: int = field(compare=False, default=0)
+
+
+def _solve_relaxation(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    bounds: List[Tuple[float, float]],
+    lp_engine: str,
+) -> LpResult:
+    if lp_engine == "simplex":
+        return solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    # scipy linprog engine (HiGHS LP): used to accelerate the from-scratch
+    # tree search on larger relaxations.
+    from scipy.optimize import linprog
+
+    res = linprog(
+        c,
+        A_ub=a_ub if a_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=a_eq if a_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status == 0:
+        return LpResult(SolveStatus.OPTIMAL, res.x, float(res.fun))
+    if res.status == 2:
+        return LpResult(SolveStatus.INFEASIBLE)
+    if res.status == 3:
+        return LpResult(SolveStatus.UNBOUNDED)
+    return LpResult(SolveStatus.NO_SOLUTION)
+
+
+def solve_branch_bound(
+    model: Model,
+    lp_engine: str = "simplex",
+    max_nodes: int = 200_000,
+    time_limit: Optional[float] = None,
+    absolute_gap: float = 1e-6,
+) -> Solution:
+    """Optimize ``model`` by branch & bound.
+
+    ``lp_engine`` selects the relaxation solver: ``"simplex"`` (the
+    from-scratch solver) or ``"scipy"`` (HiGHS LP).  ``absolute_gap``
+    prunes nodes whose bound cannot improve the incumbent by more than
+    the gap; the mapping objective is integral, so callers may pass a
+    gap just below 1 to prove optimality faster.
+    """
+    start = time.monotonic()
+    c, a_ub, b_ub, a_eq, b_eq, root_bounds, integrality = model.to_arrays()
+    int_indices = [j for j, flag in enumerate(integrality) if flag]
+
+    counter = itertools.count()
+    best_x: Optional[np.ndarray] = None
+    best_obj = math.inf  # minimize-form objective (already sense-adjusted)
+    nodes_explored = 0
+    exhausted = True
+
+    root = _Node(-math.inf, next(counter), list(root_bounds))
+    heap: List[_Node] = [root]
+
+    while heap:
+        if nodes_explored >= max_nodes or (
+            time_limit is not None and time.monotonic() - start > time_limit
+        ):
+            exhausted = False
+            break
+        node = heapq.heappop(heap)
+        if node.bound >= best_obj - absolute_gap:
+            continue  # cannot improve the incumbent
+        relax = _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, node.bounds, lp_engine)
+        nodes_explored += 1
+        if relax.status is SolveStatus.UNBOUNDED:
+            # An unbounded relaxation at the root means the MILP itself is
+            # unbounded or infeasible; deeper nodes only tighten bounds, so
+            # report unbounded only from the root.
+            if node.depth == 0:
+                return Solution(
+                    SolveStatus.UNBOUNDED,
+                    backend="branch_bound",
+                    nodes_explored=nodes_explored,
+                    wall_time=time.monotonic() - start,
+                )
+            continue
+        if relax.status is not SolveStatus.OPTIMAL:
+            continue  # infeasible node: prune
+        if relax.objective >= best_obj - absolute_gap:
+            continue
+        x = relax.x
+        assert x is not None
+        # Find the most fractional integer variable.
+        branch_var = -1
+        worst_frac = _INT_TOL
+        for j in int_indices:
+            frac = abs(x[j] - round(x[j]))
+            if frac > worst_frac:
+                worst_frac = frac
+                branch_var = j
+        if branch_var < 0:
+            # Integral solution: new incumbent.
+            if relax.objective < best_obj:
+                best_obj = relax.objective
+                best_x = x.copy()
+            continue
+        value = x[branch_var]
+        lb, ub = node.bounds[branch_var]
+        floor_bounds = list(node.bounds)
+        floor_bounds[branch_var] = (lb, math.floor(value))
+        ceil_bounds = list(node.bounds)
+        ceil_bounds[branch_var] = (math.ceil(value), ub)
+        for child_bounds in (floor_bounds, ceil_bounds):
+            blb, bub = child_bounds[branch_var]
+            if blb <= bub:
+                heapq.heappush(
+                    heap,
+                    _Node(relax.objective, next(counter), child_bounds, node.depth + 1),
+                )
+
+    wall = time.monotonic() - start
+    if best_x is None:
+        status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.NO_SOLUTION
+        return Solution(
+            status, backend="branch_bound", nodes_explored=nodes_explored, wall_time=wall
+        )
+
+    values: Dict = {}
+    for var in model.variables:
+        val = float(best_x[var.index])
+        if var.vtype.is_integral:
+            val = float(round(val))
+        values[var] = val
+    objective = model.objective.evaluate(values)
+    status = SolveStatus.OPTIMAL if exhausted else SolveStatus.FEASIBLE
+    return Solution(
+        status,
+        objective=objective,
+        values=values,
+        backend="branch_bound",
+        nodes_explored=nodes_explored,
+        wall_time=wall,
+    )

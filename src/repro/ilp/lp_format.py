@@ -1,0 +1,110 @@
+"""CPLEX-LP-format export for models (debugging / interchange).
+
+Writes a :class:`repro.ilp.model.Model` in the widely understood LP
+file format, so the exact mapping models this library builds can be
+inspected by hand or fed to any external solver (Gurobi, CPLEX, CBC,
+HiGHS CLI) for cross-checking — useful when validating the reproduction
+against the paper's original Gurobi setup.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.ilp.constraint import Sense
+from repro.ilp.expr import LinExpr
+from repro.ilp.model import Model, ObjectiveSense
+from repro.ilp.variable import VarType
+
+#: Stay with the conservative identifier alphabet every LP reader
+#: accepts: letters, digits, underscore, dot.
+_BAD_CHARS = re.compile(r"[^A-Za-z0-9_.]")
+
+
+def _identifier(name: str, index: int) -> str:
+    """A unique LP-safe identifier for a variable."""
+    cleaned = _BAD_CHARS.sub("_", name) or "x"
+    if cleaned[0].isdigit() or cleaned[0] in ".eE":
+        cleaned = "v" + cleaned
+    return f"{cleaned}__{index}"
+
+
+def _format_expr(expr: LinExpr, names: List[str]) -> str:
+    terms = sorted(expr.terms.items(), key=lambda item: item[0].index)
+    if not terms:
+        return "0"
+    parts: List[str] = []
+    for i, (var, coef) in enumerate(terms):
+        sign = "-" if coef < 0 else ("+" if i else "")
+        magnitude = abs(coef)
+        coef_text = "" if magnitude == 1 else f"{magnitude:g} "
+        prefix = f"{sign} " if sign else ""
+        parts.append(f"{prefix}{coef_text}{names[var.index]}")
+    return " ".join(parts)
+
+
+def to_lp_string(model: Model) -> str:
+    """The model as an LP-format document."""
+    names = [
+        _identifier(var.name, var.index) for var in model.variables
+    ]
+
+    lines: List[str] = [f"\\ model {model.name}"]
+    lines.append(
+        "Maximize"
+        if model.objective_sense is ObjectiveSense.MAXIMIZE
+        else "Minimize"
+    )
+    objective = _format_expr(model.objective, names)
+    constant = model.objective.constant
+    if constant:
+        objective += f" {'+' if constant > 0 else '-'} {abs(constant):g}"
+    lines.append(f" obj: {objective}")
+
+    lines.append("Subject To")
+    for i, con in enumerate(model.constraints):
+        label = _BAD_CHARS.sub("_", con.name) if con.name else f"c{i}"
+        op = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[con.sense]
+        lines.append(
+            f" {label}_{i}: {_format_expr(con.expr, names)} {op} {con.rhs:g}"
+        )
+
+    bounds: List[str] = []
+    for var, name in zip(model.variables, names):
+        if var.vtype is VarType.BINARY:
+            continue  # declared in the Binaries section
+        lo = "-inf" if math.isinf(var.lb) else f"{var.lb:g}"
+        hi = "+inf" if math.isinf(var.ub) else f"{var.ub:g}"
+        if (var.lb, var.ub) != (0.0, math.inf):
+            bounds.append(f" {lo} <= {name} <= {hi}")
+    if bounds:
+        lines.append("Bounds")
+        lines.extend(bounds)
+
+    generals = [
+        name
+        for var, name in zip(model.variables, names)
+        if var.vtype is VarType.INTEGER
+    ]
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(generals))
+    binaries = [
+        name
+        for var, name in zip(model.variables, names)
+        if var.vtype is VarType.BINARY
+    ]
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(binaries))
+
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp(model: Model, path: str) -> None:
+    """Write the model to an ``.lp`` file."""
+    with open(path, "w") as handle:
+        handle.write(to_lp_string(model))

@@ -1,0 +1,312 @@
+"""A dense two-phase primal simplex LP solver, from scratch.
+
+This is the LP engine underneath the from-scratch branch & bound MILP
+solver (:mod:`repro.ilp.branch_bound`).  It favors clarity and
+robustness over speed:
+
+* the problem is converted to standard equality form with nonnegative
+  variables (shifts for finite lower bounds, mirroring for
+  upper-bounded-only variables, splitting for free variables, explicit
+  rows for upper bounds);
+* phase 1 minimizes the sum of artificial variables to find a feasible
+  basis; phase 2 minimizes the true objective;
+* pivoting uses Bland's rule, which provably terminates (no cycling).
+
+Dense tableaus keep the code short; the intended use is LP relaxations
+of small-to-medium mapping models and unit tests.  Large instances go
+through the HiGHS backend instead (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ilp.solution import SolveStatus
+
+_EPS = 1e-9
+
+
+@dataclass
+class LpResult:
+    """Raw result of an LP solve in the original variable space."""
+
+    status: SolveStatus
+    x: Optional[np.ndarray] = None
+    objective: float = math.nan
+    iterations: int = 0
+
+
+@dataclass
+class _VarMap:
+    """How original variable ``j`` maps into standard-form columns.
+
+    ``kind`` is one of:
+
+    * ``"shift"``  — ``x_j = lb_j + y[col]``
+    * ``"mirror"`` — ``x_j = ub_j - y[col]`` (used when lb = -inf, ub finite)
+    * ``"free"``   — ``x_j = y[col] - y[col2]``
+    """
+
+    kind: str
+    col: int
+    col2: int = -1
+    offset: float = 0.0
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    bounds: Sequence[Tuple[float, float]],
+    max_iterations: int = 200_000,
+) -> LpResult:
+    """Minimize ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x = b_eq``
+    and variable ``bounds``.
+
+    Returns an :class:`LpResult` with status OPTIMAL, INFEASIBLE or
+    UNBOUNDED.
+    """
+    n = len(c)
+    c = np.asarray(c, dtype=float)
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if np.size(a_ub) else np.zeros((0, n))
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n) if np.size(a_eq) else np.zeros((0, n))
+    b_ub = np.asarray(b_ub, dtype=float).ravel()
+    b_eq = np.asarray(b_eq, dtype=float).ravel()
+
+    # ------------------------------------------------------------------
+    # 1. Map original variables onto nonnegative standard-form columns.
+    # ------------------------------------------------------------------
+    var_maps: List[_VarMap] = []
+    num_cols = 0
+    extra_ub_rows: List[Tuple[int, float]] = []  # (column, rhs) rows  y_col <= rhs
+    for j, (lb, ub) in enumerate(bounds):
+        if lb > ub:
+            return LpResult(SolveStatus.INFEASIBLE)
+        if math.isfinite(lb):
+            var_maps.append(_VarMap("shift", num_cols, offset=lb))
+            if math.isfinite(ub):
+                extra_ub_rows.append((num_cols, ub - lb))
+            num_cols += 1
+        elif math.isfinite(ub):
+            var_maps.append(_VarMap("mirror", num_cols, offset=ub))
+            num_cols += 1
+        else:
+            var_maps.append(_VarMap("free", num_cols, num_cols + 1))
+            num_cols += 2
+
+    def to_std_row(row: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Rewrite a row over x into a row over y plus a constant."""
+        std = np.zeros(num_cols)
+        constant = 0.0
+        for j, coef in enumerate(row):
+            if coef == 0.0:
+                continue
+            vm = var_maps[j]
+            if vm.kind == "shift":
+                std[vm.col] += coef
+                constant += coef * vm.offset
+            elif vm.kind == "mirror":
+                std[vm.col] -= coef
+                constant += coef * vm.offset
+            else:
+                std[vm.col] += coef
+                std[vm.col2] -= coef
+        return std, constant
+
+    # Objective in standard space.
+    c_std, c_const = to_std_row(c)
+
+    # Constraint rows in standard space (all as equalities with slacks).
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    senses: List[str] = []  # "le" or "eq" before slack conversion
+    for i in range(a_ub.shape[0]):
+        std, const = to_std_row(a_ub[i])
+        rows.append(std)
+        rhs.append(b_ub[i] - const)
+        senses.append("le")
+    for col, bound in extra_ub_rows:
+        std = np.zeros(num_cols)
+        std[col] = 1.0
+        rows.append(std)
+        rhs.append(bound)
+        senses.append("le")
+    for i in range(a_eq.shape[0]):
+        std, const = to_std_row(a_eq[i])
+        rows.append(std)
+        rhs.append(b_eq[i] - const)
+        senses.append("eq")
+
+    m = len(rows)
+    num_slacks = sum(1 for s in senses if s == "le")
+    total = num_cols + num_slacks
+
+    big_a = np.zeros((m, total))
+    big_b = np.zeros(m)
+    slack_of_row = [-1] * m
+    slack_idx = num_cols
+    for i in range(m):
+        big_a[i, :num_cols] = rows[i]
+        big_b[i] = rhs[i]
+        if senses[i] == "le":
+            big_a[i, slack_idx] = 1.0
+            slack_of_row[i] = slack_idx
+            slack_idx += 1
+
+    # Make every rhs nonnegative (flip rows; a flipped slack coefficient
+    # becomes -1 and can no longer seed the basis).
+    for i in range(m):
+        if big_b[i] < 0:
+            big_a[i] *= -1.0
+            big_b[i] *= -1.0
+
+    # ------------------------------------------------------------------
+    # 2. Phase 1 — artificial variables wherever a +1 slack cannot seed
+    #    the basis.
+    # ------------------------------------------------------------------
+    basis: List[int] = [-1] * m
+    artificial_cols: List[int] = []
+    columns = [big_a]
+    for i in range(m):
+        s = slack_of_row[i]
+        if s >= 0 and big_a[i, s] == 1.0:
+            basis[i] = s
+        else:
+            art_col = total + len(artificial_cols)
+            col = np.zeros((m, 1))
+            col[i, 0] = 1.0
+            columns.append(col)
+            artificial_cols.append(art_col)
+            basis[i] = art_col
+    if artificial_cols:
+        big_a = np.hstack(columns)
+    grand_total = big_a.shape[1]
+
+    iterations = 0
+    if artificial_cols:
+        phase1_c = np.zeros(grand_total)
+        for col in artificial_cols:
+            phase1_c[col] = 1.0
+        status, obj, iters = _simplex_core(
+            big_a, big_b, phase1_c, basis, max_iterations
+        )
+        iterations += iters
+        if status is SolveStatus.UNBOUNDED:  # pragma: no cover - impossible
+            return LpResult(SolveStatus.INFEASIBLE, iterations=iterations)
+        if obj > 1e-7:
+            return LpResult(SolveStatus.INFEASIBLE, iterations=iterations)
+        # Drive lingering artificials out of the basis where possible.
+        art_set = set(artificial_cols)
+        for i in range(m):
+            if basis[i] in art_set:
+                pivot_col = -1
+                for j in range(total):
+                    if abs(big_a[i, j]) > _EPS:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(big_a, big_b, i, pivot_col)
+                    basis[i] = pivot_col
+                # else: the row is redundant (all-zero over real columns);
+                # the artificial stays basic at value 0, which is harmless.
+
+    # ------------------------------------------------------------------
+    # 3. Phase 2 — optimize the true objective, artificials pinned at 0.
+    # ------------------------------------------------------------------
+    phase2_c = np.zeros(grand_total)
+    phase2_c[:num_cols] = c_std
+    art_set = set(artificial_cols)
+    status, obj, iters = _simplex_core(
+        big_a, big_b, phase2_c, basis, max_iterations, forbidden=art_set
+    )
+    iterations += iters
+    if status is not SolveStatus.OPTIMAL:
+        return LpResult(status, iterations=iterations)
+
+    # ------------------------------------------------------------------
+    # 4. Recover the original variable values.
+    # ------------------------------------------------------------------
+    y = np.zeros(grand_total)
+    for i, col in enumerate(basis):
+        y[col] = big_b[i]
+    x = np.zeros(n)
+    for j, vm in enumerate(var_maps):
+        if vm.kind == "shift":
+            x[j] = vm.offset + y[vm.col]
+        elif vm.kind == "mirror":
+            x[j] = vm.offset - y[vm.col]
+        else:
+            x[j] = y[vm.col] - y[vm.col2]
+    return LpResult(SolveStatus.OPTIMAL, x, float(c @ x), iterations)
+
+
+def _pivot(a: np.ndarray, b: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot of the tableau on ``(row, col)`` in place."""
+    pivot = a[row, col]
+    a[row] /= pivot
+    b[row] /= pivot
+    for i in range(a.shape[0]):
+        if i != row and a[i, col] != 0.0:
+            factor = a[i, col]
+            a[i] -= factor * a[row]
+            b[i] -= factor * b[row]
+
+
+def _simplex_core(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    basis: List[int],
+    max_iterations: int,
+    forbidden: Optional[set] = None,
+) -> Tuple[SolveStatus, float, int]:
+    """Primal simplex over an equality tableau with a starting basis.
+
+    ``a``/``b``/``basis`` are modified in place; returns (status,
+    objective, iterations).  ``forbidden`` columns never enter the basis
+    (used to pin phase-1 artificials at zero during phase 2).
+    """
+    m, total = a.shape
+    forbidden = forbidden or set()
+    iterations = 0
+    while True:
+        if iterations >= max_iterations:  # pragma: no cover - safety net
+            return SolveStatus.NO_SOLUTION, math.nan, iterations
+        # Reduced costs: r = c - c_B @ B^-1 A; the tableau is kept in
+        # B^-1 A form, so c_B rows are read off directly.
+        cb = c[basis]
+        reduced = c - cb @ a
+        # Bland's rule: smallest-index improving column.
+        entering = -1
+        for j in range(total):
+            if j in forbidden:
+                continue
+            if reduced[j] < -_EPS:
+                entering = j
+                break
+        if entering < 0:
+            objective = float(cb @ b)
+            return SolveStatus.OPTIMAL, objective, iterations
+        # Ratio test, ties broken by smallest basis index (Bland).
+        leaving = -1
+        best_ratio = math.inf
+        for i in range(m):
+            if a[i, entering] > _EPS:
+                ratio = b[i] / a[i, entering]
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return SolveStatus.UNBOUNDED, math.nan, iterations
+        _pivot(a, b, leaving, entering)
+        basis[leaving] = entering
+        iterations += 1

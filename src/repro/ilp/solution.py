@@ -1,0 +1,52 @@
+"""Solve results for the MILP stack."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from repro.errors import SolverError
+from repro.ilp.expr import LinExpr
+from repro.ilp.variable import Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP/MILP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+    NO_SOLUTION = "no_solution"  # search exhausted limits with no incumbent
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """A (possibly empty) solution of a model.
+
+    ``values`` maps every model variable to its value; integer variables
+    carry exactly integral floats after rounding by the solver.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: Dict[Var, float] = field(default_factory=dict)
+    backend: str = ""
+    nodes_explored: int = 0
+    wall_time: float = 0.0
+
+    def value(self, item: Union[Var, LinExpr]) -> float:
+        """Value of a variable or expression under this solution."""
+        if not self.status.has_solution:
+            raise SolverError(f"no solution available (status={self.status.value})")
+        if isinstance(item, Var):
+            return self.values[item]
+        return item.evaluate(self.values)
+
+    def __bool__(self) -> bool:
+        return self.status.has_solution

@@ -1,0 +1,105 @@
+"""Decision variables for the MILP modeling layer."""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ilp.constraint import Constraint
+    from repro.ilp.expr import LinExpr
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+    @property
+    def is_integral(self) -> bool:
+        return self is not VarType.CONTINUOUS
+
+
+class Var:
+    """A decision variable owned by a :class:`repro.ilp.model.Model`.
+
+    Variables support arithmetic (``2 * x + y - 3``) producing
+    :class:`~repro.ilp.expr.LinExpr` and the ``<=`` / ``>=`` comparisons
+    producing :class:`~repro.ilp.constraint.Constraint`, so the paper's
+    equations transcribe almost one-to-one.
+
+    Deliberate deviation from gurobipy-style syntax: ``==`` keeps Python
+    identity semantics, because variables are used as dictionary keys
+    throughout the library.  Equality constraints are written
+    ``x.eq(rhs)`` or ``x + 0 == rhs`` (via :class:`LinExpr`).
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "vtype")
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> None:
+        if vtype is VarType.BINARY:
+            lb, ub = max(lb, 0.0), min(ub, 1.0)
+        if lb > ub:
+            raise ModelError(f"variable {name}: lower bound {lb} > upper bound {ub}")
+        self.name = name
+        self.index = index
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+
+    # -- conversion -------------------------------------------------------
+
+    def to_expr(self) -> "LinExpr":
+        from repro.ilp.expr import LinExpr
+
+        return LinExpr({self: 1.0}, 0.0)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return self.to_expr() + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self.to_expr()) + other
+
+    def __mul__(self, coef) -> "LinExpr":
+        return self.to_expr() * coef
+
+    def __rmul__(self, coef) -> "LinExpr":
+        return self.to_expr() * coef
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    # -- comparisons build constraints --------------------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self.to_expr() >= other
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint ``self == other`` (see class docstring)."""
+        return self.to_expr() == other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Var({self.name})"

@@ -1,0 +1,34 @@
+"""Routing substrate (Sections 3.4 / 3.5).
+
+Transport paths between devices and chip ports are found with
+Dijkstra's shortest-path algorithm over the valve grid; concurrently
+routed paths repel each other through congestion costs so samples can
+travel in parallel; in-situ storages with free space may be passed
+through, and when a path would exceed a storage's free space the path
+is ripped up and re-routed with the storage as an obstacle
+(Algorithm 1, L10–L19).
+"""
+
+from repro.routing.path import RoutedPath, TransportEvent
+from repro.routing.dijkstra import dijkstra_path
+from repro.routing.router import Router, RoutingContext
+from repro.routing.contamination import (
+    Conflict,
+    WashPlan,
+    contamination_report,
+    find_conflicts,
+    plan_washes,
+)
+
+__all__ = [
+    "RoutedPath",
+    "TransportEvent",
+    "dijkstra_path",
+    "Router",
+    "RoutingContext",
+    "Conflict",
+    "WashPlan",
+    "contamination_report",
+    "find_conflicts",
+    "plan_washes",
+]

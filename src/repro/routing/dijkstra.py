@@ -1,0 +1,75 @@
+"""Dijkstra shortest path on the valve grid.
+
+Written from scratch (heap-based) rather than delegating to networkx so
+that cost evaluation stays lazy — cell costs depend on the routing
+context (obstacles, congestion, storage pass-through) and are supplied
+as a callable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.geometry import GridSpec, Point
+
+#: Cost function: entering a cell costs ``cost_of(cell)``; ``math.inf``
+#: marks an obstacle.
+CostFn = Callable[[Point], float]
+
+
+def dijkstra_path(
+    grid: GridSpec,
+    sources: Iterable[Point],
+    targets: Iterable[Point],
+    cost_of: CostFn,
+) -> Optional[List[Point]]:
+    """Cheapest 4-connected path from any source to any target.
+
+    Returns the cell sequence including both endpoints, or ``None`` when
+    no path exists.  Deterministic: ties are broken by (cost, x, y)
+    ordering, so equal-cost layouts always produce the same path.
+
+    Source cells are entered for free (the fluid is already there);
+    target cells still pay their own cost, so a target inside a blocked
+    region is unreachable.
+    """
+    target_set: Set[Point] = {t for t in targets if grid.in_bounds(t)}
+    if not target_set:
+        return None
+
+    dist: Dict[Point, float] = {}
+    prev: Dict[Point, Point] = {}
+    heap: List[Tuple[float, int, int]] = []
+    for s in sources:
+        if not grid.in_bounds(s):
+            continue
+        if dist.get(s, math.inf) > 0.0:
+            dist[s] = 0.0
+            heapq.heappush(heap, (0.0, s.x, s.y))
+    if not heap:
+        return None
+
+    while heap:
+        d, x, y = heapq.heappop(heap)
+        u = Point(x, y)
+        if d > dist.get(u, math.inf):
+            continue  # stale entry
+        if u in target_set:
+            path = [u]
+            while u in prev:
+                u = prev[u]
+                path.append(u)
+            path.reverse()
+            return path
+        for v in grid.neighbors4(u):
+            step = cost_of(v)
+            if math.isinf(step):
+                continue
+            nd = d + step
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                prev[v] = u
+                heapq.heappush(heap, (nd, v.x, v.y))
+    return None

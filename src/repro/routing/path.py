@@ -1,0 +1,58 @@
+"""Transport events and routed paths."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.geometry import Point
+
+
+@dataclass(frozen=True)
+class TransportEvent:
+    """One fluid movement that needs a routing path.
+
+    ``source``/``target`` name either a chip port or a mapped operation's
+    device; the corresponding ``*_is_port`` flag disambiguates.  Events
+    are grouped by ``time`` — all transports at the same time step are
+    routed together and must be able to run in parallel (crossings are
+    discouraged by congestion costs, Section 3.5).
+    """
+
+    time: int
+    source: str
+    target: str
+    source_is_port: bool = False
+    target_is_port: bool = False
+    volume: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"{self.source}->{self.target}@{self.time}"
+
+
+@dataclass
+class RoutedPath:
+    """A realized transport: the grid cells the fluid travels through."""
+
+    event: TransportEvent
+    cells: List[Point]
+    cost: float = 0.0
+
+    @property
+    def time(self) -> int:
+        return self.event.time
+
+    @property
+    def length(self) -> int:
+        return len(self.cells)
+
+    def crosses(self, other: "RoutedPath") -> Optional[Point]:
+        """First shared cell with another path, or None."""
+        shared = set(self.cells) & set(other.cells)
+        if not shared:
+            return None
+        return min(shared)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RoutedPath({self.event.label}, {self.length} cells)"

@@ -1,0 +1,193 @@
+"""The transport router (Algorithm 1, L10–L19).
+
+For every time step with transports, paths are routed one by one with
+Dijkstra.  Cells of devices alive at that time are obstacles, except:
+
+* the source and target devices of the transport itself;
+* in-situ storages with free space, which may be **passed through**
+  (Figure 8(b)) at a small extra cost — unless a previous pass exceeded
+  their free space, in which case the storage is ripped from the path
+  and treated as an obstacle (L14–L17);
+* cells already used by a concurrently routed path cost extra, which
+  "restricts the crossings of routing paths ... so that we can
+  transport samples in parallel" (Section 3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import RoutingError
+from repro.geometry import GridSpec, Point
+from repro.architecture.chip import Chip
+from repro.architecture.device import DeviceKind, DynamicDevice
+from repro.routing.dijkstra import dijkstra_path
+from repro.routing.path import RoutedPath, TransportEvent
+
+#: Base cost of entering a free cell.
+BASE_COST = 1.0
+
+#: Extra cost of passing through an in-situ storage with free space.
+STORAGE_PASS_COST = 2.0
+
+#: Extra cost of a cell already used by a concurrent path (crossing
+#: penalty; high enough that detours are always preferred when possible).
+CROSS_PENALTY = 50.0
+
+#: Safety bound on rip-up and re-route attempts per event.
+MAX_REROUTES = 64
+
+
+@dataclass
+class RoutingContext:
+    """Everything the router needs to know about the synthesized chip."""
+
+    chip: Chip
+    devices: Dict[str, DynamicDevice]
+    #: storage free space in volume units: (operation, time) -> units
+    free_space: Callable[[str, int], int]
+
+    @property
+    def grid(self) -> GridSpec:
+        return self.chip.spec
+
+    def alive_at(self, t: int) -> List[DynamicDevice]:
+        return [d for d in self.devices.values() if d.alive_at(t)]
+
+    def endpoint_cells(self, name: str, is_port: bool) -> List[Point]:
+        """Cells a path may start at / end in for one endpoint."""
+        if is_port:
+            return [self.chip.port(name).position]
+        try:
+            device = self.devices[name]
+        except KeyError:
+            raise RoutingError(f"no device mapped for operation {name!r}") from None
+        return device.placement.port_cells()
+
+
+class Router:
+    """Routes all transport events of a synthesis result."""
+
+    def __init__(self, context: RoutingContext) -> None:
+        self.context = context
+
+    # -- public API -------------------------------------------------------
+
+    def route_all(self, events: Sequence[TransportEvent]) -> List[RoutedPath]:
+        """Route every event, time step by time step."""
+        paths: List[RoutedPath] = []
+        by_time: Dict[int, List[TransportEvent]] = {}
+        for event in events:
+            by_time.setdefault(event.time, []).append(event)
+        for t in sorted(by_time):
+            concurrent: List[RoutedPath] = []
+            for event in sorted(
+                by_time[t], key=lambda e: (e.source, e.target)
+            ):
+                concurrent.append(self._route_event(event, concurrent))
+            paths.extend(concurrent)
+        return paths
+
+    # -- one event ---------------------------------------------------------
+
+    def _route_event(
+        self, event: TransportEvent, concurrent: List[RoutedPath]
+    ) -> RoutedPath:
+        # Algorithm 1 L15-16 forbids the (storage, path) *pair*: the
+        # ripped path must avoid that storage, other paths may still
+        # pass through it.
+        forbidden: Set[str] = set()
+        for _ in range(MAX_REROUTES):
+            path = self._dijkstra_once(event, concurrent, forbidden)
+            if path is None:
+                raise RoutingError(f"no routing path for {event.label}")
+            overfull = self._overfull_storage(event, path)
+            if overfull is None:
+                cost = sum(BASE_COST for _ in path.cells)
+                path.cost = cost
+                return path
+            forbidden.add(overfull)
+        raise RoutingError(
+            f"rip-up and re-route did not converge for {event.label}"
+        )
+
+    def _dijkstra_once(
+        self,
+        event: TransportEvent,
+        concurrent: List[RoutedPath],
+        forbidden: Set[str],
+    ) -> Optional[RoutedPath]:
+        ctx = self.context
+        t = event.time
+        sources = ctx.endpoint_cells(event.source, event.source_is_port)
+        targets = ctx.endpoint_cells(event.target, event.target_is_port)
+        endpoint_ok = set(sources) | set(targets)
+
+        blocked: Set[Point] = set()
+        storage_cells: Dict[Point, str] = {}
+        for device in ctx.alive_at(t):
+            if device.operation in (event.source, event.target):
+                continue
+            kind = device.kind_at(t)
+            passable = (
+                kind is DeviceKind.STORAGE
+                and device.operation not in forbidden
+                and ctx.free_space(device.operation, t) > 0
+            )
+            for cell in device.rect.cells():
+                if passable:
+                    storage_cells[cell] = device.operation
+                else:
+                    blocked.add(cell)
+
+        congested: Set[Point] = set()
+        for other in concurrent:
+            congested.update(other.cells)
+
+        def cost_of(cell: Point) -> float:
+            if cell in blocked and cell not in endpoint_ok:
+                return math.inf
+            cost = BASE_COST
+            if cell in storage_cells:
+                cost += STORAGE_PASS_COST
+            if cell in congested:
+                cost += CROSS_PENALTY
+            return cost
+
+        cells = dijkstra_path(ctx.grid, sources, targets, cost_of)
+        if cells is None:
+            return None
+        return RoutedPath(event, cells)
+
+    def _overfull_storage(
+        self, event: TransportEvent, path: RoutedPath
+    ) -> Optional[str]:
+        """Name of a storage whose free space the path exceeds, if any.
+
+        Endpoint cells are exempt: a source/target ring cell that lies
+        inside an (legally) overlapping storage is the transport's own
+        device speaking, not a pass-through.
+        """
+        ctx = self.context
+        endpoint_cells = set(
+            ctx.endpoint_cells(event.source, event.source_is_port)
+        ) | set(ctx.endpoint_cells(event.target, event.target_is_port))
+        usage: Dict[str, int] = {}
+        for device in ctx.alive_at(event.time):
+            if device.operation in (event.source, event.target):
+                continue
+            if device.kind_at(event.time) is not DeviceKind.STORAGE:
+                continue
+            inside = sum(
+                1
+                for c in path.cells
+                if device.rect.contains(c) and c not in endpoint_cells
+            )
+            if inside:
+                usage[device.operation] = inside
+        for name, cells_used in sorted(usage.items()):
+            if cells_used > ctx.free_space(name, event.time):
+                return name
+        return None

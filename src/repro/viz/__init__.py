@@ -1,0 +1,30 @@
+"""Text-based visualization: chip snapshots, Gantt charts, heat maps.
+
+Everything renders to plain strings so results print in a terminal and
+diff cleanly in tests — the reproduction's equivalent of the paper's
+Figure 9 (scheduling Gantt) and Figure 10 (chip snapshots with
+actuation counters).
+"""
+
+from repro.viz.ascii_chip import render_snapshot, render_layout
+from repro.viz.gantt import render_gantt
+from repro.viz.heatmap import render_heatmap, actuation_summary
+from repro.viz.svg import render_svg, write_svg
+from repro.viz.timeline import (
+    render_role_changers,
+    render_valve_timeline,
+    valve_activity,
+)
+
+__all__ = [
+    "render_snapshot",
+    "render_layout",
+    "render_gantt",
+    "render_heatmap",
+    "actuation_summary",
+    "render_svg",
+    "write_svg",
+    "render_role_changers",
+    "render_valve_timeline",
+    "valve_activity",
+]

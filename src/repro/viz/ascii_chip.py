@@ -1,0 +1,74 @@
+"""ASCII chip snapshots in the style of Figure 10."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.result import SynthesisResult
+
+
+def render_matrix(matrix: np.ndarray, cell_width: Optional[int] = None) -> str:
+    """Align a numeric matrix into a fixed-width text grid.
+
+    Zeros print as ``.`` so the removed (never-actuated) virtual valves
+    — the "functionless walls" of Figure 10 — stand out.
+    """
+    if cell_width is None:
+        cell_width = max(2, int(matrix.max() and len(str(int(matrix.max())))))
+    rows: List[str] = []
+    for row in matrix:
+        rows.append(
+            " ".join(
+                ("." if value == 0 else str(int(value))).rjust(cell_width)
+                for value in row
+            )
+        )
+    return "\n".join(rows)
+
+
+def render_snapshot(result: "SynthesisResult", t: int, setting: int = 1) -> str:
+    """One Figure-10 panel: actuation counters at time ``t``.
+
+    Includes a header naming the devices alive at that time, mirroring
+    the O3/O6/S7 annotations of the figure.
+    """
+    alive = sorted(result.active_devices(t), key=lambda d: d.operation)
+    labels = []
+    for device in alive:
+        kind = device.kind_at(t)
+        prefix = "S" if kind is not None and kind.value == "storage" else "O"
+        labels.append(
+            f"{prefix}[{device.operation}]@{device.placement}"
+        )
+    header = f"t = {t}tu" + (": " + ", ".join(labels) if labels else "")
+    return header + "\n" + render_matrix(result.snapshot(t, setting))
+
+
+def render_layout(result: "SynthesisResult", t: int) -> str:
+    """Which operation's device occupies each cell at time ``t``.
+
+    Devices print as successive letters (the first alphabetically is
+    ``A``); overlapping storage/parent regions print the *newer* device.
+    Cells outside every device print ``.``.
+    """
+    spec = result.chip.spec
+    grid: Dict[tuple, str] = {}
+    alive = sorted(result.active_devices(t), key=lambda d: (d.start, d.operation))
+    for letter_index, device in enumerate(alive):
+        letter = chr(ord("A") + letter_index % 26)
+        for cell in device.rect.cells():
+            grid[(cell.x, cell.y)] = letter
+    lines: List[str] = []
+    for y in range(spec.height - 1, -1, -1):
+        lines.append(
+            " ".join(grid.get((x, y), ".") for x in range(spec.width))
+        )
+    legend = ", ".join(
+        f"{chr(ord('A') + i % 26)}={d.operation}" for i, d in enumerate(alive)
+    )
+    return (f"t = {t}tu  {legend}\n" if legend else f"t = {t}tu\n") + "\n".join(
+        lines
+    )

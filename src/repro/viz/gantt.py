@@ -1,0 +1,56 @@
+"""Text Gantt charts in the style of Figure 9."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.assay.schedule import Schedule
+
+#: Glyphs: operation execution, in-situ storage phase, idle.
+_RUN = "#"
+_STORE = "="
+_IDLE = "."
+
+
+def render_gantt(
+    schedule: Schedule,
+    names: Optional[List[str]] = None,
+    time_step: int = 1,
+) -> str:
+    """Render mixing operations (and their storage phases) over time.
+
+    ``#`` marks execution, ``=`` the in-situ storage phase preceding it
+    (the s5/s6/s7 bars of Figure 9), ``.`` idle time.  ``time_step``
+    coarsens the axis for long schedules.
+    """
+    mixes = schedule.scheduled_mixes()
+    if names is not None:
+        order = {n: i for i, n in enumerate(names)}
+        mixes = sorted(
+            (m for m in mixes if m.name in order), key=lambda m: order[m.name]
+        )
+    makespan = schedule.makespan
+    width = max(len(m.name) for m in mixes) if mixes else 4
+
+    lines: List[str] = []
+    ticks = "".join(
+        str((t // time_step) % 10) if t % (5 * time_step) == 0 else " "
+        for t in range(0, makespan + 1, time_step)
+    )
+    lines.append(" " * (width + 2) + f"0{'':{len(ticks) - 1}}  (x{time_step}tu)")
+    for so in mixes:
+        storage = schedule.storage_interval(so.name)
+        cells: List[str] = []
+        for t in range(0, makespan + 1, time_step):
+            if so.start <= t < so.end:
+                cells.append(_RUN)
+            elif storage and storage[0] <= t < storage[1]:
+                cells.append(_STORE)
+            else:
+                cells.append(_IDLE)
+        lines.append(f"{so.name:>{width}} |" + "".join(cells))
+    lines.append(
+        f"{'':>{width}}  legend: {_RUN}=mixing {_STORE}=in-situ storage "
+        f"{_IDLE}=idle, makespan={makespan}tu"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Actuation heat maps and wear summaries."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.architecture.valve_grid import VirtualValveGrid
+
+#: Wear buckets, lightest to heaviest.
+_GLYPHS = " .:-=+*#%@"
+
+
+def render_heatmap(grid: VirtualValveGrid) -> str:
+    """Relative wear of every valve as a character density map.
+
+    The heaviest-worn valve maps to ``@``; valves removed from the
+    design (never actuated) print as spaces.
+    """
+    matrix = grid.total_actuation_matrix()
+    peak = matrix.max()
+    lines: List[str] = []
+    for row in matrix:
+        glyphs = []
+        for value in row:
+            if value == 0:
+                glyphs.append(_GLYPHS[0])
+            else:
+                bucket = 1 + int((len(_GLYPHS) - 2) * value / peak)
+                glyphs.append(_GLYPHS[min(bucket, len(_GLYPHS) - 1)])
+        lines.append("".join(glyphs))
+    return "\n".join(lines)
+
+
+def actuation_summary(grid: VirtualValveGrid) -> str:
+    """A short wear report: extremes, balance, role changing."""
+    valves = grid.actuated_valves()
+    if not valves:
+        return "no actuated valves"
+    totals = sorted(v.total_actuations for v in valves)
+    mean = sum(totals) / len(totals)
+    role_changers = len(grid.role_changing_valves())
+    return (
+        f"valves used: {len(valves)}  "
+        f"max: {totals[-1]}  min: {totals[0]}  mean: {mean:.1f}  "
+        f"max peristaltic: {grid.max_peristaltic_actuations}  "
+        f"role-changing valves: {role_changers}"
+    )

@@ -1,0 +1,163 @@
+"""SVG rendering of synthesized chips (no external dependencies).
+
+Produces a standalone SVG document showing, for one time step or for
+the whole assay:
+
+* the virtual valve grid (kept valves colored by wear, removed valves
+  as faint outlines — the "functionless walls" of Figure 10);
+* the dynamic devices alive at the chosen time (storage vs mixer);
+* chip ports and, optionally, the routing paths.
+
+The output is plain text, so it tests deterministically and can be
+dropped into documentation or a browser.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.result import SynthesisResult
+
+#: Pixels per grid cell.
+CELL = 28
+#: Margin around the grid.
+MARGIN = 20
+
+_MIXER_FILL = "#d94b4b"
+_STORAGE_FILL = "#4b7bd9"
+_PORT_FILL = "#2f9e44"
+_ROUTE_STROKE = "#888888"
+
+
+def _wear_color(value: int, peak: int) -> str:
+    """White (0) to dark orange (peak) on a linear ramp."""
+    if peak <= 0 or value <= 0:
+        return "#ffffff"
+    ratio = min(value / peak, 1.0)
+    # Interpolate white -> #d9534f.
+    r = int(255 - ratio * (255 - 217))
+    g = int(255 - ratio * (255 - 83))
+    b = int(255 - ratio * (255 - 79))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _cell_xy(result: "SynthesisResult", x: int, y: int) -> tuple:
+    """SVG coordinates of a grid cell's top-left corner (y axis up)."""
+    height = result.chip.spec.height
+    return (
+        MARGIN + x * CELL,
+        MARGIN + (height - 1 - y) * CELL,
+    )
+
+
+def render_svg(
+    result: "SynthesisResult",
+    t: Optional[int] = None,
+    setting: int = 1,
+    show_routes: bool = True,
+) -> str:
+    """The chip as an SVG document.
+
+    ``t=None`` renders the end-of-assay wear picture; a concrete ``t``
+    renders the Figure-10-style snapshot with the devices alive then.
+    """
+    spec = result.chip.spec
+    width_px = 2 * MARGIN + spec.width * CELL
+    height_px = 2 * MARGIN + spec.height * CELL
+    snapshot = result.snapshot(
+        t if t is not None else result.schedule.makespan, setting
+    )
+    peak = int(snapshot.max())
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" '
+        f'height="{height_px}" viewBox="0 0 {width_px} {height_px}">',
+        f'<rect width="{width_px}" height="{height_px}" fill="#fcfcfc"/>',
+        f"<title>{result.graph.name} "
+        f"{'t=' + str(t) + 'tu' if t is not None else 'final wear'}</title>",
+    ]
+
+    # Valves, colored by cumulative wear.
+    for y in range(spec.height):
+        for x in range(spec.width):
+            value = int(snapshot[spec.height - 1 - y, x])
+            px, py = _cell_xy(result, x, y)
+            fill = _wear_color(value, peak)
+            stroke = "#cccccc" if value else "#eeeeee"
+            parts.append(
+                f'<rect x="{px + 2}" y="{py + 2}" width="{CELL - 4}" '
+                f'height="{CELL - 4}" rx="4" fill="{fill}" '
+                f'stroke="{stroke}"/>'
+            )
+            if value:
+                parts.append(
+                    f'<text x="{px + CELL / 2}" y="{py + CELL / 2 + 3}" '
+                    f'font-size="8" text-anchor="middle" '
+                    f'fill="#333333">{value}</text>'
+                )
+
+    # Devices alive at t (or none in the final-wear view).
+    if t is not None:
+        for device in sorted(
+            result.active_devices(t), key=lambda d: d.operation
+        ):
+            rect = device.rect
+            px, py = _cell_xy(result, rect.x, rect.top - 1)
+            w = rect.width * CELL
+            h = rect.height * CELL
+            kind = device.kind_at(t)
+            color = (
+                _STORAGE_FILL
+                if kind is not None and kind.value == "storage"
+                else _MIXER_FILL
+            )
+            parts.append(
+                f'<rect x="{px}" y="{py}" width="{w}" height="{h}" '
+                f'fill="none" stroke="{color}" stroke-width="3" rx="6"/>'
+            )
+            parts.append(
+                f'<text x="{px + 4}" y="{py + 12}" font-size="10" '
+                f'fill="{color}">{device.operation}</text>'
+            )
+
+    # Routing paths (all of them, or only those at t).
+    if show_routes:
+        for route in result.routes:
+            if t is not None and route.time != t:
+                continue
+            points = []
+            for cell in route.cells:
+                px, py = _cell_xy(result, cell.x, cell.y)
+                points.append(f"{px + CELL / 2},{py + CELL / 2}")
+            parts.append(
+                f'<polyline points="{" ".join(points)}" fill="none" '
+                f'stroke="{_ROUTE_STROKE}" stroke-width="2" '
+                f'stroke-dasharray="4 3" opacity="0.7"/>'
+            )
+
+    # Ports.
+    for port in result.chip.ports.values():
+        px, py = _cell_xy(result, port.position.x, port.position.y)
+        parts.append(
+            f'<circle cx="{px + CELL / 2}" cy="{py + CELL / 2}" r="6" '
+            f'fill="{_PORT_FILL}"/>'
+        )
+        parts.append(
+            f'<text x="{px + CELL / 2}" y="{py - 2}" font-size="9" '
+            f'text-anchor="middle" fill="{_PORT_FILL}">{port.name}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_svg(
+    result: "SynthesisResult",
+    path: str,
+    t: Optional[int] = None,
+    setting: int = 1,
+) -> None:
+    """Write :func:`render_svg` output to a file."""
+    with open(path, "w") as handle:
+        handle.write(render_svg(result, t=t, setting=setting))

@@ -1,0 +1,90 @@
+"""Per-valve role timelines: the role-changing concept made visible.
+
+Renders what one valve does over the assay — when it pumps, when it is
+a device wall, when transports flow through it — directly from a
+synthesis result.  The paper's whole idea is that these lines are
+*mixed*: the same physical valve pumps for one operation and guides
+transport for another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.result import SynthesisResult
+
+#: Timeline glyphs per activity.
+_GLYPHS = {
+    "pump": "P",
+    "wall": "W",
+    "path": "t",
+    "open": "o",
+    "idle": ".",
+}
+
+
+def valve_activity(
+    result: "SynthesisResult", position: Point
+) -> Dict[int, str]:
+    """Map time -> activity ('pump'/'wall'/'open'/'path') for one valve."""
+    activity: Dict[int, str] = {}
+
+    def put(t: int, kind: str) -> None:
+        # Priority: pump > wall > path > open.
+        order = ["open", "path", "wall", "pump"]
+        current = activity.get(t)
+        if current is None or order.index(kind) > order.index(current):
+            activity[t] = kind
+
+    for device in result.devices.values():
+        rect = device.rect
+        on_ring = position in device.placement.pump_cells()
+        interior = rect.contains(position) and not on_ring
+        on_wall = position in device.placement.wall_cells(result.chip.spec)
+        for t in range(device.start, device.end):
+            mixing = t >= device.mix_start
+            if on_ring:
+                put(t, "pump" if mixing else "open")
+            elif interior:
+                put(t, "open")
+            elif on_wall:
+                put(t, "wall")
+    for route in result.routes:
+        if position in route.cells:
+            put(route.time, "path")
+    return activity
+
+
+def render_valve_timeline(
+    result: "SynthesisResult", position: Point, end: Optional[int] = None
+) -> str:
+    """One valve's life as a glyph string (P=pump W=wall t=transport)."""
+    end = end if end is not None else result.schedule.makespan
+    activity = valve_activity(result, position)
+    line = "".join(
+        _GLYPHS[activity.get(t, "idle")] for t in range(end + 1)
+    )
+    return f"({position.x},{position.y}) |{line}|"
+
+
+def render_role_changers(
+    result: "SynthesisResult", limit: int = 10
+) -> str:
+    """Timelines of the busiest role-changing valves.
+
+    Shows, line by line, valves that served in at least two roles —
+    the population the paper's synthesis creates on purpose.
+    """
+    changers = result.grid_setting1.role_changing_valves()
+    changers.sort(key=lambda v: -v.total_actuations)
+    lines: List[str] = [
+        f"role-changing valves: {len(changers)} "
+        f"(showing {min(limit, len(changers))}); "
+        "P=pump W=wall t=transport o=open .=idle"
+    ]
+    for valve in changers[:limit]:
+        lines.append(render_valve_timeline(result, valve.position))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Unit tests for the channel-edge valve geometry (Figure 5 physics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+from repro.architecture.channel_edges import (
+    ChannelEdge,
+    edge_between,
+    path_edges,
+    ring_edges,
+)
+
+
+class TestEdgeBetween:
+    def test_canonical_horizontal(self):
+        e1 = edge_between(Point(1, 2), Point(2, 2))
+        e2 = edge_between(Point(2, 2), Point(1, 2))
+        assert e1 == e2 == ChannelEdge(1, 2, horizontal=True)
+
+    def test_canonical_vertical(self):
+        e = edge_between(Point(3, 3), Point(3, 4))
+        assert e == ChannelEdge(3, 3, horizontal=False)
+        assert e.cells == (Point(3, 3), Point(3, 4))
+
+    def test_non_adjacent_rejected(self):
+        with pytest.raises(GeometryError):
+            edge_between(Point(0, 0), Point(1, 1))
+        with pytest.raises(GeometryError):
+            edge_between(Point(0, 0), Point(0, 2))
+
+
+class TestRingEdges:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_edge_count_equals_cell_count(self, w, h):
+        r = Rect(0, 0, w, h)
+        edges = ring_edges(r)
+        assert len(edges) == len(r.perimeter_cells())
+        assert len(set(edges)) == len(edges)
+
+    def test_figure5_orientations_are_disjoint(self):
+        """The paper's Figure 5(d) claim, exactly."""
+        horizontal = Rect(0, 1, 4, 2)
+        vertical = Rect(1, 0, 2, 4)
+        assert horizontal.overlap_area(vertical) == 4  # they share area
+        shared = set(ring_edges(horizontal)) & set(ring_edges(vertical))
+        assert shared == set()  # "their pump valves are completely different"
+
+    def test_same_orientation_shares_edges(self):
+        a = Rect(0, 0, 2, 4)
+        b = Rect(0, 1, 2, 4)
+        assert set(ring_edges(a)) & set(ring_edges(b))
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(GeometryError):
+            ring_edges(Rect(0, 0, 1, 5))
+
+
+class TestPathEdges:
+    def test_path_edge_count(self):
+        cells = [Point(0, 0), Point(1, 0), Point(1, 1), Point(2, 1)]
+        edges = path_edges(cells)
+        assert len(edges) == 3
+        assert edges[0] == ChannelEdge(0, 0, True)
+        assert edges[1] == ChannelEdge(1, 0, False)
+
+    def test_single_cell_path_has_no_edges(self):
+        assert path_edges([Point(0, 0)]) == []

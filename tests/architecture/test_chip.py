@@ -1,0 +1,64 @@
+"""Unit tests for the chip (grid + ports)."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.geometry import GridSpec, Point
+from repro.architecture.chip import Chip
+from repro.architecture.port import ChipPort, PortKind
+
+
+class TestDefaultLayout:
+    def test_paper_port_count(self):
+        chip = Chip(GridSpec(9, 9))
+        # Section 4: two input ports, one output port.
+        assert len(chip.input_ports()) == 2
+        assert len(chip.output_ports()) == 1
+
+    def test_ports_on_boundary(self):
+        chip = Chip(GridSpec(9, 9))
+        for port in chip.ports.values():
+            p = port.position
+            assert p.x in (0, 8) or p.y in (0, 8)
+
+
+class TestCustomPorts:
+    def test_custom_layout(self):
+        ports = [
+            ChipPort("inA", Point(0, 0), PortKind.INPUT),
+            ChipPort("outA", Point(4, 4), PortKind.OUTPUT),
+        ]
+        chip = Chip(GridSpec(5, 5), ports)
+        assert chip.port("inA").is_input
+        assert not chip.port("outA").is_input
+
+    def test_duplicate_name_rejected(self):
+        ports = [
+            ChipPort("p", Point(0, 0), PortKind.INPUT),
+            ChipPort("p", Point(0, 4), PortKind.OUTPUT),
+        ]
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            Chip(GridSpec(5, 5), ports)
+
+    def test_interior_port_rejected(self):
+        with pytest.raises(ArchitectureError, match="boundary"):
+            Chip(
+                GridSpec(5, 5),
+                [ChipPort("p", Point(2, 2), PortKind.INPUT)],
+            )
+
+    def test_off_grid_port_rejected(self):
+        with pytest.raises(ArchitectureError, match="off grid"):
+            Chip(
+                GridSpec(5, 5),
+                [ChipPort("p", Point(9, 0), PortKind.INPUT)],
+            )
+
+    def test_unknown_port_lookup(self):
+        chip = Chip(GridSpec(5, 5))
+        with pytest.raises(ArchitectureError, match="unknown port"):
+            chip.port("zzz")
+
+    def test_no_ports_allowed_explicitly(self):
+        chip = Chip(GridSpec(5, 5), ports=[])
+        assert chip.ports == {}

@@ -1,0 +1,44 @@
+"""Tests for control-pin sharing."""
+
+import pytest
+
+from repro.architecture.control_pins import (
+    PERISTALTIC_PHASES,
+    assign_control_pins,
+)
+
+
+class TestControlPins:
+    @pytest.fixture(scope="class")
+    def report(self, pcr_result):
+        return assign_control_pins(pcr_result)
+
+    def test_every_kept_valve_gets_a_pin(self, pcr_result, report):
+        assert report.valve_count == pcr_result.metrics.used_valves
+        assert set(report.pin_of.values()) == set(report.signatures)
+
+    def test_sharing_reduces_pins(self, report):
+        assert report.pin_count < report.valve_count
+        assert report.sharing_factor > 1.0
+
+    def test_same_signature_same_pin(self, report):
+        by_pin = {}
+        for cell, pin in report.pin_of.items():
+            by_pin.setdefault(pin, []).append(cell)
+        for pin, cells in by_pin.items():
+            assert len(set(report.signatures[pin] for _ in cells)) == 1
+
+    def test_pump_phases_not_merged_within_one_mixer(self, pcr_result, report):
+        """Ring valves of one device spread over >= 3 phase groups."""
+        device = pcr_result.device_of("o1")
+        ring = device.placement.pump_cells()
+        pins = {report.pin_of[cell] for cell in ring if cell in report.pin_of}
+        assert len(pins) >= PERISTALTIC_PHASES
+
+    def test_group_sizes_sum_to_valves(self, report):
+        assert sum(report.pins_by_size()) == report.valve_count
+
+    def test_deterministic(self, pcr_result):
+        a = assign_control_pins(pcr_result)
+        b = assign_control_pins(pcr_result)
+        assert a.pin_of == b.pin_of

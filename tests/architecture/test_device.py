@@ -1,0 +1,70 @@
+"""Unit tests for placements and dynamic devices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import GridSpec, Point, Rect
+from repro.architecture.device import DeviceKind, DynamicDevice, Placement
+from repro.architecture.device_types import DEVICE_TYPES, device_type
+
+
+def make_device(**overrides):
+    defaults = dict(
+        operation="op",
+        placement=Placement(device_type(3, 3), Point(2, 2)),
+        start=4,
+        end=12,
+        mix_start=8,
+    )
+    defaults.update(overrides)
+    return DynamicDevice(**defaults)
+
+
+class TestPlacement:
+    def test_rect_and_pump_cells(self):
+        p = Placement(device_type(2, 4), Point(1, 0))
+        assert p.rect == Rect(1, 0, 2, 4)
+        assert len(p.pump_cells()) == 8
+        assert set(p.port_cells()) == set(p.pump_cells())
+
+    def test_wall_cells_clipped_at_chip_edge(self):
+        grid = GridSpec(6, 6)
+        inner = Placement(device_type(2, 2), Point(2, 2))
+        corner = Placement(device_type(2, 2), Point(0, 0))
+        assert len(inner.wall_cells(grid)) == 12
+        assert len(corner.wall_cells(grid)) == 5  # edges are free walls
+
+    @given(st.sampled_from(DEVICE_TYPES))
+    def test_pump_count_equals_volume(self, dtype):
+        p = Placement(dtype, Point(0, 0))
+        assert len(p.pump_cells()) == dtype.volume
+
+
+class TestDynamicDevice:
+    def test_lifecycle_kinds(self):
+        d = make_device()
+        assert d.kind_at(3) is None  # not yet formed
+        assert d.kind_at(4) is DeviceKind.STORAGE
+        assert d.kind_at(7) is DeviceKind.STORAGE
+        assert d.kind_at(8) is DeviceKind.MIXER
+        assert d.kind_at(11) is DeviceKind.MIXER
+        assert d.kind_at(12) is None  # dissolved
+
+    def test_alive_window_is_half_open(self):
+        d = make_device()
+        assert not d.alive_at(3)
+        assert d.alive_at(4)
+        assert d.alive_at(11)
+        assert not d.alive_at(12)
+
+    def test_temporal_overlap(self):
+        a = make_device()
+        b = make_device(operation="b", start=12, end=20, mix_start=12)
+        c = make_device(operation="c", start=11, end=20, mix_start=11)
+        assert not a.overlaps_in_time(b)  # touching intervals are disjoint
+        assert a.overlaps_in_time(c)
+        assert c.overlaps_in_time(a)
+
+    def test_volume_delegates_to_type(self):
+        assert make_device().volume == 8

@@ -1,0 +1,55 @@
+"""Unit tests for the device type registry."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.architecture.device_types import (
+    DEVICE_TYPES,
+    DeviceType,
+    device_type,
+    min_device_dimension,
+    types_for_volume,
+)
+
+
+class TestRegistry:
+    def test_registry_indices_are_positions(self):
+        for k, dtype in enumerate(DEVICE_TYPES):
+            assert dtype.index == k
+
+    def test_volume_formula_matches_paper(self):
+        # Figure 6a: the 3x3 mixer has 8-units volume; Section 4: the
+        # 2x4 mixer uses 8 pump valves.
+        assert device_type(3, 3).volume == 8
+        assert device_type(2, 4).volume == 8
+
+    def test_all_four_size_classes_covered(self):
+        assert {t.volume for t in DEVICE_TYPES} == {4, 6, 8, 10}
+
+    def test_types_for_volume(self):
+        assert {t.name for t in types_for_volume(8)} == {"2x4", "4x2", "3x3"}
+        assert {t.name for t in types_for_volume(4)} == {"2x2"}
+        assert {t.name for t in types_for_volume(10)} == {
+            "2x5", "5x2", "3x4", "4x3"
+        }
+
+    def test_unknown_volume(self):
+        with pytest.raises(ArchitectureError):
+            types_for_volume(7)
+
+    def test_unknown_dims(self):
+        with pytest.raises(ArchitectureError):
+            device_type(6, 6)
+
+    def test_orientations_both_registered(self):
+        t = device_type(2, 5)
+        assert t.rotated() is device_type(5, 2)
+        assert t.rotated().volume == t.volume
+
+    def test_min_device_dimension_is_2(self):
+        # The routing-convenient constant d of Section 3.4.
+        assert min_device_dimension() == 2
+
+    def test_degenerate_type_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DeviceType(99, 1, 5)

@@ -1,0 +1,43 @@
+"""Unit tests for valves and role tracking."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.geometry import Point
+from repro.architecture.valve import Valve, ValveRole
+
+
+class TestValve:
+    def test_initial_state(self):
+        v = Valve(Point(1, 2))
+        assert v.total_actuations == 0
+        assert not v.is_actuated
+        assert v.roles_played == set()
+
+    def test_actuation_counters_by_role(self):
+        v = Valve(Point(0, 0))
+        v.actuate(ValveRole.PUMP, 40)
+        v.actuate(ValveRole.CONTROL, 3)
+        v.actuate(ValveRole.WALL)
+        assert v.peristaltic_actuations == 40
+        assert v.transport_actuations == 4
+        assert v.total_actuations == 44
+        assert v.count(ValveRole.WALL) == 1
+
+    def test_role_changing_detection(self):
+        v = Valve(Point(0, 0))
+        v.actuate(ValveRole.PUMP, 40)
+        assert v.roles_played == {ValveRole.PUMP}
+        v.actuate(ValveRole.CONTROL, 1)
+        assert v.roles_played == {ValveRole.PUMP, ValveRole.CONTROL}
+
+    def test_negative_actuation_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Valve(Point(0, 0)).actuate(ValveRole.PUMP, -1)
+
+    def test_reset(self):
+        v = Valve(Point(0, 0))
+        v.actuate(ValveRole.PUMP, 40)
+        v.reset()
+        assert v.total_actuations == 0
+        assert not v.is_actuated

@@ -1,0 +1,85 @@
+"""Unit tests for the virtual valve grid bookkeeping."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.geometry import GridSpec, Point, Rect
+from repro.architecture.valve import ValveRole
+from repro.architecture.valve_grid import VirtualValveGrid
+
+
+@pytest.fixture
+def grid():
+    return VirtualValveGrid(GridSpec(5, 4))
+
+
+class TestAccess:
+    def test_lazy_creation_same_object(self, grid):
+        v1 = grid.valve(Point(1, 1))
+        v2 = grid.valve(Point(1, 1))
+        assert v1 is v2
+
+    def test_off_grid_rejected(self, grid):
+        with pytest.raises(ArchitectureError):
+            grid.valve(Point(5, 0))
+
+    def test_valves_sorted_deterministically(self, grid):
+        grid.valve(Point(3, 2))
+        grid.valve(Point(0, 0))
+        positions = [v.position for v in grid.valves()]
+        assert positions == sorted(positions)
+
+
+class TestMetrics:
+    def test_used_valve_count_ignores_untouched(self, grid):
+        grid.valve(Point(0, 0))  # touched but never actuated
+        grid.actuate([Point(1, 1), Point(2, 2)], ValveRole.PUMP, 40)
+        assert grid.used_valve_count == 2
+
+    def test_max_metrics(self, grid):
+        grid.actuate([Point(0, 0)], ValveRole.PUMP, 40)
+        grid.actuate([Point(0, 0)], ValveRole.CONTROL, 5)
+        grid.actuate([Point(1, 0)], ValveRole.CONTROL, 50)
+        assert grid.max_total_actuations == 50
+        assert grid.max_peristaltic_actuations == 40
+
+    def test_role_changing_valves(self, grid):
+        grid.actuate([Point(0, 0)], ValveRole.PUMP, 40)
+        grid.actuate([Point(0, 0)], ValveRole.CONTROL, 1)
+        grid.actuate([Point(1, 0)], ValveRole.PUMP, 40)
+        changers = grid.role_changing_valves()
+        assert [v.position for v in changers] == [Point(0, 0)]
+
+    def test_histogram(self, grid):
+        grid.actuate([Point(0, 0), Point(1, 0)], ValveRole.PUMP, 40)
+        grid.actuate([Point(2, 0)], ValveRole.CONTROL, 1)
+        assert grid.actuation_histogram() == {40: 2, 1: 1}
+
+    def test_reset(self, grid):
+        grid.actuate([Point(0, 0)], ValveRole.PUMP, 40)
+        grid.reset()
+        assert grid.used_valve_count == 0
+
+
+class TestMatrices:
+    def test_matrix_orientation_top_row_first(self):
+        grid = VirtualValveGrid(GridSpec(3, 2))
+        grid.actuate([Point(0, 1)], ValveRole.PUMP, 7)  # top-left valve
+        matrix = grid.total_actuation_matrix()
+        assert matrix.shape == (2, 3)
+        assert matrix[0, 0] == 7  # printed like Figure 10
+        assert matrix[1, 0] == 0
+
+    def test_peristaltic_matrix_excludes_control(self):
+        grid = VirtualValveGrid(GridSpec(2, 2))
+        grid.actuate([Point(0, 0)], ValveRole.CONTROL, 9)
+        assert grid.peristaltic_matrix().sum() == 0
+        assert grid.total_actuation_matrix().sum() == 9
+
+    def test_ring_actuation_roundtrip(self):
+        grid = VirtualValveGrid(GridSpec(5, 5))
+        ring = Rect(1, 1, 3, 3).perimeter_cells()
+        grid.actuate(ring, ValveRole.PUMP, 40)
+        matrix = grid.peristaltic_matrix()
+        assert (matrix == 40).sum() == 8
+        assert matrix[2, 2] == 0  # the interior valve did not pump

@@ -1,0 +1,82 @@
+"""Tests for the ALAP schedule adjustment."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assay.alap import alap_adjust, storage_time_saved
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assays.pcr import pcr_fig9_schedule, pcr_graph
+
+from tests.assay.test_scheduler_properties import layered_assay
+
+
+class TestAlapOnPcr:
+    def test_makespan_preserved(self, pcr, fig9_schedule):
+        adjusted = alap_adjust(fig9_schedule)
+        assert adjusted.makespan == fig9_schedule.makespan == 29
+
+    def test_early_ops_pushed_late(self, pcr, fig9_schedule):
+        adjusted = alap_adjust(fig9_schedule)
+        # o6 slides from [6,9) right up against o7 (start 25, 3 tu
+        # transport): [19,22).  o3/o4 follow: end 16 = o6 start - delay.
+        assert adjusted.start("o6") == 19
+        assert adjusted.start("o3") == 13
+        assert adjusted.start("o4") == 13
+        # o1 is on the critical path: it cannot move.
+        assert adjusted.start("o1") == 0
+
+    def test_total_storage_time_reduced(self, pcr, fig9_schedule):
+        adjusted = alap_adjust(fig9_schedule)
+        # 16 storage time-units disappear on PCR (the instantaneous
+        # *peak* demand may still shift around, only the total is
+        # guaranteed to shrink).
+        assert storage_time_saved(fig9_schedule, adjusted) == 16
+
+    def test_still_valid(self, fig9_schedule):
+        alap_adjust(fig9_schedule).validate()
+
+    def test_idempotent(self, fig9_schedule):
+        once = alap_adjust(fig9_schedule)
+        twice = alap_adjust(once)
+        assert {n: e.start for n, e in once.entries.items()} == {
+            n: e.start for n, e in twice.entries.items()
+        }
+
+
+class TestAlapWithBindings:
+    def test_bound_devices_stay_exclusive(self):
+        graph = pcr_graph()
+        schedule = ListScheduler(
+            SchedulerConfig(mixers={4: 1, 8: 2, 10: 1})
+        ).schedule(graph)
+        adjusted = alap_adjust(schedule)
+        adjusted.validate()
+        by_device = {}
+        for so in adjusted.scheduled_mixes():
+            by_device.setdefault(so.device, []).append(so.interval)
+        for intervals in by_device.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+
+class TestAlapProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(layered_assay())
+    def test_never_earlier_never_longer(self, graph):
+        schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+        adjusted = alap_adjust(schedule)
+        adjusted.validate()
+        assert adjusted.makespan == schedule.makespan
+        for name, entry in schedule.entries.items():
+            assert adjusted.start(name) >= entry.start
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(layered_assay())
+    def test_storage_never_grows(self, graph):
+        schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+        adjusted = alap_adjust(schedule)
+        assert storage_time_saved(schedule, adjusted) >= 0

@@ -1,0 +1,112 @@
+"""Unit tests for concentration propagation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AssayError
+from repro.assay.concentration import dilution_factor, propagate_concentrations
+from repro.assay.operation import MixRatio
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.assays.exponential_dilution import exponential_dilution_graph
+from repro.assays.interpolating_dilution import interpolating_dilution_graph
+
+
+def serial_chain(steps, ratio=(1, 1)):
+    graph = SequencingGraph("chain")
+    graph.add_input("sample")
+    previous = "sample"
+    for i in range(steps):
+        graph.add_input(f"buf{i}")
+        graph.add_mix(
+            f"m{i}", (previous, f"buf{i}"), duration=4, volume=8,
+            ratio=MixRatio(ratio),
+        )
+        previous = f"m{i}"
+    return graph
+
+
+class TestPropagation:
+    def test_serial_halving(self):
+        graph = serial_chain(3)
+        inputs = {"sample": 1, "buf0": 0, "buf1": 0, "buf2": 0}
+        c = propagate_concentrations(graph, inputs)
+        assert c["m0"] == Fraction(1, 2)
+        assert c["m1"] == Fraction(1, 4)
+        assert c["m2"] == Fraction(1, 8)
+
+    def test_ratio_weighting(self):
+        graph = serial_chain(1, ratio=(1, 3))
+        c = propagate_concentrations(
+            graph, {"sample": 1, "buf0": 0}
+        )
+        assert c["m0"] == Fraction(1, 4)  # 1 part sample in 4
+
+    def test_interpolation_between_inputs(self):
+        graph = SequencingGraph("interp")
+        graph.add_input("lo")
+        graph.add_input("hi")
+        graph.add_mix("mid", ("lo", "hi"), duration=4, volume=8)
+        c = propagate_concentrations(graph, {"lo": Fraction(1, 4), "hi": 1})
+        assert c["mid"] == Fraction(5, 8)
+
+    def test_detect_passes_through(self):
+        graph = serial_chain(1)
+        graph.add_detect("d", "m0", duration=2)
+        c = propagate_concentrations(graph, {"sample": 1, "buf0": 0})
+        assert c["d"] == c["m0"]
+
+    def test_missing_input_rejected(self):
+        graph = serial_chain(1)
+        with pytest.raises(AssayError, match="no input concentration"):
+            propagate_concentrations(graph, {"sample": 1})
+
+    def test_dilution_factor(self):
+        graph = serial_chain(3)
+        inputs = {"sample": 1, "buf0": 0, "buf1": 0, "buf2": 0}
+        assert dilution_factor(graph, inputs, "m2", "sample") == 8
+
+    def test_zero_concentration_factor_rejected(self):
+        graph = serial_chain(1)
+        inputs = {"sample": 0, "buf0": 0}
+        with pytest.raises(AssayError, match="unbounded"):
+            dilution_factor(graph, inputs, "m0", "sample")
+
+
+class TestBenchmarkSemantics:
+    def test_exponential_dilution_really_is_exponential(self):
+        """Each chain's tail is an exponentially diluted sample."""
+        graph = exponential_dilution_graph()
+        inputs = {
+            op.name: (1 if op.name.startswith("sample") else 0)
+            for op in graph.operations()
+            if op.is_input
+        }
+        c = propagate_concentrations(graph, inputs)
+        # Chain 0: 12 steps, 1:1 mostly but every 6th step uses a
+        # stronger ratio, so the dilution factor is at least 2^12.
+        factor = dilution_factor(graph, inputs, "e0_11", "sample0")
+        assert factor >= 2 ** 12
+        # Monotone along the chain.
+        previous = Fraction(1)
+        for j in range(12):
+            assert c[f"e0_{j}"] < previous
+            previous = c[f"e0_{j}"]
+
+    def test_interpolating_dilution_interpolates(self):
+        """Stage-2 products lie between their stage-1 parents."""
+        graph = interpolating_dilution_graph()
+        inputs = {}
+        for op in graph.operations():
+            if not op.is_input:
+                continue
+            if op.name.startswith("sample"):
+                # A gradient of source concentrations.
+                inputs[op.name] = Fraction(int(op.name[6:]) + 1, 12)
+            else:
+                inputs[op.name] = 0
+        c = propagate_concentrations(graph, inputs)
+        for i in range(9):
+            lo = min(c[f"d1_{i}"], c[f"d1_{i + 1}"])
+            hi = max(c[f"d1_{i}"], c[f"d1_{i + 1}"])
+            assert lo <= c[f"d2_{i}"] <= hi

@@ -1,0 +1,79 @@
+"""Unit tests for operations and mix ratios."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssayError
+from repro.assay.operation import MIXER_SIZES, MixRatio, Operation, OperationKind
+
+
+class TestMixRatio:
+    def test_normalization_by_gcd(self):
+        assert MixRatio((2, 6)).parts == (1, 3)
+        assert MixRatio((5, 5)).parts == (1, 1)
+
+    def test_total(self):
+        assert MixRatio((1, 3)).total == 4
+
+    def test_volume_split(self):
+        assert MixRatio((1, 3)).volumes(8) == (2, 6)
+        assert MixRatio((1, 1)).volumes(10) == (5, 5)
+
+    def test_indivisible_volume_rejected(self):
+        with pytest.raises(AssayError):
+            MixRatio((1, 2)).volumes(10)  # 10 % 3 != 0
+
+    def test_more_than_two_parts(self):
+        assert MixRatio((1, 1, 2)).volumes(8) == (2, 2, 4)
+
+    @pytest.mark.parametrize("parts", [(0, 1), (-1, 2), (1,)])
+    def test_invalid_parts(self, parts):
+        with pytest.raises(AssayError):
+            MixRatio(parts)
+
+    def test_str(self):
+        assert str(MixRatio((2, 6))) == "1:3"
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=4)
+    )
+    def test_normalized_parts_are_coprime(self, parts):
+        import math
+
+        normalized = MixRatio(tuple(parts)).parts
+        g = 0
+        for p in normalized:
+            g = math.gcd(g, p)
+        assert g == 1
+
+
+class TestOperation:
+    def test_mix_gets_default_ratio(self):
+        op = Operation("m", OperationKind.MIX, duration=4, volume=8)
+        assert op.ratio == MixRatio((1, 1))
+        assert op.is_mix and not op.is_input
+
+    def test_mix_volume_must_be_a_size_class(self):
+        with pytest.raises(AssayError):
+            Operation("m", OperationKind.MIX, duration=4, volume=7)
+        for size in MIXER_SIZES:
+            Operation("m", OperationKind.MIX, duration=4, volume=size)
+
+    def test_mix_needs_positive_duration(self):
+        with pytest.raises(AssayError):
+            Operation("m", OperationKind.MIX, duration=0, volume=8)
+
+    def test_non_mix_cannot_carry_ratio(self):
+        with pytest.raises(AssayError):
+            Operation(
+                "i", OperationKind.INPUT, ratio=MixRatio((1, 1))
+            )
+
+    def test_nameless_rejected(self):
+        with pytest.raises(AssayError):
+            Operation("", OperationKind.INPUT)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(AssayError):
+            Operation("d", OperationKind.DETECT, duration=-1)

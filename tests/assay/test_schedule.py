@@ -1,0 +1,110 @@
+"""Unit tests for schedules, storage intervals and device lifetimes."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+
+
+@pytest.fixture
+def diamond():
+    """Two parallel mixes feeding a third (oa, ob -> oc of Figure 7)."""
+    g = SequencingGraph("diamond")
+    for i in range(4):
+        g.add_input(f"i{i}")
+    g.add_mix("oa", ("i0", "i1"), duration=4, volume=8)
+    g.add_mix("ob", ("i2", "i3"), duration=9, volume=8)
+    g.add_mix("oc", ("oa", "ob"), duration=5, volume=8)
+    s = Schedule(g, transport_delay=3)
+    for i in range(4):
+        s.add(f"i{i}", 0)
+    s.add("oa", 0)
+    s.add("ob", 0)
+    s.add("oc", 12)
+    return g, s
+
+
+class TestBasics:
+    def test_entry_access(self, diamond):
+        _, s = diamond
+        assert s.start("oa") == 0
+        assert s.end("ob") == 9
+        assert s["oc"].interval == (12, 17)
+        assert s.makespan == 17
+
+    def test_double_schedule_rejected(self, diamond):
+        _, s = diamond
+        with pytest.raises(SchedulingError):
+            s.add("oa", 5)
+
+    def test_negative_start_rejected(self, diamond):
+        g, _ = diamond
+        s2 = Schedule(g)
+        with pytest.raises(SchedulingError):
+            s2.add("oa", -1)
+
+    def test_unknown_lookup(self, diamond):
+        _, s = diamond
+        with pytest.raises(SchedulingError):
+            s.start("zz")
+
+    def test_scheduled_mixes_sorted(self, diamond):
+        _, s = diamond
+        assert [m.name for m in s.scheduled_mixes()] == ["oa", "ob", "oc"]
+
+
+class TestValidation:
+    def test_valid(self, diamond):
+        _, s = diamond
+        s.validate()
+
+    def test_missing_operation(self, diamond):
+        g, _ = diamond
+        s = Schedule(g, transport_delay=3)
+        s.add("oa", 0)
+        with pytest.raises(SchedulingError, match="not scheduled"):
+            s.validate()
+
+    def test_transport_delay_enforced(self, diamond):
+        g, _ = diamond
+        s = Schedule(g, transport_delay=3)
+        for i in range(4):
+            s.add(f"i{i}", 0)
+        s.add("oa", 0)
+        s.add("ob", 0)
+        s.add("oc", 10)  # ob ends at 9, needs >= 12
+        with pytest.raises(SchedulingError, match="transport"):
+            s.validate()
+
+
+class TestStorageAnalysis:
+    def test_storage_interval_from_first_parent(self, diamond):
+        _, s = diamond
+        # oa finishes at 4; its product waits until oc starts at 12.
+        assert s.storage_interval("oc") == (4, 12)
+
+    def test_no_storage_when_inputs_only(self, diamond):
+        _, s = diamond
+        assert s.storage_interval("oa") is None
+
+    def test_device_interval_includes_storage(self, diamond):
+        _, s = diamond
+        assert s.device_interval("oc") == (4, 17)
+        assert s.device_interval("oa") == (0, 4)
+
+    def test_stored_products_over_time(self, diamond):
+        _, s = diamond
+        assert s.stored_products(4) == ["oa"]
+        assert sorted(s.stored_products(9)) == ["oa", "ob"]
+        assert s.stored_products(12) == []
+
+    def test_peak_storage_demand(self, diamond):
+        _, s = diamond
+        assert s.peak_storage_demand() == 2
+
+    def test_fig9_storage_intervals(self, fig9_schedule):
+        # The paper: s6 appears at t=3, s5 at t=12, s7 at t=9.
+        assert fig9_schedule.storage_interval("o6") == (3, 6)
+        assert fig9_schedule.storage_interval("o5") == (12, 18)
+        assert fig9_schedule.storage_interval("o7") == (9, 25)

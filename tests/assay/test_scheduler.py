@@ -1,0 +1,102 @@
+"""Unit tests for the resource-constrained list scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.assays.pcr import FIG9_STARTS, pcr_graph
+
+
+def chain_graph(n=3, volume=8):
+    g = SequencingGraph("chain")
+    g.add_input("seed")
+    prev = "seed"
+    for i in range(n):
+        g.add_input(f"buf{i}")
+        g.add_mix(f"m{i}", (prev, f"buf{i}"), duration=4, volume=volume)
+        prev = f"m{i}"
+    return g
+
+
+class TestUnlimitedResources:
+    def test_pcr_reproduces_figure9(self):
+        """With no resource conflicts the ALAP-free schedule is Fig. 9."""
+        schedule = ListScheduler(SchedulerConfig()).schedule(pcr_graph())
+        for name, start in FIG9_STARTS.items():
+            assert schedule.start(name) == start
+        assert schedule.makespan == 29
+
+    def test_chain_respects_transport_delay(self):
+        schedule = ListScheduler(
+            SchedulerConfig(transport_delay=3)
+        ).schedule(chain_graph(3))
+        assert schedule.start("m0") == 0
+        assert schedule.start("m1") == 7  # 4 + 3
+        assert schedule.start("m2") == 14
+
+
+class TestResourceConstraints:
+    def test_single_mixer_serializes(self):
+        g = SequencingGraph("par")
+        for i in range(4):
+            g.add_input(f"i{i}")
+        g.add_mix("a", ("i0", "i1"), duration=5, volume=8)
+        g.add_mix("b", ("i2", "i3"), duration=5, volume=8)
+        schedule = ListScheduler(
+            SchedulerConfig(mixers={8: 1})
+        ).schedule(g)
+        intervals = sorted([schedule["a"].interval, schedule["b"].interval])
+        assert intervals[0][1] <= intervals[1][0]  # no overlap
+
+    def test_two_mixers_run_parallel(self):
+        g = SequencingGraph("par")
+        for i in range(4):
+            g.add_input(f"i{i}")
+        g.add_mix("a", ("i0", "i1"), duration=5, volume=8)
+        g.add_mix("b", ("i2", "i3"), duration=5, volume=8)
+        schedule = ListScheduler(
+            SchedulerConfig(mixers={8: 2})
+        ).schedule(g)
+        assert schedule.start("a") == 0 and schedule.start("b") == 0
+
+    def test_missing_mixer_size_raises(self):
+        with pytest.raises(SchedulingError, match="no mixer of size"):
+            ListScheduler(SchedulerConfig(mixers={4: 1})).schedule(
+                chain_graph(2, volume=8)
+            )
+
+    def test_bindings_recorded(self):
+        schedule = ListScheduler(
+            SchedulerConfig(mixers={8: 2})
+        ).schedule(chain_graph(2))
+        devices = {schedule[f"m{i}"].device for i in range(2)}
+        assert all(d and d.startswith("mixer8.") for d in devices)
+
+    def test_detector_resource(self):
+        g = chain_graph(1)
+        g.add_detect("d0", "m0", duration=2)
+        g.add_detect("d1", "m0", duration=2)
+        schedule = ListScheduler(
+            SchedulerConfig(mixers={8: 1}, detectors=1)
+        ).schedule(g)
+        a, b = schedule["d0"].interval, schedule["d1"].interval
+        assert a[1] <= b[0] or b[1] <= a[0]  # serialized on one detector
+
+    def test_schedule_always_validates(self):
+        for mixers in ({8: 1}, {8: 2}, {8: 3}):
+            schedule = ListScheduler(
+                SchedulerConfig(mixers=mixers)
+            ).schedule(chain_graph(4))
+            schedule.validate()  # precedence + transport respected
+
+
+class TestDeterminism:
+    def test_same_input_same_schedule(self):
+        g = pcr_graph()
+        cfg = SchedulerConfig(mixers={4: 1, 8: 2, 10: 1})
+        s1 = ListScheduler(cfg).schedule(g)
+        s2 = ListScheduler(cfg).schedule(pcr_graph())
+        assert {n: so.start for n, so in s1.entries.items()} == {
+            n: so.start for n, so in s2.entries.items()
+        }

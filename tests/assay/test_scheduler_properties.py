@@ -1,0 +1,110 @@
+"""Property-based tests for the list scheduler.
+
+Random assays under random mixer banks: the produced schedule must
+respect precedence + transport delay, never double-book a device, and
+shrink (or hold) its makespan when resources grow.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assay.operation import MIXER_SIZES
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.sequencing_graph import SequencingGraph
+
+
+@st.composite
+def layered_assay(draw):
+    """2-3 layers of mixes; layer k feeds layer k+1."""
+    graph = SequencingGraph("layered")
+    n_layers = draw(st.integers(min_value=1, max_value=3))
+    width = draw(st.integers(min_value=1, max_value=4))
+    previous: list = []
+    counter = 0
+    for layer in range(n_layers):
+        current = []
+        for i in range(width):
+            parents = []
+            if previous and draw(st.booleans()):
+                parents.append(
+                    previous[draw(st.integers(0, len(previous) - 1))]
+                )
+            while len(parents) < 2:
+                name = f"in{counter}"
+                counter += 1
+                graph.add_input(name)
+                parents.append(name)
+            volume = draw(st.sampled_from(MIXER_SIZES))
+            op = f"m{layer}_{i}"
+            graph.add_mix(
+                op, parents,
+                duration=draw(st.integers(min_value=1, max_value=9)),
+                volume=volume,
+            )
+            current.append(op)
+        previous = current
+    graph.validate()
+    return graph
+
+
+banks = st.sampled_from([
+    None,
+    {size: 1 for size in MIXER_SIZES},
+    {size: 2 for size in MIXER_SIZES},
+])
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(layered_assay(), banks, st.integers(min_value=0, max_value=5))
+def test_schedule_is_always_valid(graph, bank, delay):
+    schedule = ListScheduler(
+        SchedulerConfig(mixers=bank, transport_delay=delay)
+    ).schedule(graph)
+    schedule.validate()  # precedence + transport delay
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(layered_assay())
+def test_devices_never_double_booked(graph):
+    bank = {size: 1 for size in MIXER_SIZES}
+    schedule = ListScheduler(SchedulerConfig(mixers=bank)).schedule(graph)
+    by_device: dict = {}
+    for so in schedule.scheduled_mixes():
+        by_device.setdefault(so.device, []).append(so.interval)
+    for intervals in by_device.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(layered_assay())
+def test_more_resources_never_hurt(graph):
+    small = ListScheduler(
+        SchedulerConfig(mixers={size: 1 for size in MIXER_SIZES})
+    ).schedule(graph)
+    large = ListScheduler(
+        SchedulerConfig(mixers={size: 3 for size in MIXER_SIZES})
+    ).schedule(graph)
+    unlimited = ListScheduler(SchedulerConfig()).schedule(graph)
+    assert unlimited.makespan <= large.makespan <= small.makespan
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(layered_assay(), st.integers(min_value=0, max_value=4))
+def test_storage_intervals_precede_start(graph, delay):
+    schedule = ListScheduler(
+        SchedulerConfig(transport_delay=delay)
+    ).schedule(graph)
+    for so in schedule.scheduled_mixes():
+        interval = schedule.storage_interval(so.name)
+        if interval is not None:
+            begin, end = interval
+            assert begin < end <= so.start + so.operation.duration
+            assert end == so.start

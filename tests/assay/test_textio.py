@@ -1,0 +1,84 @@
+"""Round-trip tests for the text serialization."""
+
+import pytest
+
+from repro.errors import AssayError, SchedulingError
+from repro.assay import (
+    ListScheduler,
+    SchedulerConfig,
+    graph_from_text,
+    graph_to_text,
+    schedule_from_text,
+    schedule_to_text,
+)
+from repro.assays.pcr import pcr_fig9_schedule, pcr_graph
+
+
+class TestGraphRoundTrip:
+    def test_pcr_round_trip(self):
+        g = pcr_graph()
+        g2 = graph_from_text(graph_to_text(g))
+        assert g2.name == g.name
+        assert len(g2) == len(g)
+        for op in g.operations():
+            other = g2.operation(op.name)
+            assert other.kind == op.kind
+            assert other.duration == op.duration
+            assert other.volume == op.volume
+            assert [p.name for p in g2.parents(op.name)] == [
+                p.name for p in g.parents(op.name)
+            ]
+        g2.validate()
+
+    def test_ratio_preserved(self):
+        from repro.assay.operation import MixRatio
+        from repro.assay.sequencing_graph import SequencingGraph
+
+        g = SequencingGraph("r")
+        g.add_input("a")
+        g.add_input("b")
+        g.add_mix("m", ("a", "b"), duration=4, volume=8, ratio=MixRatio((1, 3)))
+        g2 = graph_from_text(graph_to_text(g))
+        assert g2.operation("m").ratio.parts == (1, 3)
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# assay demo\n\n# a comment\ninput a\ninput b\nmix m a b duration=4 volume=8 ratio=1:1\n"
+        g = graph_from_text(text)
+        assert g.name == "demo" and len(g) == 3
+
+    def test_bad_directive(self):
+        with pytest.raises(AssayError, match="line"):
+            graph_from_text("frobnicate x\n")
+
+    def test_empty_text(self):
+        with pytest.raises(AssayError):
+            graph_from_text("\n\n")
+
+    def test_missing_mix_fields(self):
+        with pytest.raises(AssayError):
+            graph_from_text("input a\nmix m a duration=4\n")
+
+
+class TestScheduleRoundTrip:
+    def test_fig9_round_trip(self):
+        g = pcr_graph()
+        s = pcr_fig9_schedule(g)
+        s2 = schedule_from_text(schedule_to_text(s), g)
+        assert s2.transport_delay == s.transport_delay
+        assert {n: e.start for n, e in s2.entries.items()} == {
+            n: e.start for n, e in s.entries.items()
+        }
+        s2.validate()
+
+    def test_bindings_survive(self):
+        g = pcr_graph()
+        s = ListScheduler(
+            SchedulerConfig(mixers={4: 1, 8: 2, 10: 1})
+        ).schedule(g)
+        s2 = schedule_from_text(schedule_to_text(s), g)
+        assert s2["o1"].device == s["o1"].device
+
+    def test_bad_line(self):
+        g = pcr_graph()
+        with pytest.raises(SchedulingError, match="line"):
+            schedule_from_text("o1 at never\n", g)

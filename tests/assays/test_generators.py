@@ -1,0 +1,85 @@
+"""Unit tests for the three generated benchmark assays."""
+
+import pytest
+
+from repro.assays.exponential_dilution import exponential_dilution_graph
+from repro.assays.interpolating_dilution import interpolating_dilution_graph
+from repro.assays.mixing_tree import mixing_tree_graph
+from repro.assay.operation import OperationKind
+from repro.baseline.policies import mixer_demand
+
+
+class TestMixingTree:
+    def test_counts_match_table1(self):
+        g = mixing_tree_graph()
+        assert len(g) == 37
+        assert len(g.mix_operations()) == 18
+        assert mixer_demand(g) == {4: 2, 6: 4, 8: 5, 10: 7}
+
+    def test_tree_reduces_to_single_product(self):
+        g = mixing_tree_graph()
+        sinks = g.sinks()
+        assert len(sinks) == 1 and sinks[0].is_mix
+
+    def test_every_mix_has_two_parents(self):
+        g = mixing_tree_graph()
+        for op in g.mix_operations():
+            assert len(g.parents(op.name)) == 2
+
+    def test_parametric_sizes(self):
+        g = mixing_tree_graph(n_inputs=5)
+        assert len(g.mix_operations()) == 4
+
+    def test_ratio_sprinkling_valid(self):
+        g = mixing_tree_graph()
+        g.validate()
+        special = [
+            op for op in g.mix_operations() if op.ratio.parts != (1, 1)
+        ]
+        assert special  # the non-1:1 support is exercised
+        for op in special:
+            op.ratio.volumes(op.volume)  # divisible by construction
+
+
+class TestInterpolatingDilution:
+    def test_counts_match_table1(self):
+        g = interpolating_dilution_graph()
+        assert len(g) == 71
+        assert len(g.mix_operations()) == 35
+        assert mixer_demand(g) == {4: 5, 6: 9, 8: 9, 10: 12}
+
+    def test_structure_has_three_stages_and_detects(self):
+        g = interpolating_dilution_graph()
+        detects = [
+            op for op in g.operations() if op.kind is OperationKind.DETECT
+        ]
+        assert len(detects) == 12
+        # Stage-2 mixes interpolate two stage-1 products.
+        assert [p.name for p in g.parents("d2_0")] == ["d1_0", "d1_1"]
+
+    def test_validates(self):
+        interpolating_dilution_graph().validate()
+
+
+class TestExponentialDilution:
+    def test_counts_match_table1(self):
+        g = exponential_dilution_graph()
+        assert len(g) == 103
+        assert len(g.mix_operations()) == 47
+        assert mixer_demand(g) == {4: 6, 6: 16, 8: 13, 10: 12}
+
+    def test_chains_are_serial(self):
+        g = exponential_dilution_graph()
+        # Step j of a chain consumes step j-1's product plus fresh buffer.
+        parents = [p.name for p in g.parents("e0_5")]
+        assert "e0_4" in parents and "buf0_5" in parents
+
+    def test_detect_count(self):
+        g = exponential_dilution_graph()
+        detects = [
+            op for op in g.operations() if op.kind is OperationKind.DETECT
+        ]
+        assert len(detects) == 5
+
+    def test_validates(self):
+        exponential_dilution_graph().validate()

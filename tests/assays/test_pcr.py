@@ -1,0 +1,53 @@
+"""Unit tests for the PCR benchmark case (Figure 9 fidelity)."""
+
+from repro.assays.pcr import FIG9_STARTS, pcr_fig9_schedule, pcr_graph
+from repro.baseline.policies import mixer_demand
+
+
+class TestGraph:
+    def test_operation_counts_match_table1(self):
+        g = pcr_graph()
+        assert len(g) == 15
+        assert len(g.mix_operations()) == 7
+
+    def test_mixer_demand_matches_table1(self):
+        assert mixer_demand(pcr_graph()) == {4: 1, 8: 4, 10: 2}
+
+    def test_binary_tree_structure(self):
+        g = pcr_graph()
+        assert [p.name for p in g.parents("o5")] == ["o1", "o2"]
+        assert [p.name for p in g.parents("o6")] == ["o3", "o4"]
+        assert [p.name for p in g.parents("o7")] == ["o5", "o6"]
+        assert len(g.roots()) == 8  # eight input fluids
+
+    def test_validates(self):
+        pcr_graph().validate()
+
+
+class TestFig9Schedule:
+    def test_start_times(self):
+        s = pcr_fig9_schedule()
+        for name, start in FIG9_STARTS.items():
+            assert s.start(name) == start
+
+    def test_end_times_match_gantt_ticks(self):
+        s = pcr_fig9_schedule()
+        assert s.end("o3") == 3
+        assert s.end("o6") == 9
+        assert s.end("o2") == 12
+        assert s.end("o1") == 15
+        assert s.end("o5") == 22
+        assert s.end("o7") == 29
+        assert s.makespan == 29
+
+    def test_transport_delay_is_3tu(self):
+        s = pcr_fig9_schedule()
+        assert s.transport_delay == 3
+        s.validate()
+
+    def test_storage_formation_times_from_the_text(self):
+        """Section 4: s6 at t=3, s5 at t=12, s7 at t=9."""
+        s = pcr_fig9_schedule()
+        assert s.storage_interval("o6")[0] == 3
+        assert s.storage_interval("o5")[0] == 12
+        assert s.storage_interval("o7")[0] == 9

@@ -1,0 +1,47 @@
+"""Unit tests for the benchmark registry."""
+
+import pytest
+
+from repro.errors import AssayError
+from repro.assays import CASES, get_case, list_cases, schedule_for
+from repro.experiments.paper_data import paper_row
+
+
+class TestRegistry:
+    def test_all_four_cases_present(self):
+        assert set(CASES) == {
+            "pcr",
+            "mixing_tree",
+            "interpolating_dilution",
+            "exponential_dilution",
+        }
+
+    def test_unknown_case(self):
+        with pytest.raises(AssayError, match="unknown benchmark"):
+            get_case("nope")
+
+    def test_case_counts_match_paper(self):
+        for case in list_cases():
+            published = paper_row(case.name, 1)
+            assert case.total_operations == published.num_ops
+            assert case.mix_operations == published.num_mix_ops
+            case.graph()  # generator consistency check built in
+
+    def test_schedules_validate_for_every_policy(self):
+        for case in list_cases():
+            for policy in case.policies(3):
+                schedule = schedule_for(case, policy)
+                schedule.validate()
+
+    def test_more_mixers_never_slow_the_assay(self):
+        """Growing the bank can only keep or reduce the makespan."""
+        for case in list_cases():
+            spans = [
+                schedule_for(case, policy).makespan
+                for policy in case.policies(3)
+            ]
+            assert spans[0] >= spans[1] >= spans[2]
+
+    def test_grids_fit_biggest_device(self):
+        for case in list_cases():
+            assert case.grid.width >= 5 and case.grid.height >= 5

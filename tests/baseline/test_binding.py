@@ -1,0 +1,69 @@
+"""Unit tests for the optimal (balanced) binding."""
+
+import pytest
+
+from repro.errors import BindingError
+from repro.assays import get_case, list_cases, schedule_for
+from repro.baseline.binding import bind_operations
+from repro.baseline.dedicated import PUMP_ACTUATIONS_PER_OP
+from repro.baseline.policies import Policy
+from repro.experiments.paper_data import paper_row
+
+
+class TestBinding:
+    def test_every_mix_operation_assigned(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        binding = bind_operations(graph, case.policy1())
+        assert set(binding.assignment) == {
+            op.name for op in graph.mix_operations()
+        }
+
+    def test_assignment_respects_sizes(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        binding = bind_operations(graph, case.policy1())
+        for op in graph.mix_operations():
+            mixer_name = binding.assignment[op.name]
+            assert mixer_name.startswith(f"mixer{op.volume}.")
+
+    def test_loads_balanced_within_one(self):
+        case = get_case("mixing_tree")
+        graph = case.graph()
+        policy = Policy(1, {4: 1, 6: 2, 8: 2, 10: 3})
+        binding = bind_operations(graph, policy)
+        by_size = {}
+        for op in graph.mix_operations():
+            mixer = binding.assignment[op.name]
+            size = op.volume
+            by_size.setdefault(size, {}).setdefault(mixer, 0)
+            by_size[size][mixer] += 1
+        for loads in by_size.values():
+            assert max(loads.values()) - min(loads.values()) <= 1
+
+    def test_missing_size_raises(self):
+        case = get_case("pcr")
+        with pytest.raises(BindingError, match="no size-8"):
+            bind_operations(case.graph(), Policy(1, {4: 1, 10: 1}))
+
+    def test_vs_tmax_matches_paper_for_all_rows(self):
+        """The vs_tmax column of Table 1, all 12 rows, exactly."""
+        for case in list_cases():
+            graph = case.graph()
+            for policy in case.policies(3):
+                schedule = schedule_for(case, policy)
+                binding = bind_operations(graph, policy, schedule)
+                published = paper_row(case.name, policy.index)
+                assert binding.max_pump_actuations == published.vs_tmax
+
+    def test_max_total_equals_pump_max(self):
+        case = get_case("pcr")
+        binding = bind_operations(case.graph(), case.policy1())
+        assert binding.max_total_actuations() == binding.max_pump_actuations
+
+    def test_mixer_wear_accumulated(self):
+        case = get_case("pcr")
+        binding = bind_operations(case.graph(), case.policy1())
+        size8 = [m for m in binding.mixers if m.volume == 8]
+        assert size8[0].operations_run == 4
+        assert size8[0].pump_actuations() == 4 * PUMP_ACTUATIONS_PER_OP

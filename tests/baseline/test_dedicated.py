@@ -1,0 +1,55 @@
+"""Unit tests for dedicated devices (Figure 2 wear profile)."""
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.baseline.dedicated import (
+    DedicatedDetector,
+    DedicatedMixer,
+    DedicatedStorage,
+    PUMP_ACTUATIONS_PER_OP,
+)
+
+
+class TestDedicatedMixer:
+    def test_figure2_valve_budget(self):
+        mixer = DedicatedMixer(volume=8)
+        assert mixer.pump_valves == 3
+        assert mixer.control_valves == 6
+        assert mixer.valve_count == 9
+
+    def test_figure2f_profile_after_two_operations(self):
+        mixer = DedicatedMixer(volume=8)
+        mixer.run_operations(2)
+        profile = mixer.actuation_profile()
+        assert profile["pump"] == [80, 80, 80]
+        assert profile["control"] == [8, 8, 4, 4, 4, 4]
+        assert mixer.max_actuations() == 80
+
+    def test_valve_count_scales_with_volume(self):
+        assert DedicatedMixer(volume=4).valve_count == 5
+        assert DedicatedMixer(volume=10).valve_count == 11
+
+    def test_pump_valves_dominate_wear(self):
+        mixer = DedicatedMixer(volume=6)
+        mixer.run_operations(5)
+        assert mixer.max_actuations() == 5 * PUMP_ACTUATIONS_PER_OP
+
+    def test_unrun_mixer(self):
+        assert DedicatedMixer(volume=8).max_actuations() == 0
+
+    def test_too_small_volume_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DedicatedMixer(volume=2)
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DedicatedMixer(volume=8).run_operations(-1)
+
+
+class TestStorageAndDetector:
+    def test_storage_valves(self):
+        assert DedicatedStorage(cells=4).valve_count == 14  # 4*3 + 2
+
+    def test_detector_valves(self):
+        assert DedicatedDetector().valve_count == 4

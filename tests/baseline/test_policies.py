@@ -1,0 +1,97 @@
+"""Unit tests for policies and the mixer-bank growth rule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import BindingError
+from repro.assays import get_case, list_cases
+from repro.baseline.policies import (
+    Policy,
+    balanced_loads,
+    distribution_string,
+    max_load,
+    mixer_demand,
+    next_policy,
+    policy_sequence,
+)
+from repro.experiments.paper_data import paper_row
+
+
+class TestBalancedLoads:
+    def test_even_split(self):
+        assert balanced_loads(6, 3) == [2, 2, 2]
+
+    def test_uneven_split_descending(self):
+        assert balanced_loads(7, 3) == [3, 2, 2]
+        assert balanced_loads(5, 2) == [3, 2]
+
+    def test_more_mixers_than_ops(self):
+        assert balanced_loads(2, 4) == [1, 1, 0, 0]
+
+    def test_zero_ops(self):
+        assert balanced_loads(0, 2) == [0, 0]
+
+    def test_no_mixer_but_demand_raises(self):
+        with pytest.raises(BindingError):
+            balanced_loads(3, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_loads_sum_and_balance(self, n, m):
+        loads = balanced_loads(n, m)
+        assert sum(loads) == n
+        assert max(loads) - min(loads) <= 1
+        assert loads == sorted(loads, reverse=True)
+
+
+class TestGrowthRule:
+    def test_pcr_policy_sequence(self):
+        case = get_case("pcr")
+        demand = mixer_demand(case.graph())
+        p1, p2, p3 = case.policies(3)
+        assert p1.mixers == {4: 1, 8: 1, 10: 1}
+        assert p2.mixers == {4: 1, 8: 2, 10: 1}  # size 8 was heaviest (4)
+        # p2 has sizes 8 and 10 both at load 2: one mixer added to EACH.
+        assert p3.mixers == {4: 1, 8: 3, 10: 2}
+        assert max_load(p1, demand) == 4
+        assert max_load(p3, demand) == 2
+
+    def test_every_case_reproduces_paper_columns(self):
+        """#d and #m of all 12 published rows."""
+        for case in list_cases():
+            demand = mixer_demand(case.graph())
+            for policy in case.policies(3):
+                published = paper_row(case.name, policy.index)
+                assert policy.device_count == published.num_devices
+                assert (
+                    distribution_string(policy, demand)
+                    == published.m_distribution
+                )
+
+    def test_growth_without_demand_raises(self):
+        with pytest.raises(BindingError):
+            next_policy(Policy(1, {8: 1}), {})
+
+    def test_policy_sequence_length(self):
+        case = get_case("mixing_tree")
+        assert [p.index for p in case.policies(3)] == [1, 2, 3]
+
+    def test_growth_monotone(self):
+        case = get_case("exponential_dilution")
+        demand = mixer_demand(case.graph())
+        policies = policy_sequence(case.policy1(), demand, 5)
+        for earlier, later in zip(policies, policies[1:]):
+            assert later.mixer_count > earlier.mixer_count
+            assert max_load(later, demand) <= max_load(earlier, demand)
+
+
+class TestDistributionString:
+    def test_formats(self):
+        demand = {4: 1, 8: 4, 10: 2}
+        p = Policy(1, {4: 1, 8: 1, 10: 1})
+        assert distribution_string(p, demand) == "1-0-4-2"
+        p2 = Policy(2, {4: 1, 8: 2, 10: 1})
+        assert distribution_string(p2, demand) == "1-0-(2,2)-2"

@@ -1,0 +1,46 @@
+"""Unit tests for the traditional-design valve-count model."""
+
+from repro.assays import get_case, list_cases, schedule_for
+from repro.baseline.valve_count import traditional_design
+from repro.experiments.paper_data import paper_row
+
+
+class TestTraditionalDesign:
+    def test_components_assembled(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        policy = case.policy1()
+        design = traditional_design(graph, policy, schedule_for(case, policy))
+        assert len(design.mixers) == policy.mixer_count
+        assert len(design.detectors) == policy.detectors
+        assert design.storage.cells >= 1
+
+    def test_valve_count_increases_with_policy(self):
+        """More mixers -> more valves (the paper's structural trend)."""
+        for case in list_cases():
+            graph = case.graph()
+            counts = []
+            for policy in case.policies(3):
+                design = traditional_design(
+                    graph, policy, schedule_for(case, policy)
+                )
+                counts.append(design.valve_count)
+            assert counts == sorted(counts)
+
+    def test_calibration_near_paper(self):
+        """Within 20% of every published #v (model, not layout tool)."""
+        for case in list_cases():
+            graph = case.graph()
+            for policy in case.policies(3):
+                design = traditional_design(
+                    graph, policy, schedule_for(case, policy)
+                )
+                published = paper_row(case.name, policy.index).v_traditional
+                assert abs(design.valve_count - published) / published < 0.20
+
+    def test_vs_tmax_passthrough(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        policy = case.policy1()
+        design = traditional_design(graph, policy, schedule_for(case, policy))
+        assert design.max_pump_actuations == 160

@@ -1,0 +1,108 @@
+"""Unit tests for actuation accounting (both settings)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.geometry import GridSpec, Point
+from repro.architecture.device import DynamicDevice, Placement
+from repro.architecture.device_types import device_type
+from repro.core.actuation import AccountingPolicy, ActuationAccountant
+from repro.routing.path import RoutedPath, TransportEvent
+
+
+def mixer(op="m", corner=(1, 1), dims=(3, 3), start=0, end=5):
+    return DynamicDevice(
+        operation=op,
+        placement=Placement(device_type(*dims), Point(*corner)),
+        start=start,
+        end=end,
+        mix_start=start,
+    )
+
+
+def route(cells, t=0):
+    return RoutedPath(TransportEvent(t, "a", "b"), list(cells))
+
+
+class TestAccountingPolicy:
+    def test_setting_rates(self):
+        assert AccountingPolicy(setting=1).pump_rate(8) == 40
+        assert AccountingPolicy(setting=2).pump_rate(8) == 15
+
+    def test_unknown_setting(self):
+        with pytest.raises(SynthesisError):
+            AccountingPolicy(setting=3).pump_rate(8)
+
+
+class TestDeviceAccounting:
+    def test_ring_gets_pump_plus_formation(self):
+        accountant = ActuationAccountant(GridSpec(6, 6), AccountingPolicy())
+        accountant.account_devices([mixer()])
+        grid = accountant.grid
+        ring_valve = grid.valve(Point(1, 1))
+        assert ring_valve.peristaltic_actuations == 40
+        assert ring_valve.transport_actuations == 1  # formation
+
+    def test_interior_opens_once(self):
+        accountant = ActuationAccountant(GridSpec(6, 6), AccountingPolicy())
+        accountant.account_devices([mixer()])
+        interior = accountant.grid.valve(Point(2, 2))
+        assert interior.peristaltic_actuations == 0
+        assert interior.total_actuations == 1
+
+    def test_walls_are_functionless_by_default(self):
+        accountant = ActuationAccountant(GridSpec(6, 6), AccountingPolicy())
+        accountant.account_devices([mixer()])
+        wall = accountant.grid.valve(Point(0, 0))
+        assert wall.total_actuations == 0  # removed at L20
+
+    def test_wall_events_opt_in(self):
+        policy = AccountingPolicy(wall_events=2)
+        accountant = ActuationAccountant(GridSpec(6, 6), policy)
+        accountant.account_devices([mixer()])
+        assert accountant.grid.valve(Point(0, 0)).total_actuations == 2
+
+    def test_setting2_scales_by_ring(self):
+        accountant = ActuationAccountant(
+            GridSpec(8, 8), AccountingPolicy(setting=2)
+        )
+        accountant.account_devices(
+            [mixer(dims=(3, 3)), mixer(op="n", dims=(2, 2), corner=(5, 5))]
+        )
+        grid = accountant.grid
+        assert grid.valve(Point(1, 1)).peristaltic_actuations == 15
+        assert grid.valve(Point(5, 5)).peristaltic_actuations == 30
+
+
+class TestRouteAccounting:
+    def test_path_cells_get_control(self):
+        accountant = ActuationAccountant(GridSpec(6, 6), AccountingPolicy())
+        accountant.account_routes([route([Point(0, 0), Point(1, 0)])])
+        assert accountant.grid.valve(Point(0, 0)).transport_actuations == 1
+
+    def test_repeated_paths_accumulate(self):
+        accountant = ActuationAccountant(GridSpec(6, 6), AccountingPolicy())
+        cells = [Point(0, 0), Point(1, 0)]
+        accountant.account_routes([route(cells, 0), route(cells, 5)])
+        assert accountant.grid.valve(Point(1, 0)).transport_actuations == 2
+
+    def test_run_combines_everything(self):
+        accountant = ActuationAccountant(GridSpec(6, 6), AccountingPolicy())
+        grid = accountant.run(
+            [mixer()], [route([Point(1, 1), Point(0, 1)])]
+        )
+        # Ring valve (1,1): 40 pump + 1 formation + 1 path.
+        assert grid.valve(Point(1, 1)).total_actuations == 42
+        assert grid.max_peristaltic_actuations == 40
+
+
+class TestRoleChangeVisibility:
+    def test_pump_then_path_is_role_changing(self):
+        accountant = ActuationAccountant(
+            GridSpec(6, 6), AccountingPolicy(device_formation=0)
+        )
+        grid = accountant.run(
+            [mixer()], [route([Point(1, 1), Point(0, 1)])]
+        )
+        changers = {v.position for v in grid.role_changing_valves()}
+        assert Point(1, 1) in changers

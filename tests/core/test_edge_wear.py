@@ -1,0 +1,39 @@
+"""Unit tests for channel-edge wear analysis."""
+
+import pytest
+
+from repro.core.edge_wear import edge_wear
+
+
+class TestEdgeWear:
+    @pytest.fixture(scope="class")
+    def report(self, pcr_result):
+        return edge_wear(pcr_result)
+
+    def test_max_pump_matches_cell_view(self, pcr_result, report):
+        # On PCR no valve pumps twice, so cell and edge views agree on
+        # the peristaltic maximum.
+        assert report.max_pump == pcr_result.metrics.setting1.max_peristaltic
+
+    def test_edge_view_never_exceeds_cell_view(self, pcr_result, report):
+        # The cell view merges segments meeting at a cell, so its
+        # maximum dominates the edge maximum.
+        assert report.max_total <= pcr_result.metrics.setting1.max_total + 1
+
+    def test_edge_count_scale(self, pcr_result, report):
+        # A ring of k cells has k edges and paths have len-1 edges, so
+        # the two #v views live in the same range.
+        cell_count = pcr_result.metrics.used_valves
+        assert 0.5 * cell_count <= report.edges_used <= 2.0 * cell_count
+
+    def test_role_changing_edges_exist(self, report):
+        assert len(report.role_changing_edges()) >= 5
+
+    def test_setting2_scales_down(self, pcr_result):
+        report2 = edge_wear(pcr_result, setting=2)
+        report1 = edge_wear(pcr_result, setting=1)
+        assert report2.max_pump < report1.max_pump
+
+    def test_totals_additive(self, report):
+        edge = report.role_changing_edges()[0]
+        assert report.total(edge) == report.pump[edge] + report.control[edge]

@@ -1,0 +1,82 @@
+"""Unit tests for transport-event extraction."""
+
+import pytest
+
+from repro.geometry import GridSpec
+from repro.architecture.chip import Chip
+from repro.core.events import build_transport_events
+
+
+@pytest.fixture
+def chip():
+    return Chip(GridSpec(9, 9))
+
+
+class TestPcrEvents(object):
+    def test_event_inventory(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        # 8 input loadings + 6 product transfers + 1 final removal.
+        input_loads = [e for e in events if e.source_is_port]
+        transfers = [
+            e for e in events if not e.source_is_port and not e.target_is_port
+        ]
+        removals = [e for e in events if e.target_is_port]
+        assert len(input_loads) == 8
+        assert len(transfers) == 6
+        assert len(removals) == 1
+
+    def test_product_transfer_times_are_parent_ends(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        o2_to_o5 = [
+            e for e in events if e.source == "o2" and e.target == "o5"
+        ]
+        assert len(o2_to_o5) == 1
+        assert o2_to_o5[0].time == fig9_schedule.end("o2") == 12
+
+    def test_input_loading_at_mix_start(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        loads_o1 = [
+            e for e in events if e.target == "o1" and e.source_is_port
+        ]
+        assert len(loads_o1) == 2
+        assert all(e.time == 0 for e in loads_o1)
+
+    def test_final_product_leaves_at_o7_end(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        [removal] = [e for e in events if e.target_is_port]
+        assert removal.source == "o7"
+        assert removal.time == fig9_schedule.end("o7") == 29
+
+    def test_input_ports_alternate(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        used = {e.source for e in events if e.source_is_port}
+        assert used == {"in0", "in1"}
+
+    def test_events_sorted_by_time(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_volumes_follow_ratio(self, pcr, fig9_schedule, chip):
+        events = build_transport_events(pcr, fig9_schedule, chip)
+        transfer = next(
+            e for e in events if e.source == "o1" and e.target == "o5"
+        )
+        assert transfer.volume == 5  # half of o5's 10 units (1:1)
+
+
+class TestDetectHandling:
+    def test_detect_child_pulls_product_to_port(self, chip):
+        from repro.assay.sequencing_graph import SequencingGraph
+        from repro.assay.scheduler import ListScheduler, SchedulerConfig
+
+        g = SequencingGraph("det")
+        g.add_input("i0")
+        g.add_input("i1")
+        g.add_mix("m", ("i0", "i1"), duration=4, volume=8)
+        g.add_detect("d", "m", duration=2)
+        schedule = ListScheduler(SchedulerConfig()).schedule(g)
+        events = build_transport_events(g, schedule, chip)
+        [removal] = [e for e in events if e.target_is_port]
+        assert removal.source == "m"
+        assert removal.time == schedule.start("d")

@@ -1,0 +1,52 @@
+"""Unit tests for the design export."""
+
+import json
+
+from repro.core.export import design_dict, design_json, design_listing
+
+
+class TestDesignExport:
+    def test_dict_structure(self, pcr_result):
+        data = design_dict(pcr_result)
+        assert data["assay"] == "pcr"
+        assert data["grid"] == {"width": 9, "height": 9}
+        assert len(data["devices"]) == 7
+        assert len(data["valves"]) == pcr_result.metrics.used_valves
+        assert len(data["routes"]) == len(pcr_result.routes)
+        assert data["summary"]["max_peristaltic_actuations"] == 40
+
+    def test_valves_only_actuated_ones(self, pcr_result):
+        data = design_dict(pcr_result)
+        assert all(v["total_actuations"] > 0 for v in data["valves"])
+        assert all(
+            v["total_actuations"]
+            == v["pump_actuations"] + v["control_actuations"]
+            for v in data["valves"]
+        )
+
+    def test_devices_carry_lifecycle(self, pcr_result):
+        data = design_dict(pcr_result)
+        o7 = next(d for d in data["devices"] if d["operation"] == "o7")
+        assert o7["storage_from"] == 9  # s7 forms at t=9 (paper text)
+        assert o7["mixing_from"] == 25
+        assert o7["dissolves_at"] == 29
+
+    def test_json_round_trip(self, pcr_result):
+        data = json.loads(design_json(pcr_result))
+        assert data["summary"]["valve_count"] == pcr_result.metrics.used_valves
+
+    def test_setting2_export_differs(self, pcr_result):
+        s1 = design_dict(pcr_result, setting=1)
+        s2 = design_dict(pcr_result, setting=2)
+        assert (
+            s2["summary"]["max_peristaltic_actuations"]
+            < s1["summary"]["max_peristaltic_actuations"]
+        )
+        # Same physical valves in both settings.
+        assert len(s1["valves"]) == len(s2["valves"])
+
+    def test_listing_readable(self, pcr_result):
+        text = design_listing(pcr_result)
+        assert text.startswith("# design for assay 'pcr'")
+        assert "valve (" in text
+        assert "device o1" in text

@@ -1,0 +1,57 @@
+"""Unit tests for the chip-lifetime estimator."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.assays import get_case, schedule_for
+from repro.baseline.valve_count import traditional_design
+from repro.core.lifetime import (
+    DEFAULT_WEAR_BUDGET,
+    LifetimeEstimate,
+    lifetime_gain,
+    synthesis_lifetime,
+    traditional_lifetime,
+)
+
+
+class TestEstimates:
+    def test_simple_division(self):
+        estimate = LifetimeEstimate(wear_budget=4000, wear_per_run=45, runs=88)
+        assert estimate.runs == 4000 // 45
+        assert not estimate.is_single_use
+
+    def test_synthesis_lifetime_from_result(self, pcr_result):
+        estimate = synthesis_lifetime(pcr_result)
+        wear = pcr_result.metrics.setting1.max_total
+        assert estimate.wear_per_run == wear
+        assert estimate.runs == DEFAULT_WEAR_BUDGET // wear
+
+    def test_setting2_lives_longer(self, pcr_result):
+        s1 = synthesis_lifetime(pcr_result, setting=1)
+        s2 = synthesis_lifetime(pcr_result, setting=2)
+        assert s2.runs >= s1.runs
+
+    def test_traditional_lifetime(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        policy = case.policy1()
+        design = traditional_design(graph, policy, schedule_for(case, policy))
+        estimate = traditional_lifetime(design)
+        assert estimate.runs == DEFAULT_WEAR_BUDGET // 160
+
+    def test_gain_matches_paper_direction(self, pcr_result):
+        """PCR p1: 160 -> ~45 per run means ~3.5x more assay runs."""
+        case = get_case("pcr")
+        graph = case.graph()
+        policy = case.policy1()
+        design = traditional_design(graph, policy, schedule_for(case, policy))
+        gain = lifetime_gain(pcr_result, design)
+        assert gain >= 3.0
+
+    def test_single_use_detection(self):
+        estimate = LifetimeEstimate(wear_budget=100, wear_per_run=90, runs=1)
+        assert estimate.is_single_use
+
+    def test_invalid_budget(self, pcr_result):
+        with pytest.raises(SynthesisError):
+            synthesis_lifetime(pcr_result, wear_budget=0)

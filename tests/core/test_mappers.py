@@ -1,0 +1,154 @@
+"""Unit tests for the three mapping engines, including cross-checks."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.geometry import GridSpec
+from repro.core.mappers import GreedyMapper, ILPMapper, WindowedILPMapper
+from repro.core.mapping_model import MappingSpec
+from repro.core.tasks import MappingTask
+
+
+def task(name, start, end, volume=8, parents=(), mix_start=None):
+    return MappingTask(
+        name=name,
+        volume=volume,
+        pump_rate=40,
+        start=start,
+        mix_start=start if mix_start is None else mix_start,
+        end=end,
+        mix_parents=tuple(parents),
+    )
+
+
+def chain_spec(n=5, grid=8):
+    """A serial chain: each op is the next one's parent."""
+    tasks = []
+    t = 0
+    for i in range(n):
+        parents = (f"m{i - 1}",) if i else ()
+        tasks.append(task(f"m{i}", t, t + 4, parents=parents))
+        t += 7
+    return MappingSpec(GridSpec(grid, grid), tasks)
+
+
+def parallel_spec(n=3, grid=10):
+    """n concurrent operations (pairwise non-overlap applies)."""
+    return MappingSpec(
+        GridSpec(grid, grid), [task(f"m{i}", 0, 9) for i in range(n)]
+    )
+
+
+def validate_result(spec, result):
+    """Common invariants every mapper must satisfy."""
+    assert set(result.placements) == {t.name for t in spec.tasks}
+    by_name = {t.name: t for t in spec.tasks}
+    for name, placement in result.placements.items():
+        assert spec.grid.contains_rect(placement.rect)
+        assert placement.device_type.volume == by_name[name].volume
+    # Non-overlap for concurrent pairs (storage-overlap pairs exempt).
+    names = list(result.placements)
+    allowed = set(result.used_overlaps)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            ta, tb = by_name[a], by_name[b]
+            if not ta.overlaps_in_time(tb):
+                continue
+            pair = spec.storage_pair(a, b)
+            if pair is not None and pair in allowed:
+                continue
+            ra = result.placements[a].rect
+            rb = result.placements[b].rect
+            assert not ra.overlaps(rb), (a, b)
+
+
+MAPPERS = [
+    ILPMapper(backend="scipy"),
+    WindowedILPMapper(window_size=2),
+    GreedyMapper(),
+]
+
+
+@pytest.mark.parametrize("mapper", MAPPERS, ids=lambda m: m.name)
+class TestAllMappers:
+    def test_chain(self, mapper):
+        spec = chain_spec()
+        result = mapper.map_tasks(spec)
+        validate_result(spec, result)
+
+    def test_parallel(self, mapper):
+        spec = parallel_spec()
+        result = mapper.map_tasks(spec)
+        validate_result(spec, result)
+
+    def test_objective_accounts_all_loads(self, mapper):
+        spec = parallel_spec()
+        result = mapper.map_tasks(spec)
+        loads = {}
+        for name, placement in result.placements.items():
+            for cell in placement.pump_cells():
+                loads[cell] = loads.get(cell, 0) + 40
+        assert result.objective == max(loads.values())
+
+    def test_determinism(self, mapper):
+        a = mapper.map_tasks(chain_spec())
+        b = mapper.map_tasks(chain_spec())
+        assert {n: p.rect for n, p in a.placements.items()} == {
+            n: p.rect for n, p in b.placements.items()
+        }
+
+
+class TestOptimality:
+    def test_ilp_at_least_as_good_as_greedy(self):
+        for spec_factory in (chain_spec, parallel_spec):
+            exact = ILPMapper(backend="scipy").map_tasks(spec_factory())
+            greedy = GreedyMapper().map_tasks(spec_factory())
+            assert exact.optimal
+            assert exact.objective <= greedy.objective
+
+    def test_windowed_matches_monolithic_on_small_chain(self):
+        """Rolling horizon reaches the optimum on a loose instance."""
+        exact = ILPMapper(backend="scipy").map_tasks(chain_spec(4))
+        windowed = WindowedILPMapper(window_size=2).map_tasks(chain_spec(4))
+        assert windowed.objective == exact.objective == 40
+
+    def test_single_window_is_monolithic(self):
+        spec = parallel_spec(2)
+        windowed = WindowedILPMapper(window_size=10).map_tasks(spec)
+        assert windowed.optimal
+
+
+class TestGreedyFallbacks:
+    def test_distance_limit_relaxed_when_unsatisfiable(self):
+        # Parents placed at opposite corners by fixed load shaping would
+        # make a within-d child impossible; the greedy tier-2 fallback
+        # must still place everything.
+        tasks = [
+            task("p1", 0, 20),
+            task("p2", 0, 20),
+            task("c", 25, 30, parents=("p1", "p2")),
+        ]
+        spec = MappingSpec(GridSpec(12, 12), tasks)
+        result = GreedyMapper().map_tasks(spec)
+        assert set(result.placements) == {"p1", "p2", "c"}
+
+    def test_greedy_infeasible_raises(self):
+        spec = parallel_spec(n=5, grid=5)  # five concurrent 8-rings
+        with pytest.raises(SynthesisError, match="no feasible placement"):
+            GreedyMapper().map_tasks(spec)
+
+    def test_greedy_prefers_fresh_valves(self):
+        spec = chain_spec(2, grid=10)
+        result = GreedyMapper().map_tasks(spec)
+        rects = [p.rect for p in result.placements.values()]
+        assert result.objective == 40  # no pump valve reused
+        assert not set(rects[0].perimeter_cells()) & set(
+            rects[1].perimeter_cells()
+        )
+
+
+class TestILPErrors:
+    def test_infeasible_reports_synthesis_error(self):
+        spec = parallel_spec(n=4, grid=5)
+        with pytest.raises(SynthesisError, match="infeasible"):
+            ILPMapper(backend="scipy").map_tasks(spec)

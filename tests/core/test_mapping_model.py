@@ -1,0 +1,209 @@
+"""Unit tests for the dynamic-device mapping ILP builder."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.geometry import GridSpec, Point
+from repro.architecture.device import DynamicDevice, Placement
+from repro.architecture.device_types import device_type
+from repro.core.mapping_model import MappingModelBuilder, MappingSpec
+from repro.core.tasks import MappingTask
+
+
+def task(name, start, end, volume=8, parents=(), mix_start=None):
+    return MappingTask(
+        name=name,
+        volume=volume,
+        pump_rate=40,
+        start=start,
+        mix_start=start if mix_start is None else mix_start,
+        end=end,
+        mix_parents=tuple(parents),
+    )
+
+
+def solve(spec):
+    built = MappingModelBuilder(spec).build()
+    solution = built.model.solve(backend="scipy")
+    assert solution.status.has_solution, solution.status
+    return built, solution
+
+
+class TestCandidatePlacements:
+    def test_all_shapes_of_the_volume_enumerated(self):
+        spec = MappingSpec(GridSpec(6, 6), [task("a", 0, 5)])
+        placements = spec.candidate_placements(spec.tasks[0])
+        names = {p.device_type.name for p in placements}
+        assert names == {"2x4", "4x2", "3x3"}
+
+    def test_anchor_stride_thins_candidates(self):
+        dense = MappingSpec(GridSpec(6, 6), [task("a", 0, 5)])
+        sparse = MappingSpec(
+            GridSpec(6, 6), [task("a", 0, 5)], anchor_stride=2
+        )
+        assert len(sparse.candidate_placements(sparse.tasks[0])) < len(
+            dense.candidate_placements(dense.tasks[0])
+        )
+
+    def test_blocked_cells_respected(self):
+        spec = MappingSpec(
+            GridSpec(6, 6),
+            [task("a", 0, 5)],
+            blocked_cells=frozenset({Point(0, 0)}),
+        )
+        for placement in spec.candidate_placements(spec.tasks[0]):
+            assert not placement.rect.contains(Point(0, 0))
+
+    def test_impossible_placement_raises(self):
+        spec = MappingSpec(GridSpec(2, 2), [task("a", 0, 5, volume=10)])
+        with pytest.raises(SynthesisError, match="no feasible placement"):
+            spec.candidate_placements(spec.tasks[0])
+
+
+class TestSingleTask:
+    def test_one_placement_selected(self):
+        spec = MappingSpec(GridSpec(6, 6), [task("a", 0, 5)])
+        built, solution = solve(spec)
+        placements = built.extract_placements(solution)
+        assert set(placements) == {"a"}
+        assert placements["a"].device_type.volume == 8
+
+    def test_objective_is_single_rate(self):
+        spec = MappingSpec(GridSpec(6, 6), [task("a", 0, 5)])
+        built, solution = solve(spec)
+        assert solution.value(built.w) == pytest.approx(40.0)
+
+
+class TestLoadBalancing:
+    def test_sequential_tasks_avoid_stacking(self):
+        """Two non-concurrent ops can share area but spread pump load."""
+        spec = MappingSpec(
+            GridSpec(6, 6), [task("a", 0, 5), task("b", 10, 15)]
+        )
+        built, solution = solve(spec)
+        assert solution.value(built.w) == pytest.approx(40.0)
+
+    def test_forced_stacking_on_tiny_grid(self):
+        """A 3x3 grid fits only one 3x3 ring: loads must stack."""
+        spec = MappingSpec(
+            GridSpec(3, 3), [task("a", 0, 5), task("b", 10, 15)]
+        )
+        built, solution = solve(spec)
+        assert solution.value(built.w) == pytest.approx(80.0)
+
+    def test_base_load_counts_toward_objective(self):
+        base = {cell: 40 for cell in Placement(
+            device_type(3, 3), Point(0, 0)
+        ).pump_cells()}
+        spec = MappingSpec(GridSpec(3, 3), [task("a", 0, 5)], base_load=base)
+        built, solution = solve(spec)
+        assert solution.value(built.w) == pytest.approx(80.0)
+
+    def test_committed_only_load_bounds_w(self):
+        base = {Point(5, 5): 77}  # outside any candidate ring on purpose
+        spec = MappingSpec(GridSpec(6, 6), [task("a", 0, 3)], base_load=base)
+        built, solution = solve(spec)
+        assert solution.value(built.w) >= 77.0
+
+
+class TestNonOverlap:
+    def test_concurrent_tasks_disjoint(self):
+        spec = MappingSpec(
+            GridSpec(8, 8), [task("a", 0, 9), task("b", 0, 9)]
+        )
+        built, solution = solve(spec)
+        placements = built.extract_placements(solution)
+        assert not placements["a"].rect.overlaps(placements["b"].rect)
+
+    def test_non_concurrent_tasks_may_overlap(self):
+        """On a tiny grid, sequential devices must reuse the same cells."""
+        spec = MappingSpec(
+            GridSpec(3, 3), [task("a", 0, 5), task("b", 10, 15)]
+        )
+        built, solution = solve(spec)
+        placements = built.extract_placements(solution)
+        assert placements["a"].rect.overlaps(placements["b"].rect)
+
+    def test_infeasible_when_two_concurrent_on_tiny_grid(self):
+        spec = MappingSpec(
+            GridSpec(3, 3), [task("a", 0, 9), task("b", 0, 9)]
+        )
+        built = MappingModelBuilder(spec).build()
+        solution = built.model.solve(backend="scipy")
+        assert not solution.status.has_solution
+
+    def test_fixed_device_blocks_concurrent_task(self):
+        fixed = DynamicDevice(
+            operation="f",
+            placement=Placement(device_type(3, 3), Point(0, 0)),
+            start=0,
+            end=9,
+            mix_start=0,
+        )
+        spec = MappingSpec(
+            GridSpec(6, 6),
+            [task("a", 0, 9)],
+            fixed={"f": fixed},
+        )
+        built, solution = solve(spec)
+        placements = built.extract_placements(solution)
+        assert not placements["a"].rect.overlaps(fixed.rect)
+
+
+class TestStorageOverlapPermission:
+    def grid_forcing_overlap(self, forbidden=frozenset()):
+        """Parent b alive [0,9); child c's storage exists [4,9) on a grid
+        barely fitting two devices — only the c5 permission (or not)
+        decides feasibility."""
+        return MappingSpec(
+            GridSpec(4, 6),
+            [
+                task("a", 0, 4),
+                task("b", 0, 9),
+                task("c", 4, 14, parents=("a", "b"), mix_start=9),
+            ],
+            forbidden_overlaps=set(forbidden),
+            routing_convenient=False,
+        )
+
+    def test_c5_allows_parent_child_overlap(self):
+        built, solution = solve(self.grid_forcing_overlap())
+        placements = built.extract_placements(solution)
+        if placements["c"].rect.overlaps(placements["b"].rect):
+            assert ("b", "c") in built.extract_overlaps(solution)
+
+    def test_forbidden_pair_pins_c5(self):
+        spec = self.grid_forcing_overlap(forbidden={("b", "c")})
+        built = MappingModelBuilder(spec).build()
+        assert ("b", "c") not in built.c5_vars
+        solution = built.model.solve(backend="scipy")
+        if solution.status.has_solution:
+            placements = built.extract_placements(solution)
+            assert not placements["c"].rect.overlaps(placements["b"].rect)
+
+    def test_global_switch_disables_c5(self):
+        spec = self.grid_forcing_overlap()
+        spec.allow_storage_overlap = False
+        built = MappingModelBuilder(spec).build()
+        assert built.c5_vars == {}
+
+
+class TestRoutingConvenient:
+    def test_child_placed_near_parent(self):
+        spec = MappingSpec(
+            GridSpec(12, 12),
+            [task("p", 0, 5), task("c", 8, 13, parents=("p",))],
+        )
+        built, solution = solve(spec)
+        placements = built.extract_placements(solution)
+        d = spec.resolved_distance_limit()
+        assert placements["c"].rect.within_distance(placements["p"].rect, d)
+
+    def test_disabled_allows_distance(self):
+        spec = MappingSpec(
+            GridSpec(12, 12),
+            [task("p", 0, 5), task("c", 8, 13, parents=("p",))],
+            routing_convenient=False,
+        )
+        assert spec.resolved_distance_limit() is None
+        solve(spec)  # builds and solves without the constraints

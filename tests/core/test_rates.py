@@ -1,0 +1,36 @@
+"""Unit tests for the pump-rate settings."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.core.rates import (
+    DEDICATED_MIXER_TOTAL_ACTUATIONS,
+    pump_rate_setting1,
+    pump_rate_setting2,
+)
+
+
+class TestRates:
+    def test_dedicated_total_is_120(self):
+        assert DEDICATED_MIXER_TOTAL_ACTUATIONS == 120
+
+    @pytest.mark.parametrize("ring", [4, 6, 8, 10])
+    def test_setting1_constant_40(self, ring):
+        assert pump_rate_setting1(ring) == 40
+
+    @pytest.mark.parametrize(
+        "ring,expected", [(4, 30), (6, 20), (8, 15), (10, 12)]
+    )
+    def test_setting2_preserves_mixer_total(self, ring, expected):
+        # The paper's example: "we change the number of actuations of
+        # each valve in the mixer using 8 pump valves to 15".
+        assert pump_rate_setting2(ring) == expected
+        assert pump_rate_setting2(ring) * ring == 120
+
+    def test_bad_ring_sizes(self):
+        with pytest.raises(SynthesisError):
+            pump_rate_setting1(0)
+        with pytest.raises(SynthesisError):
+            pump_rate_setting2(-2)
+        with pytest.raises(SynthesisError):
+            pump_rate_setting2(7)  # does not divide 120... (it does not)

@@ -1,0 +1,83 @@
+"""Tests for run-to-run wear leveling (extension)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.core.lifetime import synthesis_lifetime
+from repro.core.repetition import leveled_lifetime, plan_repetitions
+from repro.core.synthesis import SynthesisConfig
+from repro.geometry import GridSpec
+
+
+@pytest.fixture
+def setup(tiny_assay):
+    graph, schedule = tiny_assay
+    config = SynthesisConfig(grid=GridSpec(10, 10))
+    return graph, schedule, config
+
+
+class TestRepetitionPlan:
+    def test_plan_length(self, setup):
+        graph, schedule, config = setup
+        plan = plan_repetitions(graph, schedule, config, runs=3)
+        assert plan.run_count == 3
+        assert set(plan.runs[0]) == {"a", "b", "c"}
+
+    def test_later_runs_use_different_valves_first(self, setup):
+        graph, schedule, config = setup
+        plan = plan_repetitions(graph, schedule, config, runs=2)
+        rings_run1 = {
+            cell
+            for placement in plan.runs[0].values()
+            for cell in placement.pump_cells()
+        }
+        rings_run2 = {
+            cell
+            for placement in plan.runs[1].values()
+            for cell in placement.pump_cells()
+        }
+        # The balancer must not simply reuse the first layout.
+        assert rings_run1 != rings_run2
+
+    def test_wear_grows_sublinearly(self, setup):
+        """Leveling beats repeating one layout (wear 40 per run)."""
+        graph, schedule, config = setup
+        plan = plan_repetitions(graph, schedule, config, runs=4)
+        assert plan.wear_after(4) < 4 * 40
+        assert plan.wear_after(4) == plan.max_load
+
+    def test_wear_after_monotone(self, setup):
+        graph, schedule, config = setup
+        plan = plan_repetitions(graph, schedule, config, runs=3)
+        wears = [plan.wear_after(k) for k in range(4)]
+        assert wears[0] == 0
+        assert wears == sorted(wears)
+
+    def test_invalid_runs(self, setup):
+        graph, schedule, config = setup
+        with pytest.raises(SynthesisError):
+            plan_repetitions(graph, schedule, config, runs=0)
+        plan = plan_repetitions(graph, schedule, config, runs=1)
+        with pytest.raises(SynthesisError):
+            plan.wear_after(5)
+
+
+class TestLeveledLifetime:
+    def test_leveling_extends_lifetime(self, setup, tiny_result):
+        graph, schedule, config = setup
+        fixed = synthesis_lifetime(tiny_result, wear_budget=400).runs
+        leveled = leveled_lifetime(graph, schedule, config, wear_budget=400)
+        assert leveled > fixed
+
+    def test_budget_respected(self, setup):
+        graph, schedule, config = setup
+        runs = leveled_lifetime(graph, schedule, config, wear_budget=400)
+        plan = plan_repetitions(graph, schedule, config, runs=runs)
+        assert plan.max_load <= 400
+
+    def test_max_runs_cap(self, setup):
+        graph, schedule, config = setup
+        runs = leveled_lifetime(
+            graph, schedule, config, wear_budget=10**9, max_runs=3
+        )
+        assert runs == 3

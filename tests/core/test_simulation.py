@@ -1,0 +1,114 @@
+"""Tests for the execution simulator, including fault injection."""
+
+import dataclasses
+
+import pytest
+
+from repro.architecture.device import DynamicDevice, Placement
+from repro.architecture.device_types import device_type
+from repro.core.simulation import ChipSimulator, SimulationError, simulate
+from repro.geometry import Point
+from repro.routing.path import RoutedPath, TransportEvent
+
+
+class TestSuccessfulReplay:
+    def test_pcr_replays_cleanly(self, pcr_result):
+        report = simulate(pcr_result)
+        assert report.ok
+        assert report.transports_executed == len(pcr_result.routes)
+        assert report.products_delivered == 1  # only o7's product leaves
+
+    def test_event_log_ordered(self, pcr_result):
+        report = simulate(pcr_result)
+        times = [e.time for e in report.events]
+        assert times == sorted(times)
+
+    def test_log_contains_lifecycle(self, pcr_result):
+        log = simulate(pcr_result).log()
+        assert "form" in log and "mix" in log and "dissolve" in log
+
+    def test_tiny_assay_replays(self, tiny_result):
+        report = simulate(tiny_result)
+        assert report.products_delivered == 1
+        assert report.peak_occupied_cells > 0
+
+
+class TestFaultInjection:
+    """Corrupt a valid result and watch the simulator object."""
+
+    def _corrupted(self, result, **device_overrides):
+        clone = dataclasses.replace(result)
+        clone.devices = dict(result.devices)
+        for name, overrides in device_overrides.items():
+            old = clone.devices[name]
+            clone.devices[name] = DynamicDevice(
+                operation=old.operation,
+                placement=overrides.get("placement", old.placement),
+                start=overrides.get("start", old.start),
+                end=overrides.get("end", old.end),
+                mix_start=overrides.get("mix_start", old.mix_start),
+            )
+        return clone
+
+    def test_unrelated_overlap_detected(self, pcr_result):
+        # Move o2 exactly onto o1 (both run at t=0, unrelated).
+        target = pcr_result.devices["o1"].placement
+        broken = self._corrupted(pcr_result, o2={"placement": target})
+        with pytest.raises(SimulationError, match="overlap"):
+            simulate(broken)
+
+    def test_mixing_overlap_with_parent_detected(self, pcr_result):
+        # Make o5 start mixing while its parent o1 still runs AND force
+        # the rects to overlap: the storage-only permission is violated.
+        o1 = pcr_result.devices["o1"]
+        broken = self._corrupted(
+            pcr_result,
+            o5={
+                "placement": o1.placement,
+                "start": o1.start + 1,
+                "mix_start": o1.start + 1,
+                "end": o1.end + 10,
+            },
+        )
+        with pytest.raises(SimulationError):
+            simulate(broken)
+
+    def test_transport_through_mixer_detected(self, pcr_result):
+        clone = dataclasses.replace(pcr_result)
+        clone.devices = dict(pcr_result.devices)
+        clone.routes = list(pcr_result.routes)
+        # Reroute one product transfer straight through a busy mixer.
+        victim = next(
+            r for r in clone.routes
+            if not r.event.source_is_port and not r.event.target_is_port
+        )
+        mixer = next(
+            d for d in clone.devices.values()
+            if d.alive_at(victim.time)
+            and d.operation not in (victim.event.source, victim.event.target)
+            and d.kind_at(victim.time).value == "mixer"
+        )
+        bad_cells = list(mixer.rect.cells())
+        clone.routes[clone.routes.index(victim)] = RoutedPath(
+            victim.event, bad_cells
+        )
+        with pytest.raises(SimulationError, match="crosses the active"):
+            simulate(clone)
+
+    def test_missing_final_delivery_detected(self, pcr_result):
+        clone = dataclasses.replace(pcr_result)
+        clone.routes = [
+            r for r in pcr_result.routes if not r.event.target_is_port
+        ]
+        with pytest.raises(SimulationError, match="never reached"):
+            simulate(clone)
+
+    def test_missing_product_transfer_detected(self, pcr_result):
+        clone = dataclasses.replace(pcr_result)
+        clone.routes = [
+            r
+            for r in pcr_result.routes
+            if not (r.event.source == "o1" and r.event.target == "o5")
+        ]
+        with pytest.raises(SimulationError, match="without products"):
+            simulate(clone)

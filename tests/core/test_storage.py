@@ -1,0 +1,118 @@
+"""Unit tests for in-situ storage planning and Algorithm 1's check."""
+
+import pytest
+
+from repro.errors import AssayError
+from repro.assay.schedule import Schedule
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.assay.operation import MixRatio
+from repro.architecture.device import Placement
+from repro.architecture.device_types import device_type
+from repro.geometry import Point
+from repro.core.storage import StoragePlan, product_volume
+
+
+@pytest.fixture
+def diamond():
+    g = SequencingGraph("diamond")
+    for i in range(4):
+        g.add_input(f"i{i}")
+    g.add_mix("oa", ("i0", "i1"), duration=4, volume=8)
+    g.add_mix("ob", ("i2", "i3"), duration=9, volume=8)
+    g.add_mix(
+        "oc", ("oa", "ob"), duration=5, volume=8, ratio=MixRatio((1, 3))
+    )
+    s = Schedule(g, transport_delay=3)
+    for i in range(4):
+        s.add(f"i{i}", 0)
+    s.add("oa", 0)
+    s.add("ob", 0)
+    s.add("oc", 12)
+    return g, s
+
+
+class TestProductVolume:
+    def test_ratio_aligned_with_parent_order(self, diamond):
+        g, _ = diamond
+        assert product_volume(g, "oc", "oa") == 2  # 1 part of 8
+        assert product_volume(g, "oc", "ob") == 6  # 3 parts of 8
+
+    def test_even_split_fallback(self, diamond):
+        g, _ = diamond
+        assert product_volume(g, "oa", "i0") == 4
+
+    def test_unrelated_parent_rejected(self, diamond):
+        g, _ = diamond
+        with pytest.raises(AssayError):
+            product_volume(g, "oc", "i0")
+
+
+class TestStorageInfo:
+    def test_storage_created_only_when_needed(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        assert plan.storage("oa") is None  # input-fed: no buffering
+        assert plan.storage("oc") is not None
+
+    def test_fill_level_over_time(self, diamond):
+        g, s = diamond
+        info = StoragePlan(g, s).storage("oc")
+        assert info.capacity == 8
+        assert info.stored_volume(3) == 0  # before formation
+        assert info.stored_volume(4) == 2  # oa's product arrives
+        assert info.stored_volume(9) == 8  # ob's product (6 units) too
+        assert info.stored_volume(12) == 0  # storage became the mixer
+
+    def test_free_space(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        assert plan.free_space("oc", 4) == 6
+        assert plan.free_space("oc", 9) == 0
+        assert plan.free_space("oc", 20) == 0  # outside the phase
+        assert plan.free_space("nonexistent", 4) == 0
+
+
+class TestOverlapViolations:
+    def place(self, oc_at, ob_at):
+        return {
+            "oa": Placement(device_type(2, 4), Point(6, 0)),
+            "ob": Placement(device_type(2, 4), Point(*ob_at)),
+            "oc": Placement(device_type(2, 4), Point(*oc_at)),
+        }
+
+    def test_no_spatial_overlap_no_violation(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        assert plan.overlap_violations(self.place((0, 0), (3, 0))) == set()
+
+    def test_small_overlap_fits_free_space(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        # oc storage holds oa's 2 units while ob runs: 6 units free;
+        # a 1x4-cell overlap with ob's device fits.
+        placements = self.place((0, 0), (1, 0))
+        # ob at (1,0), oc at (0,0): 2x4 rects overlap in a 1x4 strip.
+        assert plan.overlap_violations(placements) == set()
+
+    def test_large_overlap_flagged(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        placements = self.place((0, 0), (0, 0))  # full 8-cell overlap
+        assert plan.overlap_violations(placements) == {("ob", "oc")}
+
+    def test_finished_parent_never_flagged(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        # oa ends exactly when oc's storage forms: sharing oa's cells is
+        # the paper's Figure 7 reuse, never a violation.
+        placements = {
+            "oa": Placement(device_type(2, 4), Point(0, 0)),
+            "ob": Placement(device_type(2, 4), Point(3, 0)),
+            "oc": Placement(device_type(2, 4), Point(0, 0)),
+        }
+        assert plan.overlap_violations(placements) == set()
+
+    def test_storages_listing(self, diamond):
+        g, s = diamond
+        plan = StoragePlan(g, s)
+        assert [info.operation for info in plan.storages()] == ["oc"]

@@ -1,0 +1,132 @@
+"""Integration-level tests for the full synthesis (Algorithm 1)."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.geometry import GridSpec
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.core.mappers import GreedyMapper, ILPMapper, WindowedILPMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+
+class TestPcrSynthesis:
+    """The paper's own example: PCR/p1 with the Figure-9 schedule."""
+
+    def test_matches_paper_vs1(self, pcr_result):
+        # Table 1 PCR p1: vs 1max = 45(40).  The peristaltic part is the
+        # ILP optimum and must match exactly; the total adds a few
+        # control actuations whose exact count depends on equally
+        # optimal placements, so a small margin applies.
+        assert pcr_result.metrics.setting1.max_peristaltic == 40
+        assert 41 <= pcr_result.metrics.setting1.max_total <= 48
+
+    def test_matches_paper_vs2(self, pcr_result):
+        # Table 1 PCR p1: vs 2max = 35(30).
+        assert pcr_result.metrics.setting2.max_peristaltic == 30
+        assert 31 <= pcr_result.metrics.setting2.max_total <= 38
+
+    def test_valve_count_near_paper(self, pcr_result):
+        # Paper: 71 valves; the model must land in the same range and
+        # clearly below the traditional 83.
+        assert 60 <= pcr_result.metrics.used_valves <= 83
+
+    def test_every_mix_mapped(self, pcr_result):
+        assert set(pcr_result.devices) == {f"o{i}" for i in range(1, 8)}
+
+    def test_concurrent_devices_never_overlap_illegally(self, pcr_result):
+        devices = list(pcr_result.devices.values())
+        plan = pcr_result.storage_plan
+        for i, a in enumerate(devices):
+            for b in devices[i + 1:]:
+                if not a.overlaps_in_time(b):
+                    continue
+                if not a.rect.overlaps(b.rect):
+                    continue
+                pair = {a.operation, b.operation}
+                parents_a = {
+                    p.name
+                    for p in pcr_result.graph.mix_parents(a.operation)
+                }
+                parents_b = {
+                    p.name
+                    for p in pcr_result.graph.mix_parents(b.operation)
+                }
+                assert (
+                    b.operation in parents_a or a.operation in parents_b
+                ), f"illegal overlap {pair}"
+
+    def test_role_changing_happens(self, pcr_result):
+        # The headline concept: many valves serve in several roles.
+        assert pcr_result.metrics.role_changing_valves >= 10
+
+    def test_pump_balance_is_optimal(self, pcr_result):
+        # 7 ops with rings of 4..10 valves fit a 9x9 grid without any
+        # valve pumping twice: the ILP proves w = 40.
+        assert pcr_result.metrics.mapping_objective == 40
+        assert pcr_result.metrics.mapper == "ilp"
+
+    def test_routes_cover_all_transports(self, pcr_result):
+        assert len(pcr_result.routes) == 15  # 8 loads + 6 transfers + 1 out
+
+    def test_snapshot_monotone_in_time(self, pcr_result):
+        earlier = pcr_result.snapshot(6).sum()
+        later = pcr_result.snapshot(25).sum()
+        assert later > earlier
+
+    def test_final_positions_match_used_count(self, pcr_result):
+        assert (
+            len(pcr_result.final_valve_positions())
+            == pcr_result.metrics.used_valves
+        )
+
+
+class TestConfig:
+    def test_auto_mapper_selection(self):
+        config = SynthesisConfig(grid=GridSpec(9, 9), ilp_task_limit=8)
+        assert isinstance(config.resolve_mapper(7), ILPMapper)
+        assert isinstance(config.resolve_mapper(9), WindowedILPMapper)
+
+    def test_explicit_mapper_wins(self):
+        mapper = GreedyMapper()
+        config = SynthesisConfig(grid=GridSpec(9, 9), mapper=mapper)
+        assert config.resolve_mapper(100) is mapper
+
+    def test_assay_without_mixes_rejected(self):
+        g = SequencingGraph("empty")
+        g.add_input("i0")
+        schedule = ListScheduler(SchedulerConfig()).schedule(g)
+        with pytest.raises(SynthesisError, match="no mixing operations"):
+            ReliabilitySynthesizer(
+                SynthesisConfig(grid=GridSpec(6, 6))
+            ).synthesize(g, schedule)
+
+
+class TestTinyAssay:
+    def test_storage_becomes_device(self, tiny_result):
+        c = tiny_result.device_of("c")
+        storage = tiny_result.storage_plan.storage("c")
+        assert storage is not None
+        assert c.start == storage.start
+        assert c.mix_start == storage.mix_start
+
+    def test_settings_share_placements(self, tiny_result):
+        g1 = tiny_result.grid_setting1
+        g2 = tiny_result.grid_setting2
+        assert {v.position for v in g1.actuated_valves()} == {
+            v.position for v in g2.actuated_valves()
+        }
+
+    def test_setting2_weaker_wear(self, tiny_result):
+        assert (
+            tiny_result.metrics.setting2.max_total
+            <= tiny_result.metrics.setting1.max_total
+        )
+
+    def test_greedy_config_runs_end_to_end(self, tiny_assay):
+        graph, schedule = tiny_assay
+        result = ReliabilitySynthesizer(
+            SynthesisConfig(grid=GridSpec(8, 8), mapper=GreedyMapper())
+        ).synthesize(graph, schedule)
+        assert result.metrics.mapper == "greedy"
+        assert result.metrics.setting1.max_peristaltic >= 40

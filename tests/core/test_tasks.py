@@ -1,0 +1,52 @@
+"""Unit tests for mapping-task construction."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.core.tasks import MappingTask, build_tasks
+
+
+class TestMappingTask:
+    def test_interval_consistency_enforced(self):
+        with pytest.raises(SynthesisError):
+            MappingTask("x", 8, 40, start=5, mix_start=4, end=9,
+                        mix_parents=())
+
+    def test_storage_phase_detection(self):
+        with_storage = MappingTask("a", 8, 40, 2, 6, 9, ())
+        without = MappingTask("b", 8, 40, 6, 6, 9, ())
+        assert with_storage.has_storage_phase
+        assert not without.has_storage_phase
+
+    def test_temporal_overlap(self):
+        a = MappingTask("a", 8, 40, 0, 0, 5, ())
+        b = MappingTask("b", 8, 40, 5, 5, 9, ())
+        c = MappingTask("c", 8, 40, 4, 4, 9, ())
+        assert not a.overlaps_in_time(b)
+        assert a.overlaps_in_time(c)
+
+
+class TestBuildTasks:
+    def test_pcr_tasks(self, pcr, fig9_schedule):
+        tasks = build_tasks(pcr, fig9_schedule)
+        by_name = {t.name: t for t in tasks}
+        assert set(by_name) == {f"o{i}" for i in range(1, 8)}
+        # Ordered by operation start time (the schedule's mix order).
+        assert [t.name for t in tasks] == [
+            "o1", "o2", "o3", "o4", "o6", "o5", "o7",
+        ]
+
+    def test_device_intervals_include_storage(self, pcr, fig9_schedule):
+        tasks = {t.name: t for t in build_tasks(pcr, fig9_schedule)}
+        assert tasks["o7"].interval == (9, 29)  # s7 from t=9
+        assert tasks["o7"].mix_start == 25
+        assert tasks["o1"].interval == (0, 15)  # no storage phase
+
+    def test_pump_rate_is_setting1(self, pcr, fig9_schedule):
+        tasks = build_tasks(pcr, fig9_schedule)
+        assert all(t.pump_rate == 40 for t in tasks)
+
+    def test_mix_parents_only(self, pcr, fig9_schedule):
+        tasks = {t.name: t for t in build_tasks(pcr, fig9_schedule)}
+        assert tasks["o5"].mix_parents == ("o1", "o2")
+        assert tasks["o1"].mix_parents == ()  # inputs are not mix parents

@@ -1,0 +1,45 @@
+"""Tests for the future-work speedup study."""
+
+import pytest
+
+from repro.assays import get_case
+from repro.experiments.acceleration import (
+    dynamic_schedule,
+    format_speedup,
+    measure_case,
+    run_speedup,
+)
+
+
+class TestDynamicSchedule:
+    def test_pcr_dynamic_equals_fig9(self):
+        """Unconstrained scheduling of PCR is exactly Figure 9."""
+        schedule = dynamic_schedule(get_case("pcr"))
+        assert schedule.makespan == 29
+
+    def test_dynamic_never_slower(self):
+        rows = measure_case(get_case("pcr"))
+        for row in rows:
+            assert row.dynamic_makespan <= row.traditional_makespan
+            assert row.speedup >= 1.0
+
+    def test_area_feasibility_verified(self):
+        rows = measure_case(get_case("pcr"))
+        assert all(row.area_feasible for row in rows)
+
+    def test_speedup_shrinks_with_policy_index(self):
+        """More dedicated mixers -> the traditional gap closes."""
+        rows = measure_case(get_case("mixing_tree"))
+        speedups = [row.speedup for row in rows]
+        assert speedups == sorted(speedups, reverse=True)
+
+
+class TestHarness:
+    def test_run_selected_cases(self):
+        rows = run_speedup(["pcr"])
+        assert [row.policy for row in rows] == ["p1", "p2", "p3"]
+
+    def test_formatting(self):
+        rows = run_speedup(["pcr"])
+        text = format_speedup(rows)
+        assert "speedup" in text and "pcr" in text

@@ -1,0 +1,110 @@
+"""Tests for the figure reproductions."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.paper_data import (
+    FIG2_CONTROL_ACTUATIONS,
+    FIG2_PUMP_ACTUATIONS,
+    FIG2_VALVES,
+    FIG3_MAX_ACTUATIONS,
+    FIG3_VALVES,
+)
+
+
+class TestFigure2:
+    def test_profile_matches_paper(self):
+        profile = figures.figure2()
+        assert profile["pump"] == [FIG2_PUMP_ACTUATIONS] * 3
+        assert tuple(profile["control"]) == FIG2_CONTROL_ACTUATIONS
+        assert len(profile["pump"]) + len(profile["control"]) == FIG2_VALVES
+
+    def test_render(self):
+        text = figures.render_figure2()
+        assert "80" in text and "9" in text
+
+
+class TestFigure3:
+    def test_numbers_match_paper(self):
+        data = figures.figure3()
+        assert data.dedicated_max == FIG2_PUMP_ACTUATIONS
+        assert data.rotating_max == FIG3_MAX_ACTUATIONS  # 48
+        assert data.rotating_valves == FIG3_VALVES  # 8
+        assert data.greedy_max <= FIG3_MAX_ACTUATIONS
+
+    def test_render(self):
+        text = figures.render_figure3()
+        assert "48" in text and "80" in text
+
+
+class TestFigure5:
+    def test_disjoint_channel_valves(self):
+        data = figures.figure5()
+        assert data.area_overlap > 0
+        assert data.shared_pump_channel_valves == 0
+        assert data.shared_pump_cells > 0  # the conservative cell view
+
+    def test_render(self):
+        assert "completely different" in figures.render_figure5()
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.figure7()
+
+    def test_storage_interval(self, data):
+        assert data.storage_interval == (4, 12)
+
+    def test_storage_becomes_device(self, data):
+        oc = data.result.device_of("oc")
+        assert oc.start == 4 and oc.mix_start == 12
+
+    def test_render(self, data):
+        text = figures.render_figure7()
+        assert "s_c" in text and "becomes d_c" in text
+
+
+class TestFigure9:
+    def test_schedule_is_fig9(self):
+        schedule = figures.figure9()
+        assert schedule.start("o7") == 25
+        assert schedule.makespan == 29
+
+    def test_render_contains_all_ops(self):
+        text = figures.render_figure9()
+        for i in range(1, 8):
+            assert f"o{i}" in text
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return figures.figure10(times=(2, 25))
+
+    def test_panel_count(self, fig10):
+        _, panels = fig10
+        assert len(panels) == 2
+
+    def test_wear_counters_visible(self, fig10):
+        _, panels = fig10
+        # Pump wear (40) + formation (1) appears as 41 at t=2.
+        assert "41" in panels[0]
+        assert "t = 25tu" in panels[1]
+
+    def test_result_matches_table(self, fig10):
+        result, _ = fig10
+        assert result.metrics.setting1.max_peristaltic == 40
+
+
+class TestFigure4:
+    def test_size_change_in_same_area(self):
+        data = figures.figure4()
+        assert data.smaller.device_type.volume < data.larger.device_type.volume
+        # The larger device fully reuses the smaller one's area.
+        assert data.shared_area == data.smaller.rect.area
+        assert data.extra_ring_valves > 0
+
+    def test_render(self):
+        text = figures.render_figure4()
+        assert "different sizes" in text

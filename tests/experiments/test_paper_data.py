@@ -1,0 +1,55 @@
+"""Consistency checks on the transcribed Table 1 reference data."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.paper_data import (
+    PAPER_AVERAGE_IMP1,
+    PAPER_AVERAGE_IMP2,
+    PAPER_AVERAGE_IMPV,
+    PAPER_TABLE1,
+    paper_row,
+)
+
+
+class TestTable1Transcription:
+    def test_twelve_rows(self):
+        assert len(PAPER_TABLE1) == 12
+
+    def test_lookup(self):
+        row = paper_row("pcr", 1)
+        assert row.vs_tmax == 160 and row.v_traditional == 83
+
+    def test_unknown_lookup(self):
+        with pytest.raises(ReproError):
+            paper_row("pcr", 9)
+
+    def test_improvement_columns_recompute(self):
+        """The printed percentages follow from the printed counts."""
+        for row in PAPER_TABLE1:
+            imp1 = (row.vs_tmax - row.vs1_total) / row.vs_tmax * 100
+            imp2 = (row.vs_tmax - row.vs2_total) / row.vs_tmax * 100
+            impv = (
+                (row.v_traditional - row.v_ours) / row.v_traditional * 100
+            )
+            assert imp1 == pytest.approx(row.imp1_percent, abs=0.02)
+            assert imp2 == pytest.approx(row.imp2_percent, abs=0.02)
+            assert impv == pytest.approx(row.impv_percent, abs=0.02)
+
+    def test_published_averages_recompute(self):
+        """The 55.76 / 72.97 / 10.62 bottom line of Table 1."""
+        n = len(PAPER_TABLE1)
+        avg1 = sum(r.imp1_percent for r in PAPER_TABLE1) / n
+        avg2 = sum(r.imp2_percent for r in PAPER_TABLE1) / n
+        avgv = sum(r.impv_percent for r in PAPER_TABLE1) / n
+        assert avg1 == pytest.approx(PAPER_AVERAGE_IMP1, abs=0.02)
+        assert avg2 == pytest.approx(PAPER_AVERAGE_IMP2, abs=0.02)
+        assert avgv == pytest.approx(PAPER_AVERAGE_IMPV, abs=0.02)
+
+    def test_vs_tmax_is_40_times_max_load(self):
+        for row in PAPER_TABLE1:
+            assert row.vs_tmax % 40 == 0
+
+    def test_setting2_never_worse_than_setting1(self):
+        for row in PAPER_TABLE1:
+            assert row.vs2_total <= row.vs1_total

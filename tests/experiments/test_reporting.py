@@ -1,0 +1,33 @@
+"""Unit tests for report formatting helpers."""
+
+from repro.experiments.reporting import format_columns, percent
+
+
+class TestFormatColumns:
+    def test_alignment(self):
+        text = format_columns(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22.5]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_formatting(self):
+        text = format_columns(["v"], [[1.23456]])
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_header_rule(self):
+        text = format_columns(["a", "b"], [])
+        assert "-" in text.splitlines()[1]
+
+
+class TestPercent:
+    def test_improvement(self):
+        assert percent(160, 45) == 71.875
+
+    def test_regression_is_negative(self):
+        assert percent(100, 110) == -10.0
+
+    def test_zero_baseline(self):
+        assert percent(0, 5) == 0.0

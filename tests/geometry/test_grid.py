@@ -1,0 +1,59 @@
+"""Unit tests for the grid spec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import GridSpec, Point, Rect
+
+
+class TestGridSpec:
+    def test_cell_count_and_bounds(self):
+        g = GridSpec(4, 3)
+        assert g.cell_count == 12
+        assert g.bounds == Rect(0, 0, 4, 3)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError):
+            GridSpec(0, 5)
+
+    def test_in_bounds(self):
+        g = GridSpec(3, 3)
+        assert g.in_bounds(Point(0, 0))
+        assert g.in_bounds(Point(2, 2))
+        assert not g.in_bounds(Point(3, 0))
+        assert not g.in_bounds(Point(0, -1))
+
+    def test_contains_rect(self):
+        g = GridSpec(5, 5)
+        assert g.contains_rect(Rect(0, 0, 5, 5))
+        assert not g.contains_rect(Rect(3, 3, 3, 3))
+
+    def test_clip_drops_off_grid_wall_cells(self):
+        g = GridSpec(4, 4)
+        walls = Rect(0, 0, 2, 2).wall_cells()
+        clipped = g.clip(walls)
+        assert all(g.in_bounds(p) for p in clipped)
+        assert len(clipped) < len(walls)  # edge walls are free
+
+    def test_cells_iteration_row_major(self):
+        cells = list(GridSpec(2, 2).cells())
+        assert cells == [Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)]
+
+    def test_neighbors4_clipped_at_corner(self):
+        g = GridSpec(3, 3)
+        assert set(g.neighbors4(Point(0, 0))) == {Point(1, 0), Point(0, 1)}
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_placements_all_inside_and_complete(self, gw, gh, w, h):
+        g = GridSpec(gw, gh)
+        placements = list(g.placements(w, h))
+        assert all(g.contains_rect(r) for r in placements)
+        expected = max(gw - w + 1, 0) * max(gh - h + 1, 0)
+        assert len(placements) == expected

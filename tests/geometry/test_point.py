@@ -1,0 +1,64 @@
+"""Unit tests for grid points and distances."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, chebyshev_distance, manhattan_distance
+
+coords = st.integers(min_value=-50, max_value=50)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_unpacking(self):
+        x, y = Point(3, 7)
+        assert (x, y) == (3, 7)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -5) == Point(4, -3)
+
+    def test_neighbors4_are_distance_one(self):
+        p = Point(5, 5)
+        neighbors = list(p.neighbors4())
+        assert len(neighbors) == 4
+        assert all(manhattan_distance(p, q) == 1 for q in neighbors)
+
+    def test_neighbors8_count_and_uniqueness(self):
+        p = Point(0, 0)
+        neighbors = list(p.neighbors8())
+        assert len(neighbors) == 8
+        assert len(set(neighbors)) == 8
+        assert p not in neighbors
+
+    def test_points_are_hashable_and_ordered(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+        assert Point(1, 2) < Point(2, 1)
+
+
+class TestDistances:
+    def test_manhattan_example(self):
+        assert manhattan_distance(Point(0, 0), Point(3, 4)) == 7
+
+    def test_chebyshev_example(self):
+        assert chebyshev_distance(Point(0, 0), Point(3, 4)) == 4
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+        assert chebyshev_distance(a, b) == chebyshev_distance(b, a)
+
+    @given(points, points)
+    def test_chebyshev_below_manhattan(self, a, b):
+        assert chebyshev_distance(a, b) <= manhattan_distance(a, b)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan_distance(a, c) <= (
+            manhattan_distance(a, b) + manhattan_distance(b, c)
+        )
+
+    @given(points)
+    def test_identity(self, a):
+        assert manhattan_distance(a, a) == 0
+        assert chebyshev_distance(a, a) == 0

@@ -1,0 +1,126 @@
+"""Unit and property tests for rectangles (device footprints)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Point, Rect
+
+dims = st.integers(min_value=1, max_value=8)
+coords = st.integers(min_value=-10, max_value=10)
+rects = st.builds(Rect, coords, coords, dims, dims)
+
+
+class TestConstruction:
+    def test_boundaries_match_paper_b_variables(self):
+        r = Rect(2, 3, 4, 2)
+        assert (r.left, r.right, r.bottom, r.top) == (2, 6, 3, 5)
+
+    @pytest.mark.parametrize("w,h", [(0, 1), (1, 0), (-1, 2)])
+    def test_degenerate_dimensions_rejected(self, w, h):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, w, h)
+
+    def test_area_and_corner(self):
+        r = Rect(1, 1, 3, 4)
+        assert r.area == 12
+        assert r.corner == Point(1, 1)
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert Rect(0, 0, 3, 3).overlaps(Rect(2, 2, 3, 3))
+
+    def test_touching_edges_do_not_overlap(self):
+        assert not Rect(0, 0, 3, 3).overlaps(Rect(3, 0, 3, 3))
+        assert not Rect(0, 0, 3, 3).overlaps(Rect(0, 3, 3, 3))
+
+    def test_overlap_area_values(self):
+        assert Rect(0, 0, 3, 3).overlap_area(Rect(2, 2, 3, 3)) == 1
+        assert Rect(0, 0, 4, 4).overlap_area(Rect(1, 1, 2, 2)) == 4
+        assert Rect(0, 0, 2, 2).overlap_area(Rect(5, 5, 2, 2)) == 0
+
+    @given(rects, rects)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlap_area(b) == b.overlap_area(a)
+
+    @given(rects, rects)
+    def test_overlap_iff_positive_area(self, a, b):
+        assert a.overlaps(b) == (a.overlap_area(b) > 0)
+
+    @given(rects, rects)
+    def test_intersection_consistent_with_area(self, a, b):
+        inter = a.intersection(b)
+        if inter is None:
+            assert a.overlap_area(b) == 0
+        else:
+            assert inter.area == a.overlap_area(b)
+            assert a.overlaps(b)
+
+    @given(rects, rects)
+    def test_overlap_matches_cellwise_check(self, a, b):
+        cellwise = bool(set(a.cells()) & set(b.cells()))
+        assert a.overlaps(b) == cellwise
+
+
+class TestDistance:
+    def test_gap_distance_zero_when_touching(self):
+        assert Rect(0, 0, 2, 2).gap_distance(Rect(2, 0, 2, 2)) == 0
+
+    def test_gap_distance_axis_separation(self):
+        assert Rect(0, 0, 2, 2).gap_distance(Rect(5, 0, 2, 2)) == 3
+        assert Rect(0, 0, 2, 2).gap_distance(Rect(5, 7, 2, 2)) == 5
+
+    def test_within_distance_is_papers_predicate(self):
+        # eqs. (13)-(16) with d=2: gap strictly below 2 on both axes.
+        a = Rect(0, 0, 2, 2)
+        assert a.within_distance(Rect(3, 0, 2, 2), 2)  # gap 1
+        assert not a.within_distance(Rect(4, 0, 2, 2), 2)  # gap 2
+
+    @given(rects, rects, st.integers(min_value=1, max_value=6))
+    def test_within_distance_equivalent_to_gap(self, a, b, d):
+        assert a.within_distance(b, d) == (a.gap_distance(b) < d)
+
+
+class TestRings:
+    def test_perimeter_of_3x3(self):
+        ring = Rect(0, 0, 3, 3).perimeter_cells()
+        assert len(ring) == 8  # the paper's 8-unit-volume mixer
+        assert Point(1, 1) not in ring
+
+    def test_perimeter_of_2x4_has_8_pump_valves(self):
+        assert len(Rect(0, 0, 2, 4).perimeter_cells()) == 8
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=2, max_value=7))
+    def test_ring_length_formula(self, w, h):
+        ring = Rect(0, 0, w, h).perimeter_cells()
+        assert len(ring) == 2 * (w + h) - 4
+        assert len(set(ring)) == len(ring)
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=2, max_value=7))
+    def test_ring_is_closed_cycle(self, w, h):
+        ring = Rect(0, 0, w, h).perimeter_cells()
+        for i, cell in enumerate(ring):
+            nxt = ring[(i + 1) % len(ring)]
+            assert abs(cell.x - nxt.x) + abs(cell.y - nxt.y) == 1
+
+    def test_interior_cells(self):
+        assert list(Rect(0, 0, 3, 3).interior_cells()) == [Point(1, 1)]
+        assert list(Rect(0, 0, 2, 4).interior_cells()) == []
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=2, max_value=7))
+    def test_ring_plus_interior_covers_rect(self, w, h):
+        r = Rect(0, 0, w, h)
+        covered = set(r.perimeter_cells()) | set(r.interior_cells())
+        assert covered == set(r.cells())
+
+    def test_wall_cells_surround_rect(self):
+        r = Rect(2, 2, 2, 2)
+        walls = r.wall_cells()
+        assert len(walls) == 12
+        assert all(not r.contains(w) for w in walls)
+
+    def test_expanded(self):
+        assert Rect(2, 2, 2, 2).expanded(1) == Rect(1, 1, 4, 4)

@@ -1,0 +1,61 @@
+"""Brute-force cross-checks of the rectangle predicates.
+
+The non-overlap disjunction (eq. 3) and the routing-convenient
+constraints (eqs. 13-16) are all built on these predicates, so they are
+verified here against definitions computed cell by cell.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, chebyshev_distance
+
+dims = st.integers(min_value=1, max_value=5)
+coords = st.integers(min_value=0, max_value=8)
+rects = st.builds(Rect, coords, coords, dims, dims)
+
+
+@given(rects, rects)
+def test_overlap_area_matches_cell_count(a, b):
+    brute = len(set(a.cells()) & set(b.cells()))
+    assert a.overlap_area(b) == brute
+
+
+@given(rects, rects)
+def test_gap_distance_matches_nearest_cells(a, b):
+    nearest = min(
+        chebyshev_distance(p, q) for p in a.cells() for q in b.cells()
+    )
+    expected = max(nearest - 1, 0)
+    assert a.gap_distance(b) == expected
+
+
+@given(rects, rects, st.integers(min_value=1, max_value=5))
+def test_within_distance_matches_papers_inequalities(a, b, d):
+    # Literal transcription of eqs. (13)-(16).
+    paper = (
+        a.right > b.left - d
+        and a.left < b.right + d
+        and a.top > b.bottom - d
+        and a.bottom < b.top + d
+    )
+    assert a.within_distance(b, d) == paper
+
+
+@given(rects, rects)
+def test_non_overlap_disjunction_eq3(a, b):
+    # Eq. (3): disjoint iff at least one side-relation holds.
+    disjunction = (
+        a.right <= b.left
+        or b.right <= a.left
+        or a.top <= b.bottom
+        or b.top <= a.bottom
+    )
+    assert disjunction == (not a.overlaps(b))
+
+
+@given(rects)
+def test_wall_cells_are_exactly_the_margin(r):
+    walls = set(r.wall_cells())
+    margin = set(r.expanded(1).cells()) - set(r.cells())
+    assert walls == margin

@@ -1,0 +1,98 @@
+"""Unit tests for linear expressions and constraints."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp import Constraint, LinExpr, Model, Sense, quicksum
+
+
+@pytest.fixture
+def model():
+    return Model("expr-tests")
+
+
+class TestArithmetic:
+    def test_var_plus_var(self, model):
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = x + y
+        assert expr.coefficient(x) == 1.0
+        assert expr.coefficient(y) == 1.0
+        assert expr.constant == 0.0
+
+    def test_scaling_and_constants(self, model):
+        x = model.add_continuous("x")
+        expr = 3 * x - 2 * x + 5
+        assert expr.coefficient(x) == 1.0
+        assert expr.constant == 5.0
+
+    def test_cancellation_drops_term(self, model):
+        x, y = model.add_continuous("x"), model.add_continuous("y")
+        expr = (x + y) - x
+        assert x not in expr.terms
+        assert expr.coefficient(y) == 1.0
+
+    def test_negation_and_rsub(self, model):
+        x = model.add_continuous("x")
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.coefficient(x) == -1.0
+        assert (-x).coefficient(x) == -1.0
+
+    def test_nonlinear_rejected(self, model):
+        x, y = model.add_continuous("x"), model.add_continuous("y")
+        with pytest.raises(ModelError):
+            (x + 1) * (y + 1)  # noqa: B018 - error expected
+
+    def test_evaluate(self, model):
+        x, y = model.add_continuous("x"), model.add_continuous("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.evaluate({x: 2.0, y: 1.0}) == 8.0
+
+    def test_quicksum_equivalent_to_sum(self, model):
+        xs = [model.add_continuous(f"x{i}") for i in range(10)]
+        a = quicksum(2 * x for x in xs)
+        values = {x: float(i) for i, x in enumerate(xs)}
+        assert a.evaluate(values) == sum(2 * i for i in range(10))
+
+
+class TestConstraints:
+    def test_le_normalization(self, model):
+        x, y = model.add_continuous("x"), model.add_continuous("y")
+        con = x + 2 <= y + 5
+        assert con.sense is Sense.LE
+        assert con.rhs == 3.0
+        assert con.expr.coefficient(x) == 1.0
+        assert con.expr.coefficient(y) == -1.0
+
+    def test_eq_via_expressions(self, model):
+        x = model.add_continuous("x")
+        con = x + 0 == 4
+        assert con.sense is Sense.EQ
+        assert con.satisfied_by({x: 4.0})
+        assert not con.satisfied_by({x: 5.0})
+
+    def test_var_eq_helper(self, model):
+        x = model.add_continuous("x")
+        con = x.eq(2)
+        assert con.sense is Sense.EQ and con.rhs == 2.0
+
+    def test_constraint_as_bool_raises(self, model):
+        x = model.add_continuous("x")
+        with pytest.raises(ModelError):
+            bool(x <= 3)
+
+    def test_constant_constraint_rejected(self):
+        with pytest.raises(ModelError):
+            Constraint(LinExpr({}, 1.0), Sense.LE, 2.0)
+
+    def test_violation(self, model):
+        x = model.add_continuous("x")
+        con = x <= 3
+        assert con.violation({x: 5.0}) == pytest.approx(2.0)
+        assert con.violation({x: 2.0}) == 0.0
+
+    def test_vars_usable_as_dict_keys(self, model):
+        # Var deliberately keeps identity ==, so dicts behave normally.
+        x, y = model.add_binary("x"), model.add_binary("y")
+        d = {x: 1, y: 2}
+        assert d[x] == 1 and d[y] == 2

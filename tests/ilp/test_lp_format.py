@@ -1,0 +1,73 @@
+"""Unit tests for the LP-format export."""
+
+import pytest
+
+from repro.ilp import Model, quicksum
+from repro.ilp.lp_format import to_lp_string, write_lp
+
+
+def small_model():
+    m = Model("demo")
+    x = m.add_binary("x")
+    y = m.add_integer("y", lb=1, ub=7)
+    z = m.add_continuous("z", lb=-2.0, ub=3.5)
+    m.add_constr(2 * x + y - z <= 5, "cap")
+    m.add_constr(y + 0 == 4)
+    m.maximize(3 * x + y + 0.5 * z)
+    return m, (x, y, z)
+
+
+class TestLpExport:
+    def test_sections_present(self):
+        m, _ = small_model()
+        text = to_lp_string(m)
+        for section in ("Maximize", "Subject To", "Bounds",
+                        "Generals", "Binaries", "End"):
+            assert section in text
+
+    def test_constraints_rendered(self):
+        m, _ = small_model()
+        text = to_lp_string(m)
+        assert "cap_0:" in text
+        assert "<= 5" in text
+        assert "= 4" in text
+
+    def test_bounds_rendered(self):
+        m, _ = small_model()
+        text = to_lp_string(m)
+        assert "1 <= y__1 <= 7" in text
+        assert "-2 <= z__2 <= 3.5" in text
+
+    def test_minimize_header(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.minimize(x)
+        assert "Minimize" in to_lp_string(m)
+
+    def test_nasty_names_sanitized(self):
+        m = Model()
+        s = m.add_binary("s[3,4,k=2,op o1]")
+        m.minimize(s)
+        text = to_lp_string(m)
+        assert "[" not in text.split("\\", 1)[-1].replace("\\", "")
+        assert "s_3_4_k_2_op_o1___0" in text  # trailing ']' -> '_'
+
+    def test_file_write(self, tmp_path):
+        m, _ = small_model()
+        path = tmp_path / "model.lp"
+        write_lp(m, str(path))
+        assert path.read_text() == to_lp_string(m)
+
+    def test_real_mapping_model_exports(self, pcr, fig9_schedule):
+        from repro.core.mapping_model import MappingModelBuilder, MappingSpec
+        from repro.core.tasks import build_tasks
+        from repro.geometry import GridSpec
+
+        tasks = build_tasks(pcr, fig9_schedule)
+        built = MappingModelBuilder(
+            MappingSpec(grid=GridSpec(9, 9), tasks=tasks)
+        ).build()
+        text = to_lp_string(built.model)
+        assert "one_device_o1" in text.replace("[", "_").replace("]", "_")
+        assert text.endswith("End\n")
+        assert text.count("\n") > built.model.num_constrs

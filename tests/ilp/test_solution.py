@@ -1,0 +1,71 @@
+"""Unit tests for solve statuses and solutions."""
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.ilp import Model, Solution, SolveStatus
+
+
+class TestSolveStatus:
+    def test_has_solution(self):
+        assert SolveStatus.OPTIMAL.has_solution
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution
+        assert not SolveStatus.UNBOUNDED.has_solution
+        assert not SolveStatus.NO_SOLUTION.has_solution
+
+
+class TestSolution:
+    def test_truthiness_tracks_status(self):
+        assert Solution(SolveStatus.OPTIMAL, 1.0)
+        assert not Solution(SolveStatus.INFEASIBLE)
+
+    def test_value_of_expression(self):
+        m = Model()
+        x = m.add_integer("x", ub=5)
+        y = m.add_integer("y", ub=5)
+        solution = Solution(
+            SolveStatus.OPTIMAL, 0.0, values={x: 2.0, y: 3.0}
+        )
+        assert solution.value(x) == 2.0
+        assert solution.value(2 * x + y - 1) == 6.0
+
+    def test_value_without_solution_raises(self):
+        m = Model()
+        x = m.add_binary("x")
+        with pytest.raises(SolverError):
+            Solution(SolveStatus.INFEASIBLE).value(x)
+
+    def test_backend_recorded(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.minimize(x)
+        for backend in ("scipy", "branch_bound"):
+            assert m.solve(backend=backend).backend == backend
+
+
+class TestAvailableBackends:
+    def test_registry(self):
+        from repro.ilp import available_backends
+
+        backends = available_backends()
+        assert "branch_bound" in backends
+        assert "scipy" in backends  # scipy is a hard dependency here
+
+    def test_auto_picks_scipy_for_large_models(self):
+        m = Model()
+        xs = [m.add_binary(f"x{i}") for i in range(100)]
+        from repro.ilp import quicksum
+
+        m.add_constr(quicksum(xs) <= 3)
+        m.maximize(quicksum(xs))
+        solution = m.solve(backend="auto")
+        assert solution.backend == "scipy"
+
+    def test_auto_picks_branch_bound_for_small_models(self):
+        m = Model()
+        x = m.add_binary("x")
+        m.maximize(x)
+        assert m.solve(backend="auto").backend == "branch_bound"

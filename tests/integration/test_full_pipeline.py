@@ -1,0 +1,100 @@
+"""End-to-end pipeline tests across mappers and cases."""
+
+import pytest
+
+from repro.assays import get_case, schedule_for
+from repro.baseline.valve_count import traditional_design
+from repro.core.mappers import GreedyMapper, WindowedILPMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+
+@pytest.fixture(scope="module")
+def mixing_tree_setup():
+    case = get_case("mixing_tree")
+    graph = case.graph()
+    policy = case.policy1()
+    schedule = schedule_for(case, policy)
+    return case, graph, policy, schedule
+
+
+class TestMixingTreeEndToEnd:
+    """The 18-op case through both large-case engines."""
+
+    @pytest.fixture(scope="class")
+    def windowed(self, mixing_tree_setup):
+        case, graph, _, schedule = mixing_tree_setup
+        return ReliabilitySynthesizer(
+            SynthesisConfig(grid=case.grid)
+        ).synthesize(graph, schedule)
+
+    @pytest.fixture(scope="class")
+    def greedy(self, mixing_tree_setup):
+        case, graph, _, schedule = mixing_tree_setup
+        return ReliabilitySynthesizer(
+            SynthesisConfig(grid=case.grid, mapper=GreedyMapper())
+        ).synthesize(graph, schedule)
+
+    def test_both_beat_the_traditional_design(
+        self, mixing_tree_setup, windowed, greedy
+    ):
+        _, graph, policy, schedule = mixing_tree_setup
+        design = traditional_design(graph, policy, schedule)
+        assert windowed.metrics.setting1.max_total < design.max_pump_actuations
+        assert greedy.metrics.setting1.max_total < design.max_pump_actuations
+        # Table 1 mixing tree p1: paper reduces 280 -> 93.
+        assert windowed.metrics.setting1.max_total <= 100
+
+    def test_windowed_at_least_as_balanced_as_greedy(self, windowed, greedy):
+        assert (
+            windowed.metrics.mapping_objective
+            <= greedy.metrics.mapping_objective + 40
+        )
+
+    def test_all_devices_mapped_by_both(self, windowed, greedy):
+        assert set(windowed.devices) == set(greedy.devices)
+
+    def test_setting2_improvement_larger(self, mixing_tree_setup, windowed):
+        _, graph, policy, schedule = mixing_tree_setup
+        design = traditional_design(graph, policy, schedule)
+        imp1 = 1 - windowed.metrics.setting1.max_total / design.max_pump_actuations
+        imp2 = 1 - windowed.metrics.setting2.max_total / design.max_pump_actuations
+        assert imp2 > imp1  # the paper's "results are much better"
+
+    def test_storage_overlaps_within_capacity(self, mixing_tree_setup, windowed):
+        """Algorithm 1's loop must leave no violating pair behind."""
+        _, graph, _, schedule = mixing_tree_setup
+        placements = {
+            name: device.placement
+            for name, device in windowed.devices.items()
+        }
+        assert windowed.storage_plan.overlap_violations(placements) == set()
+
+
+class TestScheduleVariation:
+    def test_different_policies_different_schedules_same_pipeline(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        results = []
+        for policy in case.policies(3):
+            schedule = schedule_for(case, policy)
+            result = ReliabilitySynthesizer(
+                SynthesisConfig(grid=case.grid)
+            ).synthesize(graph, schedule)
+            results.append(result)
+        # Looser schedules (p1, serialized) can't do worse than 40 pump;
+        # all three must stay near the single-use optimum.
+        for result in results:
+            assert result.metrics.setting1.max_peristaltic <= 80
+
+    def test_transport_delay_respected_in_events(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        schedule = schedule_for(case, case.policy1())
+        result = ReliabilitySynthesizer(
+            SynthesisConfig(grid=case.grid)
+        ).synthesize(graph, schedule)
+        for route in result.routes:
+            event = route.event
+            if not event.source_is_port and not event.target_is_port:
+                # Product transfers happen when the parent completes.
+                assert event.time == schedule.end(event.source)

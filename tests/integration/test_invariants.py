@@ -1,0 +1,140 @@
+"""Property-based end-to-end invariants of the synthesis pipeline.
+
+Random small assays are generated, scheduled, and synthesized; the
+result must satisfy the structural invariants of the paper's method
+regardless of the assay shape:
+
+* every mixing operation gets exactly one on-grid device of its volume;
+* concurrent devices never overlap except (storage, parent) pairs;
+* parent/child devices respect the routing-convenient distance unless
+  the mapper had to relax it (greedy tier-2);
+* every transport event is realized by a connected path with legal
+  endpoints;
+* the maximum total actuation is the pump maximum plus a small control
+  margin, and setting 2 never exceeds setting 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assay.operation import MIXER_SIZES
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.core.mappers import GreedyMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.geometry import GridSpec
+
+
+@st.composite
+def random_assay(draw):
+    """A small random DAG of 2-6 mixing operations."""
+    n_mix = draw(st.integers(min_value=2, max_value=6))
+    graph = SequencingGraph("random")
+    products = []
+    input_counter = 0
+
+    def fresh_input():
+        nonlocal input_counter
+        name = f"in{input_counter}"
+        input_counter += 1
+        graph.add_input(name, volume=2)
+        return name
+
+    for i in range(n_mix):
+        volume = draw(st.sampled_from(MIXER_SIZES))
+        n_parents = draw(st.integers(min_value=2, max_value=2))
+        parents = []
+        for _ in range(n_parents):
+            # Bias toward consuming earlier products (chains/trees).
+            use_product = products and draw(st.booleans())
+            if use_product:
+                parents.append(products.pop(draw(
+                    st.integers(min_value=0, max_value=len(products) - 1)
+                )))
+            else:
+                parents.append(fresh_input())
+        duration = draw(st.integers(min_value=2, max_value=8))
+        name = f"m{i}"
+        graph.add_mix(name, parents, duration=duration, volume=volume)
+        products.append(name)
+    graph.validate()
+    return graph
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(random_assay(), st.sampled_from([1, 2]))
+def test_synthesis_invariants(graph, mixers_per_size):
+    schedule = ListScheduler(
+        SchedulerConfig(mixers={s: mixers_per_size for s in MIXER_SIZES})
+    ).schedule(graph)
+    config = SynthesisConfig(grid=GridSpec(10, 10), mapper=GreedyMapper())
+    result = ReliabilitySynthesizer(config).synthesize(graph, schedule)
+
+    # Every mix mapped, correct volume, on grid.
+    mixes = {op.name: op for op in graph.mix_operations()}
+    assert set(result.devices) == set(mixes)
+    for name, device in result.devices.items():
+        assert device.volume == mixes[name].volume
+        assert config.grid.contains_rect(device.rect)
+
+    # Concurrent non-overlap except storage/parent pairs.
+    devices = list(result.devices.values())
+    for i, a in enumerate(devices):
+        for b in devices[i + 1:]:
+            if not a.overlaps_in_time(b) or not a.rect.overlaps(b.rect):
+                continue
+            related = b.operation in {
+                p.name for p in graph.mix_parents(a.operation)
+            } or a.operation in {
+                p.name for p in graph.mix_parents(b.operation)
+            }
+            assert related, (a.operation, b.operation)
+
+    # Paths are connected and start/end at legal cells.
+    for route in result.routes:
+        for u, v in zip(route.cells, route.cells[1:]):
+            assert abs(u.x - v.x) + abs(u.y - v.y) == 1
+        event = route.event
+        if event.source_is_port:
+            assert route.cells[0] == result.chip.port(event.source).position
+        else:
+            source = result.devices[event.source]
+            assert route.cells[0] in source.placement.port_cells()
+        if event.target_is_port:
+            assert route.cells[-1] == result.chip.port(event.target).position
+        else:
+            target = result.devices[event.target]
+            assert route.cells[-1] in target.placement.port_cells()
+
+    # Wear structure.
+    m = result.metrics
+    assert m.setting1.max_peristaltic % 40 == 0
+    assert m.setting1.max_peristaltic >= 40
+    assert m.setting1.max_total >= m.setting1.max_peristaltic
+    assert m.setting2.max_total <= m.setting1.max_total
+    assert m.used_valves == len(result.grid_setting1.actuated_valves())
+    # Control wear stays an order of magnitude below pump wear (the
+    # paper's justification for modeling only peristalsis in the ILP).
+    assert m.setting1.max_total - m.setting1.max_peristaltic <= 20
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_assay())
+def test_synthesis_deterministic(graph):
+    schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+    config = SynthesisConfig(grid=GridSpec(10, 10), mapper=GreedyMapper())
+    a = ReliabilitySynthesizer(config).synthesize(graph, schedule)
+    b = ReliabilitySynthesizer(config).synthesize(graph, schedule)
+    assert {n: d.rect for n, d in a.devices.items()} == {
+        n: d.rect for n, d in b.devices.items()
+    }
+    assert a.metrics.setting1 == b.metrics.setting1
+    assert a.metrics.used_valves == b.metrics.used_valves

@@ -1,0 +1,59 @@
+"""Tests for cross-contamination analysis and wash planning."""
+
+import pytest
+
+from repro.routing.contamination import (
+    contamination_report,
+    find_conflicts,
+    plan_washes,
+)
+
+
+class TestConflicts:
+    @pytest.fixture(scope="class")
+    def conflicts(self, pcr_result):
+        return find_conflicts(pcr_result)
+
+    def test_conflicts_ordered_in_time(self, conflicts):
+        for conflict in conflicts:
+            assert conflict.time_earlier <= conflict.time_later
+            assert conflict.severity >= 1
+
+    def test_related_fluids_never_conflict(self, pcr_result, conflicts):
+        # o1 -> o5 and o2 -> o5 carry fluids that end up mixed anyway:
+        # they must not appear as a conflict pair.
+        labels = {(c.earlier, c.later) for c in conflicts}
+        assert ("o1->o5@15", "o2->o5@12") not in labels
+        assert ("o2->o5@12", "o1->o5@15") not in labels
+
+    def test_deterministic(self, pcr_result):
+        assert find_conflicts(pcr_result) == find_conflicts(pcr_result)
+
+
+class TestWashPlan:
+    def test_plan_covers_every_conflict(self, pcr_result):
+        plan = plan_washes(pcr_result)
+        for conflict in find_conflicts(pcr_result):
+            washed = plan.flushes[conflict.time_later]
+            assert conflict.shared_cells <= washed
+
+    def test_counts_consistent(self, pcr_result):
+        plan = plan_washes(pcr_result)
+        assert plan.wash_count == len(plan.flushes)
+        assert plan.extra_actuations() == plan.washed_cells_total
+
+    def test_no_routes_no_washes(self, pcr_result):
+        import dataclasses
+
+        clone = dataclasses.replace(pcr_result)
+        clone.routes = []
+        plan = plan_washes(clone)
+        assert plan.wash_count == 0
+
+
+class TestReport:
+    def test_report_fields(self, pcr_result):
+        text = contamination_report(pcr_result)
+        assert "cross-lineage conflicts" in text
+        assert "wash flushes needed" in text
+        assert "'pcr'" in text

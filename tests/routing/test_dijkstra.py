@@ -1,0 +1,103 @@
+"""Unit tests for the Dijkstra path finder."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import GridSpec, Point
+from repro.routing.dijkstra import dijkstra_path
+
+
+def uniform(cell):
+    return 1.0
+
+
+class TestBasicPaths:
+    def test_straight_line(self):
+        grid = GridSpec(5, 5)
+        path = dijkstra_path(grid, [Point(0, 0)], [Point(4, 0)], uniform)
+        assert path is not None
+        assert path[0] == Point(0, 0) and path[-1] == Point(4, 0)
+        assert len(path) == 5
+
+    def test_source_equals_target(self):
+        grid = GridSpec(3, 3)
+        path = dijkstra_path(grid, [Point(1, 1)], [Point(1, 1)], uniform)
+        assert path == [Point(1, 1)]
+
+    def test_multiple_sources_pick_nearest(self):
+        grid = GridSpec(7, 7)
+        path = dijkstra_path(
+            grid, [Point(0, 0), Point(5, 0)], [Point(6, 0)], uniform
+        )
+        assert path is not None
+        assert path[0] == Point(5, 0)
+
+    def test_path_cells_are_connected(self):
+        grid = GridSpec(8, 8)
+        path = dijkstra_path(grid, [Point(0, 0)], [Point(7, 7)], uniform)
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            assert abs(a.x - b.x) + abs(a.y - b.y) == 1
+
+
+class TestObstacles:
+    def test_detour_around_wall(self):
+        grid = GridSpec(5, 5)
+        wall = {Point(2, y) for y in range(4)}  # wall with gap at top
+
+        def cost(cell):
+            return math.inf if cell in wall else 1.0
+
+        path = dijkstra_path(grid, [Point(0, 0)], [Point(4, 0)], cost)
+        assert path is not None
+        assert not (set(path) & wall)
+        assert any(p.y == 4 for p in path)  # went through the gap
+
+    def test_fully_blocked_returns_none(self):
+        grid = GridSpec(5, 5)
+        wall = {Point(2, y) for y in range(5)}
+
+        def cost(cell):
+            return math.inf if cell in wall else 1.0
+
+        assert dijkstra_path(grid, [Point(0, 0)], [Point(4, 0)], cost) is None
+
+    def test_expensive_cells_avoided_when_possible(self):
+        grid = GridSpec(5, 3)
+        pricey = {Point(2, 0)}
+
+        def cost(cell):
+            return 100.0 if cell in pricey else 1.0
+
+        path = dijkstra_path(grid, [Point(0, 0)], [Point(4, 0)], cost)
+        assert path is not None
+        assert Point(2, 0) not in path
+
+    def test_off_grid_endpoints_ignored(self):
+        grid = GridSpec(3, 3)
+        assert (
+            dijkstra_path(grid, [Point(-1, 0)], [Point(2, 2)], uniform)
+            is None
+        )
+        assert (
+            dijkstra_path(grid, [Point(0, 0)], [Point(9, 9)], uniform)
+            is None
+        )
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+    def test_same_query_same_path(self, tx, ty):
+        grid = GridSpec(5, 5)
+        a = dijkstra_path(grid, [Point(0, 0)], [Point(tx, ty)], uniform)
+        b = dijkstra_path(grid, [Point(0, 0)], [Point(tx, ty)], uniform)
+        assert a == b
+
+    @given(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+    def test_path_length_is_manhattan_on_free_grid(self, tx, ty):
+        grid = GridSpec(5, 5)
+        path = dijkstra_path(grid, [Point(0, 0)], [Point(tx, ty)], uniform)
+        assert path is not None
+        assert len(path) == tx + ty + 1

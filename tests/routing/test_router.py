@@ -1,0 +1,157 @@
+"""Unit tests for the transport router (pass-through, rip-up, crossing)."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geometry import GridSpec, Point
+from repro.architecture.chip import Chip
+from repro.architecture.device import DynamicDevice, Placement
+from repro.architecture.device_types import device_type
+from repro.architecture.port import ChipPort, PortKind
+from repro.routing.path import TransportEvent
+from repro.routing.router import Router, RoutingContext
+
+
+def make_context(devices, free_space=None, width=9, height=9):
+    chip = Chip(
+        GridSpec(width, height),
+        [
+            ChipPort("west", Point(0, 4), PortKind.INPUT),
+            ChipPort("east", Point(width - 1, 4), PortKind.OUTPUT),
+        ],
+    )
+    return RoutingContext(
+        chip=chip,
+        devices={d.operation: d for d in devices},
+        free_space=free_space or (lambda name, t: 0),
+    )
+
+
+def device(op, dtype, corner, start, end, mix_start=None):
+    return DynamicDevice(
+        operation=op,
+        placement=Placement(device_type(*dtype), Point(*corner)),
+        start=start,
+        end=end,
+        mix_start=mix_start if mix_start is not None else start,
+    )
+
+
+class TestBasicRouting:
+    def test_port_to_device(self):
+        target = device("m", (3, 3), (3, 3), start=0, end=10)
+        router = Router(make_context([target]))
+        [path] = router.route_all(
+            [TransportEvent(0, "west", "m", source_is_port=True)]
+        )
+        assert path.cells[0] == Point(0, 4)
+        assert path.cells[-1] in target.placement.port_cells()
+
+    def test_device_to_device(self):
+        a = device("a", (2, 2), (1, 1), start=0, end=5)
+        b = device("b", (2, 2), (6, 6), start=5, end=12)
+        router = Router(make_context([a, b]))
+        [path] = router.route_all([TransportEvent(5, "a", "b")])
+        assert path.cells[0] in a.placement.port_cells()
+        assert path.cells[-1] in b.placement.port_cells()
+
+    def test_unmapped_operation_raises(self):
+        router = Router(make_context([]))
+        with pytest.raises(RoutingError, match="no device"):
+            router.route_all([TransportEvent(0, "west", "ghost",
+                                             source_is_port=True)])
+
+
+class TestObstacleAvoidance:
+    def test_active_mixer_blocks_path(self):
+        # A full-height mixing device wall forces failure.
+        blocker = device("block", (3, 4), (3, 0), start=0, end=10)
+        tall = device("block2", (3, 4), (3, 4), start=0, end=10)
+        extra = DynamicDevice(
+            operation="block3",
+            placement=Placement(device_type(3, 2), Point(3, 7)),
+            start=0, end=10, mix_start=0,
+        )
+        target = device("m", (2, 2), (7, 7), start=0, end=10)
+        router = Router(make_context([blocker, tall, extra, target]))
+        with pytest.raises(RoutingError, match="no routing path"):
+            router.route_all(
+                [TransportEvent(1, "west", "m", source_is_port=True)]
+            )
+
+    def test_dead_device_is_no_obstacle(self):
+        # Same wall but already dissolved at routing time.
+        blocker = device("block", (3, 4), (3, 0), start=0, end=1)
+        tall = device("block2", (3, 4), (3, 4), start=0, end=1)
+        extra = DynamicDevice(
+            operation="block3",
+            placement=Placement(device_type(3, 2), Point(3, 7)),
+            start=0, end=1, mix_start=0,
+        )
+        target = device("m", (2, 2), (7, 7), start=0, end=10)
+        router = Router(make_context([blocker, tall, extra, target]))
+        paths = router.route_all(
+            [TransportEvent(5, "west", "m", source_is_port=True)]
+        )
+        assert len(paths) == 1
+
+
+class TestStoragePassThrough:
+    def wall_of_storage(self, free_units):
+        """A storage spanning the full chip height between port and target."""
+        storages = [
+            device("s0", (3, 4), (3, 0), start=0, end=10, mix_start=9),
+            device("s1", (3, 3), (3, 4), start=0, end=10, mix_start=9),
+            device("s2", (3, 2), (3, 7), start=0, end=10, mix_start=9),
+        ]
+        target = device("m", (2, 2), (7, 7), start=0, end=10)
+        ctx = make_context(
+            [*storages, target],
+            free_space=lambda name, t: free_units,
+        )
+        return Router(ctx), target
+
+    def test_pass_through_with_free_space(self):
+        router, target = self.wall_of_storage(free_units=10)
+        [path] = router.route_all(
+            [TransportEvent(1, "west", "m", source_is_port=True)]
+        )
+        storage_cells = {
+            c
+            for d in router.context.alive_at(1)
+            if d.operation.startswith("s")
+            for c in d.rect.cells()
+        }
+        assert set(path.cells) & storage_cells  # passed through (Fig. 8b)
+
+    def test_full_storage_blocks(self):
+        router, _ = self.wall_of_storage(free_units=0)
+        with pytest.raises(RoutingError, match="no routing path"):
+            router.route_all(
+                [TransportEvent(1, "west", "m", source_is_port=True)]
+            )
+
+    def test_rip_up_when_free_space_too_small(self):
+        # 2 units free: a straight crossing needs 3 cells -> must rip
+        # and fail (no other corridor exists).
+        router, _ = self.wall_of_storage(free_units=2)
+        with pytest.raises(RoutingError, match="no routing path"):
+            router.route_all(
+                [TransportEvent(1, "west", "m", source_is_port=True)]
+            )
+
+
+class TestParallelTransport:
+    def test_concurrent_paths_avoid_crossing(self):
+        a = device("a", (2, 2), (0, 0), start=0, end=10)
+        b = device("b", (2, 2), (7, 0), start=0, end=10)
+        c = device("c", (2, 2), (0, 7), start=0, end=10)
+        d = device("d", (2, 2), (7, 7), start=0, end=10)
+        router = Router(make_context([a, b, c, d]))
+        paths = router.route_all(
+            [TransportEvent(1, "a", "d"), TransportEvent(1, "b", "c")]
+        )
+        # With the crossing penalty both diagonal transports fit with at
+        # most one shared cell (a perfect crossing needs >= 1).
+        shared = set(paths[0].cells) & set(paths[1].cells)
+        assert len(shared) <= 1

@@ -1,0 +1,87 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_args(self):
+        args = build_parser().parse_args(["table1", "pcr"])
+        assert args.cases == ["pcr"]
+
+    def test_synth_defaults(self):
+        args = build_parser().parse_args(["synth", "assay.txt"])
+        assert args.grid == 10 and args.schedule is None
+
+
+class TestCommands:
+    def test_cases_listing(self, capsys):
+        assert main(["cases"]) == 0
+        out = capsys.readouterr().out
+        assert "pcr" in out and "exponential_dilution" in out
+        assert "15 ops" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "dedicated mixer" in out
+
+    def test_synth_from_file(self, tmp_path, capsys):
+        assay = tmp_path / "assay.txt"
+        assay.write_text(
+            "# assay mini\n"
+            "input a volume=4\n"
+            "input b volume=4\n"
+            "mix m a b duration=4 volume=8 ratio=1:1\n"
+        )
+        assert main(["synth", str(assay), "--grid", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "vs 1max" in out
+        assert "m ->" in out.replace("  ", " ")
+
+    def test_synth_with_schedule_file(self, tmp_path, capsys):
+        assay = tmp_path / "assay.txt"
+        assay.write_text(
+            "# assay mini\n"
+            "input a volume=4\n"
+            "input b volume=4\n"
+            "mix m a b duration=4 volume=8 ratio=1:1\n"
+        )
+        schedule = tmp_path / "sched.txt"
+        schedule.write_text("# schedule transport_delay=3\na @ 0\nb @ 0\nm @ 5\n")
+        assert main(
+            ["synth", str(assay), "--schedule", str(schedule), "--grid", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vs 1max" in out
+
+    def test_speedup_command(self, capsys):
+        assert main(["speedup", "pcr"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "pcr" in out
+
+    def test_synth_simulate_and_export(self, tmp_path, capsys):
+        assay = tmp_path / "assay.txt"
+        assay.write_text(
+            "# assay mini\n"
+            "input a volume=4\n"
+            "input b volume=4\n"
+            "mix m a b duration=4 volume=8 ratio=1:1\n"
+        )
+        out_file = tmp_path / "design.json"
+        assert main([
+            "synth", str(assay), "--grid", "8",
+            "--simulate", "--export", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "simulation: OK" in out
+        assert out_file.exists()
+        import json
+
+        data = json.loads(out_file.read_text())
+        assert data["assay"] == "mini"

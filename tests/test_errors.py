@@ -1,0 +1,42 @@
+"""The exception hierarchy: every deliberate error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.GeometryError,
+    errors.ModelError,
+    errors.SolverError,
+    errors.InfeasibleError,
+    errors.UnboundedError,
+    errors.AssayError,
+    errors.SchedulingError,
+    errors.ArchitectureError,
+    errors.PlacementError,
+    errors.SynthesisError,
+    errors.RoutingError,
+    errors.BindingError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_subclass_of_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+def test_solver_error_specializations():
+    assert issubclass(errors.InfeasibleError, errors.SolverError)
+    assert issubclass(errors.UnboundedError, errors.SolverError)
+    assert str(errors.InfeasibleError()) == "model is infeasible"
+    assert str(errors.UnboundedError()) == "model is unbounded"
+
+
+def test_one_catch_for_everything():
+    """Library users can catch ReproError for any deliberate failure."""
+    from repro import GridSpec
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        GridSpec(0, 0)

@@ -1,0 +1,55 @@
+"""Tests for the SVG chip renderer."""
+
+import re
+
+import pytest
+
+from repro.viz.svg import render_svg, write_svg
+
+
+class TestSvgRendering:
+    def test_final_wear_document_structure(self, pcr_result):
+        svg = render_svg(pcr_result)
+        assert svg.startswith("<svg ")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<title>pcr final wear</title>" in svg
+        # One rect per grid cell plus the background.
+        cells = pcr_result.chip.spec.cell_count
+        assert svg.count("<rect") >= cells + 1
+
+    def test_wear_counters_appear(self, pcr_result):
+        svg = render_svg(pcr_result)
+        # Pump wear (>= 40) shows as text labels.
+        assert re.search(r">4[0-5]</text>", svg)
+
+    def test_snapshot_shows_devices(self, pcr_result):
+        svg = render_svg(pcr_result, t=2)
+        assert "t=2tu" in svg
+        for op in ("o1", "o2", "o3", "o4"):
+            assert f">{op}</text>" in svg
+
+    def test_storage_vs_mixer_colors(self, pcr_result):
+        # t=9: o7's storage exists alongside running mixers (Fig. 10c).
+        svg = render_svg(pcr_result, t=9)
+        assert "#4b7bd9" in svg  # storage outline
+        assert "#d94b4b" in svg  # mixer outline
+
+    def test_routes_toggle(self, pcr_result):
+        with_routes = render_svg(pcr_result, show_routes=True)
+        without = render_svg(pcr_result, show_routes=False)
+        assert with_routes.count("<polyline") == len(pcr_result.routes)
+        assert without.count("<polyline") == 0
+
+    def test_ports_drawn(self, pcr_result):
+        svg = render_svg(pcr_result)
+        assert svg.count("<circle") == len(pcr_result.chip.ports)
+        assert ">in0</text>" in svg
+
+    def test_write_to_file(self, pcr_result, tmp_path):
+        target = tmp_path / "chip.svg"
+        write_svg(pcr_result, str(target), t=12)
+        content = target.read_text()
+        assert content == render_svg(pcr_result, t=12)
+
+    def test_deterministic(self, pcr_result):
+        assert render_svg(pcr_result, t=6) == render_svg(pcr_result, t=6)

@@ -1,0 +1,62 @@
+"""Tests for valve role timelines."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.viz.timeline import (
+    render_role_changers,
+    render_valve_timeline,
+    valve_activity,
+)
+
+
+class TestValveActivity:
+    def test_pump_during_mixing_only(self, pcr_result):
+        device = pcr_result.device_of("o1")
+        ring_cell = device.placement.pump_cells()[0]
+        activity = valve_activity(pcr_result, ring_cell)
+        # While o1 mixes, the valve pumps...
+        assert activity[device.mix_start] == "pump"
+        assert activity[device.end - 1] == "pump"
+        # ...and after dissolution it is not pumping for o1 anymore.
+        later = activity.get(device.end)
+        assert later != "pump" or any(
+            d.alive_at(device.end)
+            and ring_cell in d.placement.pump_cells()
+            and device.end >= d.mix_start
+            for d in pcr_result.devices.values()
+        )
+
+    def test_untouched_valve_idle(self, pcr_result):
+        # A valve that is never actuated has an empty activity map.
+        untouched = [
+            p
+            for p in pcr_result.chip.spec.cells()
+            if not any(
+                p in d.placement.pump_cells()
+                or d.rect.contains(p)
+                or p in d.placement.wall_cells(pcr_result.chip.spec)
+                for d in pcr_result.devices.values()
+            )
+            and not any(p in r.cells for r in pcr_result.routes)
+        ]
+        if untouched:
+            assert valve_activity(pcr_result, untouched[0]) == {}
+
+
+class TestRendering:
+    def test_timeline_length(self, pcr_result):
+        text = render_valve_timeline(pcr_result, Point(0, 0))
+        bar = text.split("|")[1]
+        assert len(bar) == pcr_result.schedule.makespan + 1
+
+    def test_role_changers_show_mixed_glyphs(self, pcr_result):
+        text = render_role_changers(pcr_result, limit=5)
+        lines = text.splitlines()[1:]
+        assert lines
+        # At least one displayed valve both pumps and does something else.
+        assert any("P" in l and ("W" in l or "t" in l) for l in lines)
+
+    def test_limit_respected(self, pcr_result):
+        text = render_role_changers(pcr_result, limit=3)
+        assert len(text.splitlines()) == 4  # header + 3

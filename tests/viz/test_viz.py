@@ -1,0 +1,89 @@
+"""Unit tests for the text visualizations."""
+
+import numpy as np
+
+from repro.geometry import GridSpec, Point
+from repro.architecture.valve import ValveRole
+from repro.architecture.valve_grid import VirtualValveGrid
+from repro.viz.ascii_chip import render_layout, render_matrix, render_snapshot
+from repro.viz.gantt import render_gantt
+from repro.viz.heatmap import actuation_summary, render_heatmap
+
+
+class TestMatrixRendering:
+    def test_zeros_print_as_dots(self):
+        matrix = np.array([[0, 5], [40, 0]])
+        text = render_matrix(matrix)
+        assert "." in text and "40" in text and "5" in text
+
+    def test_alignment(self):
+        matrix = np.array([[1, 100], [40, 2]])
+        lines = render_matrix(matrix).splitlines()
+        assert len(lines) == 2
+        assert len(lines[0]) == len(lines[1])
+
+
+class TestSnapshotRendering:
+    def test_header_names_alive_devices(self, pcr_result):
+        text = render_snapshot(pcr_result, 2)
+        assert text.startswith("t = 2tu")
+        assert "o1" in text
+        assert "o7" not in text.splitlines()[0]  # not alive yet
+
+    def test_storage_prefix(self, pcr_result):
+        text = render_snapshot(pcr_result, 9)
+        assert "S[o7]" in text  # s7 exists from t=9 (the paper's text)
+
+    def test_layout_letters_and_legend(self, pcr_result):
+        text = render_layout(pcr_result, 2)
+        assert "A=" in text
+        assert "." in text
+
+
+class TestGantt:
+    def test_fig9_shape(self, fig9_schedule):
+        text = render_gantt(fig9_schedule)
+        lines = text.splitlines()
+        o7 = next(l for l in lines if l.strip().startswith("o7"))
+        bar = o7.split("|")[1]
+        # Storage from 9, mixing 25..28 (Figure 9).
+        assert bar[9] == "=" and bar[24] == "="
+        assert bar[25] == "#" and bar[28] == "#"
+        assert bar[5] == "."
+
+    def test_name_filter(self, fig9_schedule):
+        text = render_gantt(fig9_schedule, names=["o1", "o2"])
+        assert "o7" not in text
+
+    def test_time_step_compression(self, fig9_schedule):
+        fine = render_gantt(fig9_schedule, time_step=1)
+        coarse = render_gantt(fig9_schedule, time_step=2)
+        assert len(coarse.splitlines()[1]) < len(fine.splitlines()[1])
+
+
+class TestHeatmap:
+    def grid(self):
+        g = VirtualValveGrid(GridSpec(4, 4))
+        g.actuate([Point(0, 0)], ValveRole.PUMP, 80)
+        g.actuate([Point(1, 0)], ValveRole.PUMP, 40)
+        g.actuate([Point(1, 0)], ValveRole.CONTROL, 2)
+        g.actuate([Point(2, 0)], ValveRole.CONTROL, 1)
+        return g
+
+    def test_peak_uses_heaviest_glyph(self):
+        text = render_heatmap(self.grid())
+        assert "@" in text
+
+    def test_untouched_are_spaces(self):
+        lines = render_heatmap(self.grid()).splitlines()
+        assert set(lines[0]) == {" "}  # top row untouched
+
+    def test_summary_fields(self):
+        text = actuation_summary(self.grid())
+        assert "valves used: 3" in text
+        assert "max: 80" in text
+        assert "role-changing valves: 1" in text
+
+    def test_summary_empty_grid(self):
+        g = VirtualValveGrid(GridSpec(2, 2))
+        assert actuation_summary(g) == "no actuated valves"
