@@ -7,7 +7,10 @@ Commands:
 * ``cases`` — list the benchmark assays;
 * ``synth ASSAY_FILE [--grid N] [--schedule SCHEDULE_FILE]`` —
   synthesize a user assay written in the text format
-  (see :mod:`repro.assay.textio`), printing metrics and placements.
+  (see :mod:`repro.assay.textio`), printing metrics and placements;
+* ``profile CASE [--policy N] [--mapper M] [--json FILE]`` — run one
+  benchmark case with solver telemetry enabled and report the hot-path
+  counters (see :mod:`repro.experiments.profile`).
 """
 
 from __future__ import annotations
@@ -101,6 +104,19 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.profile import main as profile_main
+
+    profile_main(
+        args.case,
+        policy_index=args.policy,
+        mapper=args.mapper,
+        json_path=args.json,
+        probe=not args.no_probe,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,6 +162,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the manufactured design as JSON",
     )
     p_synth.set_defaults(func=_cmd_synth)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one case with solver telemetry enabled"
+    )
+    p_prof.add_argument("case", help="benchmark case name (see 'cases')")
+    p_prof.add_argument(
+        "--policy", type=int, default=1, help="policy index (default 1)"
+    )
+    p_prof.add_argument(
+        "--mapper", default="auto",
+        choices=["auto", "greedy", "ilp", "windowed_ilp"],
+        help="mapping engine (default: automatic selection)",
+    )
+    p_prof.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON"
+    )
+    p_prof.add_argument(
+        "--no-probe", action="store_true",
+        help="skip the branch-&-bound/simplex solver probe",
+    )
+    p_prof.set_defaults(func=_cmd_profile)
     return parser
 
 

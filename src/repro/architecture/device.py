@@ -10,10 +10,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 from repro.geometry import GridSpec, Point, Rect
 from repro.architecture.device_types import DeviceType
+
+
+@lru_cache(maxsize=None)
+def _ring_cells(x: int, y: int, width: int, height: int) -> Tuple[Point, ...]:
+    """Perimeter ring of a rect, memoized across identical footprints.
+
+    The ring of a placement is consulted on every mapper probe, load
+    update and actuation pass; there are only ``O(grid × device types)``
+    distinct footprints, so caching the tuples removes the dominant
+    allocation from those hot paths.  Tuples are returned (not lists) so
+    the cache can never be corrupted by a caller.
+    """
+    return tuple(Rect(x, y, width, height).perimeter_cells())
 
 
 class DeviceKind(enum.Enum):
@@ -39,15 +53,20 @@ class Placement:
             self.device_type.height,
         )
 
-    def pump_cells(self) -> List[Point]:
+    def pump_cells(self) -> Tuple[Point, ...]:
         """The perimeter ring — the valves that pump while mixing."""
-        return self.rect.perimeter_cells()
+        return _ring_cells(
+            self.corner.x,
+            self.corner.y,
+            self.device_type.width,
+            self.device_type.height,
+        )
 
     def wall_cells(self, grid: GridSpec) -> List[Point]:
         """On-grid wall valves (the chip edge walls cost nothing)."""
         return grid.clip(self.rect.wall_cells())
 
-    def port_cells(self) -> List[Point]:
+    def port_cells(self) -> Tuple[Point, ...]:
         """Ring cells usable as device ports.
 
         Because the boundary is made of valves, "we are free to choose

@@ -26,6 +26,7 @@ from repro.core.mapping_model import MappingModelBuilder, MappingSpec
 from repro.core.mappers import (
     GreedyMapper,
     ILPMapper,
+    LoadLedger,
     MappingResult,
     WindowedILPMapper,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "MappingSpec",
     "GreedyMapper",
     "ILPMapper",
+    "LoadLedger",
     "MappingResult",
     "WindowedILPMapper",
     "StoragePlan",

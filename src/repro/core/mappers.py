@@ -13,18 +13,30 @@ Three interchangeable engines (see DESIGN.md §3.2):
   takes the feasible placement minimizing the resulting maximum valve
   load.  Serves as a lower baseline and as the fallback when a window
   turns out infeasible.
+
+Refinement bookkeeping is incremental: a :class:`LoadLedger` keeps the
+per-valve load map, the peak and the peak-cell set in sync with the
+current placements in O(ring) per change, instead of rebuilding the
+whole map from every placement on every probe.  The naive rebuild
+helpers are kept as reference implementations; tests and the benchmark
+suite assert the ledger matches them exactly.
+
+Every mapper fills :attr:`MappingResult.stats` with solve telemetry
+(window solve time, greedy fallbacks, refinement accept/reject tallies)
+and mirrors it into :mod:`repro.obs` when telemetry is enabled.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SynthesisError
 from repro.geometry import Point
 from repro.architecture.device import Placement
 from repro.ilp.solution import SolveStatus
+from repro.obs import TELEMETRY
 from repro.core.mapping_model import MappingModelBuilder, MappingSpec, Pair
 from repro.core.tasks import MappingTask
 
@@ -39,9 +51,97 @@ class MappingResult:
     used_overlaps: List[Pair] = field(default_factory=list)
     wall_time: float = 0.0
     optimal: bool = False
+    #: solve telemetry: window solve seconds, greedy fallback count,
+    #: refinement accept/reject tallies, ... (mapper-specific keys).
+    stats: Dict[str, float] = field(default_factory=dict)
 
     def rect_of(self, name: str):
         return self.placements[name].rect
+
+
+class LoadLedger:
+    """Incremental per-valve pump-load bookkeeping.
+
+    Maintains exactly the map that
+    :meth:`WindowedILPMapper._cell_loads` rebuilds from scratch — the
+    spec's base load plus every placed task's pump rate on its ring —
+    but updated in O(ring) on :meth:`add`/:meth:`remove`.  Cells are
+    bucketed by load level, so ``peak()`` costs O(distinct levels) and
+    ``peak_cells()`` O(|cells at the peak|) instead of a full-map scan.
+    """
+
+    __slots__ = ("_base", "_load", "_levels")
+
+    def __init__(self, base_load: Dict[Point, int]) -> None:
+        self._base = frozenset(base_load)
+        self._load: Dict[Point, int] = dict(base_load)
+        self._levels: Dict[int, set] = {}
+        for cell, level in self._load.items():
+            self._levels.setdefault(level, set()).add(cell)
+
+    @classmethod
+    def from_placements(
+        cls,
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+    ) -> "LoadLedger":
+        ledger = cls(spec.base_load)
+        for task in ordered:
+            placement = placements.get(task.name)
+            if placement is not None:
+                ledger.add(task, placement)
+        return ledger
+
+    # -- updates ---------------------------------------------------------
+
+    def add(self, task: MappingTask, placement: Placement) -> None:
+        self._shift(placement.pump_cells(), task.pump_rate)
+
+    def remove(self, task: MappingTask, placement: Placement) -> None:
+        self._shift(placement.pump_cells(), -task.pump_rate)
+
+    def _shift(self, cells: Iterable[Point], delta: int) -> None:
+        load, levels = self._load, self._levels
+        for cell in cells:
+            old = load.get(cell)
+            if old is not None:
+                bucket = levels[old]
+                bucket.discard(cell)
+                if not bucket:
+                    del levels[old]
+            new = (old or 0) + delta
+            if new == 0 and cell not in self._base:
+                # Drop the entry so the map stays identical to a from-
+                # scratch rebuild (absent, not present-at-zero).
+                if old is not None:
+                    del load[cell]
+            else:
+                load[cell] = new
+                levels.setdefault(new, set()).add(cell)
+
+    # -- queries ---------------------------------------------------------
+
+    def peak(self) -> int:
+        """The maximum load over all tracked valves (0 when empty)."""
+        return max(self._levels) if self._levels else 0
+
+    def measure(self) -> Tuple[int, int]:
+        """(max load, #valves at the max) — lexicographic progress."""
+        if not self._levels:
+            return (0, 0)
+        peak = max(self._levels)
+        return (peak, len(self._levels[peak]))
+
+    def peak_cells(self) -> frozenset:
+        """Every valve currently at the maximum load."""
+        if not self._levels:
+            return frozenset()
+        return frozenset(self._levels[max(self._levels)])
+
+    def loads(self) -> Dict[Point, int]:
+        """A copy of the full load map (for tests and reports)."""
+        return dict(self._load)
 
 
 class BaseMapper:
@@ -82,13 +182,24 @@ class ILPMapper(BaseMapper):
                 f"({built.model!r})"
             )
         placements = built.extract_placements(solution)
+        wall = time.monotonic() - start
+        if TELEMETRY.enabled:
+            TELEMETRY.count("mapper.ilp_solves")
+            TELEMETRY.add_time("mapper.ilp_solve", wall)
+        stats: Dict[str, float] = {
+            "solve_seconds": wall,
+            "solver_nodes": float(solution.nodes_explored),
+        }
+        for key, value in solution.stats.items():
+            stats[f"solver_{key}"] = float(value)
         return MappingResult(
             placements=placements,
             objective=int(round(solution.value(built.w))),
             mapper=self.name,
             used_overlaps=built.extract_overlaps(solution),
-            wall_time=time.monotonic() - start,
+            wall_time=wall,
             optimal=solution.status is SolveStatus.OPTIMAL,
+            stats=stats,
         )
 
 
@@ -121,18 +232,54 @@ class WindowedILPMapper(BaseMapper):
 
     def map_tasks(self, spec: MappingSpec) -> MappingResult:
         start_time = time.monotonic()
+        stats: Dict[str, float] = {
+            "windows_solved": 0,
+            "window_seconds": 0.0,
+            "greedy_windows": 0,
+            "whole_problem_fallback": 0,
+            "refine_probes": 0,
+            "refine_accepted": 0,
+            "refine_rejected": 0,
+            "refine_infeasible": 0,
+            "targeted_rounds": 0,
+            "targeted_accepted": 0,
+        }
         try:
-            result = self._rolling_and_refine(spec)
+            result = self._rolling_and_refine(spec, stats)
         except SynthesisError:
             # A window dead-ended (the committed prefix saturated the
             # grid for some window split).  The one-task-at-a-time
             # greedy search is strictly more flexible about splits, so
             # use it for the whole problem rather than fail.
+            stats["whole_problem_fallback"] = 1
             result = GreedyMapper().map_tasks(spec)
         result.wall_time = time.monotonic() - start_time
+        result.stats.update(stats)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("mapper.windows", int(stats["windows_solved"]))
+            TELEMETRY.count(
+                "mapper.greedy_fallbacks",
+                int(stats["greedy_windows"] + stats["whole_problem_fallback"]),
+            )
+            TELEMETRY.count(
+                "mapper.refine_accepted", int(stats["refine_accepted"])
+            )
+            TELEMETRY.count(
+                "mapper.refine_rejected", int(stats["refine_rejected"])
+            )
+            TELEMETRY.count(
+                "mapper.targeted_rounds", int(stats["targeted_rounds"])
+            )
+            TELEMETRY.add_time(
+                "mapper.window_solve",
+                stats["window_seconds"],
+                int(stats["windows_solved"]),
+            )
         return result
 
-    def _rolling_and_refine(self, spec: MappingSpec) -> MappingResult:
+    def _rolling_and_refine(
+        self, spec: MappingSpec, stats: Dict[str, float]
+    ) -> MappingResult:
         ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
         placements: Dict[str, Placement] = {}
         overlaps: List[Pair] = []
@@ -151,12 +298,43 @@ class WindowedILPMapper(BaseMapper):
         # committed as constants.
         for lo in range(0, len(ordered), self.window_size):
             window = ordered[lo : lo + self.window_size]
-            result = self._solve_window(spec, window, ordered, placements)
+            result = self._solve_window(
+                spec, window, ordered, placements, stats=stats
+            )
             if result.mapper == GreedyMapper.name or not result.optimal:
                 all_optimal = False
             merge_overlaps(result)
             for task in window:
                 placements[task.name] = result.placements[task.name]
+
+        # From here on every probe keeps the ledger in sync with
+        # ``placements`` — no full load-map rebuilds.
+        ledger = LoadLedger.from_placements(spec, ordered, placements)
+
+        def pop_window(window: List[MappingTask]) -> Dict[str, Placement]:
+            saved = {}
+            for task in window:
+                placement = placements.pop(task.name)
+                saved[task.name] = placement
+                ledger.remove(task, placement)
+            return saved
+
+        def restore(saved: Dict[str, Placement], window) -> None:
+            placements.update(saved)
+            for task in window:
+                ledger.add(task, saved[task.name])
+
+        def commit(result: MappingResult, window) -> Dict[str, Placement]:
+            new = {t.name: result.placements[t.name] for t in window}
+            placements.update(new)
+            for task in window:
+                ledger.add(task, new[task.name])
+            return new
+
+        def roll_back(new, saved, window) -> None:
+            for task in window:
+                ledger.remove(task, new[task.name])
+            restore(saved, window)
 
         # Refinement: coordinate descent over windows, now with *all*
         # other placements fixed.  Each window re-solve can only keep or
@@ -177,27 +355,28 @@ class WindowedILPMapper(BaseMapper):
                 window = ordered[lo:hi]
                 if not window:
                     continue
-                discouraged = self._max_load_cells(spec, ordered, placements)
-                saved = {t.name: placements.pop(t.name) for t in window}
+                stats["refine_probes"] += 1
+                discouraged = ledger.peak_cells()
+                previous_peak = ledger.peak()
+                saved = pop_window(window)
                 saved_overlaps = list(overlaps)
                 try:
                     result = self._solve_window(
                         spec, window, ordered, placements,
-                        discouraged=discouraged,
+                        discouraged=discouraged, stats=stats,
                     )
                 except SynthesisError:
-                    placements.update(saved)
+                    stats["refine_infeasible"] += 1
+                    restore(saved, window)
                     continue
                 merge_overlaps(result)
-                new = {t.name: result.placements[t.name] for t in window}
-                placements.update(new)
-                if self._total_objective(
-                    spec, ordered, placements
-                ) > self._total_objective(
-                    spec, ordered, {**placements, **saved}
-                ):
-                    placements.update(saved)  # keep the better assignment
+                new = commit(result, window)
+                if ledger.peak() > previous_peak:
+                    stats["refine_rejected"] += 1
+                    roll_back(new, saved, window)  # keep the better one
                     overlaps = saved_overlaps
+                else:
+                    stats["refine_accepted"] += 1
 
         # Targeted refinement: repeatedly re-solve the tasks that pump
         # the worst-loaded valve *together*.  Wear stacking is a
@@ -207,39 +386,51 @@ class WindowedILPMapper(BaseMapper):
         # so plateau moves that thin out the set of critical valves
         # still count as improvements.
         for _ in range(2 * len(ordered)):
-            measure = self._load_measure(spec, ordered, placements)
-            culprits = self._tasks_on_worst_valve(spec, ordered, placements)
+            measure = ledger.measure()
+            discouraged = ledger.peak_cells()
+            worst_cell = min(discouraged, default=None)
+            culprits = [
+                task
+                for task in ordered
+                if worst_cell is not None
+                and worst_cell in placements[task.name].pump_cells()
+            ]
             if len(culprits) < 2:
                 break
+            stats["targeted_rounds"] += 1
             window = culprits[: self.window_size]
-            discouraged = self._max_load_cells(spec, ordered, placements)
-            saved = {t.name: placements.pop(t.name) for t in window}
+            saved = pop_window(window)
             saved_overlaps = list(overlaps)
             try:
                 result = self._solve_window(
                     spec, window, ordered, placements,
-                    discouraged=discouraged,
+                    discouraged=discouraged, stats=stats,
                 )
             except SynthesisError:
-                placements.update(saved)
+                restore(saved, window)
                 break
             merge_overlaps(result)
-            placements.update(
-                {t.name: result.placements[t.name] for t in window}
-            )
-            if self._load_measure(spec, ordered, placements) >= measure:
-                placements.update(saved)  # no improvement: stop
+            new = commit(result, window)
+            if ledger.measure() >= measure:
+                roll_back(new, saved, window)  # no improvement: stop
                 overlaps = saved_overlaps
                 break
+            stats["targeted_accepted"] += 1
 
-        objective = self._total_objective(spec, ordered, placements)
         return MappingResult(
             placements=placements,
-            objective=objective,
+            objective=ledger.peak(),
             mapper=self.name,
             used_overlaps=sorted(set(overlaps)),
             optimal=all_optimal and len(ordered) <= self.window_size,
         )
+
+    # -- reference implementations ---------------------------------------
+    #
+    # The naive rebuild-from-scratch helpers below define the semantics
+    # the incremental LoadLedger must reproduce; tests and the benchmark
+    # suite diff the two.  The refinement loops above no longer call
+    # them.
 
     @staticmethod
     def _cell_loads(
@@ -310,10 +501,12 @@ class WindowedILPMapper(BaseMapper):
         ordered: List[MappingTask],
         placements: Dict[str, Placement],
         discouraged: frozenset = frozenset(),
+        stats: Optional[Dict[str, float]] = None,
     ) -> MappingResult:
         """Solve one window with every placed task fixed as a constant."""
         from repro.architecture.device import DynamicDevice
 
+        window_start = time.perf_counter()
         fixed: Dict[str, DynamicDevice] = dict(spec.fixed)
         base_load: Dict[Point, int] = dict(spec.base_load)
         window_names = {t.name for t in window}
@@ -345,12 +538,18 @@ class WindowedILPMapper(BaseMapper):
             discouraged_cells=discouraged,
         )
         try:
-            return ILPMapper(
+            result = ILPMapper(
                 backend=self.backend,
                 time_limit=self.time_limit_per_window,
             ).map_tasks(window_spec)
         except SynthesisError:
-            return GreedyMapper().map_tasks(window_spec)
+            result = GreedyMapper().map_tasks(window_spec)
+        if stats is not None:
+            stats["windows_solved"] += 1
+            stats["window_seconds"] += time.perf_counter() - window_start
+            if result.mapper == GreedyMapper.name:
+                stats["greedy_windows"] += 1
+        return result
 
     @staticmethod
     def _total_objective(
@@ -396,6 +595,7 @@ class GreedyMapper(BaseMapper):
         placements: Dict[str, Placement] = {}
         overlaps: List[Pair] = []
         d = spec.resolved_distance_limit()
+        candidates_scanned = 0
 
         for task in ordered:
             # Two candidate tiers: within the distance limit / anywhere.
@@ -403,6 +603,7 @@ class GreedyMapper(BaseMapper):
             best: Dict[bool, Optional[Placement]] = {True: None, False: None}
             best_overlaps: Dict[bool, List[Pair]] = {True: [], False: []}
             for placement in spec.candidate_placements(task):
+                candidates_scanned += 1
                 rect = placement.rect
                 pair_overlaps: List[Pair] = []
                 feasible = True
@@ -463,13 +664,19 @@ class GreedyMapper(BaseMapper):
             for cell in chosen.pump_cells():
                 base_load[cell] = base_load.get(cell, 0) + task.pump_rate
 
+        wall = time.monotonic() - start_time
+        if TELEMETRY.enabled:
+            TELEMETRY.count("mapper.greedy_solves")
+            TELEMETRY.count("mapper.greedy_candidates", candidates_scanned)
+            TELEMETRY.add_time("mapper.greedy_solve", wall)
         return MappingResult(
             placements=placements,
             objective=max(base_load.values(), default=0),
             mapper=self.name,
             used_overlaps=overlaps,
-            wall_time=time.monotonic() - start_time,
+            wall_time=wall,
             optimal=False,
+            stats={"candidates_scanned": float(candidates_scanned)},
         )
 
     @staticmethod

@@ -38,6 +38,36 @@ from repro.core.tasks import MappingTask
 
 Pair = Tuple[str, str]
 
+#: Memoized candidate enumerations.  A placement candidate set depends
+#: only on (grid, anchor stride, blocked cells, volume class) — not on
+#: the task identity — and the windowed mapper rebuilds a fresh
+#: ``MappingSpec`` for every window/refinement probe, so a module-level
+#: cache turns the repeated grid sweeps into one enumeration per shape.
+_CANDIDATE_CACHE: Dict[Tuple, Tuple[Placement, ...]] = {}
+
+
+def _enumerate_candidates(
+    grid: GridSpec,
+    anchor_stride: int,
+    blocked_cells: FrozenSet[Point],
+    volume: int,
+) -> Tuple[Placement, ...]:
+    key = (grid, anchor_stride, blocked_cells, volume)
+    cached = _CANDIDATE_CACHE.get(key)
+    if cached is None:
+        candidates: List[Placement] = []
+        for dtype in types_for_volume(volume):
+            for rect in grid.placements(dtype.width, dtype.height):
+                if rect.x % anchor_stride or rect.y % anchor_stride:
+                    continue
+                if blocked_cells and any(
+                    rect.contains(c) for c in blocked_cells
+                ):
+                    continue
+                candidates.append(Placement(dtype, rect.corner))
+        cached = _CANDIDATE_CACHE[key] = tuple(candidates)
+    return cached
+
 
 @dataclass
 class MappingSpec:
@@ -96,18 +126,11 @@ class MappingSpec:
             return min_device_dimension()
         return self.distance_limit
 
-    def candidate_placements(self, task: MappingTask) -> List[Placement]:
-        """All legal placements of one task on the grid."""
-        candidates: List[Placement] = []
-        for dtype in types_for_volume(task.volume):
-            for rect in self.grid.placements(dtype.width, dtype.height):
-                if rect.x % self.anchor_stride or rect.y % self.anchor_stride:
-                    continue
-                if self.blocked_cells and any(
-                    rect.contains(c) for c in self.blocked_cells
-                ):
-                    continue
-                candidates.append(Placement(dtype, rect.corner))
+    def candidate_placements(self, task: MappingTask) -> Tuple[Placement, ...]:
+        """All legal placements of one task on the grid (memoized)."""
+        candidates = _enumerate_candidates(
+            self.grid, self.anchor_stride, self.blocked_cells, task.volume
+        )
         if not candidates:
             raise SynthesisError(
                 f"{task.name}: no feasible placement on the "

@@ -32,6 +32,8 @@ _LAZY = {
     "format_table": "repro.experiments.table1",
     "run_speedup": "repro.experiments.acceleration",
     "format_speedup": "repro.experiments.acceleration",
+    "run_profile": "repro.experiments.profile",
+    "format_report": "repro.experiments.profile",
 }
 
 __all__ = sorted(_LAZY)

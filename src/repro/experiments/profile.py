@@ -1,0 +1,185 @@
+"""Solver and mapper profiling: ``python -m repro profile <case>``.
+
+Runs one benchmark case end to end with :mod:`repro.obs` telemetry
+enabled and emits a JSON + text report of the hot-path counters:
+
+* ``mapper.*`` — window solves, greedy fallbacks, refinement tallies;
+* ``routing.*`` — Dijkstra calls, heap pops, rip-up & re-route events;
+* ``scipy.*`` — HiGHS MILP solves and node counts (the default mapping
+  backend);
+* ``bb.*`` / ``simplex.*`` — the from-scratch branch & bound and
+  simplex.  The full synthesis usually runs on HiGHS, so these are
+  exercised by a **solver probe**: a small mapping sub-model (the
+  case's first two tasks on a coarse anchor grid) solved exactly with
+  ``backend="branch_bound", lp_engine="simplex"``.
+
+The report doubles as the CI benchmark-smoke artifact: a run that
+crashes, loses counters or silently stops exploring nodes fails there
+before it confuses a real experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.mappers import BaseMapper, GreedyMapper, ILPMapper, WindowedILPMapper
+from repro.errors import ReproError
+
+#: Mapper names accepted by the CLI; None = automatic selection.
+MAPPER_CHOICES = ("auto", "greedy", "ilp", "windowed_ilp")
+
+
+def _make_mapper(name: str) -> Optional[BaseMapper]:
+    if name == "auto":
+        return None
+    if name == "greedy":
+        return GreedyMapper()
+    if name == "ilp":
+        return ILPMapper()
+    if name == "windowed_ilp":
+        return WindowedILPMapper()
+    raise ReproError(
+        f"unknown mapper {name!r}; choose from {', '.join(MAPPER_CHOICES)}"
+    )
+
+
+def _solver_probe(case) -> Dict[str, float]:
+    """Solve a small exact sub-model with the from-scratch stack.
+
+    Two tasks on a stride-3 anchor grid keep the model around 40
+    binaries — enough to branch, prune and pivot (so every ``bb.*`` and
+    ``simplex.*`` counter is exercised) while staying well under a
+    second.
+    """
+    from repro.assays import schedule_for
+    from repro.core.mapping_model import MappingModelBuilder, MappingSpec
+    from repro.core.tasks import build_tasks
+
+    graph = case.graph()
+    policy = case.policies(1)[0]
+    schedule = schedule_for(case, policy)
+    tasks = build_tasks(graph, schedule)
+    spec = MappingSpec(grid=case.grid, tasks=tasks[:2], anchor_stride=3)
+    built = MappingModelBuilder(spec).build()
+    start = time.perf_counter()
+    solution = built.model.solve(
+        backend="branch_bound", lp_engine="simplex", lp_max_iterations=100_000
+    )
+    probe = {
+        "variables": float(built.model.num_vars),
+        "status": solution.status.value,
+        "wall_seconds": time.perf_counter() - start,
+    }
+    probe.update({k: float(v) for k, v in solution.stats.items()})
+    return probe
+
+
+def run_profile(
+    case_name: str,
+    policy_index: int = 1,
+    mapper: str = "auto",
+    probe: bool = True,
+) -> dict:
+    """Profile one benchmark case; returns the JSON-ready report."""
+    from repro.assays import get_case, schedule_for
+    from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+    case = get_case(case_name)
+    graph = case.graph()
+    policy = case.policies(policy_index)[policy_index - 1]
+    schedule = schedule_for(case, policy)
+
+    obs.reset()
+    obs.enable()
+    try:
+        start = time.perf_counter()
+        result = ReliabilitySynthesizer(
+            SynthesisConfig(grid=case.grid, mapper=_make_mapper(mapper))
+        ).synthesize(graph, schedule)
+        wall = time.perf_counter() - start
+        probe_stats = _solver_probe(case) if probe else None
+        telemetry = obs.snapshot()
+    finally:
+        obs.disable()
+
+    m = result.metrics
+    report = {
+        "case": case.name,
+        "policy": policy_index,
+        "mapper": m.mapper,
+        "wall_seconds": wall,
+        "metrics": {
+            "vs_setting1": m.setting1.max_total,
+            "vs_setting2": m.setting2.max_total,
+            "used_valves": m.used_valves,
+            "role_changing_valves": m.role_changing_valves,
+            "mapping_objective": m.mapping_objective,
+            "algorithm_iterations": m.algorithm_iterations,
+            "routed_paths": len(result.routes),
+        },
+        "telemetry": telemetry,
+    }
+    if probe_stats is not None:
+        report["solver_probe"] = probe_stats
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of :func:`run_profile`'s output."""
+    lines: List[str] = []
+    m = report["metrics"]
+    lines.append(
+        f"profile: {report['case']} policy {report['policy']} "
+        f"(mapper {report['mapper']}, {report['wall_seconds']:.2f} s)"
+    )
+    lines.append(
+        f"  vs1 {m['vs_setting1']}  vs2 {m['vs_setting2']}  "
+        f"#v {m['used_valves']}  objective {m['mapping_objective']}  "
+        f"{m['routed_paths']} routed paths"
+    )
+    counters = report["telemetry"]["counters"]
+    timers = report["telemetry"]["timers"]
+    if counters:
+        lines.append("  counters:")
+        for name in sorted(counters):
+            lines.append(f"    {name:<28} {counters[name]:>12}")
+    if timers:
+        lines.append("  timers:")
+        for name in sorted(timers):
+            t = timers[name]
+            lines.append(
+                f"    {name:<28} {t['seconds']:>10.4f} s over "
+                f"{t['events']} event(s)"
+            )
+    probe = report.get("solver_probe")
+    if probe:
+        lines.append(
+            f"  solver probe: {probe['status']} in "
+            f"{probe['wall_seconds']:.3f} s "
+            f"({probe['variables']:.0f} vars, "
+            f"{probe['nodes_explored']:.0f} nodes, "
+            f"{probe['simplex_iterations']:.0f} simplex iterations)"
+        )
+    return "\n".join(lines)
+
+
+def main(
+    case_name: str,
+    policy_index: int = 1,
+    mapper: str = "auto",
+    json_path: Optional[str] = None,
+    probe: bool = True,
+) -> dict:
+    report = run_profile(
+        case_name, policy_index=policy_index, mapper=mapper, probe=probe
+    )
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+    print(format_report(report))
+    if json_path:
+        print(f"report written to {json_path}")
+    return report

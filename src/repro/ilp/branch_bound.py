@@ -9,6 +9,12 @@ Solves a :class:`repro.ilp.model.Model` by LP-relaxation branch & bound:
 * optional node and time limits; when the search is cut short the best
   incumbent is returned with status FEASIBLE.
 
+A relaxation that hits its own limits (``NO_SOLUTION``) or misreports
+unboundedness below the root does **not** prune its node: the node's
+bound is unknown, so the search is marked non-exhausted and the final
+status degrades to FEASIBLE / NO_SOLUTION instead of claiming
+OPTIMAL / INFEASIBLE over a tree it never actually explored.
+
 This solver exists so the whole reproduction runs without any external
 MIP engine; the HiGHS backend (:mod:`repro.ilp.scipy_backend`) is the
 faster default for large mapping models, and tests assert both agree.
@@ -28,6 +34,7 @@ import numpy as np
 from repro.ilp.model import Model
 from repro.ilp.simplex import LpResult, solve_lp
 from repro.ilp.solution import Solution, SolveStatus
+from repro.obs import TELEMETRY
 
 _INT_TOL = 1e-6
 
@@ -48,9 +55,13 @@ def _solve_relaxation(
     b_eq: np.ndarray,
     bounds: List[Tuple[float, float]],
     lp_engine: str,
+    lp_max_iterations: int,
 ) -> LpResult:
     if lp_engine == "simplex":
-        return solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        return solve_lp(
+            c, a_ub, b_ub, a_eq, b_eq, bounds,
+            max_iterations=lp_max_iterations,
+        )
     # scipy linprog engine (HiGHS LP): used to accelerate the from-scratch
     # tree search on larger relaxations.
     from scipy.optimize import linprog
@@ -79,6 +90,7 @@ def solve_branch_bound(
     max_nodes: int = 200_000,
     time_limit: Optional[float] = None,
     absolute_gap: float = 1e-6,
+    lp_max_iterations: int = 200_000,
 ) -> Solution:
     """Optimize ``model`` by branch & bound.
 
@@ -86,7 +98,9 @@ def solve_branch_bound(
     from-scratch solver) or ``"scipy"`` (HiGHS LP).  ``absolute_gap``
     prunes nodes whose bound cannot improve the incumbent by more than
     the gap; the mapping objective is integral, so callers may pass a
-    gap just below 1 to prove optimality faster.
+    gap just below 1 to prove optimality faster.  ``lp_max_iterations``
+    caps each relaxation's simplex pivots; a capped relaxation marks the
+    search non-exhausted rather than pruning its node.
     """
     start = time.monotonic()
     c, a_ub, b_ub, a_eq, b_eq, root_bounds, integrality = model.to_arrays()
@@ -95,38 +109,65 @@ def solve_branch_bound(
     counter = itertools.count()
     best_x: Optional[np.ndarray] = None
     best_obj = math.inf  # minimize-form objective (already sense-adjusted)
-    nodes_explored = 0
     exhausted = True
+    stats: Dict[str, float] = {
+        "nodes_explored": 0,
+        "nodes_pruned_bound": 0,
+        "nodes_infeasible": 0,
+        "nodes_integral": 0,
+        "nodes_branched": 0,
+        "nodes_lp_limit": 0,  # relaxations fallen back to NO_SOLUTION
+        "nodes_unbounded_dropped": 0,
+        "lp_wall_time": 0.0,
+        "simplex_iterations": 0,
+    }
 
     root = _Node(-math.inf, next(counter), list(root_bounds))
     heap: List[_Node] = [root]
 
     while heap:
-        if nodes_explored >= max_nodes or (
+        if stats["nodes_explored"] >= max_nodes or (
             time_limit is not None and time.monotonic() - start > time_limit
         ):
             exhausted = False
             break
         node = heapq.heappop(heap)
         if node.bound >= best_obj - absolute_gap:
+            stats["nodes_pruned_bound"] += 1
             continue  # cannot improve the incumbent
-        relax = _solve_relaxation(c, a_ub, b_ub, a_eq, b_eq, node.bounds, lp_engine)
-        nodes_explored += 1
+        lp_start = time.perf_counter()
+        relax = _solve_relaxation(
+            c, a_ub, b_ub, a_eq, b_eq, node.bounds, lp_engine,
+            lp_max_iterations,
+        )
+        stats["lp_wall_time"] += time.perf_counter() - lp_start
+        stats["simplex_iterations"] += relax.iterations
+        stats["nodes_explored"] += 1
+        if relax.status is SolveStatus.NO_SOLUTION:
+            # The relaxation hit its iteration cap: this node's bound is
+            # unknown.  Pruning it here would let the search report
+            # OPTIMAL / INFEASIBLE over a subtree it never explored, so
+            # propagate the limit instead.
+            stats["nodes_lp_limit"] += 1
+            exhausted = False
+            continue
         if relax.status is SolveStatus.UNBOUNDED:
-            # An unbounded relaxation at the root means the MILP itself is
-            # unbounded or infeasible; deeper nodes only tighten bounds, so
-            # report unbounded only from the root.
             if node.depth == 0:
-                return Solution(
-                    SolveStatus.UNBOUNDED,
-                    backend="branch_bound",
-                    nodes_explored=nodes_explored,
-                    wall_time=time.monotonic() - start,
-                )
+                # An unbounded root relaxation means the MILP itself is
+                # unbounded or infeasible.
+                return _finish(SolveStatus.UNBOUNDED, start, stats)
+            # Below the root an UNBOUNDED verdict contradicts the (finite)
+            # root bound and can only come from the LP engine giving up
+            # numerically; the subtree's status is unknown, so keep the
+            # incumbent but stop claiming exhaustion.
+            stats["nodes_unbounded_dropped"] += 1
+            exhausted = False
             continue
         if relax.status is not SolveStatus.OPTIMAL:
+            stats["nodes_infeasible"] += 1
             continue  # infeasible node: prune
         if relax.objective >= best_obj - absolute_gap:
+            stats["nodes_pruned_bound"] += 1
             continue
         x = relax.x
         assert x is not None
@@ -140,10 +181,12 @@ def solve_branch_bound(
                 branch_var = j
         if branch_var < 0:
             # Integral solution: new incumbent.
+            stats["nodes_integral"] += 1
             if relax.objective < best_obj:
                 best_obj = relax.objective
                 best_x = x.copy()
             continue
+        stats["nodes_branched"] += 1
         value = x[branch_var]
         lb, ub = node.bounds[branch_var]
         floor_bounds = list(node.bounds)
@@ -158,12 +201,9 @@ def solve_branch_bound(
                     _Node(relax.objective, next(counter), child_bounds, node.depth + 1),
                 )
 
-    wall = time.monotonic() - start
     if best_x is None:
         status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.NO_SOLUTION
-        return Solution(
-            status, backend="branch_bound", nodes_explored=nodes_explored, wall_time=wall
-        )
+        return _finish(status, start, stats)
 
     values: Dict = {}
     for var in model.variables:
@@ -173,11 +213,38 @@ def solve_branch_bound(
         values[var] = val
     objective = model.objective.evaluate(values)
     status = SolveStatus.OPTIMAL if exhausted else SolveStatus.FEASIBLE
+    return _finish(status, start, stats, objective, values)
+
+
+def _finish(
+    status: SolveStatus,
+    start: float,
+    stats: Dict[str, float],
+    objective: float = math.nan,
+    values: Optional[Dict] = None,
+) -> Solution:
+    """Assemble the solution, flushing telemetry once per search."""
+    wall = time.monotonic() - start
+    if TELEMETRY.enabled:
+        TELEMETRY.count("bb.solves")
+        for key in (
+            "nodes_explored",
+            "nodes_pruned_bound",
+            "nodes_infeasible",
+            "nodes_integral",
+            "nodes_lp_limit",
+            "nodes_unbounded_dropped",
+        ):
+            TELEMETRY.count(f"bb.{key}", int(stats[key]))
+        TELEMETRY.add_time(
+            "bb.lp", stats["lp_wall_time"], int(stats["nodes_explored"])
+        )
     return Solution(
         status,
         objective=objective,
-        values=values,
+        values=values or {},
         backend="branch_bound",
-        nodes_explored=nodes_explored,
+        nodes_explored=int(stats["nodes_explored"]),
         wall_time=wall,
+        stats=dict(stats),
     )

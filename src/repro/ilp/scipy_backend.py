@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
+from repro.obs import TELEMETRY
 
 
 def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
@@ -53,13 +54,28 @@ def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
         options=options or None,
     )
     wall = time.monotonic() - start
+    stats = {}
+    for key in ("mip_node_count", "mip_gap", "mip_dual_bound"):
+        value = getattr(res, key, None)
+        if value is not None:
+            stats[key] = float(value)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("scipy.milp_solves")
+        TELEMETRY.count("scipy.mip_nodes", int(stats.get("mip_node_count", 0)))
+        TELEMETRY.add_time("scipy.milp", wall)
 
     if res.status == 2:
-        return Solution(SolveStatus.INFEASIBLE, backend="scipy", wall_time=wall)
+        return Solution(
+            SolveStatus.INFEASIBLE, backend="scipy", wall_time=wall, stats=stats
+        )
     if res.status == 3:
-        return Solution(SolveStatus.UNBOUNDED, backend="scipy", wall_time=wall)
+        return Solution(
+            SolveStatus.UNBOUNDED, backend="scipy", wall_time=wall, stats=stats
+        )
     if res.x is None:
-        return Solution(SolveStatus.NO_SOLUTION, backend="scipy", wall_time=wall)
+        return Solution(
+            SolveStatus.NO_SOLUTION, backend="scipy", wall_time=wall, stats=stats
+        )
 
     values = {}
     for var in model.variables:
@@ -75,4 +91,6 @@ def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
         values=values,
         backend="scipy",
         wall_time=wall,
+        stats=stats,
+        nodes_explored=int(stats.get("mip_node_count", 0)),
     )

@@ -20,12 +20,14 @@ through the HiGHS backend instead (see DESIGN.md §3).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ilp.solution import SolveStatus
+from repro.obs import TELEMETRY
 
 _EPS = 1e-9
 
@@ -189,6 +191,7 @@ def solve_lp(
     grand_total = big_a.shape[1]
 
     iterations = 0
+    pivot_start = time.perf_counter()
     if artificial_cols:
         phase1_c = np.zeros(grand_total)
         for col in artificial_cols:
@@ -197,10 +200,14 @@ def solve_lp(
             big_a, big_b, phase1_c, basis, max_iterations
         )
         iterations += iters
+        if status is SolveStatus.NO_SOLUTION:
+            # Iteration cap hit during phase 1: feasibility is unknown —
+            # propagate the limit instead of misreporting infeasibility.
+            return _finish(SolveStatus.NO_SOLUTION, iterations, pivot_start)
         if status is SolveStatus.UNBOUNDED:  # pragma: no cover - impossible
-            return LpResult(SolveStatus.INFEASIBLE, iterations=iterations)
+            return _finish(SolveStatus.INFEASIBLE, iterations, pivot_start)
         if obj > 1e-7:
-            return LpResult(SolveStatus.INFEASIBLE, iterations=iterations)
+            return _finish(SolveStatus.INFEASIBLE, iterations, pivot_start)
         # Drive lingering artificials out of the basis where possible.
         art_set = set(artificial_cols)
         for i in range(m):
@@ -227,7 +234,7 @@ def solve_lp(
     )
     iterations += iters
     if status is not SolveStatus.OPTIMAL:
-        return LpResult(status, iterations=iterations)
+        return _finish(status, iterations, pivot_start)
 
     # ------------------------------------------------------------------
     # 4. Recover the original variable values.
@@ -243,7 +250,24 @@ def solve_lp(
             x[j] = vm.offset - y[vm.col]
         else:
             x[j] = y[vm.col] - y[vm.col2]
-    return LpResult(SolveStatus.OPTIMAL, x, float(c @ x), iterations)
+    return _finish(
+        SolveStatus.OPTIMAL, iterations, pivot_start, x, float(c @ x)
+    )
+
+
+def _finish(
+    status: SolveStatus,
+    iterations: int,
+    pivot_start: float,
+    x: Optional[np.ndarray] = None,
+    objective: float = math.nan,
+) -> LpResult:
+    """Assemble the result, flushing telemetry once per solve."""
+    if TELEMETRY.enabled:
+        TELEMETRY.count("simplex.solves")
+        TELEMETRY.count("simplex.iterations", iterations)
+        TELEMETRY.add_time("simplex.pivot", time.perf_counter() - pivot_start)
+    return LpResult(status, x, objective, iterations)
 
 
 def _pivot(a: np.ndarray, b: np.ndarray, row: int, col: int) -> None:
@@ -273,40 +297,38 @@ def _simplex_core(
     (used to pin phase-1 artificials at zero during phase 2).
     """
     m, total = a.shape
-    forbidden = forbidden or set()
+    allowed = np.ones(total, dtype=bool)
+    if forbidden:
+        allowed[list(forbidden)] = False
     iterations = 0
     while True:
-        if iterations >= max_iterations:  # pragma: no cover - safety net
+        if iterations >= max_iterations:
             return SolveStatus.NO_SOLUTION, math.nan, iterations
         # Reduced costs: r = c - c_B @ B^-1 A; the tableau is kept in
         # B^-1 A form, so c_B rows are read off directly.
         cb = c[basis]
         reduced = c - cb @ a
-        # Bland's rule: smallest-index improving column.
-        entering = -1
-        for j in range(total):
-            if j in forbidden:
-                continue
-            if reduced[j] < -_EPS:
-                entering = j
-                break
-        if entering < 0:
+        # Bland's rule, vectorized pricing: the smallest-index improving
+        # column (argmax of a boolean mask returns the first True).
+        improving = (reduced < -_EPS) & allowed
+        entering = int(np.argmax(improving))
+        if not improving[entering]:
             objective = float(cb @ b)
             return SolveStatus.OPTIMAL, objective, iterations
-        # Ratio test, ties broken by smallest basis index (Bland).
-        leaving = -1
-        best_ratio = math.inf
-        for i in range(m):
-            if a[i, entering] > _EPS:
-                ratio = b[i] / a[i, entering]
-                if ratio < best_ratio - _EPS or (
-                    abs(ratio - best_ratio) <= _EPS
-                    and (leaving < 0 or basis[i] < basis[leaving])
-                ):
-                    best_ratio = ratio
-                    leaving = i
-        if leaving < 0:
+        # Ratio test: the exact minimum ratio decides the leaving row;
+        # Bland's tie-break (smallest basis index) applies only inside
+        # the numerical band around that minimum.  Comparing against
+        # ``best_ratio - _EPS`` instead would let a strictly smaller
+        # ratio be skipped and drive a basic variable negative.
+        col = a[:, entering]
+        positive = col > _EPS
+        if not positive.any():
             return SolveStatus.UNBOUNDED, math.nan, iterations
+        ratios = np.full(m, math.inf)
+        ratios[positive] = b[positive] / col[positive]
+        best_ratio = float(ratios.min())
+        band = np.flatnonzero(ratios <= best_ratio + _EPS)
+        leaving = int(min(band, key=lambda i: basis[i]))
         _pivot(a, b, leaving, entering)
         basis[leaving] = entering
         iterations += 1

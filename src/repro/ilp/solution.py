@@ -31,6 +31,10 @@ class Solution:
 
     ``values`` maps every model variable to its value; integer variables
     carry exactly integral floats after rounding by the solver.
+    ``stats`` holds backend-specific solve telemetry (simplex iteration
+    counts, branch & bound node tallies, LP wall time — see
+    :mod:`repro.obs`); it is always cheap to collect and may be empty
+    for backends that expose nothing.
     """
 
     status: SolveStatus
@@ -39,6 +43,7 @@ class Solution:
     backend: str = ""
     nodes_explored: int = 0
     wall_time: float = 0.0
+    stats: Dict[str, float] = field(default_factory=dict)
 
     def value(self, item: Union[Var, LinExpr]) -> float:
         """Value of a variable or expression under this solution."""

@@ -1,0 +1,32 @@
+"""``repro.obs`` — zero-dependency solver telemetry (off by default).
+
+See :mod:`repro.obs.telemetry` for the registry and the naming
+convention, and ``python -m repro profile <case>`` for the report that
+surfaces the recorded counters.
+"""
+
+from repro.obs.telemetry import (
+    TELEMETRY,
+    Telemetry,
+    add_time,
+    count,
+    disable,
+    enable,
+    enabled,
+    reset,
+    snapshot,
+    span,
+)
+
+__all__ = [
+    "TELEMETRY",
+    "Telemetry",
+    "add_time",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "reset",
+    "snapshot",
+    "span",
+]

@@ -1,0 +1,131 @@
+"""Lightweight solver telemetry: counters, timers, spans.
+
+Zero-dependency observability for the synthesis stack.  A single
+module-level :data:`TELEMETRY` registry collects named counters and
+wall-time accumulators; it is **off by default** and every recording
+call is guarded by one attribute check, so instrumented hot paths add
+no measurable overhead when disabled.
+
+Instrumentation convention (see DESIGN.md §8): hot loops accumulate
+into *local* variables and flush once per solve/search through
+:func:`count` / :func:`add_time`, so the per-iteration cost is a plain
+integer increment even when telemetry is enabled.
+
+Counter names are dotted paths, one prefix per subsystem:
+
+* ``simplex.*`` — LP iterations, pivot wall time (``repro.ilp.simplex``)
+* ``bb.*`` — branch & bound nodes explored / pruned / fallen-back,
+  per-node LP wall time (``repro.ilp.branch_bound``)
+* ``mapper.*`` — window solves, greedy fallbacks, refinement
+  accept/reject tallies (``repro.core.mappers``)
+* ``routing.*`` — Dijkstra heap pops, rip-up & re-route events
+  (``repro.routing``)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+
+class Telemetry:
+    """A registry of named counters and wall-time accumulators."""
+
+    __slots__ = ("enabled", "_counters", "_timers")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, Tuple[float, int]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded values (the enabled flag is untouched)."""
+        self._counters.clear()
+        self._timers.clear()
+
+    # -- recording -------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float, events: int = 1) -> None:
+        """Add ``seconds`` (over ``events`` occurrences) to timer ``name``."""
+        if not self.enabled:
+            return
+        total, n = self._timers.get(name, (0.0, 0))
+        self._timers[name] = (total + seconds, n + events)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into timer ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- reading ---------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def timers(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"seconds": total, "events": n}
+            for name, (total, n) in self._timers.items()
+        }
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Everything recorded so far, as one JSON-friendly dict."""
+        return {"counters": self.counters(), "timers": self.timers()}
+
+
+#: The process-wide registry used by all instrumented subsystems.
+TELEMETRY = Telemetry()
+
+
+def enable() -> None:
+    TELEMETRY.enable()
+
+
+def disable() -> None:
+    TELEMETRY.disable()
+
+
+def enabled() -> bool:
+    return TELEMETRY.enabled
+
+
+def reset() -> None:
+    TELEMETRY.reset()
+
+
+def count(name: str, n: int = 1) -> None:
+    TELEMETRY.count(name, n)
+
+
+def add_time(name: str, seconds: float, events: int = 1) -> None:
+    TELEMETRY.add_time(name, seconds, events)
+
+
+def span(name: str):
+    return TELEMETRY.span(name)
+
+
+def snapshot() -> Dict[str, Dict]:
+    return TELEMETRY.snapshot()

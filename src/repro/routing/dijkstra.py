@@ -13,6 +13,7 @@ import math
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.geometry import GridSpec, Point
+from repro.obs import TELEMETRY
 
 #: Cost function: entering a cell costs ``cost_of(cell)``; ``math.inf``
 #: marks an obstacle.
@@ -51,8 +52,11 @@ def dijkstra_path(
     if not heap:
         return None
 
+    path: Optional[List[Point]] = None
+    pops = 0
     while heap:
         d, x, y = heapq.heappop(heap)
+        pops += 1
         u = Point(x, y)
         if d > dist.get(u, math.inf):
             continue  # stale entry
@@ -62,7 +66,7 @@ def dijkstra_path(
                 u = prev[u]
                 path.append(u)
             path.reverse()
-            return path
+            break
         for v in grid.neighbors4(u):
             step = cost_of(v)
             if math.isinf(step):
@@ -72,4 +76,7 @@ def dijkstra_path(
                 dist[v] = nd
                 prev[v] = u
                 heapq.heappush(heap, (nd, v.x, v.y))
-    return None
+    if TELEMETRY.enabled:
+        TELEMETRY.count("routing.dijkstra_calls")
+        TELEMETRY.count("routing.heap_pops", pops)
+    return path

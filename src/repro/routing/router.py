@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import RoutingError
 from repro.geometry import GridSpec, Point
+from repro.obs import TELEMETRY
 from repro.architecture.chip import Chip
 from repro.architecture.device import DeviceKind, DynamicDevice
 from repro.routing.dijkstra import dijkstra_path
@@ -99,6 +100,8 @@ class Router:
         # ripped path must avoid that storage, other paths may still
         # pass through it.
         forbidden: Set[str] = set()
+        if TELEMETRY.enabled:
+            TELEMETRY.count("routing.events")
         for _ in range(MAX_REROUTES):
             path = self._dijkstra_once(event, concurrent, forbidden)
             if path is None:
@@ -109,6 +112,8 @@ class Router:
                 path.cost = cost
                 return path
             forbidden.add(overfull)
+            if TELEMETRY.enabled:
+                TELEMETRY.count("routing.reroutes")
         raise RoutingError(
             f"rip-up and re-route did not converge for {event.label}"
         )

@@ -1,0 +1,86 @@
+"""Tests for the ``python -m repro profile`` report."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.__main__ import build_parser, main
+from repro.experiments.profile import format_report, run_profile
+
+
+@pytest.fixture(scope="module")
+def report():
+    # The greedy mapper keeps the full-synthesis part fast; the solver
+    # probe still exercises the branch-&-bound / simplex stack.
+    return run_profile("pcr", mapper="greedy", probe=True)
+
+
+class TestRunProfile:
+    def test_report_shape(self, report):
+        assert report["case"] == "pcr"
+        assert report["mapper"] == "greedy"
+        assert report["wall_seconds"] > 0.0
+        assert report["metrics"]["used_valves"] > 0
+        assert report["metrics"]["routed_paths"] > 0
+
+    def test_counters_cover_every_subsystem(self, report):
+        counters = report["telemetry"]["counters"]
+        assert counters["mapper.greedy_solves"] >= 1
+        assert counters["routing.dijkstra_calls"] >= 1
+        assert counters["routing.heap_pops"] > 0
+        # The probe feeds the from-scratch solver counters even though
+        # the synthesis itself may never touch that backend.
+        assert counters["bb.solves"] == 1
+        assert counters["bb.nodes_explored"] > 0
+        assert counters["simplex.iterations"] > 0
+
+    def test_probe_solved_to_optimality(self, report):
+        probe = report["solver_probe"]
+        assert probe["status"] == "optimal"
+        assert probe["nodes_explored"] > 0
+
+    def test_timers_present(self, report):
+        timers = report["telemetry"]["timers"]
+        assert timers["bb.lp"]["events"] > 0
+        assert timers["simplex.pivot"]["seconds"] >= 0.0
+
+    def test_telemetry_left_disabled(self, report):
+        assert not obs.enabled()
+
+    def test_report_is_json_serializable(self, report):
+        parsed = json.loads(json.dumps(report))
+        assert parsed["case"] == "pcr"
+
+    def test_format_report_mentions_the_counters(self, report):
+        text = format_report(report)
+        assert "profile: pcr" in text
+        assert "bb.nodes_explored" in text
+        assert "solver probe: optimal" in text
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["profile", "pcr"])
+        assert args.policy == 1
+        assert args.mapper == "auto"
+        assert args.json is None
+        assert not args.no_probe
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.json"
+        assert (
+            main(
+                [
+                    "profile", "pcr", "--mapper", "greedy",
+                    "--no-probe", "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profile: pcr" in out
+        data = json.loads(out_path.read_text())
+        assert data["case"] == "pcr"
+        assert "solver_probe" not in data
+        assert data["telemetry"]["counters"]["routing.dijkstra_calls"] >= 1

@@ -1,0 +1,90 @@
+"""Unit tests for the solver telemetry registry."""
+
+import pytest
+
+from repro import obs
+from repro.obs import Telemetry
+
+
+@pytest.fixture
+def telemetry():
+    return Telemetry()
+
+
+class TestCounters:
+    def test_disabled_by_default(self, telemetry):
+        assert not telemetry.enabled
+        telemetry.count("simplex.solves")
+        assert telemetry.counters() == {}
+
+    def test_count_accumulates(self, telemetry):
+        telemetry.enable()
+        telemetry.count("bb.nodes_explored")
+        telemetry.count("bb.nodes_explored", 4)
+        assert telemetry.counters() == {"bb.nodes_explored": 5}
+
+    def test_reset_clears_but_keeps_enabled(self, telemetry):
+        telemetry.enable()
+        telemetry.count("x", 3)
+        telemetry.reset()
+        assert telemetry.counters() == {}
+        assert telemetry.enabled
+
+
+class TestTimers:
+    def test_add_time_tracks_seconds_and_events(self, telemetry):
+        telemetry.enable()
+        telemetry.add_time("bb.lp", 0.25, events=10)
+        telemetry.add_time("bb.lp", 0.75, events=30)
+        timers = telemetry.timers()
+        assert timers["bb.lp"]["seconds"] == pytest.approx(1.0)
+        assert timers["bb.lp"]["events"] == 40
+
+    def test_span_measures_wall_time(self, telemetry):
+        telemetry.enable()
+        with telemetry.span("mapper.window_solve"):
+            pass
+        timers = telemetry.timers()
+        assert timers["mapper.window_solve"]["events"] == 1
+        assert timers["mapper.window_solve"]["seconds"] >= 0.0
+
+    def test_span_noop_when_disabled(self, telemetry):
+        with telemetry.span("mapper.window_solve"):
+            pass
+        assert telemetry.timers() == {}
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, telemetry):
+        telemetry.enable()
+        telemetry.count("routing.heap_pops", 7)
+        telemetry.add_time("simplex.pivot", 0.5)
+        snap = telemetry.snapshot()
+        assert snap == {
+            "counters": {"routing.heap_pops": 7},
+            "timers": {"simplex.pivot": {"seconds": 0.5, "events": 1}},
+        }
+
+    def test_snapshot_is_a_copy(self, telemetry):
+        telemetry.enable()
+        telemetry.count("a")
+        snap = telemetry.snapshot()
+        snap["counters"]["a"] = 99
+        assert telemetry.counters()["a"] == 1
+
+
+class TestModuleSingleton:
+    def test_module_api_round_trip(self):
+        obs.reset()
+        obs.enable()
+        try:
+            obs.count("test.counter", 2)
+            with obs.span("test.span"):
+                pass
+            snap = obs.snapshot()
+            assert snap["counters"]["test.counter"] == 2
+            assert snap["timers"]["test.span"]["events"] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+        assert not obs.enabled()
