@@ -1,0 +1,190 @@
+"""Perf-trajectory recorder: ``python benchmarks/bench_record.py``.
+
+Times the table-1 mapping cases and the exact-solver microbenchmarks
+and writes the results to ``BENCH_ilp.json`` at the repository root —
+one committed-format snapshot per run, so the performance trajectory of
+the from-scratch ILP stack is visible in CI artifacts over time.
+
+Two kinds of entries:
+
+* ``probes`` — deterministic branch & bound runs on small exact
+  sub-models of the table-1 cases (the same construction as the
+  ``python -m repro profile`` solver probe), warm-started and
+  cold-started: wall time, node count, simplex iterations and dual
+  pivots per run, plus the cold/warm iteration ratio.
+* ``mapping`` — end-to-end synthesis wall time per case (placements and
+  node counts for these are covered by the frozen-fixture benchmarks).
+
+``--check`` compares the frozen PCR probe's branch & bound node counts
+against the checked-in baseline (``benchmarks/data/bench_baseline.json``)
+and exits non-zero on a >20% regression — the CI tripwire for search
+blow-ups that wall-clock noise would hide.
+
+Run with ``PYTHONPATH=src`` from the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "data" / "bench_baseline.json"
+DEFAULT_OUTPUT = ROOT / "BENCH_ilp.json"
+
+#: Solver microbenchmarks: (case, #tasks, anchor stride).  Small enough
+#: that a warm + cold pair stays seconds-scale in CI, large enough to
+#: branch and pivot for real.
+PROBES = (
+    ("pcr", 2, 3),
+    ("exponential_dilution", 2, 4),
+)
+
+#: Cases timed end to end (wall time only).
+MAPPING_CASES = ("pcr",)
+
+#: ``--check`` fails when a probe's node count exceeds baseline by this.
+NODE_REGRESSION_LIMIT = 0.20
+
+
+def probe_model(case_name: str, n_tasks: int, stride: int):
+    """The exact sub-model the solver probes run: first ``n_tasks``
+    tasks of the case on a coarse anchor grid."""
+    from repro.assays import get_case, schedule_for
+    from repro.core.mapping_model import MappingModelBuilder, MappingSpec
+    from repro.core.tasks import build_tasks
+
+    case = get_case(case_name)
+    graph = case.graph()
+    schedule = schedule_for(case, case.policies(1)[0])
+    tasks = build_tasks(graph, schedule)
+    spec = MappingSpec(
+        grid=case.grid, tasks=tasks[:n_tasks], anchor_stride=stride
+    )
+    return MappingModelBuilder(spec).build().model
+
+
+def run_probe(case_name: str, n_tasks: int, stride: int) -> Dict:
+    model = probe_model(case_name, n_tasks, stride)
+    entry: Dict = {"tasks": n_tasks, "anchor_stride": stride}
+    for label, warm in (("warm", True), ("cold", False)):
+        start = time.perf_counter()
+        solution = model.solve(
+            backend="branch_bound",
+            lp_engine="simplex",
+            lp_max_iterations=200_000,
+            warm_start=warm,
+        )
+        wall = time.perf_counter() - start
+        stats = solution.stats
+        entry[label] = {
+            "wall_seconds": round(wall, 4),
+            "status": solution.status.value,
+            "objective": solution.objective,
+            "nodes": int(stats["nodes_explored"]),
+            "simplex_iterations": int(stats["simplex_iterations"]),
+            "dual_pivots": int(stats["dual_pivots"]),
+            "warm_fallbacks": int(stats["warm_fallbacks"]),
+        }
+    warm_iters = max(entry["warm"]["simplex_iterations"], 1)
+    entry["iteration_ratio"] = round(
+        entry["cold"]["simplex_iterations"] / warm_iters, 2
+    )
+    return entry
+
+
+def run_mapping(case_name: str) -> Dict:
+    from repro.assays import get_case, schedule_for
+    from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+    case = get_case(case_name)
+    graph = case.graph()
+    schedule = schedule_for(case, case.policies(1)[0])
+    start = time.perf_counter()
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid)
+    ).synthesize(graph, schedule)
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": round(wall, 4),
+        "mapper": result.metrics.mapper,
+        "objective": result.metrics.mapping_objective,
+    }
+
+
+def record() -> Dict:
+    report: Dict = {"schema": 1, "probes": {}, "mapping": {}}
+    for case_name, n_tasks, stride in PROBES:
+        print(f"probe {case_name} ({n_tasks} tasks, stride {stride}) ...")
+        report["probes"][case_name] = run_probe(case_name, n_tasks, stride)
+    for case_name in MAPPING_CASES:
+        print(f"mapping {case_name} ...")
+        report["mapping"][case_name] = run_mapping(case_name)
+    return report
+
+
+def check_against_baseline(report: Dict) -> List[str]:
+    """Node-count regressions of the frozen probes vs the baseline."""
+    if not BASELINE_PATH.exists():
+        return [f"missing baseline {BASELINE_PATH}"]
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures: List[str] = []
+    for case_name, frozen in baseline.get("probes", {}).items():
+        current = report["probes"].get(case_name)
+        if current is None:
+            failures.append(f"{case_name}: probe missing from this run")
+            continue
+        for label in ("warm", "cold"):
+            expected = frozen[label]["nodes"]
+            actual = current[label]["nodes"]
+            limit = expected * (1.0 + NODE_REGRESSION_LIMIT)
+            if actual > limit:
+                failures.append(
+                    f"{case_name} [{label}]: {actual} B&B nodes vs "
+                    f"baseline {expected} (> {limit:.0f} allowed)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on >20%% B&B node regression vs the checked-in baseline",
+    )
+    args = parser.parse_args(argv)
+
+    report = record()
+    args.output.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    print(f"report written to {args.output}")
+    for case_name, entry in report["probes"].items():
+        print(
+            f"  {case_name}: warm {entry['warm']['simplex_iterations']} vs "
+            f"cold {entry['cold']['simplex_iterations']} iterations "
+            f"({entry['iteration_ratio']}x), "
+            f"{entry['warm']['nodes']}/{entry['cold']['nodes']} nodes"
+        )
+
+    if args.check:
+        failures = check_against_baseline(report)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -172,8 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.add_argument(
         "--mapper", default="auto",
-        choices=["auto", "greedy", "ilp", "windowed_ilp"],
-        help="mapping engine (default: automatic selection)",
+        choices=["auto", "greedy", "ilp", "windowed_ilp", "parallel"],
+        help="mapping engine (default: automatic selection; 'parallel' "
+        "is the windowed mapper with process-pool refinement)",
     )
     p_prof.add_argument(
         "--json", metavar="FILE", help="also write the report as JSON"

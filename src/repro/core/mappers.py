@@ -41,6 +41,24 @@ from repro.core.mapping_model import MappingModelBuilder, MappingSpec, Pair
 from repro.core.tasks import MappingTask
 
 
+def _solve_window_job(payload):
+    """Process-pool entry point: solve one refinement window.
+
+    Runs in a worker process, so it must be a picklable top-level
+    function.  Returns the window's :class:`MappingResult`, or ``None``
+    when the window is infeasible even for the greedy fallback (the
+    caller keeps the old placement — refinement is opportunistic).
+    """
+    spec, window, ordered, placements, discouraged, backend, limit = payload
+    mapper = WindowedILPMapper(backend=backend, time_limit_per_window=limit)
+    try:
+        return mapper._solve_window(
+            spec, window, ordered, placements, discouraged=discouraged
+        )
+    except SynthesisError:
+        return None
+
+
 @dataclass
 class MappingResult:
     """Placements for every task plus solve diagnostics."""
@@ -212,6 +230,19 @@ class WindowedILPMapper(BaseMapper):
     committed prefix can paint the ILP into a corner) the window falls
     back to the greedy balancer, which ignores no constraint but
     searches placement-by-placement.
+
+    With ``parallel=True`` the refinement passes solve their windows
+    speculatively in a process pool: every window of a pass is solved
+    against the pass-start placement snapshot, then the results are
+    applied one by one in the usual deterministic window order, each
+    candidate re-validated against the *live* placements (a candidate
+    that now overlaps a device an earlier window moved is discarded as
+    stale, keeping the old placement).  The rolling pass and the
+    targeted rounds stay serial — each step there feeds the next.  Any
+    pool failure falls back to the serial path; results remain
+    deterministic for a given configuration, though ``parallel=True``
+    may accept different (equally valid) refinements than serial mode
+    because speculative solves see the snapshot, not the evolving state.
     """
 
     name = "windowed_ilp"
@@ -222,6 +253,8 @@ class WindowedILPMapper(BaseMapper):
         backend: str = "scipy",
         time_limit_per_window: Optional[float] = 20.0,
         refine_passes: int = 2,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ) -> None:
         if window_size < 1:
             raise SynthesisError("window size must be at least 1")
@@ -229,6 +262,8 @@ class WindowedILPMapper(BaseMapper):
         self.backend = backend
         self.time_limit_per_window = time_limit_per_window
         self.refine_passes = refine_passes
+        self.parallel = parallel
+        self.max_workers = max_workers
 
     def map_tasks(self, spec: MappingSpec) -> MappingResult:
         start_time = time.monotonic()
@@ -243,9 +278,20 @@ class WindowedILPMapper(BaseMapper):
             "refine_infeasible": 0,
             "targeted_rounds": 0,
             "targeted_accepted": 0,
+            "parallel_windows": 0,
+            "parallel_stale": 0,
+            "parallel_fallback": 0,
         }
+        executor = None
+        if self.parallel:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            except Exception:
+                stats["parallel_fallback"] = 1
         try:
-            result = self._rolling_and_refine(spec, stats)
+            result = self._rolling_and_refine(spec, stats, executor)
         except SynthesisError:
             # A window dead-ended (the committed prefix saturated the
             # grid for some window split).  The one-task-at-a-time
@@ -253,6 +299,9 @@ class WindowedILPMapper(BaseMapper):
             # use it for the whole problem rather than fail.
             stats["whole_problem_fallback"] = 1
             result = GreedyMapper().map_tasks(spec)
+        finally:
+            if executor is not None:
+                executor.shutdown()
         result.wall_time = time.monotonic() - start_time
         result.stats.update(stats)
         if TELEMETRY.enabled:
@@ -270,6 +319,12 @@ class WindowedILPMapper(BaseMapper):
             TELEMETRY.count(
                 "mapper.targeted_rounds", int(stats["targeted_rounds"])
             )
+            TELEMETRY.count(
+                "mapper.parallel_windows", int(stats["parallel_windows"])
+            )
+            TELEMETRY.count(
+                "mapper.parallel_stale", int(stats["parallel_stale"])
+            )
             TELEMETRY.add_time(
                 "mapper.window_solve",
                 stats["window_seconds"],
@@ -278,7 +333,10 @@ class WindowedILPMapper(BaseMapper):
         return result
 
     def _rolling_and_refine(
-        self, spec: MappingSpec, stats: Dict[str, float]
+        self,
+        spec: MappingSpec,
+        stats: Dict[str, float],
+        executor=None,
     ) -> MappingResult:
         ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
         placements: Dict[str, Placement] = {}
@@ -345,30 +403,49 @@ class WindowedILPMapper(BaseMapper):
         # window boundary is also re-optimized jointly.
         for pass_index in range(self.refine_passes):
             offset = (self.window_size // 2) if pass_index % 2 == 0 else 0
-            starts = list(range(offset, len(ordered), self.window_size))
-            if offset:
-                starts = [0] + starts
-            for lo in starts:
-                hi = min(lo + self.window_size, len(ordered))
-                if lo == 0 and offset:
-                    hi = offset
-                window = ordered[lo:hi]
-                if not window:
-                    continue
+            windows = self._refine_windows(ordered, offset)
+            speculative: Optional[List[Optional[MappingResult]]] = None
+            if executor is not None and len(windows) > 1:
+                try:
+                    speculative = self._speculate(
+                        executor, spec, windows, ordered, placements,
+                        ledger, stats,
+                    )
+                except Exception:
+                    # Pool died (worker crash, pickling trouble): finish
+                    # the pass — and the rest of the run — serially.
+                    stats["parallel_fallback"] = 1
+                    executor = None
+            for index, window in enumerate(windows):
                 stats["refine_probes"] += 1
                 discouraged = ledger.peak_cells()
                 previous_peak = ledger.peak()
                 saved = pop_window(window)
                 saved_overlaps = list(overlaps)
-                try:
-                    result = self._solve_window(
-                        spec, window, ordered, placements,
-                        discouraged=discouraged, stats=stats,
-                    )
-                except SynthesisError:
-                    stats["refine_infeasible"] += 1
-                    restore(saved, window)
-                    continue
+                if speculative is not None:
+                    result = speculative[index]
+                    if result is None:
+                        stats["refine_infeasible"] += 1
+                        restore(saved, window)
+                        continue
+                    if not self._applies_cleanly(
+                        spec, window, ordered, placements, result
+                    ):
+                        # An earlier window of this pass moved a device
+                        # the speculative solve assumed fixed.
+                        stats["parallel_stale"] += 1
+                        restore(saved, window)
+                        continue
+                else:
+                    try:
+                        result = self._solve_window(
+                            spec, window, ordered, placements,
+                            discouraged=discouraged, stats=stats,
+                        )
+                    except SynthesisError:
+                        stats["refine_infeasible"] += 1
+                        restore(saved, window)
+                        continue
                 merge_overlaps(result)
                 new = commit(result, window)
                 if ledger.peak() > previous_peak:
@@ -493,6 +570,104 @@ class WindowedILPMapper(BaseMapper):
             for task in ordered
             if worst_cell in placements[task.name].pump_cells()
         ]
+
+    # -- parallel refinement ----------------------------------------------
+
+    def _refine_windows(
+        self, ordered: List[MappingTask], offset: int
+    ) -> List[List[MappingTask]]:
+        """The (disjoint) windows of one refinement pass, in apply order."""
+        starts = list(range(offset, len(ordered), self.window_size))
+        if offset:
+            starts = [0] + starts
+        windows: List[List[MappingTask]] = []
+        for lo in starts:
+            hi = min(lo + self.window_size, len(ordered))
+            if lo == 0 and offset:
+                hi = offset
+            window = ordered[lo:hi]
+            if window:
+                windows.append(window)
+        return windows
+
+    def _speculate(
+        self,
+        executor,
+        spec: MappingSpec,
+        windows: List[List[MappingTask]],
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+        ledger: LoadLedger,
+        stats: Dict[str, float],
+    ) -> List[Optional[MappingResult]]:
+        """Solve every window of a pass in the pool, against a snapshot.
+
+        All solves see the same pass-start placements and discouraged
+        cells; ``_solve_window`` already excludes each window's own
+        tasks from the fixed set, so the snapshot can be passed whole.
+        """
+        start = time.perf_counter()
+        snapshot = dict(placements)
+        discouraged = ledger.peak_cells()
+        futures = [
+            executor.submit(
+                _solve_window_job,
+                (
+                    spec, window, ordered, snapshot, discouraged,
+                    self.backend, self.time_limit_per_window,
+                ),
+            )
+            for window in windows
+        ]
+        results = [future.result() for future in futures]
+        stats["windows_solved"] += len(results)
+        stats["parallel_windows"] += len(results)
+        stats["greedy_windows"] += sum(
+            1
+            for r in results
+            if r is not None and r.mapper == GreedyMapper.name
+        )
+        stats["window_seconds"] += time.perf_counter() - start
+        return results
+
+    @staticmethod
+    def _applies_cleanly(
+        spec: MappingSpec,
+        window: List[MappingTask],
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+        result: MappingResult,
+    ) -> bool:
+        """Is a speculative window result still valid against ``placements``?
+
+        Re-checks the hard non-overlap constraint against the *live*
+        placements of every task outside the window (window-internal and
+        fixed-device relations were solved jointly and cannot go stale).
+        Parent-proximity is soft here, as in the greedy mapper: a parent
+        moved by an earlier window only lengthens a route.
+        """
+        window_names = {t.name for t in window}
+        others = [
+            t
+            for t in ordered
+            if t.name not in window_names and t.name in placements
+        ]
+        for task in window:
+            rect = result.placements[task.name].rect
+            for other in others:
+                if not (task.start < other.end and other.start < task.end):
+                    continue
+                if not rect.overlaps(placements[other.name].rect):
+                    continue
+                pair = spec.storage_pair(task.name, other.name)
+                if (
+                    pair is not None
+                    and spec.allow_storage_overlap
+                    and pair not in spec.forbidden_overlaps
+                ):
+                    continue
+                return False
+        return True
 
     def _solve_window(
         self,

@@ -29,7 +29,7 @@ from repro.core.mappers import BaseMapper, GreedyMapper, ILPMapper, WindowedILPM
 from repro.errors import ReproError
 
 #: Mapper names accepted by the CLI; None = automatic selection.
-MAPPER_CHOICES = ("auto", "greedy", "ilp", "windowed_ilp")
+MAPPER_CHOICES = ("auto", "greedy", "ilp", "windowed_ilp", "parallel")
 
 
 def _make_mapper(name: str) -> Optional[BaseMapper]:
@@ -41,6 +41,9 @@ def _make_mapper(name: str) -> Optional[BaseMapper]:
         return ILPMapper()
     if name == "windowed_ilp":
         return WindowedILPMapper()
+    if name == "parallel":
+        # The windowed mapper with process-pool refinement solving.
+        return WindowedILPMapper(parallel=True)
     raise ReproError(
         f"unknown mapper {name!r}; choose from {', '.join(MAPPER_CHOICES)}"
     )
@@ -163,6 +166,13 @@ def format_report(report: dict) -> str:
             f"{probe['nodes_explored']:.0f} nodes, "
             f"{probe['simplex_iterations']:.0f} simplex iterations)"
         )
+        if "warm_starts" in probe:
+            lines.append(
+                f"    warm starts {probe['warm_starts']:.0f} "
+                f"(basis hits {probe['basis_reuse_hits']:.0f}, "
+                f"dual pivots {probe['dual_pivots']:.0f}, "
+                f"cold fallbacks {probe['warm_fallbacks']:.0f})"
+            )
     return "\n".join(lines)
 
 

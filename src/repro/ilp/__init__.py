@@ -10,8 +10,12 @@ Gurobi is proprietary, so this package provides the substrate instead:
   disjunction helper used for the non-overlap constraints (eqs. 3–8);
 * a dense **two-phase primal simplex** LP solver
   (:mod:`repro.ilp.simplex`) written from scratch;
-* a **branch & bound** MILP solver (:mod:`repro.ilp.branch_bound`) on top
-  of the simplex;
+* a **compiled-model bounded-variable revised simplex**
+  (:mod:`repro.ilp.compiled`) with a dual-simplex phase for warm starts
+  from a stored basis;
+* a **branch & bound** MILP solver (:mod:`repro.ilp.branch_bound`) on
+  top: the standard form is compiled once per search and child nodes
+  warm start from their parent's optimal basis;
 * an optional fast backend that maps the same model onto
   :func:`scipy.optimize.milp` (HiGHS).
 
@@ -23,6 +27,7 @@ from repro.ilp.variable import Var, VarType
 from repro.ilp.expr import LinExpr
 from repro.ilp.constraint import Constraint, Sense
 from repro.ilp.model import Model, quicksum
+from repro.ilp.compiled import Basis, CompiledModel
 from repro.ilp.solution import Solution, SolveStatus
 from repro.ilp.solver import solve, available_backends
 from repro.ilp.lp_format import to_lp_string, write_lp
@@ -35,6 +40,8 @@ __all__ = [
     "Sense",
     "Model",
     "quicksum",
+    "Basis",
+    "CompiledModel",
     "Solution",
     "SolveStatus",
     "solve",

@@ -2,8 +2,12 @@
 
 Solves a :class:`repro.ilp.model.Model` by LP-relaxation branch & bound:
 
-* relaxations solved by the from-scratch simplex
-  (:mod:`repro.ilp.simplex`) or, optionally, :func:`scipy.optimize.linprog`;
+* relaxations solved by the from-scratch bounded-variable revised
+  simplex over a :class:`repro.ilp.compiled.CompiledModel` — the
+  standard-form conversion happens **once per search**, and child nodes
+  **warm start** from their parent's optimal basis through the dual
+  simplex (``warm_start=False`` restores the per-node cold start) — or,
+  optionally, :func:`scipy.optimize.linprog`;
 * best-bound node selection (min-heap on the relaxation objective) with
   most-fractional branching;
 * optional node and time limits; when the search is cut short the best
@@ -31,12 +35,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.ilp.compiled import Basis, CompiledModel
 from repro.ilp.model import Model
-from repro.ilp.simplex import LpResult, solve_lp
+from repro.ilp.simplex import LpResult
 from repro.ilp.solution import Solution, SolveStatus
 from repro.obs import TELEMETRY
 
 _INT_TOL = 1e-6
+
+#: Bounded-memory warm-start policy: stop attaching basis snapshots to
+#: children once the open-node heap grows past this size; basis-less
+#: nodes simply cold start (correctness is unaffected).
+_MAX_STORED_BASES = 10_000
 
 
 @dataclass(order=True)
@@ -45,6 +55,8 @@ class _Node:
     tiebreak: int
     bounds: List[Tuple[float, float]] = field(compare=False)
     depth: int = field(compare=False, default=0)
+    #: parent's optimal basis (warm-start seed); None = cold start.
+    basis: Optional[Basis] = field(compare=False, default=None)
 
 
 def _solve_relaxation(
@@ -56,11 +68,16 @@ def _solve_relaxation(
     bounds: List[Tuple[float, float]],
     lp_engine: str,
     lp_max_iterations: int,
+    compiled: Optional[CompiledModel] = None,
+    basis: Optional[Basis] = None,
 ) -> LpResult:
     if lp_engine == "simplex":
-        return solve_lp(
-            c, a_ub, b_ub, a_eq, b_eq, bounds,
-            max_iterations=lp_max_iterations,
+        # The standard-form conversion was compiled once for the whole
+        # search; per node only the bound vectors (and optionally the
+        # parent basis) change.
+        assert compiled is not None
+        return compiled.solve(
+            bounds, basis=basis, max_iterations=lp_max_iterations
         )
     # scipy linprog engine (HiGHS LP): used to accelerate the from-scratch
     # tree search on larger relaxations.
@@ -91,6 +108,8 @@ def solve_branch_bound(
     time_limit: Optional[float] = None,
     absolute_gap: float = 1e-6,
     lp_max_iterations: int = 200_000,
+    warm_start: bool = True,
+    max_stored_bases: int = _MAX_STORED_BASES,
 ) -> Solution:
     """Optimize ``model`` by branch & bound.
 
@@ -101,10 +120,23 @@ def solve_branch_bound(
     gap just below 1 to prove optimality faster.  ``lp_max_iterations``
     caps each relaxation's simplex pivots; a capped relaxation marks the
     search non-exhausted rather than pruning its node.
+
+    With ``warm_start`` (simplex engine only) every child node re-solves
+    from its parent's optimal basis through the dual simplex instead of
+    a two-phase cold start; ``warm_start=False`` keeps the cold-start
+    path (statuses and objectives are identical either way — asserted in
+    ``tests/ilp/test_warm_start.py``).  ``max_stored_bases`` bounds the
+    warm-start memory: once the open-node heap outgrows it, children are
+    pushed without a basis snapshot and cold start on arrival.
     """
     start = time.monotonic()
     c, a_ub, b_ub, a_eq, b_eq, root_bounds, integrality = model.to_arrays()
     int_indices = [j for j, flag in enumerate(integrality) if flag]
+    compiled = (
+        CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+        if lp_engine == "simplex"
+        else None
+    )
 
     counter = itertools.count()
     best_x: Optional[np.ndarray] = None
@@ -120,6 +152,11 @@ def solve_branch_bound(
         "nodes_unbounded_dropped": 0,
         "lp_wall_time": 0.0,
         "simplex_iterations": 0,
+        "basis_reuse_hits": 0,  # nodes arriving with a stored basis
+        "warm_starts": 0,  # warm solves that actually used the basis
+        "warm_fallbacks": 0,  # warm attempts abandoned for a cold start
+        "dual_pivots": 0,
+        "bases_dropped": 0,  # children pushed basis-less (memory cap)
     }
 
     root = _Node(-math.inf, next(counter), list(root_bounds))
@@ -135,13 +172,21 @@ def solve_branch_bound(
         if node.bound >= best_obj - absolute_gap:
             stats["nodes_pruned_bound"] += 1
             continue  # cannot improve the incumbent
+        node_basis = node.basis if warm_start else None
+        if node_basis is not None:
+            stats["basis_reuse_hits"] += 1
         lp_start = time.perf_counter()
         relax = _solve_relaxation(
             c, a_ub, b_ub, a_eq, b_eq, node.bounds, lp_engine,
-            lp_max_iterations,
+            lp_max_iterations, compiled, node_basis,
         )
         stats["lp_wall_time"] += time.perf_counter() - lp_start
         stats["simplex_iterations"] += relax.iterations
+        stats["dual_pivots"] += relax.dual_pivots
+        if relax.warm_started:
+            stats["warm_starts"] += 1
+        if relax.cold_fallback:
+            stats["warm_fallbacks"] += 1
         stats["nodes_explored"] += 1
         if relax.status is SolveStatus.NO_SOLUTION:
             # The relaxation hit its iteration cap: this node's bound is
@@ -193,12 +238,25 @@ def solve_branch_bound(
         floor_bounds[branch_var] = (lb, math.floor(value))
         ceil_bounds = list(node.bounds)
         ceil_bounds[branch_var] = (math.ceil(value), ub)
+        # Both children share the parent's optimal basis snapshot (warm
+        # solves copy before pivoting); past the memory cap children are
+        # pushed basis-less and will cold start.
+        child_basis = relax.basis if warm_start else None
+        if child_basis is not None and len(heap) >= max_stored_bases:
+            child_basis = None
+            stats["bases_dropped"] += 2
         for child_bounds in (floor_bounds, ceil_bounds):
             blb, bub = child_bounds[branch_var]
             if blb <= bub:
                 heapq.heappush(
                     heap,
-                    _Node(relax.objective, next(counter), child_bounds, node.depth + 1),
+                    _Node(
+                        relax.objective,
+                        next(counter),
+                        child_bounds,
+                        node.depth + 1,
+                        child_basis,
+                    ),
                 )
 
     if best_x is None:
@@ -234,6 +292,11 @@ def _finish(
             "nodes_integral",
             "nodes_lp_limit",
             "nodes_unbounded_dropped",
+            "simplex_iterations",
+            "basis_reuse_hits",
+            "warm_starts",
+            "warm_fallbacks",
+            "dual_pivots",
         ):
             TELEMETRY.count(f"bb.{key}", int(stats[key]))
         TELEMETRY.add_time(

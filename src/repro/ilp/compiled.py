@@ -1,0 +1,579 @@
+"""Compiled LP standard form + bounded-variable revised simplex.
+
+The branch & bound search (:mod:`repro.ilp.branch_bound`) solves one LP
+relaxation per tree node, and every node differs from its parent by a
+single variable-bound tightening.  The original dense two-phase solver
+(:mod:`repro.ilp.simplex`) re-derives the full standard-form conversion
+— bound shifts, mirrored columns, split free variables, explicit
+upper-bound rows — and re-runs phase 1 from a cold start at every node.
+This module removes both costs:
+
+* :class:`CompiledModel` performs the conversion **once per search**.
+  Variables keep their native bounds (no mirror/split columns, no bound
+  rows): the matrix is ``[A_ub | I slacks | I artificials]`` over
+  ``A_eq`` stacked below, shared by every node; only the bound vectors
+  change from node to node.
+* the revised simplex core works directly on bounded variables — a
+  nonbasic variable sits at its lower or upper bound (or at zero when
+  free) and may *bound-flip* without a basis change — with Bland's
+  smallest-index rule for anti-cycling and an explicit basis inverse
+  refactorized periodically for numerical hygiene.
+* a **dual simplex** phase re-solves a child node from its parent's
+  optimal basis: tightening one bound leaves the basis dual feasible,
+  so a handful of dual pivots replace a full phase-1 + phase-2 cold
+  start.  :class:`Basis` snapshots are small (two integer arrays) and
+  are stored on the branch & bound nodes.
+
+Statuses and optimal objectives are identical to the cold-start path;
+the equivalence is asserted both ways in ``tests/ilp/test_warm_start.py``
+and benchmarked in ``benchmarks/test_warm_start_speedup.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ilp.simplex import LpResult
+from repro.ilp.solution import SolveStatus
+from repro.obs import TELEMETRY
+
+#: Reduced-cost / pivot tolerance (matches the dense solver).
+_EPS = 1e-9
+#: Primal-feasibility tolerance for the dual simplex violation scan.
+_FEAS_EPS = 1e-8
+#: Minimum pivot magnitude accepted when driving artificials out.
+_PIVOT_EPS = 1e-7
+#: Refactorize the basis inverse every this many pivots.
+_REFACTOR_EVERY = 64
+
+#: Nonbasic/basic markers in :attr:`Basis.status`.
+BASIC = 0
+AT_LOWER = -1
+AT_UPPER = 1
+FREE = 2
+
+
+@dataclass
+class Basis:
+    """A simplex basis snapshot: which columns are basic, and where the
+    nonbasic ones rest.
+
+    ``basic`` holds the ``m`` basic column indices (row order); ``status``
+    marks every extended column BASIC / AT_LOWER / AT_UPPER / FREE.
+    Snapshots are immutable by convention — warm solves copy before
+    pivoting — so one snapshot may be shared by both children of a node.
+    """
+
+    basic: np.ndarray
+    status: np.ndarray
+
+    def copy(self) -> "Basis":
+        return Basis(self.basic.copy(), self.status.copy())
+
+
+class _Exhausted(Exception):
+    """Internal: the pivot cap was reached (maps to NO_SOLUTION)."""
+
+
+class _SingularBasis(Exception):
+    """Internal: refactorization failed (warm solves fall back cold)."""
+
+
+class CompiledModel:
+    """Standard equality form with native variable bounds, built once.
+
+    Columns are ``[structural | slack per <= row | artificial per row]``;
+    rows are ``A_ub`` stacked over ``A_eq``.  Slacks live in ``[0, inf)``;
+    artificials are pinned to ``[0, 0]`` except while a cold phase 1
+    temporarily opens row ``i``'s artificial to cover its residual.
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray,
+        b_ub: np.ndarray,
+        a_eq: np.ndarray,
+        b_eq: np.ndarray,
+    ) -> None:
+        n = len(c)
+        a_ub = (
+            np.asarray(a_ub, dtype=float).reshape(-1, n)
+            if np.size(a_ub)
+            else np.zeros((0, n))
+        )
+        a_eq = (
+            np.asarray(a_eq, dtype=float).reshape(-1, n)
+            if np.size(a_eq)
+            else np.zeros((0, n))
+        )
+        m_ub = a_ub.shape[0]
+        m = m_ub + a_eq.shape[0]
+        total = n + m_ub  # structural + slack columns
+        total_ext = total + m  # + one artificial per row
+
+        a = np.zeros((m, total_ext))
+        a[:m_ub, :n] = a_ub
+        a[m_ub:, :n] = a_eq
+        a[:m_ub, n : n + m_ub] = np.eye(m_ub)
+        a[:, total:] = np.eye(m)
+
+        self.n = n
+        self.m = m
+        self.m_ub = m_ub
+        self.total = total
+        self.total_ext = total_ext
+        self.a = a
+        self.b = np.concatenate(
+            [np.asarray(b_ub, dtype=float).ravel(), np.asarray(b_eq, dtype=float).ravel()]
+        )
+        self.cost = np.zeros(total_ext)
+        self.cost[:n] = np.asarray(c, dtype=float)
+
+    # -- bounds ----------------------------------------------------------
+
+    def _extended_bounds(
+        self, bounds: Sequence[Tuple[float, float]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        lb = np.zeros(self.total_ext)
+        ub = np.zeros(self.total_ext)
+        for j, (lo, hi) in enumerate(bounds):
+            lb[j] = lo
+            ub[j] = hi
+        ub[self.n : self.total] = math.inf  # slacks: [0, inf)
+        # artificials stay pinned at [0, 0] unless phase 1 opens them
+        return lb, ub
+
+    # -- entry point -----------------------------------------------------
+
+    def solve(
+        self,
+        bounds: Sequence[Tuple[float, float]],
+        basis: Optional[Basis] = None,
+        max_iterations: int = 200_000,
+    ) -> LpResult:
+        """Minimize the compiled objective under per-call ``bounds``.
+
+        With ``basis`` (a parent node's optimal basis) the solve warm
+        starts through the dual simplex; without one — or when the warm
+        path fails — it cold starts through phase 1.  The returned
+        :class:`~repro.ilp.simplex.LpResult` carries the optimal
+        :class:`Basis` for reuse, the dual pivot count, and whether the
+        warm path was actually used (``warm_started`` /
+        ``cold_fallback``).
+        """
+        lb, ub = self._extended_bounds(bounds)
+        if np.any(lb[: self.n] > ub[: self.n]):
+            return LpResult(SolveStatus.INFEASIBLE)
+
+        pivot_start = time.perf_counter()
+        if basis is not None:
+            try:
+                res = self._warm_solve(lb, ub, basis, max_iterations)
+            except (_SingularBasis, _Exhausted):
+                res = None
+            if res is not None:
+                res.warm_started = True
+            else:
+                # Warm start failed (singular or stalled basis): pay the
+                # cold start but record that the reuse attempt was wasted.
+                res = self._cold_solve(lb, ub, max_iterations)
+                res.cold_fallback = True
+        else:
+            res = self._cold_solve(lb, ub, max_iterations)
+        # Same per-solve flush as the dense engine, so `simplex.*`
+        # telemetry keeps covering whichever LP core actually ran.
+        if TELEMETRY.enabled:
+            TELEMETRY.count("simplex.solves")
+            TELEMETRY.count("simplex.iterations", res.iterations)
+            TELEMETRY.add_time(
+                "simplex.pivot", time.perf_counter() - pivot_start
+            )
+        return res
+
+    # -- cold path -------------------------------------------------------
+
+    def _cold_solve(
+        self, lb: np.ndarray, ub: np.ndarray, max_iterations: int
+    ) -> LpResult:
+        m, n, total = self.m, self.n, self.total
+        status = np.full(self.total_ext, AT_LOWER, dtype=np.int8)
+        for j in range(n):
+            if math.isfinite(lb[j]):
+                status[j] = AT_LOWER
+            elif math.isfinite(ub[j]):
+                status[j] = AT_UPPER
+            else:
+                status[j] = FREE
+        # slacks and artificials start at their lower bound (zero)
+
+        residual = self.b - self.a @ self._rest_values(status, lb, ub)
+        basic = np.empty(m, dtype=np.int64)
+        art_rows: List[int] = []
+        for i in range(m):
+            if i < self.m_ub and residual[i] >= 0.0:
+                basic[i] = n + i  # the +1 slack seeds the basis
+            else:
+                basic[i] = total + i
+                art_rows.append(i)
+        status[basic] = BASIC
+        binv = np.eye(m)
+
+        iterations = 0
+        if art_rows:
+            # Phase 1: open each seeding artificial toward its residual
+            # and price it back to zero.  Row i's artificial column is
+            # +e_i, so bounds [min(0, r), max(0, r)] with cost sign(r)
+            # make the phase-1 objective sum(|a_i|), zero iff feasible.
+            phase1 = np.zeros(self.total_ext)
+            for i in art_rows:
+                col = total + i
+                r = residual[i]
+                lb[col] = min(0.0, r)
+                ub[col] = max(0.0, r)
+                phase1[col] = math.copysign(1.0, r) if r else 0.0
+            try:
+                st, obj, iterations = self._primal(
+                    basic, status, binv, lb, ub, phase1,
+                    max_iterations, iterations,
+                )
+            except _Exhausted as exc:
+                return LpResult(
+                    SolveStatus.NO_SOLUTION, iterations=exc.args[0]
+                )
+            except _SingularBasis:
+                return LpResult(SolveStatus.NO_SOLUTION, iterations=iterations)
+            if st is not SolveStatus.OPTIMAL or obj > 1e-7:
+                return LpResult(SolveStatus.INFEASIBLE, iterations=iterations)
+            lb[total:] = 0.0
+            ub[total:] = 0.0
+            self._evict_artificials(basic, status, binv)
+
+        try:
+            return self._optimize_and_extract(
+                basic, status, binv, lb, ub, max_iterations, iterations, 0
+            )
+        except _Exhausted as exc:
+            return LpResult(SolveStatus.NO_SOLUTION, iterations=exc.args[0])
+        except _SingularBasis:
+            return LpResult(SolveStatus.NO_SOLUTION, iterations=iterations)
+
+    # -- warm path -------------------------------------------------------
+
+    def _warm_solve(
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        basis: Basis,
+        max_iterations: int,
+    ) -> Optional[LpResult]:
+        basic = basis.basic.copy()
+        status = basis.status.copy()
+        # Bound tightenings cannot turn a finite bound infinite, but the
+        # public API guards anyway: a nonbasic resting on a bound that no
+        # longer exists becomes free-at-zero.
+        nb_lower = (status == AT_LOWER) & ~np.isfinite(lb)
+        nb_upper = (status == AT_UPPER) & ~np.isfinite(ub)
+        status[nb_lower | nb_upper] = FREE
+        binv = self._refactor(basic)
+
+        # The parent's optimal basis stays dual feasible after a bound
+        # move (reduced costs depend only on the basis), so the dual
+        # simplex repairs primal feasibility directly.  A tight pivot
+        # budget (a small multiple of the row count) bounds the cost of
+        # an unlucky warm start: past it the solve falls back cold.
+        dual_cap = min(max_iterations, 4 * self.m + 100)
+        dual_pivots = self._dual(
+            basic, status, binv, lb, ub, self.cost, dual_cap
+        )
+        if dual_pivots < 0:  # dual unbounded: the child LP is infeasible
+            return LpResult(
+                SolveStatus.INFEASIBLE,
+                iterations=-dual_pivots - 1,
+                dual_pivots=-dual_pivots - 1,
+            )
+        res = self._optimize_and_extract(
+            basic, status, binv, lb, ub, max_iterations, dual_pivots,
+            dual_pivots,
+        )
+        return res
+
+    # -- shared tail -----------------------------------------------------
+
+    def _optimize_and_extract(
+        self,
+        basic: np.ndarray,
+        status: np.ndarray,
+        binv: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        max_iterations: int,
+        iterations: int,
+        dual_pivots: int,
+    ) -> LpResult:
+        st, _, iterations = self._primal(
+            basic, status, binv, lb, ub, self.cost, max_iterations, iterations
+        )
+        if st is not SolveStatus.OPTIMAL:
+            return LpResult(st, iterations=iterations, dual_pivots=dual_pivots)
+        x = self._full_solution(basic, status, binv, lb, ub)
+        x_struct = x[: self.n].copy()
+        return LpResult(
+            SolveStatus.OPTIMAL,
+            x_struct,
+            float(self.cost[: self.n] @ x_struct),
+            iterations,
+            dual_pivots=dual_pivots,
+            basis=Basis(basic.copy(), status.copy()),
+        )
+
+    # -- linear algebra helpers ------------------------------------------
+
+    def _refactor(self, basic: np.ndarray) -> np.ndarray:
+        try:
+            return np.linalg.inv(self.a[:, basic])
+        except np.linalg.LinAlgError:
+            raise _SingularBasis()
+
+    def _rest_values(
+        self, status: np.ndarray, lb: np.ndarray, ub: np.ndarray
+    ) -> np.ndarray:
+        """Values of all columns with basics zeroed (nonbasic rest points)."""
+        x = np.zeros(self.total_ext)
+        at_l = status == AT_LOWER
+        at_u = status == AT_UPPER
+        x[at_l] = lb[at_l]
+        x[at_u] = ub[at_u]
+        return x
+
+    def _full_solution(
+        self,
+        basic: np.ndarray,
+        status: np.ndarray,
+        binv: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+    ) -> np.ndarray:
+        x = self._rest_values(status, lb, ub)
+        x[basic] = binv @ (self.b - self.a @ x)
+        return x
+
+    @staticmethod
+    def _update_inverse(binv: np.ndarray, w: np.ndarray, row: int) -> None:
+        """Product-form update of ``binv`` after a pivot with column
+        direction ``w = binv @ A[:, entering]`` leaving at ``row``.
+
+        One rank-1 BLAS update: eliminating ``w`` row by row in Python
+        costs more interpreter time than the whole outer product.
+        """
+        binv[row] /= w[row]
+        scale = w.copy()
+        scale[row] = 0.0
+        binv -= np.outer(scale, binv[row])
+
+    # -- primal simplex --------------------------------------------------
+
+    def _primal(
+        self,
+        basic: np.ndarray,
+        status: np.ndarray,
+        binv: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        cost: np.ndarray,
+        max_iterations: int,
+        iterations: int,
+    ) -> Tuple[SolveStatus, float, int]:
+        """Bounded-variable primal simplex with Bland's rule.
+
+        Mutates ``basic``/``status``/``binv`` in place; returns
+        (status, objective, total iterations).  Raises :class:`_Exhausted`
+        at the pivot cap.
+        """
+        a = self.a
+        since_refactor = 0
+        while True:
+            if iterations >= max_iterations:
+                raise _Exhausted(iterations)
+            if since_refactor >= _REFACTOR_EVERY:
+                binv[...] = self._refactor(basic)
+                since_refactor = 0
+            x = self._full_solution(basic, status, binv, lb, ub)
+            y = cost[basic] @ binv
+            d = cost - y @ a
+            movable = ub > lb
+            eligible = (
+                ((status == AT_LOWER) & (d < -_EPS) & movable)
+                | ((status == AT_UPPER) & (d > _EPS) & movable)
+                | ((status == FREE) & (np.abs(d) > _EPS))
+            )
+            q = int(np.argmax(eligible))  # Bland: smallest improving index
+            if not eligible[q]:
+                objective = float(cost @ x)
+                return SolveStatus.OPTIMAL, objective, iterations
+            direction = 1.0 if d[q] < 0.0 else -1.0
+            w = binv @ a[:, q]
+            # Basic variables move by -direction * w per unit step.
+            x_b = x[basic]
+            dx = -direction * w
+            ratios = np.full(self.m, math.inf)
+            dec = dx < -_EPS
+            inc = dx > _EPS
+            lo_room = x_b - lb[basic]
+            hi_room = ub[basic] - x_b
+            with np.errstate(invalid="ignore"):
+                ratios[dec] = lo_room[dec] / -dx[dec]
+                ratios[inc] = hi_room[inc] / dx[inc]
+            ratios[ratios < 0.0] = 0.0  # tiny infeasibility noise
+            t_rows = float(ratios.min()) if self.m else math.inf
+            t_flip = ub[q] - lb[q] if status[q] != FREE else math.inf
+            if not math.isfinite(t_rows) and not math.isfinite(t_flip):
+                return SolveStatus.UNBOUNDED, math.nan, iterations
+            if t_flip <= t_rows:
+                status[q] = AT_UPPER if status[q] == AT_LOWER else AT_LOWER
+                iterations += 1
+                since_refactor += 1
+                continue
+            # Exact minimum ratio; Bland tie-break (smallest basis
+            # index) only inside the numerical band around it.
+            band = np.flatnonzero(ratios <= t_rows + _EPS)
+            r = int(min(band, key=lambda i: basic[i]))
+            status[basic[r]] = AT_LOWER if dx[r] < 0.0 else AT_UPPER
+            self._update_inverse(binv, w, r)
+            basic[r] = q
+            status[q] = BASIC
+            iterations += 1
+            since_refactor += 1
+
+    # -- dual simplex ----------------------------------------------------
+
+    def _dual(
+        self,
+        basic: np.ndarray,
+        status: np.ndarray,
+        binv: np.ndarray,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        cost: np.ndarray,
+        max_iterations: int,
+    ) -> int:
+        """Dual simplex: restore primal feasibility bound-by-bound.
+
+        Returns the pivot count on success; ``-(pivots + 1)`` when the
+        dual is unbounded (the LP is infeasible).  Raises
+        :class:`_Exhausted` at the cap — warm callers fall back cold.
+        """
+        a = self.a
+        pivots = 0
+        since_refactor = 0
+        while True:
+            if pivots >= max_iterations:
+                raise _Exhausted(pivots)
+            if since_refactor >= _REFACTOR_EVERY:
+                binv[...] = self._refactor(basic)
+                since_refactor = 0
+            x = self._full_solution(basic, status, binv, lb, ub)
+            x_b = x[basic]
+            below = x_b < lb[basic] - _FEAS_EPS
+            above = x_b > ub[basic] + _FEAS_EPS
+            violated = np.flatnonzero(below | above)
+            if violated.size == 0:
+                return pivots
+            # Leaving choice: the most violated row (deterministic
+            # smallest-basic-index among near-ties).  Unlike the primal
+            # phase this is not Bland's rule — convergence speed is the
+            # whole point of the warm start, and the iteration cap plus
+            # the cold-start fallback backstop the (never observed)
+            # cycling case.
+            violation = np.maximum(lb[basic] - x_b, x_b - ub[basic])
+            worst = float(violation[violated].max())
+            band = violated[violation[violated] >= worst - _FEAS_EPS]
+            r = int(min(band, key=lambda i: basic[i]))
+            rho = binv[r] @ a
+            y = cost[basic] @ binv
+            d = cost - y @ a
+            movable = (ub > lb) & (status != BASIC)
+            if below[r]:
+                eligible = movable & (
+                    ((status == AT_LOWER) & (rho < -_EPS))
+                    | ((status == AT_UPPER) & (rho > _EPS))
+                    | ((status == FREE) & (np.abs(rho) > _EPS))
+                )
+            else:
+                eligible = movable & (
+                    ((status == AT_LOWER) & (rho > _EPS))
+                    | ((status == AT_UPPER) & (rho < -_EPS))
+                    | ((status == FREE) & (np.abs(rho) > _EPS))
+                )
+            idx = np.flatnonzero(eligible)
+            if idx.size == 0:
+                return -(pivots + 1)  # dual unbounded => primal infeasible
+            # Dual ratio test: keep every reduced cost sign-consistent.
+            sign = np.where(status[idx] == AT_LOWER, 1.0, -1.0)
+            sign[status[idx] == FREE] = 0.0
+            theta = np.maximum(d[idx] * sign, 0.0) / np.abs(rho[idx])
+            if not np.all(np.isfinite(theta)):
+                raise _SingularBasis()  # numerical breakdown: go cold
+            # Bound-flipping ratio test: walk the reduced-cost
+            # breakpoints in ascending order; every boxed candidate
+            # passed over flips to its opposite bound (absorbing part of
+            # the row violation without a basis change), and the pivot
+            # lands on the first breakpoint whose candidate can cover
+            # the remaining violation — or on the last one, moving the
+            # residual infeasibility onto the entering variable.  These
+            # relaxations are heavily dual degenerate (ties at theta=0),
+            # so inside each breakpoint band the largest-gain candidate
+            # goes first: one pivot covers what index order would spend
+            # a dozen on.
+            gain_all = np.abs(rho[idx]) * (ub[idx] - lb[idx])
+            order = idx[np.lexsort((idx, -gain_all, theta))]
+            remaining = float(violation[r])
+            q = -1
+            flips: List[int] = []
+            for pos, j in enumerate(order):
+                gain = abs(rho[j]) * (ub[j] - lb[j])
+                if gain >= remaining - 1e-12 or pos == order.size - 1:
+                    q = int(j)
+                    break
+                flips.append(int(j))
+                remaining -= gain
+            if abs(rho[q]) < _PIVOT_EPS:
+                raise _SingularBasis()  # vanishing pivot: go cold
+            for j in flips:
+                status[j] = AT_UPPER if status[j] == AT_LOWER else AT_LOWER
+            w = binv @ a[:, q]
+            status[basic[r]] = AT_LOWER if below[r] else AT_UPPER
+            self._update_inverse(binv, w, r)
+            basic[r] = q
+            status[q] = BASIC
+            pivots += 1
+            since_refactor += 1
+
+    # -- phase-1 cleanup -------------------------------------------------
+
+    def _evict_artificials(
+        self, basic: np.ndarray, status: np.ndarray, binv: np.ndarray
+    ) -> None:
+        """Degenerate-pivot lingering zero-valued artificials out of the
+        basis where a real column can replace them; redundant rows keep
+        their artificial (pinned at [0, 0], which is harmless)."""
+        total = self.total
+        for r in range(self.m):
+            if basic[r] < total:
+                continue
+            row = binv[r] @ self.a[:, :total]
+            nonbasic = status[:total] != BASIC
+            candidates = np.flatnonzero(nonbasic & (np.abs(row) > _PIVOT_EPS))
+            if candidates.size == 0:
+                continue
+            q = int(candidates[0])
+            w = binv @ self.a[:, q]
+            status[basic[r]] = AT_LOWER
+            self._update_inverse(binv, w, r)
+            basic[r] = q
+            status[q] = BASIC

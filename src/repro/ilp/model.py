@@ -219,28 +219,43 @@ class Model:
         if self.objective_sense is ObjectiveSense.MAXIMIZE:
             c = -c
 
-        ub_rows: List[np.ndarray] = []
+        # Row assembly via COO triplets: constraints are sparse (a few
+        # terms against thousands of columns), so gathering
+        # (row, col, value) triplets and scattering them in one numpy
+        # assignment beats materializing a dense row per constraint.
+        ub_r: List[int] = []
+        ub_c: List[int] = []
+        ub_v: List[float] = []
         ub_rhs: List[float] = []
-        eq_rows: List[np.ndarray] = []
+        eq_r: List[int] = []
+        eq_c: List[int] = []
+        eq_v: List[float] = []
         eq_rhs: List[float] = []
         for con in self.constraints:
-            row = np.zeros(n)
-            for var, coef in con.expr.terms.items():
-                row[var.index] = coef
-            if con.sense is Sense.LE:
-                ub_rows.append(row)
-                ub_rhs.append(con.rhs)
-            elif con.sense is Sense.GE:
-                ub_rows.append(-row)
-                ub_rhs.append(-con.rhs)
-            else:
-                eq_rows.append(row)
+            if con.sense is Sense.EQ:
+                r = len(eq_rhs)
                 eq_rhs.append(con.rhs)
+                for var, coef in con.expr.terms.items():
+                    eq_r.append(r)
+                    eq_c.append(var.index)
+                    eq_v.append(coef)
+            else:
+                sign = 1.0 if con.sense is Sense.LE else -1.0
+                r = len(ub_rhs)
+                ub_rhs.append(sign * con.rhs)
+                for var, coef in con.expr.terms.items():
+                    ub_r.append(r)
+                    ub_c.append(var.index)
+                    ub_v.append(sign * coef)
 
-        a_ub = np.array(ub_rows) if ub_rows else np.zeros((0, n))
-        b_ub = np.array(ub_rhs) if ub_rhs else np.zeros(0)
-        a_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
-        b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
+        a_ub = np.zeros((len(ub_rhs), n))
+        if ub_r:
+            a_ub[np.asarray(ub_r), np.asarray(ub_c)] = np.asarray(ub_v)
+        b_ub = np.asarray(ub_rhs, dtype=float)
+        a_eq = np.zeros((len(eq_rhs), n))
+        if eq_r:
+            a_eq[np.asarray(eq_r), np.asarray(eq_c)] = np.asarray(eq_v)
+        b_eq = np.asarray(eq_rhs, dtype=float)
         bounds = [(v.lb, v.ub) for v in self.variables]
         integrality = np.array(
             [1 if v.vtype.is_integral else 0 for v in self.variables]

@@ -34,12 +34,25 @@ _EPS = 1e-9
 
 @dataclass
 class LpResult:
-    """Raw result of an LP solve in the original variable space."""
+    """Raw result of an LP solve in the original variable space.
+
+    ``iterations`` counts every pivot (primal and dual); the fields
+    below it are filled only by the compiled warm-start engine
+    (:mod:`repro.ilp.compiled`) and keep their defaults on the dense
+    cold-start path: ``dual_pivots`` is the dual-simplex share of the
+    pivots, ``basis`` the optimal basis snapshot for child-node reuse,
+    and ``warm_started`` / ``cold_fallback`` record whether a supplied
+    parent basis was actually used or had to be abandoned.
+    """
 
     status: SolveStatus
     x: Optional[np.ndarray] = None
     objective: float = math.nan
     iterations: int = 0
+    dual_pivots: int = 0
+    basis: Optional[object] = None
+    warm_started: bool = False
+    cold_fallback: bool = False
 
 
 @dataclass

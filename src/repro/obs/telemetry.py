@@ -15,9 +15,13 @@ Counter names are dotted paths, one prefix per subsystem:
 
 * ``simplex.*`` — LP iterations, pivot wall time (``repro.ilp.simplex``)
 * ``bb.*`` — branch & bound nodes explored / pruned / fallen-back,
-  per-node LP wall time (``repro.ilp.branch_bound``)
+  per-node LP wall time, and the warm-start counters
+  (``basis_reuse_hits``, ``warm_starts``, ``warm_fallbacks``,
+  ``dual_pivots``, ``simplex_iterations``) of the compiled-model
+  engine (``repro.ilp.branch_bound``)
 * ``mapper.*`` — window solves, greedy fallbacks, refinement
-  accept/reject tallies (``repro.core.mappers``)
+  accept/reject tallies, process-pool refinement activity
+  (``parallel_windows``, ``parallel_stale``) (``repro.core.mappers``)
 * ``routing.*`` — Dijkstra heap pops, rip-up & re-route events
   (``repro.routing``)
 """

@@ -1,0 +1,185 @@
+"""Warm-started branch & bound is equivalent to the cold-start path.
+
+The compiled-model warm-start architecture (parent basis + dual
+simplex, see ``repro.ilp.compiled``) is a pure performance feature: on
+every instance it must report the same status and, when an optimum
+exists, the same objective (within ``absolute_gap``) as the cold-start
+path behind ``warm_start=False``.  These tests pin that contract on
+seeded random MILPs and on hand-built degenerate/infeasible/unbounded
+instances, and exercise the dual-simplex path and the Bland
+anti-cycling safeguard directly.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.ilp import CompiledModel, Model, SolveStatus, quicksum
+
+
+def _random_milp(rng: random.Random) -> Model:
+    """A small bounded MILP with x = 0 feasible (statuses predictable)."""
+    n = rng.randint(2, 6)
+    m = rng.randint(1, 5)
+    model = Model("random-warm")
+    variables = []
+    for i in range(n):
+        kind = rng.choice(["binary", "integer", "continuous"])
+        if kind == "binary":
+            variables.append(model.add_binary(f"x{i}"))
+        elif kind == "integer":
+            variables.append(model.add_integer(f"x{i}", ub=5))
+        else:
+            variables.append(model.add_continuous(f"x{i}", ub=5))
+    for _ in range(m):
+        coefs = [rng.randint(-3, 3) for _ in range(n)]
+        if not any(coefs):
+            continue
+        rhs = rng.randint(0, 12)
+        model.add_constr(
+            quicksum(c * x for c, x in zip(coefs, variables)) <= rhs
+        )
+    obj = [rng.randint(-5, 5) for _ in range(n)]
+    model.maximize(quicksum(c * x for c, x in zip(obj, variables)))
+    return model
+
+
+def _solve_both(model: Model, **kwargs):
+    warm = model.solve(
+        backend="branch_bound", lp_engine="simplex", warm_start=True, **kwargs
+    )
+    cold = model.solve(
+        backend="branch_bound", lp_engine="simplex", warm_start=False, **kwargs
+    )
+    return warm, cold
+
+
+class TestRandomizedEquivalence:
+    def test_seeded_random_milps_agree(self):
+        rng = random.Random(20150607)  # DAC'15 vintage
+        exercised_dual = 0
+        for _ in range(60):
+            model = _random_milp(rng)
+            warm, cold = _solve_both(model)
+            assert warm.status is cold.status
+            assert warm.status is SolveStatus.OPTIMAL
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-6)
+            assert model.check_solution(warm.values) == []
+            assert model.check_solution(cold.values) == []
+            # The cold path must never report warm activity.
+            assert cold.stats["warm_starts"] == 0
+            assert cold.stats["dual_pivots"] == 0
+            assert cold.stats["basis_reuse_hits"] == 0
+            exercised_dual += int(warm.stats["dual_pivots"] > 0)
+        # The sample must actually exercise the dual-simplex warm path,
+        # not just instances whose root relaxation is already integral.
+        assert exercised_dual >= 10
+
+    def test_warm_start_reuses_bases_on_branching_instance(self):
+        model = Model("knapsack")
+        xs = [model.add_binary(f"x{i}") for i in range(8)]
+        weights = [5, 7, 11, 3, 13, 8, 9, 4]
+        values = [9, 12, 16, 5, 21, 13, 15, 7]
+        model.add_constr(
+            quicksum(w * x for w, x in zip(weights, xs)) <= 23
+        )
+        model.maximize(quicksum(v * x for v, x in zip(values, xs)))
+        warm, cold = _solve_both(model)
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.stats["basis_reuse_hits"] > 0
+        assert warm.stats["warm_starts"] > 0
+        # Warm starting is the point: strictly fewer pivots overall.
+        assert warm.stats["simplex_iterations"] < cold.stats["simplex_iterations"]
+
+
+class TestStatuses:
+    def test_infeasible_both_ways(self):
+        model = Model("infeasible")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constr(x + y <= 1)
+        model.add_constr(x + y >= 2)
+        model.minimize(x)
+        warm, cold = _solve_both(model)
+        assert warm.status is SolveStatus.INFEASIBLE
+        assert cold.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_both_ways(self):
+        model = Model("unbounded")
+        x = model.add_continuous("x", lb=0.0, ub=math.inf)
+        model.add_constr(x >= 1)
+        model.maximize(x)
+        warm, cold = _solve_both(model)
+        assert warm.status is SolveStatus.UNBOUNDED
+        assert cold.status is SolveStatus.UNBOUNDED
+
+
+class TestCompiledModelDirect:
+    """The compiled engine itself: warm re-solve after a bound move."""
+
+    def _knapsack_arrays(self):
+        c = np.array([-9.0, -12.0, -16.0, -5.0])  # maximize → minimize -v
+        a_ub = np.array([[5.0, 7.0, 11.0, 3.0]])
+        b_ub = np.array([13.0])
+        a_eq = np.zeros((0, 4))
+        b_eq = np.zeros(0)
+        return CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+
+    def test_warm_resolve_matches_cold_after_tightening(self):
+        compiled = self._knapsack_arrays()
+        bounds = [(0.0, 1.0)] * 4
+        root = compiled.solve(bounds)
+        assert root.status is SolveStatus.OPTIMAL
+        assert root.basis is not None
+        # Tighten the most fractional variable to 0, as branching would.
+        frac = max(range(4), key=lambda j: abs(root.x[j] - round(root.x[j])))
+        child_bounds = list(bounds)
+        child_bounds[frac] = (0.0, 0.0)
+        warm = compiled.solve(child_bounds, basis=root.basis)
+        cold = compiled.solve(child_bounds)
+        assert warm.status is cold.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+        assert warm.warm_started
+        assert not warm.cold_fallback
+        assert warm.iterations <= cold.iterations
+
+    def test_degenerate_lp_bland_anti_cycling(self):
+        # Beale's classic cycling example: the textbook pivot rule loops
+        # forever on it; Bland's rule (used by the primal phase) must
+        # terminate at the optimum -1/20.
+        c = np.array([-0.75, 150.0, -0.02, 6.0])
+        a_ub = np.array(
+            [
+                [0.25, -60.0, -0.04, 9.0],
+                [0.5, -90.0, -0.02, 3.0],
+                [0.0, 0.0, 1.0, 0.0],
+            ]
+        )
+        b_ub = np.array([0.0, 0.0, 1.0])
+        compiled = CompiledModel(c, a_ub, b_ub, np.zeros((0, 4)), np.zeros(0))
+        result = compiled.solve(
+            [(0.0, math.inf)] * 4, max_iterations=10_000
+        )
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05, abs=1e-9)
+
+    def test_degenerate_dual_resolve(self):
+        # A primal-degenerate optimum (several constraints tight with
+        # zero slack): the warm re-solve after tightening runs the dual
+        # simplex across degenerate breakpoints and must still match
+        # the cold answer.
+        c = np.array([-1.0, -1.0])
+        a_ub = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        b_ub = np.array([1.0, 1.0, 2.0])  # all three tight at (1, 1)
+        compiled = CompiledModel(c, a_ub, b_ub, np.zeros((0, 2)), np.zeros(0))
+        bounds = [(0.0, 2.0), (0.0, 2.0)]
+        root = compiled.solve(bounds)
+        assert root.status is SolveStatus.OPTIMAL
+        child = [(0.0, 0.5), (0.0, 2.0)]
+        warm = compiled.solve(child, basis=root.basis)
+        cold = compiled.solve(child)
+        assert warm.status is cold.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+        assert warm.objective == pytest.approx(-1.5, abs=1e-9)
