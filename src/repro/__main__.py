@@ -5,12 +5,18 @@ Commands:
 * ``table1 [case ...]`` — regenerate Table 1 (all cases by default);
 * ``figures [figN ...]`` — regenerate the paper's figures;
 * ``cases`` — list the benchmark assays;
-* ``synth ASSAY_FILE [--grid N] [--schedule SCHEDULE_FILE]`` —
-  synthesize a user assay written in the text format
-  (see :mod:`repro.assay.textio`), printing metrics and placements;
-* ``profile CASE [--policy N] [--mapper M] [--json FILE]`` — run one
-  benchmark case with solver telemetry enabled and report the hot-path
-  counters (see :mod:`repro.experiments.profile`).
+* ``synth ASSAY_FILE [--grid N] [--schedule SCHEDULE_FILE]
+  [--time-budget S]`` — synthesize a user assay written in the text
+  format (see :mod:`repro.assay.textio`), printing metrics and
+  placements;
+* ``profile CASE [--policy N] [--mapper M] [--json FILE]
+  [--time-budget S]`` — run one benchmark case with solver telemetry
+  enabled and report the hot-path counters (see
+  :mod:`repro.experiments.profile`).
+
+``--time-budget S`` bounds the whole synthesis to ``S`` seconds of
+wall clock; when the budget runs short the run degrades along the
+ladder of DESIGN.md §9 and the report says which rungs engaged.
 """
 
 from __future__ import annotations
@@ -75,12 +81,17 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
     print(render_gantt(schedule))
     result = ReliabilitySynthesizer(
-        SynthesisConfig(grid=GridSpec(args.grid, args.grid))
+        SynthesisConfig(
+            grid=GridSpec(args.grid, args.grid),
+            time_budget=args.time_budget,
+        )
     ).synthesize(graph, schedule)
     m = result.metrics
     print(f"\nvs 1max = {m.setting1}   vs 2max = {m.setting2}")
     print(f"#v = {m.used_valves}   role-changing valves = "
           f"{m.role_changing_valves}   mapper = {m.mapper}")
+    if result.resilience is not None and result.resilience.degraded:
+        print(f"degraded: {result.resilience.summary()}")
     print("\nplacements:")
     for name, device in sorted(result.devices.items()):
         print(f"  {name:>12} -> {device.placement} "
@@ -113,6 +124,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         mapper=args.mapper,
         json_path=args.json,
         probe=not args.no_probe,
+        time_budget=args.time_budget,
     )
     return 0
 
@@ -161,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--export", metavar="FILE",
         help="write the manufactured design as JSON",
     )
+    p_synth.add_argument(
+        "--time-budget", type=float, default=None, metavar="S",
+        help="wall-clock budget in seconds for the whole synthesis "
+        "(degrades instead of overrunning)",
+    )
     p_synth.set_defaults(func=_cmd_synth)
 
     p_prof = sub.add_parser(
@@ -182,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument(
         "--no-probe", action="store_true",
         help="skip the branch-&-bound/simplex solver probe",
+    )
+    p_prof.add_argument(
+        "--time-budget", type=float, default=None, metavar="S",
+        help="wall-clock budget in seconds for the whole synthesis "
+        "(degrades instead of overrunning)",
     )
     p_prof.set_defaults(func=_cmd_profile)
     return parser

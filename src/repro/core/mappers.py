@@ -24,6 +24,17 @@ suite assert the ledger matches them exactly.
 Every mapper fills :attr:`MappingResult.stats` with solve telemetry
 (window solve time, greedy fallbacks, refinement accept/reject tallies)
 and mirrors it into :mod:`repro.obs` when telemetry is enabled.
+
+Failure handling follows the degradation ladder (DESIGN.md §9): a
+window whose ILP solve fails is split in half and re-solved exactly
+(``window_shrink``), then falls back to the greedy balancer for that
+window only (``window_greedy``); a broken refinement process pool
+re-solves only the failed windows serially (``pool_serial``); an
+expired mapping deadline finishes the remaining tasks greedily and
+skips refinement (``deadline_greedy``).  Every mapper accepts an
+optional :class:`repro.resilience.Deadline` (propagated into solver
+time limits) and :class:`repro.resilience.DegradationLadder` (which
+records the rungs taken).
 """
 
 from __future__ import annotations
@@ -32,13 +43,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import SynthesisError
+from repro.errors import SolverError, SynthesisError
 from repro.geometry import Point
 from repro.architecture.device import Placement
 from repro.ilp.solution import SolveStatus
 from repro.obs import TELEMETRY
+from repro.resilience import Deadline, DegradationLadder
+from repro.resilience.faults import FAULTS
 from repro.core.mapping_model import MappingModelBuilder, MappingSpec, Pair
 from repro.core.tasks import MappingTask
+
+#: Per-future wait cap in the parallel refinement path when no window
+#: time limit bounds the worker (a hung worker must never block forever).
+_DEFAULT_FUTURE_TIMEOUT = 300.0
+
+#: Sentinel marking a speculative window whose future failed (pool
+#: crash / timeout): the apply loop re-solves exactly these serially.
+_SERIAL_RETRY = object()
 
 
 def _solve_window_job(payload):
@@ -48,6 +69,9 @@ def _solve_window_job(payload):
     function.  Returns the window's :class:`MappingResult`, or ``None``
     when the window is infeasible even for the greedy fallback (the
     caller keeps the old placement — refinement is opportunistic).
+    Deadlines are not shipped across the process boundary (monotonic
+    clocks differ); the parent bakes its remaining budget into
+    ``limit`` instead.
     """
     spec, window, ordered, placements, discouraged, backend, limit = payload
     mapper = WindowedILPMapper(backend=backend, time_limit_per_window=limit)
@@ -163,11 +187,23 @@ class LoadLedger:
 
 
 class BaseMapper:
-    """Common interface: :meth:`map_tasks` on a :class:`MappingSpec`."""
+    """Common interface: :meth:`map_tasks` on a :class:`MappingSpec`.
+
+    ``deadline`` bounds the solve (propagated into solver time limits
+    and loop checks); ``ladder`` records any degradation rungs taken.
+    Both default to None — unbudgeted, unrecorded — so existing callers
+    are unaffected.
+    """
 
     name = "base"
 
-    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+    def map_tasks(
+        self,
+        spec: MappingSpec,
+        *,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
+    ) -> MappingResult:
         raise NotImplementedError
 
 
@@ -186,12 +222,21 @@ class ILPMapper(BaseMapper):
         self.time_limit = time_limit
         self.solver_kwargs = solver_kwargs
 
-    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+    def map_tasks(
+        self,
+        spec: MappingSpec,
+        *,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
+    ) -> MappingResult:
         start = time.monotonic()
+        limit = self.time_limit
+        if deadline is not None:
+            limit = deadline.limit(limit)
         built = MappingModelBuilder(spec).build()
         solution = built.model.solve(
             backend=self.backend,
-            time_limit=self.time_limit,
+            time_limit=limit,
             **self.solver_kwargs,
         )
         if not solution.status.has_solution:
@@ -265,13 +310,21 @@ class WindowedILPMapper(BaseMapper):
         self.parallel = parallel
         self.max_workers = max_workers
 
-    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+    def map_tasks(
+        self,
+        spec: MappingSpec,
+        *,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
+    ) -> MappingResult:
         start_time = time.monotonic()
         stats: Dict[str, float] = {
             "windows_solved": 0,
             "window_seconds": 0.0,
             "greedy_windows": 0,
+            "window_shrinks": 0,
             "whole_problem_fallback": 0,
+            "deadline_greedy": 0,
             "refine_probes": 0,
             "refine_accepted": 0,
             "refine_rejected": 0,
@@ -281,6 +334,7 @@ class WindowedILPMapper(BaseMapper):
             "parallel_windows": 0,
             "parallel_stale": 0,
             "parallel_fallback": 0,
+            "pool_serial_windows": 0,
         }
         executor = None
         if self.parallel:
@@ -288,20 +342,28 @@ class WindowedILPMapper(BaseMapper):
                 from concurrent.futures import ProcessPoolExecutor
 
                 executor = ProcessPoolExecutor(max_workers=self.max_workers)
-            except Exception:
+            except (ImportError, OSError, ValueError):
                 stats["parallel_fallback"] = 1
         try:
-            result = self._rolling_and_refine(spec, stats, executor)
-        except SynthesisError:
+            result = self._rolling_and_refine(
+                spec, stats, executor, deadline=deadline, ladder=ladder
+            )
+        except SynthesisError as error:
             # A window dead-ended (the committed prefix saturated the
             # grid for some window split).  The one-task-at-a-time
             # greedy search is strictly more flexible about splits, so
             # use it for the whole problem rather than fail.
             stats["whole_problem_fallback"] = 1
+            if ladder is not None:
+                ladder.engage(
+                    "mapping", DegradationLadder.WHOLE_GREEDY, str(error)
+                )
             result = GreedyMapper().map_tasks(spec)
         finally:
             if executor is not None:
-                executor.shutdown()
+                # cancel_futures: a hung or crashed worker must not
+                # block shutdown forever.
+                executor.shutdown(cancel_futures=True)
         result.wall_time = time.monotonic() - start_time
         result.stats.update(stats)
         if TELEMETRY.enabled:
@@ -325,6 +387,13 @@ class WindowedILPMapper(BaseMapper):
             TELEMETRY.count(
                 "mapper.parallel_stale", int(stats["parallel_stale"])
             )
+            TELEMETRY.count(
+                "mapper.window_shrinks", int(stats["window_shrinks"])
+            )
+            TELEMETRY.count(
+                "mapper.pool_serial_windows",
+                int(stats["pool_serial_windows"]),
+            )
             TELEMETRY.add_time(
                 "mapper.window_solve",
                 stats["window_seconds"],
@@ -337,6 +406,8 @@ class WindowedILPMapper(BaseMapper):
         spec: MappingSpec,
         stats: Dict[str, float],
         executor=None,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
     ) -> MappingResult:
         ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
         placements: Dict[str, Placement] = {}
@@ -353,11 +424,32 @@ class WindowedILPMapper(BaseMapper):
             ] + result.used_overlaps
 
         # Rolling-horizon pass: windows in start order, earlier windows
-        # committed as constants.
+        # committed as constants.  When the deadline expires mid-roll,
+        # the remaining tasks are placed in one greedy sweep — degraded
+        # but bounded (ladder rung ``deadline_greedy``).
         for lo in range(0, len(ordered), self.window_size):
+            if deadline is not None and deadline.expired:
+                rest = ordered[lo:]
+                stats["deadline_greedy"] = 1
+                if ladder is not None:
+                    ladder.engage(
+                        "mapping",
+                        DegradationLadder.DEADLINE_GREEDY,
+                        f"{len(rest)} tasks placed greedily after budget "
+                        "expiry",
+                    )
+                result = GreedyMapper().map_tasks(
+                    self._window_spec(spec, rest, ordered, placements)
+                )
+                all_optimal = False
+                merge_overlaps(result)
+                for task in rest:
+                    placements[task.name] = result.placements[task.name]
+                break
             window = ordered[lo : lo + self.window_size]
             result = self._solve_window(
-                spec, window, ordered, placements, stats=stats
+                spec, window, ordered, placements, stats=stats,
+                deadline=deadline, ladder=ladder,
             )
             if result.mapper == GreedyMapper.name or not result.optimal:
                 all_optimal = False
@@ -402,27 +494,46 @@ class WindowedILPMapper(BaseMapper):
         # window offset so wear stacked across an unlucky rolling-pass
         # window boundary is also re-optimized jointly.
         for pass_index in range(self.refine_passes):
+            if deadline is not None and deadline.expired:
+                break  # refinement is optional polish; the roll stands
             offset = (self.window_size // 2) if pass_index % 2 == 0 else 0
             windows = self._refine_windows(ordered, offset)
-            speculative: Optional[List[Optional[MappingResult]]] = None
+            speculative: Optional[List] = None
             if executor is not None and len(windows) > 1:
-                try:
-                    speculative = self._speculate(
-                        executor, spec, windows, ordered, placements,
-                        ledger, stats,
-                    )
-                except Exception:
-                    # Pool died (worker crash, pickling trouble): finish
-                    # the pass — and the rest of the run — serially.
+                speculative, pool_ok = self._speculate(
+                    executor, spec, windows, ordered, placements,
+                    ledger, stats, deadline=deadline,
+                )
+                if not pool_ok:
+                    # Pool died (worker crash, hung future, pickling
+                    # trouble): the windows whose futures completed keep
+                    # their speculative results; only the failed ones
+                    # re-solve serially, and later passes run serially.
                     stats["parallel_fallback"] = 1
+                    if ladder is not None:
+                        ladder.engage(
+                            "pool",
+                            DegradationLadder.POOL_SERIAL,
+                            f"pass {pass_index}: re-solving failed "
+                            "windows serially",
+                        )
+                    executor.shutdown(cancel_futures=True)
                     executor = None
             for index, window in enumerate(windows):
+                if deadline is not None and deadline.expired:
+                    break
                 stats["refine_probes"] += 1
                 discouraged = ledger.peak_cells()
                 previous_peak = ledger.peak()
                 saved = pop_window(window)
                 saved_overlaps = list(overlaps)
-                if speculative is not None:
+                serial_retry = (
+                    speculative is None
+                    or speculative[index] is _SERIAL_RETRY
+                )
+                if serial_retry and speculative is not None:
+                    stats["pool_serial_windows"] += 1
+                if not serial_retry:
                     result = speculative[index]
                     if result is None:
                         stats["refine_infeasible"] += 1
@@ -441,6 +552,7 @@ class WindowedILPMapper(BaseMapper):
                         result = self._solve_window(
                             spec, window, ordered, placements,
                             discouraged=discouraged, stats=stats,
+                            deadline=deadline, ladder=ladder,
                         )
                     except SynthesisError:
                         stats["refine_infeasible"] += 1
@@ -463,6 +575,8 @@ class WindowedILPMapper(BaseMapper):
         # so plateau moves that thin out the set of critical valves
         # still count as improvements.
         for _ in range(2 * len(ordered)):
+            if deadline is not None and deadline.expired:
+                break
             measure = ledger.measure()
             discouraged = ledger.peak_cells()
             worst_cell = min(discouraged, default=None)
@@ -482,6 +596,7 @@ class WindowedILPMapper(BaseMapper):
                 result = self._solve_window(
                     spec, window, ordered, placements,
                     discouraged=discouraged, stats=stats,
+                    deadline=deadline, ladder=ladder,
                 )
             except SynthesisError:
                 restore(saved, window)
@@ -599,36 +714,82 @@ class WindowedILPMapper(BaseMapper):
         placements: Dict[str, Placement],
         ledger: LoadLedger,
         stats: Dict[str, float],
-    ) -> List[Optional[MappingResult]]:
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[List, bool]:
         """Solve every window of a pass in the pool, against a snapshot.
 
         All solves see the same pass-start placements and discouraged
         cells; ``_solve_window`` already excludes each window's own
         tasks from the fixed set, so the snapshot can be passed whole.
+
+        Returns ``(results, pool_ok)``.  Recovery is window-granular:
+        each future is waited on with its own timeout, and the first
+        pool failure (``BrokenProcessPool``, a timed-out future, a
+        submit error) marks that window — and any still pending after
+        it — as :data:`_SERIAL_RETRY` while the windows already
+        gathered keep their results.  The caller re-solves only the
+        marked windows serially.
         """
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
         start = time.perf_counter()
         snapshot = dict(placements)
         discouraged = ledger.peak_cells()
-        futures = [
-            executor.submit(
-                _solve_window_job,
-                (
-                    spec, window, ordered, snapshot, discouraged,
-                    self.backend, self.time_limit_per_window,
-                ),
-            )
-            for window in windows
-        ]
-        results = [future.result() for future in futures]
-        stats["windows_solved"] += len(results)
-        stats["parallel_windows"] += len(results)
+        limit = self.time_limit_per_window
+        if deadline is not None:
+            limit = deadline.limit(limit)
+        # A worker may legitimately need longer than the ILP limit (the
+        # greedy fallback runs after it), but a hung worker must not
+        # stall the pass: wait a bounded multiple of the solve limit.
+        wait = (
+            _DEFAULT_FUTURE_TIMEOUT
+            if limit is None
+            else max(2.0 * limit + 10.0, 15.0)
+        )
+        results: List = []
+        pool_ok = True
+        futures = []
+        try:
+            futures = [
+                executor.submit(
+                    _solve_window_job,
+                    (
+                        spec, window, ordered, snapshot, discouraged,
+                        self.backend, limit,
+                    ),
+                )
+                for window in windows
+            ]
+        except (BrokenProcessPool, OSError, RuntimeError):
+            pool_ok = False
+        for future in futures:
+            if not pool_ok:
+                future.cancel()
+                results.append(_SERIAL_RETRY)
+                continue
+            try:
+                if FAULTS.armed and FAULTS.should_fire("mapper.pool"):
+                    raise BrokenProcessPool(
+                        "injected process-pool failure (chaos test)"
+                    )
+                results.append(future.result(timeout=wait))
+            except (BrokenProcessPool, FutureTimeout, OSError,
+                    RuntimeError):
+                pool_ok = False
+                results.append(_SERIAL_RETRY)
+        while len(results) < len(windows):
+            results.append(_SERIAL_RETRY)
+        solved = [r for r in results if r is not _SERIAL_RETRY]
+        stats["windows_solved"] += len(solved)
+        stats["parallel_windows"] += len(solved)
         stats["greedy_windows"] += sum(
             1
-            for r in results
+            for r in solved
             if r is not None and r.mapper == GreedyMapper.name
         )
         stats["window_seconds"] += time.perf_counter() - start
-        return results
+        return results, pool_ok
 
     @staticmethod
     def _applies_cleanly(
@@ -669,19 +830,17 @@ class WindowedILPMapper(BaseMapper):
                 return False
         return True
 
-    def _solve_window(
+    def _window_spec(
         self,
         spec: MappingSpec,
         window: List[MappingTask],
         ordered: List[MappingTask],
         placements: Dict[str, Placement],
         discouraged: frozenset = frozenset(),
-        stats: Optional[Dict[str, float]] = None,
-    ) -> MappingResult:
-        """Solve one window with every placed task fixed as a constant."""
+    ) -> MappingSpec:
+        """The window's sub-problem: every placed task fixed as a constant."""
         from repro.architecture.device import DynamicDevice
 
-        window_start = time.perf_counter()
         fixed: Dict[str, DynamicDevice] = dict(spec.fixed)
         base_load: Dict[Point, int] = dict(spec.base_load)
         window_names = {t.name for t in window}
@@ -698,7 +857,7 @@ class WindowedILPMapper(BaseMapper):
             )
             for cell in placement.pump_cells():
                 base_load[cell] = base_load.get(cell, 0) + task.pump_rate
-        window_spec = MappingSpec(
+        return MappingSpec(
             grid=spec.grid,
             tasks=window,
             fixed=fixed,
@@ -712,12 +871,59 @@ class WindowedILPMapper(BaseMapper):
             parent_pairs=set(spec.parent_pairs),
             discouraged_cells=discouraged,
         )
+
+    def _solve_window(
+        self,
+        spec: MappingSpec,
+        window: List[MappingTask],
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+        discouraged: frozenset = frozenset(),
+        stats: Optional[Dict[str, float]] = None,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
+    ) -> MappingResult:
+        """Solve one window, descending the ladder on failure.
+
+        1. the window's exact ILP (time-limited by the deadline);
+        2. ``window_shrink`` — split the window in half, solve each
+           half exactly (the first half commits before the second);
+        3. ``window_greedy`` — the greedy balancer for this window
+           only (raises :class:`SynthesisError` when even that is
+           infeasible; the caller owns the next rung).
+        """
+        window_start = time.perf_counter()
+        limit = self.time_limit_per_window
+        if deadline is not None:
+            limit = deadline.limit(limit)
+        window_spec = self._window_spec(
+            spec, window, ordered, placements, discouraged
+        )
+        result: Optional[MappingResult] = None
         try:
             result = ILPMapper(
-                backend=self.backend,
-                time_limit=self.time_limit_per_window,
+                backend=self.backend, time_limit=limit
             ).map_tasks(window_spec)
-        except SynthesisError:
+        except (SynthesisError, SolverError) as error:
+            if len(window) > 1 and (deadline is None or not deadline.expired):
+                if stats is not None:
+                    stats["window_shrinks"] += 1
+                if ladder is not None:
+                    ladder.engage(
+                        "mapping",
+                        DegradationLadder.WINDOW_SHRINK,
+                        f"window of {len(window)} split after: {error}",
+                    )
+                result = self._solve_shrunk(
+                    spec, window, ordered, placements, discouraged, deadline
+                )
+        if result is None:
+            if ladder is not None:
+                ladder.engage(
+                    "mapping",
+                    DegradationLadder.WINDOW_GREEDY,
+                    f"greedy fallback for window of {len(window)}",
+                )
             result = GreedyMapper().map_tasks(window_spec)
         if stats is not None:
             stats["windows_solved"] += 1
@@ -725,6 +931,54 @@ class WindowedILPMapper(BaseMapper):
             if result.mapper == GreedyMapper.name:
                 stats["greedy_windows"] += 1
         return result
+
+    def _solve_shrunk(
+        self,
+        spec: MappingSpec,
+        window: List[MappingTask],
+        ordered: List[MappingTask],
+        placements: Dict[str, Placement],
+        discouraged: frozenset,
+        deadline: Optional[Deadline],
+    ) -> Optional[MappingResult]:
+        """The ``window_shrink`` rung: two exact half-window solves.
+
+        A timed-out or infeasible full window often splits into two
+        tractable halves (half the binaries, half the disjunctions).
+        Returns None when either half fails — the caller then takes the
+        greedy rung.
+        """
+        mid = len(window) // 2
+        staged = dict(placements)
+        merged: Dict[str, Placement] = {}
+        overlaps: List[Pair] = []
+        objective = 0
+        for half in (window[:mid], window[mid:]):
+            limit = self.time_limit_per_window
+            if deadline is not None:
+                limit = deadline.limit(limit)
+            half_spec = self._window_spec(
+                spec, half, ordered, staged, discouraged
+            )
+            try:
+                result = ILPMapper(
+                    backend=self.backend, time_limit=limit
+                ).map_tasks(half_spec)
+            except (SynthesisError, SolverError):
+                return None
+            for task in half:
+                placement = result.placements[task.name]
+                staged[task.name] = placement
+                merged[task.name] = placement
+            overlaps.extend(result.used_overlaps)
+            objective = max(objective, result.objective)
+        return MappingResult(
+            placements=merged,
+            objective=objective,
+            mapper=ILPMapper.name,
+            used_overlaps=overlaps,
+            optimal=False,  # solved as halves, not jointly
+        )
 
     @staticmethod
     def _total_objective(
@@ -760,7 +1014,16 @@ class GreedyMapper(BaseMapper):
 
     name = "greedy"
 
-    def map_tasks(self, spec: MappingSpec) -> MappingResult:
+    def map_tasks(
+        self,
+        spec: MappingSpec,
+        *,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
+    ) -> MappingResult:
+        # The greedy balancer is itself the bottom of the ladder: it
+        # never degrades further, and one placement sweep is far below
+        # any sane budget, so the deadline is accepted but not polled.
         from repro.architecture.device import DynamicDevice
 
         start_time = time.monotonic()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -15,6 +15,7 @@ from repro.architecture.valve import ValveRole
 from repro.architecture.valve_grid import VirtualValveGrid
 from repro.core.actuation import AccountingPolicy
 from repro.core.storage import StoragePlan
+from repro.resilience import ResilienceReport
 from repro.routing.path import RoutedPath
 
 
@@ -67,6 +68,9 @@ class SynthesisResult:
     grid_setting1: VirtualValveGrid
     grid_setting2: VirtualValveGrid
     metrics: SynthesisMetrics
+    #: degradation-ladder record of the run (DESIGN.md §9); None only
+    #: for results assembled outside ``ReliabilitySynthesizer``.
+    resilience: Optional[ResilienceReport] = None
 
     def device_of(self, operation: str) -> DynamicDevice:
         return self.devices[operation]

@@ -1,12 +1,30 @@
-"""Algorithm 1: the full reliability-aware synthesis pipeline."""
+"""Algorithm 1: the full reliability-aware synthesis pipeline.
+
+Resilience (DESIGN.md §9): ``SynthesisConfig.time_budget`` turns into a
+:class:`repro.resilience.Deadline` that bounds the whole run — the
+mapping stage gets ``mapping_budget_fraction`` of it (propagated into
+every window/ILP solver time limit), routing keeps the remainder (the
+rip-up loop polls the parent deadline).  Stage failures descend the
+:class:`repro.resilience.DegradationLadder` instead of aborting; every
+rung taken is recorded in the :class:`ResilienceReport` attached to
+``SynthesisResult.resilience``, and a degraded run emits one
+:class:`DegradedResultWarning`.
+"""
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import RoutingError, SynthesisError
+from repro.errors import (
+    DegradedResultWarning,
+    RoutingError,
+    SolverError,
+    SynthesisError,
+    TimeLimitError,
+)
 from repro.geometry import GridSpec
 from repro.assay.schedule import Schedule
 from repro.assay.sequencing_graph import SequencingGraph
@@ -17,6 +35,7 @@ from repro.core.actuation import AccountingPolicy, ActuationAccountant
 from repro.core.events import build_transport_events
 from repro.core.mappers import (
     BaseMapper,
+    GreedyMapper,
     ILPMapper,
     WindowedILPMapper,
 )
@@ -24,6 +43,7 @@ from repro.core.mapping_model import MappingSpec, Pair
 from repro.core.result import SettingMetrics, SynthesisMetrics, SynthesisResult
 from repro.core.storage import StoragePlan
 from repro.core.tasks import MappingTask, build_tasks
+from repro.resilience import Deadline, DegradationLadder, ResilienceReport
 from repro.routing.router import Router, RoutingContext
 
 
@@ -47,6 +67,14 @@ class SynthesisConfig:
     ilp_backend: str = "scipy"
     window_size: int = 5
     max_algorithm_iterations: int = 25
+    #: whole-run wall-clock budget in seconds (None = unbounded).  The
+    #: budget covers mapping, storage repair and routing together; when
+    #: it runs short the pipeline degrades (greedy windows, relaxed
+    #: routing) instead of overrunning.
+    time_budget: Optional[float] = None
+    #: share of the remaining budget the mapping stage may spend; the
+    #: rest is kept back for routing and actuation accounting.
+    mapping_budget_fraction: float = 0.85
 
     def resolve_mapper(self, n_tasks: int) -> BaseMapper:
         if self.mapper is not None:
@@ -77,6 +105,9 @@ class ReliabilitySynthesizer:
         storage_plan: StoragePlan,
         mapper: BaseMapper,
         blocked: frozenset,
+        routing_convenient: bool,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
     ):
         """Algorithm 1 L3-L9: map, check storage overlaps, repair."""
         config = self.config
@@ -91,10 +122,10 @@ class ReliabilitySynthesizer:
                 blocked_cells=blocked,
                 anchor_stride=config.anchor_stride,
                 distance_limit=config.distance_limit,
-                routing_convenient=config.routing_convenient,
+                routing_convenient=routing_convenient,
                 allow_storage_overlap=config.allow_storage_overlap,
             )
-            mapping = mapper.map_tasks(spec)
+            mapping = self._map_once(spec, mapper, deadline, ladder)
             violations = storage_plan.overlap_violations(mapping.placements)
             fresh = violations - forbidden
             if not fresh:
@@ -105,11 +136,60 @@ class ReliabilitySynthesizer:
             f"{config.max_algorithm_iterations} iterations"
         )
 
+    @staticmethod
+    def _map_once(
+        spec: MappingSpec,
+        mapper: BaseMapper,
+        deadline: Optional[Deadline],
+        ladder: Optional[DegradationLadder],
+    ):
+        """One mapping solve, with the greedy balancer as the last rung.
+
+        The windowed mapper degrades internally; this covers the
+        monolithic :class:`ILPMapper` (solver fault, budget expiry,
+        infeasible-at-this-reservation), whose failure used to abort
+        the run outright.
+        """
+        try:
+            return mapper.map_tasks(spec, deadline=deadline, ladder=ladder)
+        except (SynthesisError, SolverError) as error:
+            if isinstance(mapper, GreedyMapper):
+                raise  # already at the bottom of the ladder
+            if ladder is not None:
+                ladder.engage(
+                    "mapping", DegradationLadder.MAPPING_GREEDY, str(error)
+                )
+            return GreedyMapper().map_tasks(
+                spec, deadline=deadline, ladder=ladder
+            )
+
     def synthesize(
-        self, graph: SequencingGraph, schedule: Schedule
+        self,
+        graph: SequencingGraph,
+        schedule: Schedule,
+        deadline: Optional[Deadline] = None,
     ) -> SynthesisResult:
         start_time = time.monotonic()
         config = self.config
+        if deadline is None and config.time_budget is not None:
+            deadline = Deadline(config.time_budget)
+        report = ResilienceReport(
+            budget=deadline.budget if deadline is not None else None
+        )
+        ladder = DegradationLadder(report, deadline)
+        # The mapping stage (including storage repair) gets a fraction
+        # of the budget; routing runs against a 1.1x grace deadline, so
+        # a mapping stage that spends its full share can never starve
+        # routing completely, while the whole run stays within 1.1x the
+        # configured budget.
+        mapping_deadline = (
+            deadline.sub(config.mapping_budget_fraction)
+            if deadline is not None
+            else None
+        )
+        routing_deadline = (
+            Deadline(deadline.budget * 1.1) if deadline is not None else None
+        )
         # L1-L2: read inputs, build the virtual valve architecture.
         graph.validate()
         schedule.validate()
@@ -141,39 +221,38 @@ class ReliabilitySynthesizer:
             or cell.y in (0, config.grid.height - 1)
         )
         attempts = [port_cells, port_areas, port_areas | boundary]
-        last_error: Optional[RoutingError] = None
-        for blocked in attempts:
-            try:
-                mapping, iterations = self._map_with_storage_repair(
-                    tasks, storage_plan, mapper, blocked
-                )
-                devices: Dict[str, DynamicDevice] = {}
-                for task in tasks:
-                    devices[task.name] = DynamicDevice(
-                        operation=task.name,
-                        placement=mapping.placements[task.name],
-                        start=task.start,
-                        end=task.end,
-                        mix_start=task.mix_start,
-                    )
-                # L10-L19: routing.
-                events = build_transport_events(graph, schedule, chip)
-                router = Router(
-                    RoutingContext(
-                        chip=chip,
-                        devices=devices,
-                        free_space=storage_plan.free_space,
-                    )
-                )
-                routes = router.route_all(events)
-                break
-            except RoutingError as error:
-                last_error = error
-        else:
-            raise SynthesisError(
-                f"routing failed even with reserved port corridors: "
-                f"{last_error}"
+        try:
+            mapping, iterations, devices, routes = self._pipeline_with_grace(
+                graph, schedule, chip, tasks, storage_plan, mapper,
+                attempts, config.routing_convenient,
+                routing_deadline, mapping_deadline, ladder,
             )
+        except RoutingError as error:
+            if not config.routing_convenient:
+                raise SynthesisError(
+                    f"routing failed even with reserved port corridors: "
+                    f"{error}"
+                )
+            # Last ladder rung: re-synthesize without the
+            # routing-convenient distance constraints — the mapper gains
+            # placement freedom it can spend on routability.
+            ladder.engage(
+                "routing", DegradationLadder.ROUTING_RELAXED, str(error)
+            )
+            try:
+                mapping, iterations, devices, routes = (
+                    self._pipeline_with_grace(
+                        graph, schedule, chip, tasks, storage_plan,
+                        mapper, attempts, False,
+                        routing_deadline, mapping_deadline, ladder,
+                    )
+                )
+            except RoutingError as relaxed_error:
+                raise SynthesisError(
+                    f"routing failed even with reserved port corridors "
+                    f"and relaxed routing-convenient constraints: "
+                    f"{relaxed_error}"
+                )
 
         # L20 + evaluation: actuation accounting for both settings; the
         # non-actuated virtual valves simply never appear in the grids.
@@ -198,6 +277,14 @@ class ReliabilitySynthesizer:
             algorithm_iterations=iterations,
             wall_time=time.monotonic() - start_time,
         )
+        if report.degraded:
+            warnings.warn(
+                DegradedResultWarning(
+                    f"synthesis of {graph.name!r} degraded: "
+                    f"{report.summary()}"
+                ),
+                stacklevel=2,
+            )
         return SynthesisResult(
             graph=graph,
             schedule=schedule,
@@ -208,4 +295,99 @@ class ReliabilitySynthesizer:
             grid_setting1=grid1,
             grid_setting2=grid2,
             metrics=metrics,
+            resilience=report,
+        )
+
+    def _pipeline_with_grace(
+        self,
+        graph: SequencingGraph,
+        schedule: Schedule,
+        chip: Chip,
+        tasks: List[MappingTask],
+        storage_plan: StoragePlan,
+        mapper: BaseMapper,
+        attempts: List[frozenset],
+        routing_convenient: bool,
+        routing_deadline: Optional[Deadline],
+        mapping_deadline: Optional[Deadline],
+        ladder: Optional[DegradationLadder],
+    ) -> Tuple:
+        """:meth:`_attempt_pipeline`, absorbing a routing budget overrun.
+
+        Routing cannot return a partial result, so when even the 1.1x
+        grace deadline expires mid-route the only honest options are to
+        abort the whole run or to finish routing over budget.  We finish:
+        the overrun becomes a ``routing_overrun`` ladder rung and the
+        pipeline re-runs with unbounded routing (mapping, by then, is
+        greedy-fast because its own deadline has long expired).
+        """
+        try:
+            return self._attempt_pipeline(
+                graph, schedule, chip, tasks, storage_plan, mapper,
+                attempts, routing_convenient,
+                routing_deadline, mapping_deadline, ladder,
+            )
+        except TimeLimitError as error:
+            if ladder is not None:
+                ladder.engage(
+                    "routing", DegradationLadder.ROUTING_OVERRUN, str(error)
+                )
+            return self._attempt_pipeline(
+                graph, schedule, chip, tasks, storage_plan, mapper,
+                attempts, routing_convenient,
+                None, mapping_deadline, ladder,
+            )
+
+    def _attempt_pipeline(
+        self,
+        graph: SequencingGraph,
+        schedule: Schedule,
+        chip: Chip,
+        tasks: List[MappingTask],
+        storage_plan: StoragePlan,
+        mapper: BaseMapper,
+        attempts: List[frozenset],
+        routing_convenient: bool,
+        routing_deadline: Optional[Deadline],
+        mapping_deadline: Optional[Deadline],
+        ladder: Optional[DegradationLadder],
+    ) -> Tuple:
+        """Map + route under one routing-convenient setting.
+
+        Walks the escalating placement reservations; raises the last
+        :class:`RoutingError` when every attempt fails, so the caller
+        can decide whether another relaxation rung remains.
+        """
+        last_error: Optional[RoutingError] = None
+        for blocked in attempts:
+            try:
+                mapping, iterations = self._map_with_storage_repair(
+                    tasks, storage_plan, mapper, blocked,
+                    routing_convenient, mapping_deadline, ladder,
+                )
+                devices: Dict[str, DynamicDevice] = {}
+                for task in tasks:
+                    devices[task.name] = DynamicDevice(
+                        operation=task.name,
+                        placement=mapping.placements[task.name],
+                        start=task.start,
+                        end=task.end,
+                        mix_start=task.mix_start,
+                    )
+                # L10-L19: routing.
+                events = build_transport_events(graph, schedule, chip)
+                router = Router(
+                    RoutingContext(
+                        chip=chip,
+                        devices=devices,
+                        free_space=storage_plan.free_space,
+                    ),
+                    deadline=routing_deadline,
+                )
+                routes = router.route_all(events)
+                return mapping, iterations, devices, routes
+            except RoutingError as error:
+                last_error = error
+        raise last_error if last_error is not None else RoutingError(
+            "no placement reservation attempts were made"
         )

@@ -4,6 +4,30 @@ Every error raised deliberately by this library derives from
 :class:`ReproError`, so downstream users can catch one type.  Subsystems
 define their own subclasses here (rather than in their own packages) to
 avoid import cycles between substrate packages.
+
+Failure-handling contract (see DESIGN.md §9 for the full ladder):
+
+* A *recoverable* stage failure — a window ILP that times out or turns
+  infeasible, a broken refinement process pool, a routing attempt that
+  exhausts its rip-up budget — is **not** allowed to escape as an
+  exception from ``ReliabilitySynthesizer.synthesize``.  The stage
+  steps down its degradation ladder (shrink the window, go greedy,
+  re-solve serially, relax routing-convenient), records the step in
+  the run's ``ResilienceReport``, and continues.  A run that degraded
+  emits :class:`DegradedResultWarning` exactly once.
+* An *unrecoverable* failure — the assay cannot be placed on the grid
+  even greedily, routing fails even with relaxed constraints and
+  reserved corridors — raises :class:`SynthesisError` (or a subclass)
+  once the ladder is exhausted.
+* A *budget* failure raises :class:`TimeLimitError`: the configured
+  ``time_budget`` ran out at a point where no degraded-but-valid
+  result can be produced.  Callers treating latency as a hard bound
+  should catch this one type; it deliberately does **not** derive from
+  :class:`SynthesisError` so ladder code never confuses "out of time"
+  with "infeasible".
+* Library code may only swallow :class:`ReproError` (never a blanket
+  ``Exception``), and must record what it swallowed — in telemetry, a
+  report structure, or the experiment output.
 """
 
 from __future__ import annotations
@@ -65,3 +89,23 @@ class RoutingError(ReproError):
 
 class BindingError(ReproError):
     """Traditional-design binding failed (no mixer of a required size...)."""
+
+
+class TimeLimitError(ReproError):
+    """A whole-run time budget (``Deadline``) expired.
+
+    Raised only where running on would break the latency bound *and* no
+    degraded result is possible; stages that can degrade catch their
+    own failures and step down the ladder instead of raising this.
+    """
+
+
+class DegradedResultWarning(UserWarning):
+    """A synthesis run finished, but only by degrading.
+
+    Emitted once per ``synthesize()`` call whose ``ResilienceReport``
+    recorded at least one ladder rung; the warning message carries the
+    rung summary.  A warning (not an error) because the result is still
+    simulator-valid — it is just not the quality a fully converged run
+    would have produced.
+    """

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 from repro.assays.registry import BenchmarkCase, get_case, list_cases, schedule_for
 from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.errors import ReproError
 from repro.core.mappers import GreedyMapper
 from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
 from repro.experiments.reporting import format_columns
@@ -38,6 +39,8 @@ class SpeedupRow:
     traditional_makespan: int
     dynamic_makespan: int
     area_feasible: bool  # the dynamic schedule synthesized onto the grid
+    #: why the feasibility synthesis failed ("" when area_feasible).
+    failure: str = ""
 
     @property
     def speedup(self) -> float:
@@ -57,13 +60,18 @@ def measure_case(case: BenchmarkCase, policy_count: int = 3) -> List[SpeedupRow]
     """Speedup rows for every policy of one benchmark case."""
     graph = case.graph()
     fast = dynamic_schedule(case)
+    failure = ""
     try:
         ReliabilitySynthesizer(
             SynthesisConfig(grid=case.grid, mapper=GreedyMapper())
         ).synthesize(graph, fast)
         feasible = True
-    except Exception:
+    except ReproError as error:
+        # Expected outcome for an over-parallel schedule: the grid is
+        # too small.  Anything outside the ReproError hierarchy is a
+        # bug and must propagate.
         feasible = False
+        failure = str(error)
     rows = []
     for policy in case.policies(policy_count):
         slow = schedule_for(case, policy)
@@ -74,6 +82,7 @@ def measure_case(case: BenchmarkCase, policy_count: int = 3) -> List[SpeedupRow]
                 traditional_makespan=slow.makespan,
                 dynamic_makespan=fast.makespan,
                 area_feasible=feasible,
+                failure=failure,
             )
         )
     return rows
@@ -100,7 +109,15 @@ def format_speedup(rows: Sequence[SpeedupRow]) -> str:
         ]
         for r in rows
     ]
-    return format_columns(header, body)
+    out = format_columns(header, body)
+    failures = {
+        (r.case, r.failure) for r in rows if not r.area_feasible and r.failure
+    }
+    if failures:
+        out += "\n" + "\n".join(
+            f"infeasible {case}: {reason}" for case, reason in sorted(failures)
+        )
+    return out
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:

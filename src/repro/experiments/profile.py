@@ -7,6 +7,8 @@ enabled and emits a JSON + text report of the hot-path counters:
 * ``routing.*`` — Dijkstra calls, heap pops, rip-up & re-route events;
 * ``scipy.*`` — HiGHS MILP solves and node counts (the default mapping
   backend);
+* ``resilience.*`` — degradation-ladder rung engagements (DESIGN.md
+  §9); a clean run has none;
 * ``bb.*`` / ``simplex.*`` — the from-scratch branch & bound and
   simplex.  The full synthesis usually runs on HiGHS, so these are
   exercised by a **solver probe**: a small mapping sub-model (the
@@ -85,6 +87,7 @@ def run_profile(
     policy_index: int = 1,
     mapper: str = "auto",
     probe: bool = True,
+    time_budget: Optional[float] = None,
 ) -> dict:
     """Profile one benchmark case; returns the JSON-ready report."""
     from repro.assays import get_case, schedule_for
@@ -100,7 +103,11 @@ def run_profile(
     try:
         start = time.perf_counter()
         result = ReliabilitySynthesizer(
-            SynthesisConfig(grid=case.grid, mapper=_make_mapper(mapper))
+            SynthesisConfig(
+                grid=case.grid,
+                mapper=_make_mapper(mapper),
+                time_budget=time_budget,
+            )
         ).synthesize(graph, schedule)
         wall = time.perf_counter() - start
         probe_stats = _solver_probe(case) if probe else None
@@ -125,6 +132,8 @@ def run_profile(
         },
         "telemetry": telemetry,
     }
+    if result.resilience is not None:
+        report["resilience"] = result.resilience.as_dict()
     if probe_stats is not None:
         report["solver_probe"] = probe_stats
     return report
@@ -157,6 +166,22 @@ def format_report(report: dict) -> str:
                 f"    {name:<28} {t['seconds']:>10.4f} s over "
                 f"{t['events']} event(s)"
             )
+    resilience = report.get("resilience")
+    if resilience:
+        if resilience["degraded"]:
+            rungs = ", ".join(
+                f"{rung} x{n}"
+                for rung, n in sorted(resilience["rungs"].items())
+            )
+            lines.append(f"  resilience: DEGRADED — {rungs}")
+        else:
+            budget = resilience.get("budget")
+            within = (
+                f" (within the {budget:g} s budget)"
+                if budget is not None
+                else ""
+            )
+            lines.append(f"  resilience: no degradation{within}")
     probe = report.get("solver_probe")
     if probe:
         lines.append(
@@ -182,9 +207,11 @@ def main(
     mapper: str = "auto",
     json_path: Optional[str] = None,
     probe: bool = True,
+    time_budget: Optional[float] = None,
 ) -> dict:
     report = run_profile(
-        case_name, policy_index=policy_index, mapper=mapper, probe=probe
+        case_name, policy_index=policy_index, mapper=mapper, probe=probe,
+        time_budget=time_budget,
     )
     if json_path:
         with open(json_path, "w") as fh:

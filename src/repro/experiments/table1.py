@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence
 
 from repro.assays.registry import BenchmarkCase, get_case, list_cases, schedule_for
 from repro.baseline.policies import Policy, distribution_string, mixer_demand
+from repro.errors import ReproError
 from repro.baseline.valve_count import traditional_design
 from repro.core.mappers import BaseMapper, GreedyMapper
 from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
@@ -164,10 +165,16 @@ def format_table(rows: Sequence[Table1Row], with_paper: bool = True) -> str:
     )
     if with_paper:
         paper_body = []
+        missing: List[str] = []
         for r in rows:
             try:
                 p = paper_row(r.case, int(r.policy[1:]))
-            except Exception:
+            except ReproError:
+                # No published row for this (case, policy) — a custom
+                # case or policy index outside Table 1.  Record it so
+                # the report says what it could not compare, instead of
+                # silently shortening the published table.
+                missing.append(f"{r.case}/{r.policy}")
                 continue
             paper_body.append([
                 p.case, f"p{p.policy}", p.num_devices, p.m_distribution,
@@ -182,6 +189,10 @@ def format_table(rows: Sequence[Table1Row], with_paper: bool = True) -> str:
             out.append(
                 f"\npublished averages: imp1 {PAPER_AVERAGE_IMP1}%  "
                 f"imp2 {PAPER_AVERAGE_IMP2}%  impv {PAPER_AVERAGE_IMPV}%"
+            )
+        if missing:
+            out.append(
+                "\nno published row for: " + ", ".join(missing)
             )
     return "\n".join(out)
 

@@ -40,6 +40,7 @@ from repro.ilp.model import Model
 from repro.ilp.simplex import LpResult
 from repro.ilp.solution import Solution, SolveStatus
 from repro.obs import TELEMETRY
+from repro.resilience.faults import FAULTS
 
 _INT_TOL = 1e-6
 
@@ -166,6 +167,11 @@ def solve_branch_bound(
         if stats["nodes_explored"] >= max_nodes or (
             time_limit is not None and time.monotonic() - start > time_limit
         ):
+            exhausted = False
+            break
+        # Chaos-test injection site: behave exactly as if the time
+        # limit had just expired (keep any incumbent → FEASIBLE).
+        if FAULTS.armed and FAULTS.should_fire("bb.time_limit"):
             exhausted = False
             break
         node = heapq.heappop(heap)

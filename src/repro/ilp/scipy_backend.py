@@ -14,9 +14,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import SolverError
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
 from repro.obs import TELEMETRY
+from repro.resilience.faults import FAULTS
 
 
 def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
@@ -28,6 +30,9 @@ def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
     """
     from scipy.optimize import Bounds, LinearConstraint, milp
     from scipy.sparse import csr_matrix
+
+    if FAULTS.armed and FAULTS.should_fire("scipy.milp"):
+        raise SolverError("injected scipy/HiGHS backend failure (chaos test)")
 
     start = time.monotonic()
     c, a_ub, b_ub, a_eq, b_eq, bounds, integrality = model.to_arrays()

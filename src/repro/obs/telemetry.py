@@ -24,6 +24,9 @@ Counter names are dotted paths, one prefix per subsystem:
   (``parallel_windows``, ``parallel_stale``) (``repro.core.mappers``)
 * ``routing.*`` — Dijkstra heap pops, rip-up & re-route events
   (``repro.routing``)
+* ``resilience.*`` — one counter per degradation-ladder rung engaged
+  (``resilience.window_shrink``, ``resilience.pool_serial``, … — see
+  DESIGN.md §9); a clean run records none (``repro.resilience``)
 """
 
 from __future__ import annotations

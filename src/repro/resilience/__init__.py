@@ -1,0 +1,34 @@
+"""Resilience: deadline budgets, degradation ladder, fault injection.
+
+This package makes failure handling a first-class, tested subsystem
+(DESIGN.md §9).  Three pieces:
+
+* :class:`Deadline` — a monotonic whole-run time budget, split across
+  stages and propagated into every solver ``time_limit`` and loop that
+  can stall;
+* :class:`DegradationLadder` / :class:`ResilienceReport` — bounded
+  retry-with-relaxation rungs replacing the old all-or-nothing
+  fallbacks, with every step recorded and surfaced through
+  ``resilience.*`` telemetry, ``SynthesisResult.resilience`` and the
+  ``python -m repro profile`` report;
+* :class:`FaultInjector` (singleton :data:`FAULTS`) — seeded,
+  site-keyed failure injection powering the chaos test suite.
+"""
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FAULTS, FaultInjector, FaultSpec
+from repro.resilience.report import (
+    DegradationLadder,
+    ResilienceEvent,
+    ResilienceReport,
+)
+
+__all__ = [
+    "Deadline",
+    "DegradationLadder",
+    "FAULTS",
+    "FaultInjector",
+    "FaultSpec",
+    "ResilienceEvent",
+    "ResilienceReport",
+]

@@ -1,0 +1,94 @@
+"""Monotonic wall-clock budgets for bounded-latency synthesis.
+
+A :class:`Deadline` is created once per ``synthesize()`` call from
+``SynthesisConfig.time_budget`` and threaded through every stage that
+can stall: ILP window solves receive ``deadline.limit(...)`` as their
+solver ``time_limit``, the rolling/refinement loops poll
+:attr:`Deadline.expired` between windows, and the router checks the
+deadline inside its rip-up loop.  The clock is :func:`time.monotonic`
+(injectable for tests), so the budget is immune to wall-clock jumps.
+
+Deadlines are *stage-splittable*: :meth:`Deadline.sub` carves a child
+deadline out of the remaining budget (e.g. mapping gets 85% of what is
+left, routing keeps the parent), so a slow early stage automatically
+shrinks the allowance of the later ones instead of overdrawing the
+whole run.
+
+Deadline objects are deliberately **not** sent to worker processes:
+monotonic clocks are not comparable across processes, so the process
+pool receives plain ``remaining()``-derived float limits instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import TimeLimitError
+
+
+class Deadline:
+    """A fixed point on the monotonic clock by which work must finish."""
+
+    __slots__ = ("_budget", "_clock", "_end")
+
+    def __init__(
+        self,
+        budget: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._budget = float(budget)
+        self._clock = clock
+        self._end = clock() + self._budget
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Deadline(budget={self._budget:.3f}, "
+            f"remaining={self.remaining():.3f})"
+        )
+
+    @property
+    def budget(self) -> float:
+        """The total budget this deadline was created with (seconds)."""
+        return self._budget
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._end
+
+    def remaining(self) -> float:
+        """Seconds left before expiry, clamped at 0."""
+        return max(0.0, self._end - self._clock())
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`TimeLimitError` if the deadline has passed."""
+        if self.expired:
+            raise TimeLimitError(
+                f"time budget of {self._budget:.3f} s exhausted "
+                f"during {stage}"
+            )
+
+    def limit(self, cap: Optional[float] = None) -> float:
+        """The remaining budget as a solver ``time_limit``.
+
+        ``cap`` (e.g. a configured per-window limit) wins when it is
+        tighter than what is left.  The result is always a float — an
+        expired deadline yields ``0.0``, which every solver in this
+        repository treats as "give up immediately, keep any incumbent".
+        """
+        remaining = self.remaining()
+        if cap is not None:
+            remaining = min(remaining, float(cap))
+        return remaining
+
+    def sub(self, fraction: float) -> "Deadline":
+        """A child deadline over ``fraction`` of the *remaining* budget.
+
+        The child shares the parent's clock; the parent is unaffected,
+        so a stage given ``deadline.sub(0.85)`` leaves the final 15%
+        of the budget to whatever runs against the parent afterwards.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return Deadline(self.remaining() * fraction, clock=self._clock)

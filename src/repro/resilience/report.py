@@ -1,0 +1,163 @@
+"""The degradation ladder and its structured run report.
+
+Failure handling in the synthesis pipeline is a *ladder*, not a cliff:
+each stage that can fail has an ordered sequence of bounded
+relaxations, and every step taken is recorded as a
+:class:`ResilienceEvent` so a degraded run explains itself instead of
+silently returning a worse answer.  The rungs, in the order a run can
+descend them (see DESIGN.md §9):
+
+========================  ============================================
+rung                      meaning
+========================  ============================================
+``window_shrink``         a window's ILP solve failed (timeout /
+                          infeasible / solver fault); the window was
+                          split in half and each half solved exactly
+``window_greedy``         the shrunken halves failed too; that window
+                          alone fell back to the greedy balancer
+``pool_serial``           the refinement process pool broke (worker
+                          crash, per-future timeout); the windows whose
+                          futures failed were re-solved serially, the
+                          completed ones were kept
+``whole_greedy``          a window dead-ended even for greedy; the
+                          whole mapping restarted on the greedy
+                          balancer (the pre-ladder last resort)
+``mapping_greedy``        the configured mapper failed outright
+                          (solver fault / budget expiry on the
+                          monolithic ILP); the synthesizer re-mapped
+                          with the greedy balancer
+``deadline_greedy``       the mapping-stage deadline expired mid-roll;
+                          the remaining tasks were placed greedily and
+                          refinement was skipped
+``routing_relaxed``       routing failed after the rip-up budget and
+                          every reserved-corridor attempt; the run was
+                          re-synthesized with the routing-convenient
+                          distance constraints relaxed
+``routing_overrun``       the time budget was exhausted before routing
+                          could finish; routing (which cannot return a
+                          partial result) was re-run unbounded and the
+                          overrun recorded
+========================  ============================================
+
+Every :meth:`DegradationLadder.engage` call mirrors into a
+``resilience.<rung>`` telemetry counter (:mod:`repro.obs`), shows up in
+the ``python -m repro profile`` report, and ends in the
+:class:`ResilienceReport` attached to ``SynthesisResult.resilience``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs import TELEMETRY
+from repro.resilience.deadline import Deadline
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One ladder rung engagement during a synthesis run."""
+
+    stage: str  # "mapping" | "pool" | "routing"
+    rung: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{self.stage}] {self.rung}{suffix}"
+
+
+@dataclass
+class ResilienceReport:
+    """Structured record of every degradation a run went through."""
+
+    #: the whole-run time budget, when one was set.
+    budget: Optional[float] = None
+    events: List[ResilienceEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Did any ladder rung engage?"""
+        return bool(self.events)
+
+    def record(self, stage: str, rung: str, detail: str = "") -> None:
+        self.events.append(ResilienceEvent(stage, rung, detail))
+        if TELEMETRY.enabled:
+            TELEMETRY.count(f"resilience.{rung}")
+
+    def count(self, rung: str) -> int:
+        return sum(1 for e in self.events if e.rung == rung)
+
+    def rung_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.rung] = counts.get(event.rung, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (profile reports, experiment artifacts)."""
+        return {
+            "budget": self.budget,
+            "degraded": self.degraded,
+            "rungs": self.rung_counts(),
+            "events": [
+                {"stage": e.stage, "rung": e.rung, "detail": e.detail}
+                for e in self.events
+            ],
+        }
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no degradation"
+        return ", ".join(
+            f"{rung} x{n}" for rung, n in sorted(self.rung_counts().items())
+        )
+
+
+class DegradationLadder:
+    """Bounded retry-with-relaxation policy shared across the pipeline.
+
+    The ladder owns the run's :class:`ResilienceReport` and (optional)
+    :class:`Deadline`; stages call :meth:`engage` when they step down a
+    rung.  The rung *mechanics* live where the state lives (the mapper
+    shrinks its own windows, the synthesizer re-maps without the
+    distance constraints) — the ladder is the shared record and the
+    shared vocabulary, so tests and reports can assert exactly which
+    relaxations a run used.
+    """
+
+    WINDOW_SHRINK = "window_shrink"
+    WINDOW_GREEDY = "window_greedy"
+    POOL_SERIAL = "pool_serial"
+    WHOLE_GREEDY = "whole_greedy"
+    MAPPING_GREEDY = "mapping_greedy"
+    DEADLINE_GREEDY = "deadline_greedy"
+    ROUTING_RELAXED = "routing_relaxed"
+    ROUTING_OVERRUN = "routing_overrun"
+
+    #: every rung, in descent order (documentation + test parametrization).
+    RUNGS = (
+        WINDOW_SHRINK,
+        WINDOW_GREEDY,
+        POOL_SERIAL,
+        WHOLE_GREEDY,
+        MAPPING_GREEDY,
+        DEADLINE_GREEDY,
+        ROUTING_RELAXED,
+        ROUTING_OVERRUN,
+    )
+
+    def __init__(
+        self,
+        report: Optional[ResilienceReport] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        self.report = report if report is not None else ResilienceReport()
+        self.deadline = deadline
+
+    def engage(self, stage: str, rung: str, detail: str = "") -> None:
+        """Record that ``stage`` stepped down to ``rung``."""
+        self.report.record(stage, rung, detail)
+
+    def fired(self, rung: str) -> int:
+        return self.report.count(rung)

@@ -24,6 +24,8 @@ from repro.geometry import GridSpec, Point
 from repro.obs import TELEMETRY
 from repro.architecture.chip import Chip
 from repro.architecture.device import DeviceKind, DynamicDevice
+from repro.resilience import Deadline
+from repro.resilience.faults import FAULTS
 from repro.routing.dijkstra import dijkstra_path
 from repro.routing.path import RoutedPath, TransportEvent
 
@@ -69,10 +71,20 @@ class RoutingContext:
 
 
 class Router:
-    """Routes all transport events of a synthesis result."""
+    """Routes all transport events of a synthesis result.
 
-    def __init__(self, context: RoutingContext) -> None:
+    ``deadline`` (optional) bounds the total routing work: the rip-up
+    loop and the per-event loop both check it, raising
+    :class:`repro.errors.TimeLimitError` — routing cannot return a
+    partial result, so an expired budget here is terminal rather than
+    a ladder rung.
+    """
+
+    def __init__(
+        self, context: RoutingContext, deadline: Optional[Deadline] = None
+    ) -> None:
         self.context = context
+        self.deadline = deadline
 
     # -- public API -------------------------------------------------------
 
@@ -102,7 +114,13 @@ class Router:
         forbidden: Set[str] = set()
         if TELEMETRY.enabled:
             TELEMETRY.count("routing.events")
+        if FAULTS.armed and FAULTS.should_fire("routing.route"):
+            raise RoutingError(
+                f"injected routing failure for {event.label} (chaos test)"
+            )
         for _ in range(MAX_REROUTES):
+            if self.deadline is not None:
+                self.deadline.check(f"routing {event.label}")
             path = self._dijkstra_once(event, concurrent, forbidden)
             if path is None:
                 raise RoutingError(f"no routing path for {event.label}")

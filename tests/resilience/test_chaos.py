@@ -1,0 +1,191 @@
+"""Chaos suite: every degradation-ladder rung engages under injected faults.
+
+Each test arms the process-wide :data:`FAULTS` injector with one
+failure mode, runs a full synthesis, and asserts that
+
+1. the corresponding ladder rung is recorded in the run's
+   :class:`ResilienceReport`;
+2. the degraded result still replays cleanly on the chip simulator;
+3. the run warns (once) with :class:`DegradedResultWarning`.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.mappers import ILPMapper, WindowedILPMapper
+from repro.core.simulation import ChipSimulator
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.errors import DegradedResultWarning
+from repro.geometry import GridSpec
+from repro.obs import TELEMETRY
+from repro.resilience import FAULTS, Deadline, DegradationLadder, FaultSpec
+
+from tests.conftest import build_tiny_assay
+
+
+def synthesize_tiny(
+    mapper=None, deadline=None, expect_degraded=True, **config_kwargs
+):
+    """Run the tiny assay, asserting the degradation warning contract."""
+    graph, schedule = build_tiny_assay()
+    config = SynthesisConfig(grid=GridSpec(8, 8), mapper=mapper, **config_kwargs)
+    synthesizer = ReliabilitySynthesizer(config)
+    if expect_degraded:
+        with pytest.warns(DegradedResultWarning):
+            result = synthesizer.synthesize(graph, schedule, deadline=deadline)
+    else:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DegradedResultWarning)
+            result = synthesizer.synthesize(graph, schedule, deadline=deadline)
+    return result
+
+
+def assert_simulator_valid(result):
+    """The degraded result must still execute the assay end to end."""
+    report = ChipSimulator(result).run()
+    assert report.products_delivered >= 1
+    return report
+
+
+class TestWindowRungs:
+    def test_solver_fault_shrinks_window(self):
+        """One failed window solve → ``window_shrink``, halves succeed."""
+        with FAULTS.inject({"scipy.milp": 1}):
+            result = synthesize_tiny(
+                mapper=WindowedILPMapper(window_size=2, refine_passes=0)
+            )
+        assert FAULTS.fired("scipy.milp") == 1
+        report = result.resilience
+        assert report.count(DegradationLadder.WINDOW_SHRINK) == 1
+        assert report.count(DegradationLadder.WINDOW_GREEDY) == 0
+        assert result.metrics.mapper == WindowedILPMapper.name
+        assert_simulator_valid(result)
+
+    def test_persistent_solver_fault_descends_to_window_greedy(self):
+        """Backend down for good → shrink fails → ``window_greedy``."""
+        with FAULTS.inject({"scipy.milp": FaultSpec(times=None)}):
+            result = synthesize_tiny(
+                mapper=WindowedILPMapper(window_size=2, refine_passes=0)
+            )
+        report = result.resilience
+        assert report.count(DegradationLadder.WINDOW_SHRINK) >= 1
+        assert report.count(DegradationLadder.WINDOW_GREEDY) >= 1
+        assert_simulator_valid(result)
+
+    def test_rungs_mirrored_into_telemetry(self):
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            with FAULTS.inject({"scipy.milp": FaultSpec(times=None)}):
+                synthesize_tiny(
+                    mapper=WindowedILPMapper(window_size=2, refine_passes=0)
+                )
+            counters = TELEMETRY.snapshot()["counters"]
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert counters["resilience.window_shrink"] >= 1
+        assert counters["resilience.window_greedy"] >= 1
+
+
+class TestMonolithicRungs:
+    def test_bb_limit_fault_falls_back_to_greedy(self):
+        """The B&B stops as if timed out with no incumbent →
+        ``mapping_greedy`` re-maps with the greedy balancer."""
+        with FAULTS.inject({"bb.time_limit": 1}):
+            result = synthesize_tiny(mapper=ILPMapper(backend="branch_bound"))
+        assert FAULTS.fired("bb.time_limit") == 1
+        assert result.resilience.count(DegradationLadder.MAPPING_GREEDY) >= 1
+        assert result.metrics.mapper == "greedy"
+        assert_simulator_valid(result)
+
+    def test_scipy_fault_on_monolithic_ilp(self):
+        with FAULTS.inject({"scipy.milp": FaultSpec(times=None)}):
+            result = synthesize_tiny(mapper=ILPMapper(backend="scipy"))
+        assert result.resilience.count(DegradationLadder.MAPPING_GREEDY) >= 1
+        assert_simulator_valid(result)
+
+
+class TestPoolRung:
+    def test_pool_crash_recovers_window_granular(self):
+        """A broken pool future → ``pool_serial``: completed windows keep
+        their speculative results, failed ones re-solve serially."""
+        with FAULTS.inject({"mapper.pool": 1}):
+            result = synthesize_tiny(
+                mapper=WindowedILPMapper(
+                    window_size=2, parallel=True, max_workers=2
+                )
+            )
+        assert FAULTS.fired("mapper.pool") == 1
+        report = result.resilience
+        assert report.count(DegradationLadder.POOL_SERIAL) == 1
+        assert_simulator_valid(result)
+
+    def test_pool_crash_marks_serial_windows_in_stats(self):
+        graph, schedule = build_tiny_assay()
+        mapper = WindowedILPMapper(window_size=2, parallel=True, max_workers=2)
+        with FAULTS.inject({"mapper.pool": 1}):
+            config = SynthesisConfig(grid=GridSpec(8, 8), mapper=mapper)
+            with pytest.warns(DegradedResultWarning):
+                result = ReliabilitySynthesizer(config).synthesize(
+                    graph, schedule
+                )
+        # The windows whose futures failed were re-solved serially.
+        assert result.resilience.count(DegradationLadder.POOL_SERIAL) == 1
+
+
+class TestRoutingRungs:
+    def test_routing_fault_relaxes_convenience(self):
+        """Routing fails on every reserved-corridor attempt →
+        ``routing_relaxed`` re-synthesizes without the distance caps."""
+        with FAULTS.inject({"routing.route": 3}):
+            result = synthesize_tiny()
+        assert FAULTS.fired("routing.route") == 3
+        assert result.resilience.count(DegradationLadder.ROUTING_RELAXED) == 1
+        assert_simulator_valid(result)
+
+    def test_routing_fault_exhausting_every_attempt_is_terminal(self):
+        """When even the relaxed retry fails, the ladder is exhausted and
+        the run raises SynthesisError (not a bare RoutingError)."""
+        from repro.errors import SynthesisError
+
+        graph, schedule = build_tiny_assay()
+        config = SynthesisConfig(grid=GridSpec(8, 8))
+        with FAULTS.inject({"routing.route": FaultSpec(times=None)}):
+            with pytest.raises(SynthesisError, match="relaxed"):
+                ReliabilitySynthesizer(config).synthesize(graph, schedule)
+
+
+class TestDeadlineRungs:
+    def test_expired_deadline_goes_greedy_and_finishes(self):
+        """A zero budget degrades (greedy mapping, routing overrun) but
+        still yields a simulator-valid result."""
+        result = synthesize_tiny(
+            mapper=WindowedILPMapper(window_size=2),
+            deadline=Deadline(0.0),
+        )
+        report = result.resilience
+        # The pipeline re-runs after the overrun, so the mapping rung
+        # may engage once per pipeline run.
+        assert report.count(DegradationLadder.DEADLINE_GREEDY) >= 1
+        assert report.count(DegradationLadder.ROUTING_OVERRUN) == 1
+        assert_simulator_valid(result)
+
+    def test_clean_run_reports_no_degradation(self):
+        result = synthesize_tiny(
+            expect_degraded=False, time_budget=120.0
+        )
+        assert result.resilience is not None
+        assert not result.resilience.degraded
+        assert result.resilience.budget == 120.0
+        assert_simulator_valid(result)
+
+
+class TestInjectionHygiene:
+    def test_faults_disarmed_after_every_test(self):
+        assert not FAULTS.armed
+
+    def test_synthesis_unaffected_by_disarmed_injector(self):
+        result = synthesize_tiny(expect_degraded=False)
+        assert not result.resilience.degraded
