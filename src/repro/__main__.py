@@ -10,9 +10,13 @@ Commands:
   format (see :mod:`repro.assay.textio`), printing metrics and
   placements;
 * ``profile CASE [--policy N] [--mapper M] [--json FILE]
-  [--time-budget S]`` — run one benchmark case with solver telemetry
-  enabled and report the hot-path counters (see
-  :mod:`repro.experiments.profile`).
+  [--time-budget S] [--certify LEVEL]`` — run one benchmark case with
+  solver telemetry enabled and report the hot-path counters (see
+  :mod:`repro.experiments.profile`);
+* ``audit CASE [--policy N] [--certify audit|strict] [--json FILE]
+  [--time-budget S]`` — synthesize one benchmark case and run the
+  independent design audit (DESIGN.md §10); exits nonzero in strict
+  mode when any violation survives.
 
 ``--time-budget S`` bounds the whole synthesis to ``S`` seconds of
 wall clock; when the budget runs short the run degrades along the
@@ -125,8 +129,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         json_path=args.json,
         probe=not args.no_probe,
         time_budget=args.time_budget,
+        certify=args.certify,
     )
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.certify.runner import run_audit
+
+    return run_audit(
+        args.case,
+        policy_index=args.policy,
+        certify=args.certify,
+        json_path=args.json,
+        time_budget=args.time_budget,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,7 +222,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds for the whole synthesis "
         "(degrades instead of overrunning)",
     )
+    p_prof.add_argument(
+        "--certify", default="off", choices=["off", "audit", "strict"],
+        help="run the certification layer during the profiled synthesis "
+        "(default off; see DESIGN.md §10)",
+    )
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_audit = sub.add_parser(
+        "audit", help="synthesize one case and audit the result"
+    )
+    p_audit.add_argument("case", help="benchmark case name (see 'cases')")
+    p_audit.add_argument(
+        "--policy", type=int, default=1, help="policy index (default 1)"
+    )
+    p_audit.add_argument(
+        "--certify", default="strict", choices=["audit", "strict"],
+        help="strict (default) exits nonzero on violations; audit only "
+        "reports them",
+    )
+    p_audit.add_argument(
+        "--json", metavar="FILE", help="also write the audit report as JSON"
+    )
+    p_audit.add_argument(
+        "--time-budget", type=float, default=None, metavar="S",
+        help="wall-clock budget in seconds for the whole synthesis "
+        "(degrades instead of overrunning)",
+    )
+    p_audit.set_defaults(func=_cmd_audit)
     return parser
 
 

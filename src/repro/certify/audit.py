@@ -1,0 +1,467 @@
+"""Independent design audits of a :class:`SynthesisResult`.
+
+The auditor re-derives every physical claim of a finished synthesis
+from first principles — the schedule, the sequencing graph and the raw
+placements — and compares against what the pipeline recorded.  It never
+reuses pipeline intermediates: device intervals come from
+:func:`repro.core.tasks.build_tasks`, wear numbers from a fresh
+:class:`~repro.core.actuation.ActuationAccountant` replay, pump loads
+from both an incremental :class:`~repro.core.mappers.LoadLedger` and a
+naive dict recompute.  Every failed invariant becomes a structured
+:class:`~repro.certify.report.Violation` (see DESIGN.md §10 for the
+invariant list).
+
+The ``certify.audit`` fault-injection site tampers with a *copy* of the
+result before checking — the chaos suite uses it to prove the auditor
+actually catches corrupted designs (mutation-testing the checker).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.certify.report import AuditReport
+from repro.geometry import Point
+from repro.geometry.point import manhattan_distance
+from repro.architecture.device import DeviceKind, DynamicDevice
+from repro.core.actuation import AccountingPolicy, ActuationAccountant
+from repro.core.lifetime import DEFAULT_WEAR_BUDGET
+from repro.core.mappers import LoadLedger
+from repro.core.result import SynthesisResult
+from repro.core.tasks import build_tasks
+from repro.obs import TELEMETRY
+from repro.resilience.faults import FAULTS
+
+
+def audit(result: SynthesisResult) -> AuditReport:
+    """Audit a synthesis result; returns a structured report.
+
+    Checks: device placement legality (bounds, intervals, volumes,
+    pairwise non-overlap outside the parent/child-storage permission),
+    storage containment, routing-path validity and contamination,
+    actuation-ledger consistency (stored grids == a fresh replay),
+    incremental-vs-recomputed load-ledger agreement, and the lifetime
+    claim.  Never raises on a bad design — every finding is a
+    :class:`Violation` in the report.
+    """
+    if FAULTS.armed and FAULTS.should_fire("certify.audit"):
+        # Chaos site: hand the checker a corrupted copy and let the
+        # tests assert that it objects with structured violations.
+        result = _tamper(result)
+    report = AuditReport(subject=result.graph.name)
+    started = time.perf_counter()
+    _check_devices(result, report)
+    _check_storage(result, report)
+    _check_routes(result, report)
+    _check_actuation(result, report)
+    _check_ledger(result, report)
+    _check_lifetime(result, report)
+    if TELEMETRY.enabled:
+        TELEMETRY.count("certify.audits")
+        if report.violations:
+            TELEMETRY.count("certify.audit_violations", len(report.violations))
+        TELEMETRY.add_time("certify.audit", time.perf_counter() - started)
+    return report
+
+
+def _tamper(result: SynthesisResult) -> SynthesisResult:
+    """Corrupt a copy of the result (fault-injection payload).
+
+    Shifts the first device one cell right and understates the mapping
+    objective — two independent lies for the auditor to catch.
+    """
+    devices = dict(result.devices)
+    name = sorted(devices)[0]
+    dev = devices[name]
+    corner = dev.placement.corner
+    # Shift toward whichever side has room so the lie stays on-grid and
+    # corrupts the actuation ledgers rather than just the bounds check.
+    dx = 1 if dev.rect.right < result.chip.spec.width else -1
+    placement = replace(dev.placement, corner=Point(corner.x + dx, corner.y))
+    devices[name] = replace(dev, placement=placement)
+    metrics = replace(result.metrics, mapping_objective=1)
+    return replace(result, devices=devices, metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# devices
+# ---------------------------------------------------------------------------
+
+
+def _check_devices(result: SynthesisResult, report: AuditReport) -> None:
+    report.ran("devices")
+    grid = result.chip.spec
+    graph = result.graph
+    tasks = {t.name: t for t in build_tasks(graph, result.schedule)}
+
+    for name, task in tasks.items():
+        device = result.devices.get(name)
+        if device is None:
+            report.add(
+                "device-missing", name,
+                "scheduled mixing operation has no mapped device",
+            )
+            continue
+        rect = device.rect
+        if (
+            rect.left < 0
+            or rect.bottom < 0
+            or rect.right > grid.width
+            or rect.top > grid.height
+        ):
+            report.add(
+                "device-out-of-bounds", name,
+                f"placement {device.placement} leaves the "
+                f"{grid.width}x{grid.height} grid",
+            )
+        if (device.start, device.mix_start, device.end) != (
+            task.start, task.mix_start, task.end,
+        ):
+            report.add(
+                "interval-mismatch", name,
+                "device lifetime disagrees with the schedule "
+                f"(device=({device.start},{device.mix_start},{device.end}) "
+                f"schedule=({task.start},{task.mix_start},{task.end}))",
+            )
+        if device.volume != task.volume:
+            report.add(
+                "device-volume-mismatch", name,
+                "mapped device type does not realize the operation volume",
+                measured=device.volume, expected=task.volume,
+            )
+
+    devices: List[DynamicDevice] = sorted(
+        result.devices.values(), key=lambda d: d.operation
+    )
+    parents: Dict[str, Set[str]] = {
+        name: {p.name for p in graph.mix_parents(name)} for name in tasks
+    }
+    for i, d1 in enumerate(devices):
+        for d2 in devices[i + 1:]:
+            if not d1.overlaps_in_time(d2):
+                continue
+            overlap = d1.rect.overlap_area(d2.rect)
+            if overlap == 0:
+                continue
+            # Legal only as the Section-3.3 permission: a child storage
+            # under its still-active parent device, i.e. the parent must
+            # dissolve before the child starts mixing.
+            legal = (
+                d2.operation in parents.get(d1.operation, set())
+                and d2.end <= d1.mix_start
+            ) or (
+                d1.operation in parents.get(d2.operation, set())
+                and d1.end <= d2.mix_start
+            )
+            if not legal:
+                report.add(
+                    "device-overlap",
+                    f"{d1.operation}+{d2.operation}",
+                    f"devices overlap on {overlap} cells while both alive, "
+                    "outside the parent/child-storage permission",
+                    measured=overlap, expected=0,
+                )
+
+
+# ---------------------------------------------------------------------------
+# storage
+# ---------------------------------------------------------------------------
+
+
+def _check_storage(result: SynthesisResult, report: AuditReport) -> None:
+    report.ran("storage")
+    placements = {
+        name: dev.placement for name, dev in result.devices.items()
+    }
+    for parent, child in sorted(
+        result.storage_plan.overlap_violations(placements)
+    ):
+        report.add(
+            "storage-capacity", f"{parent}->{child}",
+            "parent device overlaps cells the child storage needs for "
+            "products",
+        )
+    for info in result.storage_plan.storages():
+        for at, _, _ in info.arrivals:
+            if info.stored_volume(at) > info.capacity:
+                report.add(
+                    "storage-overflow", info.operation,
+                    f"stored products exceed capacity at t={at}",
+                    measured=info.stored_volume(at), expected=info.capacity,
+                )
+                break
+
+
+# ---------------------------------------------------------------------------
+# routes
+# ---------------------------------------------------------------------------
+
+
+def _endpoint_cells(result: SynthesisResult, name: str, is_port: bool):
+    if is_port:
+        return [result.chip.port(name).position]
+    device = result.devices.get(name)
+    if device is None:
+        return None
+    return list(device.placement.port_cells())
+
+
+def _check_routes(result: SynthesisResult, report: AuditReport) -> None:
+    report.ran("routes")
+    grid = result.chip.spec
+    for route in result.routes:
+        label = route.event.label
+        cells = route.cells
+        if not cells:
+            report.add("route-invalid", label, "path has no cells")
+            continue
+        off = [c for c in cells if not grid.in_bounds(c)]
+        if off:
+            report.add(
+                "route-invalid", label,
+                f"path leaves the grid at {off[0]}",
+            )
+            continue
+        broken = next(
+            (
+                (a, b)
+                for a, b in zip(cells, cells[1:])
+                if manhattan_distance(a, b) != 1
+            ),
+            None,
+        )
+        if broken is not None:
+            report.add(
+                "route-invalid", label,
+                f"path is not 4-connected between {broken[0]} and {broken[1]}",
+            )
+            continue
+        try:
+            sources = _endpoint_cells(result, route.event.source,
+                                      route.event.source_is_port)
+            targets = _endpoint_cells(result, route.event.target,
+                                      route.event.target_is_port)
+        except KeyError:
+            sources = targets = None
+        if sources is None or targets is None:
+            report.add(
+                "route-invalid", label,
+                "endpoint names no known port or mapped device",
+            )
+            continue
+        if cells[0] not in set(sources):
+            report.add(
+                "route-invalid", label,
+                f"path starts at {cells[0]}, not at a source endpoint cell",
+            )
+        if cells[-1] not in set(targets):
+            report.add(
+                "route-invalid", label,
+                f"path ends at {cells[-1]}, not at a target endpoint cell",
+            )
+        _check_route_containment(
+            result, report, route, set(sources) | set(targets)
+        )
+
+
+def _check_route_containment(
+    result: SynthesisResult,
+    report: AuditReport,
+    route,
+    endpoint_ok: Set[Point],
+) -> None:
+    """Contamination rules: a path may cross an alive device only as an
+    endpoint cell or through a storage, and per-storage pass-through
+    cells must fit the free space (mirrors the router's own
+    ``_overfull_storage``, independently re-derived)."""
+    t = route.time
+    event = route.event
+    usage: Dict[str, int] = {}
+    for device in result.devices.values():
+        if not device.alive_at(t):
+            continue
+        if device.operation in (event.source, event.target):
+            continue
+        kind = device.kind_at(t)
+        inside = [
+            c for c in route.cells
+            if device.rect.contains(c) and c not in endpoint_ok
+        ]
+        if not inside:
+            continue
+        if kind is not DeviceKind.STORAGE:
+            report.add(
+                "route-through-device", event.label,
+                f"path crosses alive device {device.operation!r} at "
+                f"{inside[0]} (t={t})",
+            )
+        else:
+            usage[device.operation] = len(inside)
+    for name, used in sorted(usage.items()):
+        free = result.storage_plan.free_space(name, t)
+        if used > free:
+            report.add(
+                "route-storage-overflow", event.label,
+                f"path uses {used} cells of storage {name!r} with only "
+                f"{free} free",
+                measured=used, expected=free,
+            )
+
+
+# ---------------------------------------------------------------------------
+# actuation + metrics
+# ---------------------------------------------------------------------------
+
+
+def _check_actuation(result: SynthesisResult, report: AuditReport) -> None:
+    report.ran("actuation")
+    replays = {}
+    for setting in (1, 2):
+        try:
+            replays[setting] = ActuationAccountant(
+                result.chip.spec, AccountingPolicy(setting=setting)
+            ).run(result.devices.values(), result.routes)
+        except Exception as error:  # noqa: BLE001 - audits must not raise
+            report.add(
+                "ledger-mismatch", f"setting{setting}",
+                f"independent actuation replay is impossible: {error}",
+            )
+            return
+        stored = result.grid_for(setting)
+        for label, matrix_of in (
+            ("total", lambda g: g.total_actuation_matrix()),
+            ("peristaltic", lambda g: g.peristaltic_matrix()),
+        ):
+            got = matrix_of(stored)
+            want = matrix_of(replays[setting])
+            if not np.array_equal(got, want):
+                diff = int(np.count_nonzero(got != want))
+                report.add(
+                    "ledger-mismatch", f"setting{setting}/{label}",
+                    f"stored actuation grid disagrees with an independent "
+                    f"replay on {diff} cells",
+                    measured=diff, expected=0,
+                )
+
+    m = result.metrics
+    for setting, claimed in ((1, m.setting1), (2, m.setting2)):
+        replay = replays[setting]
+        for field_name, got, want in (
+            ("max_total", claimed.max_total, replay.max_total_actuations),
+            (
+                "max_peristaltic",
+                claimed.max_peristaltic,
+                replay.max_peristaltic_actuations,
+            ),
+        ):
+            if got != want:
+                report.add(
+                    "metrics-mismatch", f"setting{setting}.{field_name}",
+                    "reported wear metric disagrees with the replay",
+                    measured=got, expected=want,
+                )
+    if m.used_valves != replays[1].used_valve_count:
+        report.add(
+            "metrics-mismatch", "used_valves",
+            "reported valve count disagrees with the replay",
+            measured=m.used_valves, expected=replays[1].used_valve_count,
+        )
+    if m.role_changing_valves != len(replays[1].role_changing_valves()):
+        report.add(
+            "metrics-mismatch", "role_changing_valves",
+            "reported role-changing valve count disagrees with the replay",
+            measured=m.role_changing_valves,
+            expected=len(replays[1].role_changing_valves()),
+        )
+    # The ILP objective w bounds the realized setting-1 pump load from
+    # above (FEASIBLE solves may leave slack, so only > is a lie).
+    realized = replays[1].max_peristaltic_actuations
+    if realized > m.mapping_objective:
+        report.add(
+            "objective-mismatch", "mapping_objective",
+            "realized pump load exceeds the claimed mapping objective",
+            measured=realized, expected=m.mapping_objective,
+        )
+
+
+# ---------------------------------------------------------------------------
+# load ledger
+# ---------------------------------------------------------------------------
+
+
+def _check_ledger(result: SynthesisResult, report: AuditReport) -> None:
+    report.ran("ledger")
+    tasks = build_tasks(result.graph, result.schedule)
+    pairs: List[Tuple] = [
+        (t, result.devices[t.name].placement)
+        for t in tasks
+        if t.name in result.devices
+    ]
+
+    def reference() -> Dict[Point, int]:
+        loads: Dict[Point, int] = {}
+        for task, placement in pairs:
+            if task.pump_rate == 0:
+                continue
+            for cell in placement.pump_cells():
+                loads[cell] = loads.get(cell, 0) + task.pump_rate
+        return loads
+
+    ledger = LoadLedger({})
+    for task, placement in pairs:
+        ledger.add(task, placement)
+    want = reference()
+    if ledger.loads() != want:
+        report.add(
+            "ledger-drift", "build",
+            "incrementally built load map differs from a full recompute",
+        )
+    peak = max(want.values(), default=0)
+    if ledger.peak() != peak:
+        report.add(
+            "ledger-drift", "peak",
+            "incremental peak differs from the recomputed maximum",
+            measured=ledger.peak(), expected=peak,
+        )
+    # Adversarial churn: remove and re-add every placement; any
+    # bookkeeping drift (stale zero entries, wrong buckets) surfaces as
+    # a mismatch against the same reference.
+    for task, placement in pairs:
+        ledger.remove(task, placement)
+        ledger.add(task, placement)
+    if ledger.loads() != want or ledger.peak() != peak:
+        report.add(
+            "ledger-drift", "churn",
+            "load map drifted after a remove/re-add cycle",
+        )
+
+
+# ---------------------------------------------------------------------------
+# lifetime
+# ---------------------------------------------------------------------------
+
+
+def _check_lifetime(result: SynthesisResult, report: AuditReport) -> None:
+    report.ran("lifetime")
+    from repro.core.lifetime import synthesis_lifetime
+
+    wear = result.metrics.setting1.max_total
+    if wear <= 0:
+        report.add(
+            "lifetime-claim", "setting1",
+            "claimed max wear is not positive; no lifetime can be derived",
+            measured=wear,
+        )
+        return
+    estimate = synthesis_lifetime(result)
+    expected_runs = DEFAULT_WEAR_BUDGET // wear
+    if estimate.runs != expected_runs or estimate.wear_per_run != wear:
+        report.add(
+            "lifetime-claim", "setting1",
+            "lifetime estimate is inconsistent with the claimed wear",
+            measured=estimate.runs, expected=expected_runs,
+        )

@@ -1,0 +1,113 @@
+"""Structured audit results: violations, checks, and the report.
+
+Every problem the certification layer finds is a :class:`Violation`
+with a machine-readable ``kind`` — chaos tests assert on kinds, CI
+uploads the JSON form, and the CLI prints the human form.  A generic
+exception is never the audit outcome: the auditor's contract is that a
+tampered design produces a *specific* violation record (see
+``tests/certify/test_chaos_certify.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One independently verified problem with a solution or design.
+
+    ``kind`` is a stable machine-readable slug (e.g. ``device-overlap``,
+    ``ledger-mismatch``); ``subject`` names the offending object;
+    ``detail`` is the human explanation.  ``measured``/``expected`` carry
+    the two sides of a failed comparison when one exists.
+    """
+
+    kind: str
+    subject: str
+    detail: str
+    measured: Optional[float] = None
+    expected: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+        if self.measured is not None:
+            out["measured"] = self.measured
+        if self.expected is not None:
+            out["expected"] = self.expected
+        return out
+
+    def __str__(self) -> str:
+        extra = ""
+        if self.measured is not None or self.expected is not None:
+            extra = f" (measured={self.measured}, expected={self.expected})"
+        return f"[{self.kind}] {self.subject}: {self.detail}{extra}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one full design audit.
+
+    ``checks`` lists every invariant class the auditor ran (so an empty
+    ``violations`` list is distinguishable from "nothing was checked");
+    ``violations`` holds the structured failures.  A report with no
+    violations is *ok*.
+    """
+
+    subject: str
+    checks: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def ran(self, check: str) -> None:
+        if check not in self.checks:
+            self.checks.append(check)
+
+    def add(
+        self,
+        kind: str,
+        subject: str,
+        detail: str,
+        measured: Optional[float] = None,
+        expected: Optional[float] = None,
+    ) -> None:
+        self.violations.append(
+            Violation(kind, subject, detail, measured, expected)
+        )
+
+    def kinds(self) -> List[str]:
+        """Distinct violation kinds, in first-seen order."""
+        seen: List[str] = []
+        for v in self.violations:
+            if v.kind not in seen:
+                seen.append(v.kind)
+        return seen
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{len(self.checks)} checks, 0 violations"
+        return (
+            f"{len(self.checks)} checks, {len(self.violations)} violations "
+            f"({', '.join(self.kinds())})"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def __str__(self) -> str:
+        lines = [f"audit of {self.subject}: {self.summary()}"]
+        lines.extend(f"  {v}" for v in self.violations)
+        return "\n".join(lines)

@@ -144,6 +144,12 @@ class LoadLedger:
         self._shift(placement.pump_cells(), -task.pump_rate)
 
     def _shift(self, cells: Iterable[Point], delta: int) -> None:
+        if delta == 0:
+            # A zero-rate contribution must leave no trace, exactly like
+            # the from-scratch rebuild (which also skips it) — otherwise
+            # add/remove churn and the rebuild disagree on which cells
+            # exist at load 0 (see tests/core/test_ledger_consistency.py).
+            return
         load, levels = self._load, self._levels
         for cell in cells:
             old = load.get(cell)
@@ -633,7 +639,7 @@ class WindowedILPMapper(BaseMapper):
         load: Dict[Point, int] = dict(spec.base_load)
         for task in ordered:
             placement = placements.get(task.name)
-            if placement is None:
+            if placement is None or task.pump_rate == 0:
                 continue
             for cell in placement.pump_cells():
                 load[cell] = load.get(cell, 0) + task.pump_rate

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from repro.core.actuation import AccountingPolicy
 from repro.core.storage import StoragePlan
 from repro.resilience import ResilienceReport
 from repro.routing.path import RoutedPath
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.certify.report import AuditReport
 
 
 @dataclass(frozen=True)
@@ -71,6 +74,9 @@ class SynthesisResult:
     #: degradation-ladder record of the run (DESIGN.md §9); None only
     #: for results assembled outside ``ReliabilitySynthesizer``.
     resilience: Optional[ResilienceReport] = None
+    #: design-audit report when the run was certified
+    #: (``SynthesisConfig.certify`` of ``audit``/``strict``), else None.
+    audit: Optional["AuditReport"] = None
 
     def device_of(self, operation: str) -> DynamicDevice:
         return self.devices[operation]

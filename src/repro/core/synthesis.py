@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
+    CertificationError,
     DegradedResultWarning,
     RoutingError,
     SolverError,
@@ -75,6 +76,11 @@ class SynthesisConfig:
     #: share of the remaining budget the mapping stage may spend; the
     #: rest is kept back for routing and actuation accounting.
     mapping_budget_fraction: float = 0.85
+    #: certification level (DESIGN.md §10): ``"off"`` (default),
+    #: ``"audit"`` (attach an :class:`~repro.certify.AuditReport` to the
+    #: result), or ``"strict"`` (additionally raise
+    #: :class:`~repro.errors.CertificationError` on any violation).
+    certify: str = "off"
 
     def resolve_mapper(self, n_tasks: int) -> BaseMapper:
         if self.mapper is not None:
@@ -171,6 +177,11 @@ class ReliabilitySynthesizer:
     ) -> SynthesisResult:
         start_time = time.monotonic()
         config = self.config
+        if config.certify not in ("off", "audit", "strict"):
+            raise SynthesisError(
+                f"unknown certify level {config.certify!r}; expected "
+                "off/audit/strict"
+            )
         if deadline is None and config.time_budget is not None:
             deadline = Deadline(config.time_budget)
         report = ResilienceReport(
@@ -285,7 +296,7 @@ class ReliabilitySynthesizer:
                 ),
                 stacklevel=2,
             )
-        return SynthesisResult(
+        result = SynthesisResult(
             graph=graph,
             schedule=schedule,
             chip=chip,
@@ -297,6 +308,16 @@ class ReliabilitySynthesizer:
             metrics=metrics,
             resilience=report,
         )
+        if config.certify != "off":
+            from repro.certify import audit as run_audit
+
+            result.audit = run_audit(result)
+            if config.certify == "strict" and not result.audit.ok:
+                raise CertificationError(
+                    f"design audit of {graph.name!r} failed: "
+                    f"{result.audit.summary()}"
+                )
+        return result
 
     def _pipeline_with_grace(
         self,

@@ -100,6 +100,19 @@ class TimeLimitError(ReproError):
     """
 
 
+class CertificationError(ReproError):
+    """An independent certificate or audit check failed.
+
+    Raised only in *strict* certification mode
+    (``SynthesisConfig.certify == "strict"`` or
+    ``solve(..., certify="strict")``): the solver/synthesizer produced
+    an answer, but :mod:`repro.certify` could not verify it against the
+    original model or design rules.  In ``"audit"`` mode the same
+    failures are recorded on the result (``Solution.stats`` /
+    ``SynthesisResult.audit``) without raising.
+    """
+
+
 class DegradedResultWarning(UserWarning):
     """A synthesis run finished, but only by degrading.
 

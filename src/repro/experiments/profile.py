@@ -88,8 +88,14 @@ def run_profile(
     mapper: str = "auto",
     probe: bool = True,
     time_budget: Optional[float] = None,
+    certify: str = "off",
 ) -> dict:
-    """Profile one benchmark case; returns the JSON-ready report."""
+    """Profile one benchmark case; returns the JSON-ready report.
+
+    ``certify`` forwards to :attr:`SynthesisConfig.certify`; with
+    ``"audit"``/``"strict"`` the report grows an ``audit`` section and
+    the ``certify.*`` telemetry counters appear.
+    """
     from repro.assays import get_case, schedule_for
     from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
 
@@ -107,6 +113,7 @@ def run_profile(
                 grid=case.grid,
                 mapper=_make_mapper(mapper),
                 time_budget=time_budget,
+                certify=certify,
             )
         ).synthesize(graph, schedule)
         wall = time.perf_counter() - start
@@ -134,6 +141,8 @@ def run_profile(
     }
     if result.resilience is not None:
         report["resilience"] = result.resilience.as_dict()
+    if result.audit is not None:
+        report["audit"] = result.audit.as_dict()
     if probe_stats is not None:
         report["solver_probe"] = probe_stats
     return report
@@ -182,6 +191,21 @@ def format_report(report: dict) -> str:
                 else ""
             )
             lines.append(f"  resilience: no degradation{within}")
+    audit = report.get("audit")
+    if audit is not None:
+        if audit["ok"]:
+            lines.append(
+                f"  audit: CLEAN ({len(audit['checks'])} checks)"
+            )
+        else:
+            lines.append(
+                f"  audit: FAILED — {len(audit['violations'])} violation(s)"
+            )
+            for violation in audit["violations"]:
+                lines.append(
+                    f"    [{violation['kind']}] {violation['subject']}: "
+                    f"{violation['detail']}"
+                )
     probe = report.get("solver_probe")
     if probe:
         lines.append(
@@ -208,10 +232,11 @@ def main(
     json_path: Optional[str] = None,
     probe: bool = True,
     time_budget: Optional[float] = None,
+    certify: str = "off",
 ) -> dict:
     report = run_profile(
         case_name, policy_index=policy_index, mapper=mapper, probe=probe,
-        time_budget=time_budget,
+        time_budget=time_budget, certify=certify,
     )
     if json_path:
         with open(json_path, "w") as fh:

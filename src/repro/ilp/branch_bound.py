@@ -35,14 +35,18 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import CertificationError, SolverError
 from repro.ilp.compiled import Basis, CompiledModel
 from repro.ilp.model import Model
 from repro.ilp.simplex import LpResult
 from repro.ilp.solution import Solution, SolveStatus
+from repro.ilp.tolerances import GAP_EPS, INTEGRALITY_EPS
 from repro.obs import TELEMETRY
 from repro.resilience.faults import FAULTS
 
-_INT_TOL = 1e-6
+#: Alias kept for existing importers; the documented constant lives in
+#: :mod:`repro.ilp.tolerances`.
+_INT_TOL = INTEGRALITY_EPS
 
 #: Bounded-memory warm-start policy: stop attaching basis snapshots to
 #: children once the open-node heap grows past this size; basis-less
@@ -71,6 +75,7 @@ def _solve_relaxation(
     lp_max_iterations: int,
     compiled: Optional[CompiledModel] = None,
     basis: Optional[Basis] = None,
+    want_duals: bool = False,
 ) -> LpResult:
     if lp_engine == "simplex":
         # The standard-form conversion was compiled once for the whole
@@ -78,7 +83,8 @@ def _solve_relaxation(
         # parent basis) change.
         assert compiled is not None
         return compiled.solve(
-            bounds, basis=basis, max_iterations=lp_max_iterations
+            bounds, basis=basis, max_iterations=lp_max_iterations,
+            want_duals=want_duals,
         )
     # scipy linprog engine (HiGHS LP): used to accelerate the from-scratch
     # tree search on larger relaxations.
@@ -94,7 +100,17 @@ def _solve_relaxation(
         method="highs",
     )
     if res.status == 0:
-        return LpResult(SolveStatus.OPTIMAL, res.x, float(res.fun))
+        duals = None
+        if want_duals:
+            # HiGHS marginals follow the same convention as the
+            # from-scratch engines (<= 0 on inequality rows, minimize).
+            ineq = getattr(res, "ineqlin", None)
+            eq = getattr(res, "eqlin", None)
+            if ineq is not None and eq is not None:
+                duals = np.concatenate(
+                    [np.asarray(ineq.marginals), np.asarray(eq.marginals)]
+                )
+        return LpResult(SolveStatus.OPTIMAL, res.x, float(res.fun), duals=duals)
     if res.status == 2:
         return LpResult(SolveStatus.INFEASIBLE)
     if res.status == 3:
@@ -107,10 +123,12 @@ def solve_branch_bound(
     lp_engine: str = "simplex",
     max_nodes: int = 200_000,
     time_limit: Optional[float] = None,
-    absolute_gap: float = 1e-6,
+    absolute_gap: float = GAP_EPS,
     lp_max_iterations: int = 200_000,
     warm_start: bool = True,
     max_stored_bases: int = _MAX_STORED_BASES,
+    certify: str = "off",
+    lp_scaling: bool = False,
 ) -> Solution:
     """Optimize ``model`` by branch & bound.
 
@@ -129,12 +147,28 @@ def solve_branch_bound(
     ``tests/ilp/test_warm_start.py``).  ``max_stored_bases`` bounds the
     warm-start memory: once the open-node heap outgrows it, children are
     pushed without a basis snapshot and cold start on arrival.
+
+    ``certify`` turns on the independent certificate layer
+    (:mod:`repro.certify`): ``"audit"`` verifies every node relaxation
+    (exact-arithmetic LP certificates) and the final incumbent replay,
+    recording outcomes in ``stats``; ``"strict"`` additionally raises
+    :class:`~repro.errors.CertificationError` on the first failed
+    certificate.  ``lp_scaling`` enables geometric-mean equilibration
+    inside the compiled simplex (power-of-two scales; see DESIGN.md §10).
     """
+    if certify not in ("off", "audit", "strict"):
+        raise SolverError(
+            f"unknown certify level {certify!r}; expected off/audit/strict"
+        )
+    certifying = certify != "off"
+    if certifying:
+        from repro.certify.lp import certify_lp, certify_solution
+
     start = time.monotonic()
     c, a_ub, b_ub, a_eq, b_eq, root_bounds, integrality = model.to_arrays()
     int_indices = [j for j, flag in enumerate(integrality) if flag]
     compiled = (
-        CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+        CompiledModel(c, a_ub, b_ub, a_eq, b_eq, scale=lp_scaling)
         if lp_engine == "simplex"
         else None
     )
@@ -158,6 +192,9 @@ def solve_branch_bound(
         "warm_fallbacks": 0,  # warm attempts abandoned for a cold start
         "dual_pivots": 0,
         "bases_dropped": 0,  # children pushed basis-less (memory cap)
+        "lp_certified": 0,  # node certificates that verified
+        "lp_cert_failed": 0,
+        "lp_cert_skipped": 0,  # statuses with nothing to verify
     }
 
     root = _Node(-math.inf, next(counter), list(root_bounds))
@@ -184,9 +221,23 @@ def solve_branch_bound(
         lp_start = time.perf_counter()
         relax = _solve_relaxation(
             c, a_ub, b_ub, a_eq, b_eq, node.bounds, lp_engine,
-            lp_max_iterations, compiled, node_basis,
+            lp_max_iterations, compiled, node_basis, certifying,
         )
         stats["lp_wall_time"] += time.perf_counter() - lp_start
+        if certifying:
+            cert = certify_lp(relax, c, a_ub, b_ub, a_eq, b_eq, node.bounds)
+            if cert.status == "certified":
+                stats["lp_certified"] += 1
+            elif cert.status == "failed":
+                stats["lp_cert_failed"] += 1
+                if certify == "strict":
+                    raise CertificationError(
+                        f"LP certificate failed at node "
+                        f"{int(stats['nodes_explored'])}: "
+                        + "; ".join(str(v) for v in cert.violations)
+                    )
+            else:
+                stats["lp_cert_skipped"] += 1
         stats["simplex_iterations"] += relax.iterations
         stats["dual_pivots"] += relax.dual_pivots
         if relax.warm_started:
@@ -265,6 +316,21 @@ def solve_branch_bound(
                     ),
                 )
 
+    # Publish the proven lower bound (minimize form) so the certificate
+    # layer can audit the claimed gap independently of the search.
+    stats["absolute_gap"] = absolute_gap
+    if exhausted:
+        stats["best_bound"] = (
+            math.inf if best_x is None else best_obj - absolute_gap
+        )
+    elif stats["nodes_lp_limit"] or stats["nodes_unbounded_dropped"]:
+        # Subtrees were dropped with unknown bounds: no finite claim is
+        # sound.
+        stats["best_bound"] = -math.inf
+    else:
+        heap_min = min((n.bound for n in heap), default=math.inf)
+        stats["best_bound"] = min(heap_min, best_obj - absolute_gap)
+
     if best_x is None:
         status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.NO_SOLUTION
         return _finish(status, start, stats)
@@ -277,7 +343,22 @@ def solve_branch_bound(
         values[var] = val
     objective = model.objective.evaluate(values)
     status = SolveStatus.OPTIMAL if exhausted else SolveStatus.FEASIBLE
-    return _finish(status, start, stats, objective, values)
+    sol = _finish(status, start, stats, objective, values)
+    if certifying:
+        final_cert = certify_solution(model, sol)
+        sol.stats["milp_certified"] = (
+            1.0 if final_cert.status == "certified" else 0.0
+        )
+        if TELEMETRY.enabled:
+            TELEMETRY.count("certify.milp")
+            if final_cert.status == "failed":
+                TELEMETRY.count("certify.milp_failed")
+        if final_cert.status == "failed" and certify == "strict":
+            raise CertificationError(
+                "MILP certificate failed: "
+                + "; ".join(str(v) for v in final_cert.violations)
+            )
+    return sol
 
 
 def _finish(

@@ -40,16 +40,27 @@ import numpy as np
 
 from repro.ilp.simplex import LpResult
 from repro.ilp.solution import SolveStatus
+from repro.ilp.tolerances import (
+    DUAL_FLIP_EPS,
+    FEASIBILITY_EPS,
+    OPTIMALITY_EPS,
+    PHASE1_EPS,
+    PIVOT_EPS,
+    RESIDUAL_EPS,
+)
 from repro.obs import TELEMETRY
 
-#: Reduced-cost / pivot tolerance (matches the dense solver).
-_EPS = 1e-9
-#: Primal-feasibility tolerance for the dual simplex violation scan.
-_FEAS_EPS = 1e-8
-#: Minimum pivot magnitude accepted when driving artificials out.
-_PIVOT_EPS = 1e-7
+#: Aliases kept for existing importers; the documented constants live in
+#: :mod:`repro.ilp.tolerances`.
+_EPS = OPTIMALITY_EPS
+_FEAS_EPS = FEASIBILITY_EPS
+_PIVOT_EPS = PIVOT_EPS
 #: Refactorize the basis inverse every this many pivots.
 _REFACTOR_EVERY = 64
+#: Residual-monitor cadence: halfway through each refactor cycle the
+#: primal core checks ``||A x - b||_inf`` and refactorizes early when
+#: the product-form inverse has drifted past ``RESIDUAL_EPS``.
+_MONITOR_AT = _REFACTOR_EVERY // 2
 
 #: Nonbasic/basic markers in :attr:`Basis.status`.
 BASIC = 0
@@ -100,6 +111,7 @@ class CompiledModel:
         b_ub: np.ndarray,
         a_eq: np.ndarray,
         b_eq: np.ndarray,
+        scale: bool = False,
     ) -> None:
         n = len(c)
         a_ub = (
@@ -134,6 +146,61 @@ class CompiledModel:
         )
         self.cost = np.zeros(total_ext)
         self.cost[:n] = np.asarray(c, dtype=float)
+        #: Unscaled structural objective, kept so the reported optimum is
+        #: exactly ``c @ x`` in the caller's units even when scaled.
+        self.c_orig = self.cost[:n].copy()
+        #: Geometric-mean equilibration (opt-in; see DESIGN.md §10).
+        self.row_scale: Optional[np.ndarray] = None
+        self.col_scale: Optional[np.ndarray] = None
+        if scale and m and n:
+            self._equilibrate()
+        self._resid_tol = RESIDUAL_EPS * (
+            1.0 + (float(np.abs(self.b).max()) if m else 0.0)
+        )
+        #: Early refactorizations triggered by the residual monitor
+        #: (cumulative; ``solve`` flushes the per-solve delta).
+        self._monitor_refactors = 0
+        #: Dual-unbounded ray of the last warm solve (set by ``_dual``).
+        self._dual_ray: Optional[np.ndarray] = None
+
+    def _equilibrate(self) -> None:
+        """Two sweeps of geometric-mean row/column scaling.
+
+        Scales are rounded to powers of two, so applying them multiplies
+        float mantissas exactly — statuses can shift only through
+        genuinely better conditioning, never through rounding noise.
+        Slack and artificial columns absorb the inverse row scale, which
+        keeps their coefficients exactly 1 (the phase-1 seeding logic is
+        untouched).
+        """
+        m, n = self.m, self.n
+        block = np.abs(self.a[:, :n])
+        mask = block > 0.0
+        row_scale = np.ones(m)
+        col_scale = np.ones(n)
+        for _ in range(2):
+            cur = block * row_scale[:, None] * col_scale[None, :]
+            logs = np.zeros_like(cur)
+            np.log2(cur, out=logs, where=mask)
+            counts = mask.sum(axis=1)
+            means = logs.sum(axis=1) / np.maximum(counts, 1)
+            row_scale *= np.exp2(np.round(-means) * (counts > 0))
+            cur = block * row_scale[:, None] * col_scale[None, :]
+            logs = np.zeros_like(cur)
+            np.log2(cur, out=logs, where=mask)
+            counts = mask.sum(axis=0)
+            means = logs.sum(axis=0) / np.maximum(counts, 1)
+            col_scale *= np.exp2(np.round(-means) * (counts > 0))
+        full_col = np.ones(self.total_ext)
+        full_col[:n] = col_scale
+        full_col[n : self.total] = 1.0 / row_scale[: self.m_ub]
+        full_col[self.total :] = 1.0 / row_scale
+        self.a *= row_scale[:, None]
+        self.a *= full_col[None, :]
+        self.b = self.b * row_scale
+        self.cost = self.cost * full_col
+        self.row_scale = row_scale
+        self.col_scale = full_col
 
     # -- bounds ----------------------------------------------------------
 
@@ -145,6 +212,11 @@ class CompiledModel:
         for j, (lo, hi) in enumerate(bounds):
             lb[j] = lo
             ub[j] = hi
+        if self.col_scale is not None:
+            # Column j was multiplied by col_scale[j] (a power of two),
+            # so its bounds shrink by the same exact factor.
+            lb[: self.n] /= self.col_scale[: self.n]
+            ub[: self.n] /= self.col_scale[: self.n]
         ub[self.n : self.total] = math.inf  # slacks: [0, inf)
         # artificials stay pinned at [0, 0] unless phase 1 opens them
         return lb, ub
@@ -156,6 +228,7 @@ class CompiledModel:
         bounds: Sequence[Tuple[float, float]],
         basis: Optional[Basis] = None,
         max_iterations: int = 200_000,
+        want_duals: bool = False,
     ) -> LpResult:
         """Minimize the compiled objective under per-call ``bounds``.
 
@@ -165,16 +238,19 @@ class CompiledModel:
         :class:`~repro.ilp.simplex.LpResult` carries the optimal
         :class:`Basis` for reuse, the dual pivot count, and whether the
         warm path was actually used (``warm_started`` /
-        ``cold_fallback``).
+        ``cold_fallback``).  With ``want_duals`` it also carries the
+        row duals at OPTIMAL and a Farkas ray at INFEASIBLE, both in the
+        caller's (unscaled) row units, for :mod:`repro.certify`.
         """
         lb, ub = self._extended_bounds(bounds)
         if np.any(lb[: self.n] > ub[: self.n]):
             return LpResult(SolveStatus.INFEASIBLE)
 
         pivot_start = time.perf_counter()
+        monitor_before = self._monitor_refactors
         if basis is not None:
             try:
-                res = self._warm_solve(lb, ub, basis, max_iterations)
+                res = self._warm_solve(lb, ub, basis, max_iterations, want_duals)
             except (_SingularBasis, _Exhausted):
                 res = None
             if res is not None:
@@ -182,10 +258,10 @@ class CompiledModel:
             else:
                 # Warm start failed (singular or stalled basis): pay the
                 # cold start but record that the reuse attempt was wasted.
-                res = self._cold_solve(lb, ub, max_iterations)
+                res = self._cold_solve(lb, ub, max_iterations, want_duals)
                 res.cold_fallback = True
         else:
-            res = self._cold_solve(lb, ub, max_iterations)
+            res = self._cold_solve(lb, ub, max_iterations, want_duals)
         # Same per-solve flush as the dense engine, so `simplex.*`
         # telemetry keeps covering whichever LP core actually ran.
         if TELEMETRY.enabled:
@@ -194,12 +270,29 @@ class CompiledModel:
             TELEMETRY.add_time(
                 "simplex.pivot", time.perf_counter() - pivot_start
             )
+            hits = self._monitor_refactors - monitor_before
+            if hits:
+                TELEMETRY.count("simplex.residual_refactors", hits)
         return res
+
+    def _unscale_row_vector(self, y: np.ndarray) -> np.ndarray:
+        """Map duals of the scaled rows back to the caller's rows.
+
+        Scaling replaced row i by ``R_i * row_i``, so a scaled dual
+        ``y'`` prices the original rows as ``y = R * y'``.
+        """
+        if self.row_scale is not None:
+            return y * self.row_scale
+        return y
 
     # -- cold path -------------------------------------------------------
 
     def _cold_solve(
-        self, lb: np.ndarray, ub: np.ndarray, max_iterations: int
+        self,
+        lb: np.ndarray,
+        ub: np.ndarray,
+        max_iterations: int,
+        want_duals: bool = False,
     ) -> LpResult:
         m, n, total = self.m, self.n, self.total
         status = np.full(self.total_ext, AT_LOWER, dtype=np.int8)
@@ -248,15 +341,26 @@ class CompiledModel:
                 )
             except _SingularBasis:
                 return LpResult(SolveStatus.NO_SOLUTION, iterations=iterations)
-            if st is not SolveStatus.OPTIMAL or obj > 1e-7:
-                return LpResult(SolveStatus.INFEASIBLE, iterations=iterations)
+            if st is not SolveStatus.OPTIMAL or obj > PHASE1_EPS:
+                farkas = None
+                if want_duals and st is SolveStatus.OPTIMAL:
+                    # Phase-1 optimal duals certify infeasibility: at a
+                    # positive phase-1 optimum y = c1_B B^-1 satisfies
+                    # y @ A_col <= 0 for every real column and y @ b > 0.
+                    farkas = self._unscale_row_vector(phase1[basic] @ binv)
+                return LpResult(
+                    SolveStatus.INFEASIBLE,
+                    iterations=iterations,
+                    farkas=farkas,
+                )
             lb[total:] = 0.0
             ub[total:] = 0.0
             self._evict_artificials(basic, status, binv)
 
         try:
             return self._optimize_and_extract(
-                basic, status, binv, lb, ub, max_iterations, iterations, 0
+                basic, status, binv, lb, ub, max_iterations, iterations, 0,
+                want_duals,
             )
         except _Exhausted as exc:
             return LpResult(SolveStatus.NO_SOLUTION, iterations=exc.args[0])
@@ -271,6 +375,7 @@ class CompiledModel:
         ub: np.ndarray,
         basis: Basis,
         max_iterations: int,
+        want_duals: bool = False,
     ) -> Optional[LpResult]:
         basic = basis.basic.copy()
         status = basis.status.copy()
@@ -288,18 +393,23 @@ class CompiledModel:
         # budget (a small multiple of the row count) bounds the cost of
         # an unlucky warm start: past it the solve falls back cold.
         dual_cap = min(max_iterations, 4 * self.m + 100)
+        self._dual_ray = None
         dual_pivots = self._dual(
             basic, status, binv, lb, ub, self.cost, dual_cap
         )
         if dual_pivots < 0:  # dual unbounded: the child LP is infeasible
+            farkas = None
+            if want_duals and self._dual_ray is not None:
+                farkas = self._unscale_row_vector(self._dual_ray)
             return LpResult(
                 SolveStatus.INFEASIBLE,
                 iterations=-dual_pivots - 1,
                 dual_pivots=-dual_pivots - 1,
+                farkas=farkas,
             )
         res = self._optimize_and_extract(
             basic, status, binv, lb, ub, max_iterations, dual_pivots,
-            dual_pivots,
+            dual_pivots, want_duals,
         )
         return res
 
@@ -315,6 +425,7 @@ class CompiledModel:
         max_iterations: int,
         iterations: int,
         dual_pivots: int,
+        want_duals: bool = False,
     ) -> LpResult:
         st, _, iterations = self._primal(
             basic, status, binv, lb, ub, self.cost, max_iterations, iterations
@@ -323,13 +434,21 @@ class CompiledModel:
             return LpResult(st, iterations=iterations, dual_pivots=dual_pivots)
         x = self._full_solution(basic, status, binv, lb, ub)
         x_struct = x[: self.n].copy()
+        if self.col_scale is not None:
+            # Undo the exact power-of-two column scaling before the
+            # solution leaves the compiled core.
+            x_struct *= self.col_scale[: self.n]
+        duals = None
+        if want_duals:
+            duals = self._unscale_row_vector(self.cost[basic] @ binv)
         return LpResult(
             SolveStatus.OPTIMAL,
             x_struct,
-            float(self.cost[: self.n] @ x_struct),
+            float(self.c_orig @ x_struct),
             iterations,
             dual_pivots=dual_pivots,
             basis=Basis(basic.copy(), status.copy()),
+            duals=duals,
         )
 
     # -- linear algebra helpers ------------------------------------------
@@ -404,6 +523,16 @@ class CompiledModel:
                 binv[...] = self._refactor(basic)
                 since_refactor = 0
             x = self._full_solution(basic, status, binv, lb, ub)
+            if since_refactor == _MONITOR_AT and self.m:
+                # Residual monitor: halfway through the refactor cycle,
+                # check how far the product-form inverse has drifted and
+                # refactorize early instead of pivoting on stale data.
+                resid = float(np.max(np.abs(self.a @ x - self.b)))
+                if resid > self._resid_tol:
+                    binv[...] = self._refactor(basic)
+                    since_refactor = 0
+                    self._monitor_refactors += 1
+                    x = self._full_solution(basic, status, binv, lb, ub)
             y = cost[basic] @ binv
             d = cost - y @ a
             movable = ub > lb
@@ -512,7 +641,13 @@ class CompiledModel:
                 )
             idx = np.flatnonzero(eligible)
             if idx.size == 0:
-                return -(pivots + 1)  # dual unbounded => primal infeasible
+                # Dual unbounded => primal infeasible.  The unbounded
+                # dual direction is the (signed) inverse row of the
+                # violated basic: moving y along it increases y @ b
+                # forever while keeping every reduced cost eligible —
+                # exactly a Farkas ray for the certifier.
+                self._dual_ray = (-binv[r] if below[r] else binv[r]).copy()
+                return -(pivots + 1)
             # Dual ratio test: keep every reduced cost sign-consistent.
             sign = np.where(status[idx] == AT_LOWER, 1.0, -1.0)
             sign[status[idx] == FREE] = 0.0
@@ -537,7 +672,7 @@ class CompiledModel:
             flips: List[int] = []
             for pos, j in enumerate(order):
                 gain = abs(rho[j]) * (ub[j] - lb[j])
-                if gain >= remaining - 1e-12 or pos == order.size - 1:
+                if gain >= remaining - DUAL_FLIP_EPS or pos == order.size - 1:
                     q = int(j)
                     break
                 flips.append(int(j))

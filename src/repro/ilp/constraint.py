@@ -7,6 +7,7 @@ from typing import Dict
 
 from repro.errors import ModelError
 from repro.ilp.expr import LinExpr
+from repro.ilp.tolerances import CHECK_EPS
 from repro.ilp.variable import Var
 
 
@@ -58,7 +59,7 @@ class Constraint:
             "model.add_constr(...)?"
         )
 
-    def satisfied_by(self, values: Dict[Var, float], tol: float = 1e-6) -> bool:
+    def satisfied_by(self, values: Dict[Var, float], tol: float = CHECK_EPS) -> bool:
         """Whether an assignment satisfies this constraint within ``tol``."""
         lhs = self.expr.evaluate(values)
         if self.sense is Sense.LE:

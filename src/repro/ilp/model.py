@@ -18,6 +18,7 @@ import numpy as np
 from repro.errors import ModelError
 from repro.ilp.constraint import Constraint, Sense
 from repro.ilp.expr import LinExpr
+from repro.ilp.tolerances import CHECK_EPS
 from repro.ilp.variable import Var, VarType
 
 
@@ -179,7 +180,9 @@ class Model:
     def num_constrs(self) -> int:
         return len(self.constraints)
 
-    def check_solution(self, values: Dict[Var, float], tol: float = 1e-6) -> List[str]:
+    def check_solution(
+        self, values: Dict[Var, float], tol: float = CHECK_EPS
+    ) -> List[str]:
         """Names/reprs of constraints and bounds violated by ``values``."""
         problems: List[str] = []
         for var in self.variables:

@@ -14,23 +14,37 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import CertificationError, SolverError
 from repro.ilp.model import Model
 from repro.ilp.solution import Solution, SolveStatus
 from repro.obs import TELEMETRY
 from repro.resilience.faults import FAULTS
 
 
-def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
+def solve_scipy(
+    model: Model,
+    time_limit: Optional[float] = None,
+    certify: str = "off",
+) -> Solution:
     """Optimize ``model`` with scipy/HiGHS.
 
     Returns a :class:`Solution`; statuses map as: 0 → OPTIMAL,
     2 → INFEASIBLE, 3 → UNBOUNDED, 1 (iteration/time limit) → FEASIBLE
     when an incumbent exists else NO_SOLUTION.
+
+    ``certify`` (``off``/``audit``/``strict``) replays any incumbent
+    against the original model through :mod:`repro.certify` — HiGHS is
+    external code, so the exact-arithmetic replay is the only line of
+    defense against a miscommunicated model or a wrong answer.  Strict
+    mode raises :class:`~repro.errors.CertificationError` on failure.
     """
     from scipy.optimize import Bounds, LinearConstraint, milp
     from scipy.sparse import csr_matrix
 
+    if certify not in ("off", "audit", "strict"):
+        raise SolverError(
+            f"unknown certify level {certify!r}; expected off/audit/strict"
+        )
     if FAULTS.armed and FAULTS.should_fire("scipy.milp"):
         raise SolverError("injected scipy/HiGHS backend failure (chaos test)")
 
@@ -90,7 +104,7 @@ def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
         values[var] = val
     objective = model.objective.evaluate(values)
     status = SolveStatus.OPTIMAL if res.status == 0 else SolveStatus.FEASIBLE
-    return Solution(
+    sol = Solution(
         status,
         objective=objective,
         values=values,
@@ -99,3 +113,20 @@ def solve_scipy(model: Model, time_limit: Optional[float] = None) -> Solution:
         stats=stats,
         nodes_explored=int(stats.get("mip_node_count", 0)),
     )
+    if certify != "off":
+        from repro.certify.lp import certify_solution
+
+        cert = certify_solution(model, sol)
+        sol.stats["milp_certified"] = (
+            1.0 if cert.status == "certified" else 0.0
+        )
+        if TELEMETRY.enabled:
+            TELEMETRY.count("certify.milp")
+            if cert.status == "failed":
+                TELEMETRY.count("certify.milp_failed")
+        if cert.status == "failed" and certify == "strict":
+            raise CertificationError(
+                "MILP certificate failed (scipy backend): "
+                + "; ".join(str(v) for v in cert.violations)
+            )
+    return sol

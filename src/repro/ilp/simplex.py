@@ -27,9 +27,12 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ilp.solution import SolveStatus
+from repro.ilp.tolerances import OPTIMALITY_EPS, PHASE1_EPS
 from repro.obs import TELEMETRY
 
-_EPS = 1e-9
+#: Alias kept for existing importers; the documented constant lives in
+#: :mod:`repro.ilp.tolerances`.
+_EPS = OPTIMALITY_EPS
 
 
 @dataclass
@@ -43,6 +46,15 @@ class LpResult:
     pivots, ``basis`` the optimal basis snapshot for child-node reuse,
     and ``warm_started`` / ``cold_fallback`` record whether a supplied
     parent basis was actually used or had to be abandoned.
+
+    The certificate fields are filled only when the solve was asked for
+    them (``want_duals=True``): ``duals`` holds one multiplier per
+    original row (``a_ub`` rows first, then ``a_eq`` rows; <= 0 on the
+    inequality rows) at an OPTIMAL verdict, ``farkas`` the same-shaped
+    infeasibility ray at an INFEASIBLE verdict, and ``farkas_bounds``
+    the extra ray components on the implicit ``x_j <= ub_j`` rows the
+    dense engine materializes, as ``(variable index, multiplier)``
+    pairs.  They are consumed by :mod:`repro.certify`.
     """
 
     status: SolveStatus
@@ -53,6 +65,9 @@ class LpResult:
     basis: Optional[object] = None
     warm_started: bool = False
     cold_fallback: bool = False
+    duals: Optional[np.ndarray] = None
+    farkas: Optional[np.ndarray] = None
+    farkas_bounds: Optional[List[Tuple[int, float]]] = None
 
 
 @dataclass
@@ -80,12 +95,19 @@ def solve_lp(
     b_eq: np.ndarray,
     bounds: Sequence[Tuple[float, float]],
     max_iterations: int = 200_000,
+    want_duals: bool = False,
 ) -> LpResult:
     """Minimize ``c @ x`` subject to ``a_ub x <= b_ub``, ``a_eq x = b_eq``
     and variable ``bounds``.
 
     Returns an :class:`LpResult` with status OPTIMAL, INFEASIBLE or
-    UNBOUNDED.
+    UNBOUNDED.  With ``want_duals`` the result additionally carries an
+    independently checkable certificate: row multipliers (``duals``) at
+    OPTIMAL, a Farkas ray (``farkas`` / ``farkas_bounds``) at
+    INFEASIBLE.  The extraction solves one extra ``m x m`` system
+    against a pristine copy of the standard-form matrix (the working
+    tableau is pivoted in place and cannot be trusted for this), so the
+    default stays off for the hot paths.
     """
     n = len(c)
     c = np.asarray(c, dtype=float)
@@ -99,14 +121,15 @@ def solve_lp(
     # ------------------------------------------------------------------
     var_maps: List[_VarMap] = []
     num_cols = 0
-    extra_ub_rows: List[Tuple[int, float]] = []  # (column, rhs) rows  y_col <= rhs
+    # (column, rhs, original var) rows  y_col <= rhs  (== x_j <= ub_j)
+    extra_ub_rows: List[Tuple[int, float, int]] = []
     for j, (lb, ub) in enumerate(bounds):
         if lb > ub:
             return LpResult(SolveStatus.INFEASIBLE)
         if math.isfinite(lb):
             var_maps.append(_VarMap("shift", num_cols, offset=lb))
             if math.isfinite(ub):
-                extra_ub_rows.append((num_cols, ub - lb))
+                extra_ub_rows.append((num_cols, ub - lb, j))
             num_cols += 1
         elif math.isfinite(ub):
             var_maps.append(_VarMap("mirror", num_cols, offset=ub))
@@ -146,7 +169,7 @@ def solve_lp(
         rows.append(std)
         rhs.append(b_ub[i] - const)
         senses.append("le")
-    for col, bound in extra_ub_rows:
+    for col, bound, _ in extra_ub_rows:
         std = np.zeros(num_cols)
         std[col] = 1.0
         rows.append(std)
@@ -175,11 +198,15 @@ def solve_lp(
             slack_idx += 1
 
     # Make every rhs nonnegative (flip rows; a flipped slack coefficient
-    # becomes -1 and can no longer seed the basis).
+    # becomes -1 and can no longer seed the basis).  The flip signs are
+    # kept so certificate extraction can map duals of the flipped system
+    # back onto the original row orientation.
+    flips = np.ones(m)
     for i in range(m):
         if big_b[i] < 0:
             big_a[i] *= -1.0
             big_b[i] *= -1.0
+            flips[i] = -1.0
 
     # ------------------------------------------------------------------
     # 2. Phase 1 — artificial variables wherever a +1 slack cannot seed
@@ -202,6 +229,31 @@ def solve_lp(
     if artificial_cols:
         big_a = np.hstack(columns)
     grand_total = big_a.shape[1]
+    # Pristine matrix copy for certificate extraction: the working
+    # tableau is Gauss-Jordan pivoted in place, so the duals must be
+    # recovered against the untouched standard-form columns.
+    pristine = big_a.copy() if want_duals else None
+
+    def _extract_duals(c_vec: np.ndarray):
+        """Row multipliers of the original system from the final basis.
+
+        Solves ``B^T y = c_B`` against the pristine matrix, flips each
+        row's sign back, and splits the result into (original-row duals,
+        bound-row duals).  Returns ``(None, None)`` on a singular basis.
+        """
+        try:
+            y = np.linalg.solve(pristine[:, basis].T, c_vec[basis])
+        except np.linalg.LinAlgError:
+            return None, None
+        y = y * flips
+        m_ub_orig = a_ub.shape[0]
+        n_bound = len(extra_ub_rows)
+        row_duals = np.concatenate([y[:m_ub_orig], y[m_ub_orig + n_bound:]])
+        bound_duals = [
+            (j, float(y[m_ub_orig + k]))
+            for k, (_, _, j) in enumerate(extra_ub_rows)
+        ]
+        return row_duals, bound_duals
 
     iterations = 0
     pivot_start = time.perf_counter()
@@ -219,8 +271,17 @@ def solve_lp(
             return _finish(SolveStatus.NO_SOLUTION, iterations, pivot_start)
         if status is SolveStatus.UNBOUNDED:  # pragma: no cover - impossible
             return _finish(SolveStatus.INFEASIBLE, iterations, pivot_start)
-        if obj > 1e-7:
-            return _finish(SolveStatus.INFEASIBLE, iterations, pivot_start)
+        if obj > PHASE1_EPS:
+            # Infeasible: the optimal phase-1 duals are a Farkas ray of
+            # the standard-form system (every reduced cost is
+            # nonnegative at the phase-1 optimum).
+            farkas = farkas_bounds = None
+            if want_duals:
+                farkas, farkas_bounds = _extract_duals(phase1_c)
+            return _finish(
+                SolveStatus.INFEASIBLE, iterations, pivot_start,
+                farkas=farkas, farkas_bounds=farkas_bounds,
+            )
         # Drive lingering artificials out of the basis where possible.
         art_set = set(artificial_cols)
         for i in range(m):
@@ -263,8 +324,15 @@ def solve_lp(
             x[j] = vm.offset - y[vm.col]
         else:
             x[j] = y[vm.col] - y[vm.col2]
+    duals = None
+    if want_duals:
+        # Bound-row duals are dropped at OPTIMAL: complementary
+        # slackness folds them into the box terms the certificate
+        # checker derives from the reduced costs (DESIGN.md §10).
+        duals, _ = _extract_duals(phase2_c)
     return _finish(
-        SolveStatus.OPTIMAL, iterations, pivot_start, x, float(c @ x)
+        SolveStatus.OPTIMAL, iterations, pivot_start, x, float(c @ x),
+        duals=duals,
     )
 
 
@@ -274,13 +342,19 @@ def _finish(
     pivot_start: float,
     x: Optional[np.ndarray] = None,
     objective: float = math.nan,
+    duals: Optional[np.ndarray] = None,
+    farkas: Optional[np.ndarray] = None,
+    farkas_bounds: Optional[List[Tuple[int, float]]] = None,
 ) -> LpResult:
     """Assemble the result, flushing telemetry once per solve."""
     if TELEMETRY.enabled:
         TELEMETRY.count("simplex.solves")
         TELEMETRY.count("simplex.iterations", iterations)
         TELEMETRY.add_time("simplex.pivot", time.perf_counter() - pivot_start)
-    return LpResult(status, x, objective, iterations)
+    return LpResult(
+        status, x, objective, iterations,
+        duals=duals, farkas=farkas, farkas_bounds=farkas_bounds,
+    )
 
 
 def _pivot(a: np.ndarray, b: np.ndarray, row: int, col: int) -> None:

@@ -29,6 +29,7 @@ def solve(
     model: Model,
     backend: str = "auto",
     time_limit: Optional[float] = None,
+    certify: str = "off",
     **kwargs,
 ) -> Solution:
     """Optimize ``model`` with the selected backend.
@@ -40,6 +41,11 @@ def solve(
     * ``"scipy"`` — :func:`scipy.optimize.milp` (HiGHS);
     * ``"branch_bound"`` — the from-scratch solver; extra ``kwargs``
       (``lp_engine``, ``max_nodes``, ``absolute_gap``) are forwarded.
+
+    ``certify`` (``off``/``audit``/``strict``) runs the independent
+    certificate layer (:mod:`repro.certify`) on whatever the backend
+    returns; ``"strict"`` raises
+    :class:`~repro.errors.CertificationError` on a failed check.
     """
     if backend == "auto":
         if model.num_vars > _AUTO_SCIPY_THRESHOLD and "scipy" in available_backends():
@@ -50,10 +56,12 @@ def solve(
     if backend == "scipy":
         from repro.ilp.scipy_backend import solve_scipy
 
-        return solve_scipy(model, time_limit=time_limit)
+        return solve_scipy(model, time_limit=time_limit, certify=certify)
     if backend == "branch_bound":
         from repro.ilp.branch_bound import solve_branch_bound
 
-        return solve_branch_bound(model, time_limit=time_limit, **kwargs)
+        return solve_branch_bound(
+            model, time_limit=time_limit, certify=certify, **kwargs
+        )
     raise SolverError(f"unknown backend {backend!r}; try one of "
                       f"{['auto'] + available_backends()}")

@@ -27,6 +27,11 @@ Counter names are dotted paths, one prefix per subsystem:
 * ``resilience.*`` — one counter per degradation-ladder rung engaged
   (``resilience.window_shrink``, ``resilience.pool_serial``, … — see
   DESIGN.md §9); a clean run records none (``repro.resilience``)
+* ``certify.*`` — certification-layer activity (DESIGN.md §10): LP/MILP
+  certificates checked and failed (``certify.milp``,
+  ``certify.milp_failed``), design audits run, violations found and
+  audit wall time (``certify.audits``, ``certify.audit_violations``,
+  ``certify.audit``) (``repro.certify``)
 """
 
 from __future__ import annotations

@@ -20,6 +20,9 @@ site                effect when fired
                     :class:`BrokenProcessPool`
 ``routing.route``   routing one transport event raises
                     :class:`RoutingError`
+``certify.audit``   the design auditor receives a tampered copy of the
+                    result (shifted placement + understated objective);
+                    chaos tests assert the tampering is *caught*
 ==================  ====================================================
 
 Design constraints (mirrored by ``tests/resilience/test_faults.py``):

@@ -1,0 +1,136 @@
+"""Design-audit mutation tests: every tamper class must be *caught*.
+
+The auditor's contract (ISSUE: robustness) is that a corrupted
+synthesis result produces a specific, structured violation — never a
+silent pass and never a bare exception.  Each test below corrupts one
+aspect of a known-good result and asserts the exact violation kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.assays import get_case, schedule_for
+from repro.certify import audit
+from repro.certify.report import AuditReport, Violation
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.geometry import Point
+from repro.architecture.device_types import DEVICE_TYPES
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    case = get_case("pcr")
+    graph = case.graph()
+    schedule = schedule_for(case, case.policies(1)[0])
+    return ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid)
+    ).synthesize(graph, schedule)
+
+
+def _first_device_name(result) -> str:
+    return sorted(result.devices)[0]
+
+
+def _assert_caught(report: AuditReport, kind: str) -> None:
+    assert not report.ok
+    assert kind in report.kinds(), (
+        f"expected a {kind!r} violation, got {report.kinds()}"
+    )
+    for violation in report.violations:
+        assert isinstance(violation, Violation)
+        assert violation.kind and violation.subject and violation.detail
+
+
+def test_clean_result_audits_clean(clean_result) -> None:
+    report = audit(clean_result)
+    assert report.ok, [str(v) for v in report.violations]
+    assert set(report.checks) == {
+        "devices", "storage", "routes", "actuation", "ledger", "lifetime",
+    }
+
+
+def test_shifted_placement_is_caught(clean_result) -> None:
+    devices = dict(clean_result.devices)
+    name = _first_device_name(clean_result)
+    dev = devices[name]
+    dx = 1 if dev.rect.right < clean_result.chip.spec.width else -1
+    corner = dev.placement.corner
+    devices[name] = replace(
+        dev,
+        placement=replace(
+            dev.placement, corner=Point(corner.x + dx, corner.y)
+        ),
+    )
+    report = audit(replace(clean_result, devices=devices))
+    _assert_caught(report, "ledger-mismatch")
+
+
+def test_understated_objective_is_caught(clean_result) -> None:
+    metrics = replace(clean_result.metrics, mapping_objective=1)
+    report = audit(replace(clean_result, metrics=metrics))
+    _assert_caught(report, "objective-mismatch")
+
+
+def test_dropped_route_cell_is_caught(clean_result) -> None:
+    routes = list(clean_result.routes)
+    victim = max(range(len(routes)), key=lambda i: len(routes[i].cells))
+    cells = routes[victim].cells
+    assert len(cells) >= 3, "need an interior cell to drop"
+    routes[victim] = replace(
+        routes[victim], cells=cells[: len(cells) // 2] + cells[len(cells) // 2 + 1:]
+    )
+    report = audit(replace(clean_result, routes=routes))
+    _assert_caught(report, "route-invalid")
+
+
+def test_shifted_device_interval_is_caught(clean_result) -> None:
+    devices = dict(clean_result.devices)
+    name = _first_device_name(clean_result)
+    devices[name] = replace(devices[name], end=devices[name].end + 1)
+    report = audit(replace(clean_result, devices=devices))
+    _assert_caught(report, "interval-mismatch")
+
+
+def test_tampered_wear_metric_is_caught(clean_result) -> None:
+    metrics = replace(
+        clean_result.metrics,
+        setting1=replace(
+            clean_result.metrics.setting1,
+            max_total=clean_result.metrics.setting1.max_total + 13,
+        ),
+    )
+    report = audit(replace(clean_result, metrics=metrics))
+    _assert_caught(report, "metrics-mismatch")
+
+
+def test_wrong_device_type_is_caught(clean_result) -> None:
+    devices = dict(clean_result.devices)
+    name = _first_device_name(clean_result)
+    dev = devices[name]
+    wrong = next(
+        t for t in DEVICE_TYPES if t.volume != dev.volume
+    )
+    devices[name] = replace(
+        dev, placement=replace(dev.placement, device_type=wrong)
+    )
+    report = audit(replace(clean_result, devices=devices))
+    _assert_caught(report, "device-volume-mismatch")
+
+
+def test_missing_device_is_caught(clean_result) -> None:
+    devices = dict(clean_result.devices)
+    devices.pop(_first_device_name(clean_result))
+    report = audit(replace(clean_result, devices=devices))
+    _assert_caught(report, "device-missing")
+
+
+def test_report_serializes(clean_result) -> None:
+    import json
+
+    report = audit(clean_result)
+    payload = report.as_dict()
+    assert payload["ok"] is True
+    assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,92 @@
+"""Chaos tests for the certification layer.
+
+The ``certify.audit`` fault-injection site hands the auditor a tampered
+copy of the result; these tests prove the tampering is caught as
+structured violations (audit mode) and escalated as
+:class:`CertificationError` (strict mode) — and that the injector being
+disarmed restores clean audits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assays import get_case, schedule_for
+from repro.certify import audit
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.errors import CertificationError, SynthesisError
+from repro.resilience.faults import FAULTS
+
+
+@pytest.fixture(scope="module")
+def pcr_inputs():
+    case = get_case("pcr")
+    graph = case.graph()
+    schedule = schedule_for(case, case.policies(1)[0])
+    return case, graph, schedule
+
+
+@pytest.fixture(scope="module")
+def clean_result(pcr_inputs):
+    case, graph, schedule = pcr_inputs
+    return ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid)
+    ).synthesize(graph, schedule)
+
+
+def test_injected_tamper_is_caught(clean_result) -> None:
+    with FAULTS.inject({"certify.audit": 1}) as injector:
+        report = audit(clean_result)
+        assert injector.fired("certify.audit") == 1
+    assert not report.ok
+    assert "ledger-mismatch" in report.kinds()
+    assert "objective-mismatch" in report.kinds()
+    # Every finding is a structured violation, never a bare exception.
+    for violation in report.violations:
+        assert violation.kind
+        assert violation.subject
+        assert violation.detail
+
+
+def test_disarmed_injector_audits_clean(clean_result) -> None:
+    report = audit(clean_result)
+    assert report.ok, [str(v) for v in report.violations]
+
+
+def test_strict_synthesis_raises_on_tamper(pcr_inputs) -> None:
+    case, graph, schedule = pcr_inputs
+    synthesizer = ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid, certify="strict")
+    )
+    with FAULTS.inject({"certify.audit": 1}):
+        with pytest.raises(CertificationError, match="design audit"):
+            synthesizer.synthesize(graph, schedule)
+
+
+def test_audit_mode_attaches_report_without_raising(pcr_inputs) -> None:
+    case, graph, schedule = pcr_inputs
+    synthesizer = ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid, certify="audit")
+    )
+    with FAULTS.inject({"certify.audit": 1}):
+        result = synthesizer.synthesize(graph, schedule)
+    assert result.audit is not None
+    assert not result.audit.ok
+
+
+def test_strict_synthesis_passes_clean(pcr_inputs) -> None:
+    case, graph, schedule = pcr_inputs
+    result = ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid, certify="strict")
+    ).synthesize(graph, schedule)
+    assert result.audit is not None
+    assert result.audit.ok
+
+
+def test_unknown_certify_level_rejected(pcr_inputs) -> None:
+    case, graph, schedule = pcr_inputs
+    synthesizer = ReliabilitySynthesizer(
+        SynthesisConfig(grid=case.grid, certify="paranoid")
+    )
+    with pytest.raises(SynthesisError, match="certify level"):
+        synthesizer.synthesize(graph, schedule)

@@ -1,0 +1,217 @@
+"""Exact-arithmetic LP certificates across every LP engine.
+
+Each engine (dense cold-start simplex, compiled cold, compiled
+warm-start, scipy/HiGHS linprog) solves the same seeded random LPs; the
+:mod:`repro.certify` layer must be able to certify every OPTIMAL answer
+through the duality-gap proof, and every INFEASIBLE answer that carries
+a Farkas ray.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.certify.lp import certify_lp
+from repro.ilp.compiled import CompiledModel
+from repro.ilp.simplex import LpResult, solve_lp
+from repro.ilp.solution import SolveStatus
+
+
+def _random_lp(rng: np.random.Generator, n: int = 6, m: int = 4):
+    """A bounded random LP that is feasible by construction (x=0)."""
+    c = rng.uniform(-5.0, 5.0, size=n)
+    a_ub = rng.uniform(-2.0, 2.0, size=(m, n))
+    b_ub = rng.uniform(0.5, 4.0, size=m)  # x = 0 satisfies every row
+    a_eq = np.zeros((0, n))
+    b_eq = np.zeros(0)
+    bounds = [(-1.0, 3.0)] * n
+    return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+
+def _scipy_solve(c, a_ub, b_ub, a_eq, b_eq, bounds) -> LpResult:
+    from scipy.optimize import linprog
+
+    res = linprog(
+        c,
+        A_ub=a_ub if a_ub.size else None,
+        b_ub=b_ub if a_ub.size else None,
+        A_eq=a_eq if a_eq.size else None,
+        b_eq=b_eq if a_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status == 2:
+        return LpResult(SolveStatus.INFEASIBLE)
+    assert res.status == 0, res.message
+    duals = []
+    ineq = getattr(res, "ineqlin", None)
+    if ineq is not None and a_ub.size:
+        duals.extend(np.asarray(ineq.marginals).tolist())
+    eq = getattr(res, "eqlin", None)
+    if eq is not None and a_eq.size:
+        duals.extend(np.asarray(eq.marginals).tolist())
+    return LpResult(
+        SolveStatus.OPTIMAL,
+        x=np.asarray(res.x),
+        objective=float(res.fun),
+        duals=np.asarray(duals),
+    )
+
+
+def _engines():
+    def dense(c, a_ub, b_ub, a_eq, b_eq, bounds):
+        return solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, want_duals=True)
+
+    def compiled_cold(c, a_ub, b_ub, a_eq, b_eq, bounds):
+        return CompiledModel(c, a_ub, b_ub, a_eq, b_eq).solve(
+            bounds, want_duals=True
+        )
+
+    def compiled_scaled(c, a_ub, b_ub, a_eq, b_eq, bounds):
+        return CompiledModel(c, a_ub, b_ub, a_eq, b_eq, scale=True).solve(
+            bounds, want_duals=True
+        )
+
+    def compiled_warm(c, a_ub, b_ub, a_eq, b_eq, bounds):
+        compiled = CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+        parent = compiled.solve(bounds, want_duals=False)
+        # Re-solve under a tightened box from the parent basis: the
+        # dual-simplex warm path produces the certified answer.
+        tighter = [(lo, hi - 0.25) for lo, hi in bounds]
+        return compiled.solve(tighter, basis=parent.basis, want_duals=True)
+
+    return {
+        "dense": dense,
+        "compiled-cold": compiled_cold,
+        "compiled-scaled": compiled_scaled,
+        "compiled-warm": compiled_warm,
+        "scipy-linprog": _scipy_solve,
+    }
+
+
+@pytest.mark.parametrize("engine", sorted(_engines()))
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_random_lps_certify(engine: str, seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    c, a_ub, b_ub, a_eq, b_eq, bounds = _random_lp(rng)
+    solve = _engines()[engine]
+    if engine == "compiled-warm":
+        result = solve(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        # warm solves certify against the bounds they actually solved
+        bounds = [(lo, hi - 0.25) for lo, hi in bounds]
+    else:
+        result = solve(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert result.status is SolveStatus.OPTIMAL
+    cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert cert.ok, [str(v) for v in cert.violations]
+    assert cert.status == "certified"
+    assert "weak-duality-gap" in cert.checks
+
+
+@pytest.mark.parametrize("engine", sorted(_engines()))
+def test_engines_agree_and_certify(engine: str) -> None:
+    """All engines find the same optimum on one fixed LP."""
+    c = np.array([-1.0, -2.0, 0.5])
+    a_ub = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+    b_ub = np.array([4.0, 3.0])
+    a_eq = np.zeros((0, 3))
+    b_eq = np.zeros(0)
+    bounds = [(0.0, 3.0)] * 3
+    result = _engines()[engine](c, a_ub, b_ub, a_eq, b_eq, bounds)
+    if engine == "compiled-warm":  # the warm path solved a tighter box
+        bounds = [(lo, hi - 0.25) for lo, hi in bounds]
+    assert result.status is SolveStatus.OPTIMAL
+    cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert cert.ok, [str(v) for v in cert.violations]
+    if engine != "compiled-warm":  # warm solves a tightened box
+        assert result.objective == pytest.approx(-7.0)
+
+
+def test_beale_degenerate_certifies() -> None:
+    """Beale's cycling example: degenerate pivots, exact optimum -0.05."""
+    c = np.array([-0.75, 150.0, -0.02, 6.0])
+    a_ub = np.array(
+        [
+            [0.25, -60.0, -1.0 / 25.0, 9.0],
+            [0.5, -90.0, -1.0 / 50.0, 3.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ]
+    )
+    b_ub = np.array([0.0, 0.0, 1.0])
+    a_eq = np.zeros((0, 4))
+    b_eq = np.zeros(0)
+    bounds = [(0.0, np.inf)] * 4
+    for engine in ("dense", "compiled-cold", "compiled-scaled"):
+        result = _engines()[engine](c, a_ub, b_ub, a_eq, b_eq, bounds)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05)
+        cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+        assert cert.ok, (engine, [str(v) for v in cert.violations])
+
+
+@pytest.mark.parametrize(
+    "engine", ["dense", "compiled-cold", "compiled-scaled"]
+)
+def test_farkas_infeasible_certifies(engine: str) -> None:
+    """x + y <= 1 and x + y >= 3 cannot both hold on [0, 10]^2."""
+    c = np.array([1.0, 1.0])
+    a_ub = np.array([[1.0, 1.0], [-1.0, -1.0]])
+    b_ub = np.array([1.0, -3.0])
+    a_eq = np.zeros((0, 2))
+    b_eq = np.zeros(0)
+    bounds = [(0.0, 10.0)] * 2
+    result = _engines()[engine](c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert result.status is SolveStatus.INFEASIBLE
+    cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert cert.status == "certified", [str(v) for v in cert.violations]
+    assert "farkas-margin" in cert.checks
+    assert cert.details["farkas_margin"] > 0
+
+
+def test_warm_start_infeasible_farkas_certifies() -> None:
+    """The dual-simplex warm path emits a usable ray too."""
+    c = np.array([1.0, 1.0])
+    a_ub = np.array([[1.0, 1.0]])
+    b_ub = np.array([1.0])
+    a_eq = np.zeros((0, 2))
+    b_eq = np.zeros(0)
+    compiled = CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+    parent = compiled.solve([(0.0, 1.0)] * 2)
+    assert parent.status is SolveStatus.OPTIMAL
+    # Tightened child box forces x + y >= 4 > 1: dual-infeasible.
+    child_bounds = [(2.0, 3.0)] * 2
+    result = compiled.solve(child_bounds, basis=parent.basis, want_duals=True)
+    assert result.status is SolveStatus.INFEASIBLE
+    cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, child_bounds)
+    assert cert.status == "certified", [str(v) for v in cert.violations]
+
+
+def test_wrong_objective_is_rejected() -> None:
+    """A tampered optimum fails the certificate, not an exception."""
+    c = np.array([1.0, 2.0])
+    a_ub = np.array([[1.0, 1.0]])
+    b_ub = np.array([2.0])
+    a_eq = np.zeros((0, 2))
+    b_eq = np.zeros(0)
+    bounds = [(0.0, 5.0)] * 2
+    result = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, want_duals=True)
+    assert result.status is SolveStatus.OPTIMAL
+    result.objective = result.objective - 1.0
+    cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert not cert.ok
+    assert any(v.kind == "lp-objective-mismatch" for v in cert.violations)
+
+
+def test_tampered_solution_vector_is_rejected() -> None:
+    c = np.array([-1.0, -1.0])
+    a_ub = np.array([[1.0, 1.0]])
+    b_ub = np.array([1.0])
+    a_eq = np.zeros((0, 2))
+    b_eq = np.zeros(0)
+    bounds = [(0.0, 1.0)] * 2
+    result = solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, want_duals=True)
+    result.x = result.x + 0.5  # pushes the packed row over its rhs
+    cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+    assert not cert.ok
+    assert any(v.kind == "lp-primal-infeasible" for v in cert.violations)
