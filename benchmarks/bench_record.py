@@ -1,24 +1,32 @@
 """Perf-trajectory recorder: ``python benchmarks/bench_record.py``.
 
-Times the table-1 mapping cases and the exact-solver microbenchmarks
-and writes the results to ``BENCH_ilp.json`` at the repository root —
-one committed-format snapshot per run, so the performance trajectory of
-the from-scratch ILP stack is visible in CI artifacts over time.
+Times the exact-solver microbenchmarks and writes the results to
+``BENCH_ilp.json`` at the repository root — one committed-format
+snapshot per run, so the performance trajectory of the from-scratch ILP
+stack is visible in CI artifacts over time.
 
-Two kinds of entries:
+``probes`` entries are deterministic branch & bound runs on small exact
+sub-models of the table-1 cases (the same construction as the
+``python -m repro profile`` solver probe), warm-started and
+cold-started: wall time, node count, simplex iterations and dual pivots
+per run, plus the cold/warm iteration ratio.  (Schema 1 also carried a
+``mapping`` section with end-to-end synthesis wall times; it tracked
+the heuristic mapper, drifted from the solver numbers it sat next to,
+and was never gated — schema 2 drops it.  End-to-end placements are
+covered by the frozen-fixture benchmarks.)
 
-* ``probes`` — deterministic branch & bound runs on small exact
-  sub-models of the table-1 cases (the same construction as the
-  ``python -m repro profile`` solver probe), warm-started and
-  cold-started: wall time, node count, simplex iterations and dual
-  pivots per run, plus the cold/warm iteration ratio.
-* ``mapping`` — end-to-end synthesis wall time per case (placements and
-  node counts for these are covered by the frozen-fixture benchmarks).
+``--check`` compares every baseline probe against the checked-in
+baseline (``benchmarks/data/bench_baseline.json``) and exits non-zero
+when any of these trip:
 
-``--check`` compares the frozen PCR probe's branch & bound node counts
-against the checked-in baseline (``benchmarks/data/bench_baseline.json``)
-and exits non-zero on a >20% regression — the CI tripwire for search
-blow-ups that wall-clock noise would hide.
+* branch & bound node count >20% over baseline — the tripwire for
+  search blow-ups that wall-clock noise would hide;
+* simplex iterations >20% over baseline — catches pivot-count
+  regressions that leave the tree shape intact;
+* wall time beyond ``max(2.5x baseline, baseline + 1s)`` — loose on
+  purpose (CI machines are noisy), it only catches order-of-magnitude
+  blowups;
+* a baseline probe missing from the current run entirely.
 
 Run with ``PYTHONPATH=src`` from the repository root.
 """
@@ -44,11 +52,16 @@ PROBES = (
     ("exponential_dilution", 2, 4),
 )
 
-#: Cases timed end to end (wall time only).
-MAPPING_CASES = ("pcr",)
-
 #: ``--check`` fails when a probe's node count exceeds baseline by this.
 NODE_REGRESSION_LIMIT = 0.20
+
+#: ... or its simplex iteration count (same relative limit).
+ITERATION_REGRESSION_LIMIT = 0.20
+
+#: ... or its wall time, by the larger of this factor and this many
+#: seconds of slack (loose: only order-of-magnitude blowups trip it).
+WALL_REGRESSION_FACTOR = 2.5
+WALL_REGRESSION_SLACK_SECONDS = 1.0
 
 
 def probe_model(case_name: str, n_tasks: int, stride: int):
@@ -97,38 +110,17 @@ def run_probe(case_name: str, n_tasks: int, stride: int) -> Dict:
     return entry
 
 
-def run_mapping(case_name: str) -> Dict:
-    from repro.assays import get_case, schedule_for
-    from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
-
-    case = get_case(case_name)
-    graph = case.graph()
-    schedule = schedule_for(case, case.policies(1)[0])
-    start = time.perf_counter()
-    result = ReliabilitySynthesizer(
-        SynthesisConfig(grid=case.grid)
-    ).synthesize(graph, schedule)
-    wall = time.perf_counter() - start
-    return {
-        "wall_seconds": round(wall, 4),
-        "mapper": result.metrics.mapper,
-        "objective": result.metrics.mapping_objective,
-    }
-
-
 def record() -> Dict:
-    report: Dict = {"schema": 1, "probes": {}, "mapping": {}}
+    report: Dict = {"schema": 2, "probes": {}}
     for case_name, n_tasks, stride in PROBES:
         print(f"probe {case_name} ({n_tasks} tasks, stride {stride}) ...")
         report["probes"][case_name] = run_probe(case_name, n_tasks, stride)
-    for case_name in MAPPING_CASES:
-        print(f"mapping {case_name} ...")
-        report["mapping"][case_name] = run_mapping(case_name)
     return report
 
 
 def check_against_baseline(report: Dict) -> List[str]:
-    """Node-count regressions of the frozen probes vs the baseline."""
+    """Regressions of the frozen probes vs the baseline (see module
+    docstring for the gates)."""
     if not BASELINE_PATH.exists():
         return [f"missing baseline {BASELINE_PATH}"]
     baseline = json.loads(BASELINE_PATH.read_text())
@@ -139,13 +131,29 @@ def check_against_baseline(report: Dict) -> List[str]:
             failures.append(f"{case_name}: probe missing from this run")
             continue
         for label in ("warm", "cold"):
-            expected = frozen[label]["nodes"]
-            actual = current[label]["nodes"]
-            limit = expected * (1.0 + NODE_REGRESSION_LIMIT)
-            if actual > limit:
+            for metric, rel_limit in (
+                ("nodes", NODE_REGRESSION_LIMIT),
+                ("simplex_iterations", ITERATION_REGRESSION_LIMIT),
+            ):
+                expected = frozen[label][metric]
+                actual = current[label][metric]
+                limit = expected * (1.0 + rel_limit)
+                if actual > limit:
+                    failures.append(
+                        f"{case_name} [{label}]: {actual} {metric} vs "
+                        f"baseline {expected} (> {limit:.0f} allowed)"
+                    )
+            wall_expected = frozen[label]["wall_seconds"]
+            wall_actual = current[label]["wall_seconds"]
+            wall_limit = max(
+                wall_expected * WALL_REGRESSION_FACTOR,
+                wall_expected + WALL_REGRESSION_SLACK_SECONDS,
+            )
+            if wall_actual > wall_limit:
                 failures.append(
-                    f"{case_name} [{label}]: {actual} B&B nodes vs "
-                    f"baseline {expected} (> {limit:.0f} allowed)"
+                    f"{case_name} [{label}]: {wall_actual:.2f}s wall vs "
+                    f"baseline {wall_expected:.2f}s "
+                    f"(> {wall_limit:.2f}s allowed)"
                 )
     return failures
 
@@ -161,7 +169,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail on >20%% B&B node regression vs the checked-in baseline",
+        help="fail on node/iteration/wall regressions vs the checked-in "
+        "baseline (see module docstring for the gates)",
     )
     args = parser.parse_args(argv)
 

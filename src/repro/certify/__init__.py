@@ -7,11 +7,14 @@ never reuses solver or pipeline internals:
   certificates (duality gap, Farkas rays);
 * :func:`certify_solution` — MILP incumbent replay against the
   original :class:`~repro.ilp.model.Model`;
+* :func:`certify_cut` — Chvátal–Gomory / cover-cut validity replay for
+  the root cutting planes of :mod:`repro.ilp.branch_bound`;
 * :func:`audit` — whole-design audits of a
   :class:`~repro.core.result.SynthesisResult`.
 """
 
 from repro.certify.audit import audit
+from repro.certify.cuts import certify_cut
 from repro.certify.lp import Certificate, certify_lp, certify_solution
 from repro.certify.report import AuditReport, Violation
 
@@ -20,6 +23,7 @@ __all__ = [
     "Certificate",
     "Violation",
     "audit",
+    "certify_cut",
     "certify_lp",
     "certify_solution",
 ]

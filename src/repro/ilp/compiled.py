@@ -15,14 +15,29 @@ This module removes both costs:
   change from node to node.
 * the revised simplex core works directly on bounded variables — a
   nonbasic variable sits at its lower or upper bound (or at zero when
-  free) and may *bound-flip* without a basis change — with Bland's
-  smallest-index rule for anti-cycling and an explicit basis inverse
-  refactorized periodically for numerical hygiene.
+  free) and may *bound-flip* without a basis change.
 * a **dual simplex** phase re-solves a child node from its parent's
   optimal basis: tightening one bound leaves the basis dual feasible,
   so a handful of dual pivots replace a full phase-1 + phase-2 cold
   start.  :class:`Basis` snapshots are small (two integer arrays) and
   are stored on the branch & bound nodes.
+
+The basis factorization behind the pivots is pluggable (``engine``):
+
+* ``"sparse"`` (default) — the constraint matrix is held in CSC form
+  and the basis is factorized by ``scipy.sparse.linalg.splu``
+  (Markowitz-style fill-reducing LU).  Pivots extend the factorization
+  through an **eta file** (product-form updates applied during every
+  FTRAN/BTRAN) instead of touching the factors, with periodic
+  refactorization — and early refactorization when the residual
+  monitor sees drift.  Pricing is Dantzig (most-improving reduced
+  cost) with an automatic switch to Bland's rule after a run of
+  degenerate pivots, so termination stays guaranteed.
+* ``"dense"`` — the original explicit ``m×m`` basis inverse with
+  rank-1 product-form updates and pure Bland pricing.  Kept as the
+  differential-testing oracle; statuses and optimal objectives must
+  match the sparse engine on every instance
+  (``tests/ilp/test_engine_equivalence.py``).
 
 Statuses and optimal objectives are identical to the cold-start path;
 the equivalence is asserted both ways in ``tests/ilp/test_warm_start.py``
@@ -38,6 +53,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import SolverError
 from repro.ilp.simplex import LpResult
 from repro.ilp.solution import SolveStatus
 from repro.ilp.tolerances import (
@@ -55,12 +71,20 @@ from repro.obs import TELEMETRY
 _EPS = OPTIMALITY_EPS
 _FEAS_EPS = FEASIBILITY_EPS
 _PIVOT_EPS = PIVOT_EPS
-#: Refactorize the basis inverse every this many pivots.
-_REFACTOR_EVERY = 64
+#: Refactorize the basis every this many pivots (dense: rebuild the
+#: inverse; sparse: drop the eta file and re-run the LU).  Applying the
+#: eta file costs one dense saxpy per recorded pivot per solve, so the
+#: cycle length trades a cheap periodic LU against linearly growing
+#: FTRAN/BTRAN cost; 32 measures better than 64 on the mapping models.
+_REFACTOR_EVERY = 32
 #: Residual-monitor cadence: halfway through each refactor cycle the
 #: primal core checks ``||A x - b||_inf`` and refactorizes early when
-#: the product-form inverse has drifted past ``RESIDUAL_EPS``.
+#: the product-form updates have drifted past ``RESIDUAL_EPS``.
 _MONITOR_AT = _REFACTOR_EVERY // 2
+#: Dantzig pricing falls back to Bland's rule after this many
+#: consecutive degenerate basis changes (anti-cycling guarantee); a
+#: nondegenerate step switches back.
+_BLAND_AFTER = 100
 
 #: Nonbasic/basic markers in :attr:`Basis.status`.
 BASIC = 0
@@ -95,6 +119,136 @@ class _SingularBasis(Exception):
     """Internal: refactorization failed (warm solves fall back cold)."""
 
 
+class _DenseFactor:
+    """Explicit basis inverse with rank-1 product-form updates.
+
+    The legacy representation: ``binv`` is the full ``m×m`` inverse,
+    FTRAN/BTRAN are dense matvecs, and each pivot is one BLAS rank-1
+    outer-product update.
+    """
+
+    def __init__(self, a: np.ndarray) -> None:
+        self._a = a
+        self._binv: Optional[np.ndarray] = None
+
+    def refactor(self, basic: np.ndarray) -> None:
+        try:
+            self._binv = np.linalg.inv(self._a[:, basic])
+        except np.linalg.LinAlgError:
+            raise _SingularBasis()
+
+    def ftran(self, v: np.ndarray) -> np.ndarray:
+        """``B^-1 v``."""
+        return self._binv @ v
+
+    def btran(self, v: np.ndarray) -> np.ndarray:
+        """``v B^-1`` (row vector in, row vector out)."""
+        return v @ self._binv
+
+    def row(self, r: int) -> np.ndarray:
+        """``e_r^T B^-1`` — one row of the inverse."""
+        return self._binv[r]
+
+    def update(self, w: np.ndarray, r: int) -> None:
+        """Product-form update after a pivot with direction
+        ``w = B^-1 A[:, entering]`` leaving at ``row``.
+
+        One rank-1 BLAS update: eliminating ``w`` row by row in Python
+        costs more interpreter time than the whole outer product.
+        """
+        binv = self._binv
+        binv[r] /= w[r]
+        scale = w.copy()
+        scale[r] = 0.0
+        binv -= np.outer(scale, binv[r])
+
+
+class _SparseLuFactor:
+    """Sparse LU basis factorization with an eta-file for updates.
+
+    ``refactor`` runs ``scipy.sparse.linalg.splu`` on the basis columns
+    of the CSC matrix (fill-reducing column ordering, Markowitz-style
+    threshold pivoting inside SuperLU).  A pivot does not touch the
+    factors: it appends an **eta vector** so that
+    ``B_k^-1 = E_k ... E_1 B_0^-1``, and every FTRAN/BTRAN applies the
+    eta file on top of the triangular solves.  The file is dropped at
+    the next refactorization (periodic, or early via the residual
+    monitor), which bounds both memory and the per-solve eta cost.
+    """
+
+    def __init__(self, a_csc) -> None:
+        self._a = a_csc
+        self._m = a_csc.shape[0]
+        self._lu = None
+        self._identity = False
+        #: eta file: list of ``(r, eta)`` with ``eta = col - e_r`` where
+        #: ``col`` is column ``r`` of the elementary matrix ``E``.
+        self._etas: List[Tuple[int, np.ndarray]] = []
+
+    def refactor(self, basic: np.ndarray) -> None:
+        from scipy.sparse.linalg import splu
+
+        self._etas = []
+        if self._m == 0:
+            self._lu = None
+            return
+        # Identity fast path: every cold start seeds the basis with one
+        # slack or artificial per row, i.e. B = I exactly (equilibration
+        # keeps those columns at exactly 1).  Detecting that from the
+        # CSC structure costs O(m) and skips SuperLU entirely — the
+        # branch-&-bound cold path refactors this basis once per node.
+        ap, ai, ax = self._a.indptr, self._a.indices, self._a.data
+        starts = ap[basic]
+        if (
+            np.all(ap[basic + 1] - starts == 1)
+            and np.array_equal(ai[starts], np.arange(self._m, dtype=ai.dtype))
+            and np.all(ax[starts] == 1.0)
+        ):
+            self._lu = None
+            self._identity = True
+            return
+        self._identity = False
+        b = self._a[:, basic].tocsc()
+        try:
+            self._lu = splu(b)
+        except RuntimeError:  # "Factor is exactly singular"
+            raise _SingularBasis()
+        # SuperLU happily factors numerically-degenerate bases into
+        # factors with absurd scale; a quick conditioning probe turns
+        # those into the cold-start fallback instead of garbage pivots.
+        probe = self._lu.solve(np.ones(self._m))
+        if not np.all(np.isfinite(probe)):
+            raise _SingularBasis()
+
+    def ftran(self, v: np.ndarray) -> np.ndarray:
+        if self._m == 0:
+            return np.zeros(0)
+        u = v.copy() if self._identity else self._lu.solve(v)
+        for r, eta in self._etas:
+            t = u[r]
+            if t != 0.0:
+                u += t * eta
+        return u
+
+    def btran(self, v: np.ndarray) -> np.ndarray:
+        if self._m == 0:
+            return np.zeros(0)
+        t = np.asarray(v, dtype=float).copy()
+        for r, eta in reversed(self._etas):
+            t[r] += float(t @ eta)
+        return t if self._identity else self._lu.solve(t, trans="T")
+
+    def row(self, r: int) -> np.ndarray:
+        e = np.zeros(self._m)
+        e[r] = 1.0
+        return self.btran(e)
+
+    def update(self, w: np.ndarray, r: int) -> None:
+        eta = w / -w[r]
+        eta[r] = 1.0 / w[r] - 1.0
+        self._etas.append((r, eta))
+
+
 class CompiledModel:
     """Standard equality form with native variable bounds, built once.
 
@@ -102,6 +256,10 @@ class CompiledModel:
     rows are ``A_ub`` stacked over ``A_eq``.  Slacks live in ``[0, inf)``;
     artificials are pinned to ``[0, 0]`` except while a cold phase 1
     temporarily opens row ``i``'s artificial to cover its residual.
+
+    ``engine`` selects the basis representation: ``"sparse"`` (CSC
+    matrix + ``splu`` + eta-file updates, the default) or ``"dense"``
+    (explicit inverse, the legacy differential-testing oracle).
     """
 
     def __init__(
@@ -112,7 +270,12 @@ class CompiledModel:
         a_eq: np.ndarray,
         b_eq: np.ndarray,
         scale: bool = False,
+        engine: str = "sparse",
     ) -> None:
+        if engine not in ("sparse", "dense"):
+            raise SolverError(
+                f"unknown simplex engine {engine!r}; expected sparse/dense"
+            )
         n = len(c)
         a_ub = (
             np.asarray(a_ub, dtype=float).reshape(-1, n)
@@ -135,6 +298,7 @@ class CompiledModel:
         a[:m_ub, n : n + m_ub] = np.eye(m_ub)
         a[:, total:] = np.eye(m)
 
+        self.engine = engine
         self.n = n
         self.m = m
         self.m_ub = m_ub
@@ -154,6 +318,28 @@ class CompiledModel:
         self.col_scale: Optional[np.ndarray] = None
         if scale and m and n:
             self._equilibrate()
+        self.asp = None
+        self.asp_t = None
+        self._csc_matvec = None
+        if engine == "sparse":
+            from scipy.sparse import csc_matrix
+
+            self.asp = csc_matrix(self.a)
+            # Materialized transpose: `asp.T` builds a fresh matrix on
+            # every call, and pricing does two transpose products per
+            # pivot — caching it takes that off the hot path.
+            self.asp_t = self.asp.T.tocsc()
+            try:
+                # The `@` operator spends more time in scipy's dispatch
+                # and validation wrappers than in the multiply itself at
+                # these sizes (one pricing product per pivot); calling
+                # the C kernel directly skips that.  Private API, so any
+                # import/shape surprise falls back to the operator.
+                from scipy.sparse import _sparsetools
+
+                self._csc_matvec = _sparsetools.csc_matvec
+            except (ImportError, AttributeError):
+                self._csc_matvec = None
         self._resid_tol = RESIDUAL_EPS * (
             1.0 + (float(np.abs(self.b).max()) if m else 0.0)
         )
@@ -201,6 +387,49 @@ class CompiledModel:
         self.cost = self.cost * full_col
         self.row_scale = row_scale
         self.col_scale = full_col
+
+    # -- engine dispatch -------------------------------------------------
+
+    def _make_factor(self):
+        if self.engine == "sparse":
+            return _SparseLuFactor(self.asp)
+        return _DenseFactor(self.a)
+
+    def _ax(self, x: np.ndarray) -> np.ndarray:
+        """``A x`` over the extended columns."""
+        if self.asp is None:
+            return self.a @ x
+        if self._csc_matvec is not None:
+            out = np.zeros(self.m)
+            mat = self.asp
+            self._csc_matvec(
+                self.m, self.total_ext,
+                mat.indptr, mat.indices, mat.data, x, out,
+            )
+            return out
+        return self.asp @ x
+
+    def _aty(self, y: np.ndarray) -> np.ndarray:
+        """``y A`` (row duals priced over every extended column)."""
+        if self.asp_t is None:
+            return y @ self.a
+        if self._csc_matvec is not None:
+            out = np.zeros(self.total_ext)
+            mat = self.asp_t
+            self._csc_matvec(
+                self.total_ext, self.m,
+                mat.indptr, mat.indices, mat.data, y, out,
+            )
+            return out
+        return self.asp_t @ y
+
+    def _column(self, q: int) -> np.ndarray:
+        if self.asp is not None:
+            col = np.zeros(self.m)
+            start, end = self.asp.indptr[q], self.asp.indptr[q + 1]
+            col[self.asp.indices[start:end]] = self.asp.data[start:end]
+            return col
+        return self.a[:, q]
 
     # -- bounds ----------------------------------------------------------
 
@@ -285,6 +514,25 @@ class CompiledModel:
             return y * self.row_scale
         return y
 
+    # -- tableau access (root cuts) --------------------------------------
+
+    def basis_row_multipliers(
+        self, basis: Basis, row_indices: Sequence[int]
+    ) -> Optional[np.ndarray]:
+        """Rows ``e_r^T B^-1`` of the basis inverse, for cut derivation.
+
+        Returns a ``(len(row_indices), m)`` array of row multipliers in
+        *this model's* row space, or ``None`` when the basis cannot be
+        factorized.  Cut generators call this on an **unscaled** model
+        so the multipliers aggregate the caller's original rows.
+        """
+        fac = self._make_factor()
+        try:
+            fac.refactor(np.asarray(basis.basic))
+        except _SingularBasis:
+            return None
+        return np.array([fac.row(int(r)) for r in row_indices])
+
     # -- cold path -------------------------------------------------------
 
     def _cold_solve(
@@ -305,7 +553,7 @@ class CompiledModel:
                 status[j] = FREE
         # slacks and artificials start at their lower bound (zero)
 
-        residual = self.b - self.a @ self._rest_values(status, lb, ub)
+        residual = self.b - self._ax(self._rest_values(status, lb, ub))
         basic = np.empty(m, dtype=np.int64)
         art_rows: List[int] = []
         for i in range(m):
@@ -315,7 +563,8 @@ class CompiledModel:
                 basic[i] = total + i
                 art_rows.append(i)
         status[basic] = BASIC
-        binv = np.eye(m)
+        fac = self._make_factor()
+        fac.refactor(basic)
 
         iterations = 0
         if art_rows:
@@ -332,7 +581,7 @@ class CompiledModel:
                 phase1[col] = math.copysign(1.0, r) if r else 0.0
             try:
                 st, obj, iterations = self._primal(
-                    basic, status, binv, lb, ub, phase1,
+                    basic, status, fac, lb, ub, phase1,
                     max_iterations, iterations,
                 )
             except _Exhausted as exc:
@@ -347,7 +596,7 @@ class CompiledModel:
                     # Phase-1 optimal duals certify infeasibility: at a
                     # positive phase-1 optimum y = c1_B B^-1 satisfies
                     # y @ A_col <= 0 for every real column and y @ b > 0.
-                    farkas = self._unscale_row_vector(phase1[basic] @ binv)
+                    farkas = self._unscale_row_vector(fac.btran(phase1[basic]))
                 return LpResult(
                     SolveStatus.INFEASIBLE,
                     iterations=iterations,
@@ -355,11 +604,11 @@ class CompiledModel:
                 )
             lb[total:] = 0.0
             ub[total:] = 0.0
-            self._evict_artificials(basic, status, binv)
+            self._evict_artificials(basic, status, fac)
 
         try:
             return self._optimize_and_extract(
-                basic, status, binv, lb, ub, max_iterations, iterations, 0,
+                basic, status, fac, lb, ub, max_iterations, iterations, 0,
                 want_duals,
             )
         except _Exhausted as exc:
@@ -385,7 +634,8 @@ class CompiledModel:
         nb_lower = (status == AT_LOWER) & ~np.isfinite(lb)
         nb_upper = (status == AT_UPPER) & ~np.isfinite(ub)
         status[nb_lower | nb_upper] = FREE
-        binv = self._refactor(basic)
+        fac = self._make_factor()
+        fac.refactor(basic)
 
         # The parent's optimal basis stays dual feasible after a bound
         # move (reduced costs depend only on the basis), so the dual
@@ -395,7 +645,7 @@ class CompiledModel:
         dual_cap = min(max_iterations, 4 * self.m + 100)
         self._dual_ray = None
         dual_pivots = self._dual(
-            basic, status, binv, lb, ub, self.cost, dual_cap
+            basic, status, fac, lb, ub, self.cost, dual_cap
         )
         if dual_pivots < 0:  # dual unbounded: the child LP is infeasible
             farkas = None
@@ -408,7 +658,7 @@ class CompiledModel:
                 farkas=farkas,
             )
         res = self._optimize_and_extract(
-            basic, status, binv, lb, ub, max_iterations, dual_pivots,
+            basic, status, fac, lb, ub, max_iterations, dual_pivots,
             dual_pivots, want_duals,
         )
         return res
@@ -419,7 +669,7 @@ class CompiledModel:
         self,
         basic: np.ndarray,
         status: np.ndarray,
-        binv: np.ndarray,
+        fac,
         lb: np.ndarray,
         ub: np.ndarray,
         max_iterations: int,
@@ -428,11 +678,11 @@ class CompiledModel:
         want_duals: bool = False,
     ) -> LpResult:
         st, _, iterations = self._primal(
-            basic, status, binv, lb, ub, self.cost, max_iterations, iterations
+            basic, status, fac, lb, ub, self.cost, max_iterations, iterations
         )
         if st is not SolveStatus.OPTIMAL:
             return LpResult(st, iterations=iterations, dual_pivots=dual_pivots)
-        x = self._full_solution(basic, status, binv, lb, ub)
+        x = self._full_solution(basic, status, fac, lb, ub)
         x_struct = x[: self.n].copy()
         if self.col_scale is not None:
             # Undo the exact power-of-two column scaling before the
@@ -440,7 +690,7 @@ class CompiledModel:
             x_struct *= self.col_scale[: self.n]
         duals = None
         if want_duals:
-            duals = self._unscale_row_vector(self.cost[basic] @ binv)
+            duals = self._unscale_row_vector(fac.btran(self.cost[basic]))
         return LpResult(
             SolveStatus.OPTIMAL,
             x_struct,
@@ -452,12 +702,6 @@ class CompiledModel:
         )
 
     # -- linear algebra helpers ------------------------------------------
-
-    def _refactor(self, basic: np.ndarray) -> np.ndarray:
-        try:
-            return np.linalg.inv(self.a[:, basic])
-        except np.linalg.LinAlgError:
-            raise _SingularBasis()
 
     def _rest_values(
         self, status: np.ndarray, lb: np.ndarray, ub: np.ndarray
@@ -474,26 +718,13 @@ class CompiledModel:
         self,
         basic: np.ndarray,
         status: np.ndarray,
-        binv: np.ndarray,
+        fac,
         lb: np.ndarray,
         ub: np.ndarray,
     ) -> np.ndarray:
         x = self._rest_values(status, lb, ub)
-        x[basic] = binv @ (self.b - self.a @ x)
+        x[basic] = fac.ftran(self.b - self._ax(x))
         return x
-
-    @staticmethod
-    def _update_inverse(binv: np.ndarray, w: np.ndarray, row: int) -> None:
-        """Product-form update of ``binv`` after a pivot with column
-        direction ``w = binv @ A[:, entering]`` leaving at ``row``.
-
-        One rank-1 BLAS update: eliminating ``w`` row by row in Python
-        costs more interpreter time than the whole outer product.
-        """
-        binv[row] /= w[row]
-        scale = w.copy()
-        scale[row] = 0.0
-        binv -= np.outer(scale, binv[row])
 
     # -- primal simplex --------------------------------------------------
 
@@ -501,83 +732,165 @@ class CompiledModel:
         self,
         basic: np.ndarray,
         status: np.ndarray,
-        binv: np.ndarray,
+        fac,
         lb: np.ndarray,
         ub: np.ndarray,
         cost: np.ndarray,
         max_iterations: int,
         iterations: int,
     ) -> Tuple[SolveStatus, float, int]:
-        """Bounded-variable primal simplex with Bland's rule.
+        """Bounded-variable primal simplex.
 
-        Mutates ``basic``/``status``/``binv`` in place; returns
+        The sparse engine prices with Dantzig's rule (most-improving
+        reduced cost) and switches to Bland's smallest-index rule after
+        ``_BLAND_AFTER`` consecutive degenerate steps, switching back on
+        the next nondegenerate one — fast in the common case, still
+        provably terminating.  The dense engine keeps pure Bland
+        pricing (the legacy oracle behavior).
+
+        Mutates ``basic``/``status``/``fac`` in place; returns
         (status, objective, total iterations).  Raises :class:`_Exhausted`
         at the pivot cap.
+
+        The loop carries three incrementally maintained vectors instead
+        of recomputing them from scratch every iteration:
+
+        * ``x`` / ``x_b`` — the primal point and its basic slice.  A
+          pivot moves the basics by the known step along ``-w`` and
+          snaps the leaving variable onto its bound exactly; every
+          refactorization (periodic or monitor-triggered) recovers both
+          exactly via FTRAN, which bounds the accumulation the residual
+          monitor audits.
+        * ``sign`` — the pricing sign per column (-1 resting at lower,
+          +1 at upper, 0 basic/fixed), so the Dantzig score is the
+          single product ``sign * d``: for an eligible column that IS
+          its improvement ``|d|``, and a column is improving exactly
+          when the product exceeds the optimality epsilon.  Free
+          columns (no finite bound to rest on) need ``|d|`` itself;
+          they only occur in hand-built LPs, so that falls back to the
+          full mask evaluation.
+        * ``lb_b`` / ``ub_b`` — bounds of the basic slice, swapped in
+          place at pivots instead of gathered per ratio test; and the
+          ``d``/``score`` pricing cache itself, which bound-flip
+          iterations keep (only ``sign[q]`` changed) so a flip costs no
+          BTRAN at all.
         """
-        a = self.a
+        dantzig = self.engine == "sparse"
+        degenerate_run = 0
         since_refactor = 0
+        x = self._full_solution(basic, status, fac, lb, ub)
+        x_b = x[basic].copy()
+        # Bounds of the basic slice, maintained at pivots (refactoring
+        # does not change the basis, so these survive it).
+        lb_b = lb[basic].copy()
+        ub_b = ub[basic].copy()
+        movable = ub > lb
+        sign = np.zeros(self.total_ext)
+        sign[movable & (status == AT_LOWER)] = -1.0
+        sign[movable & (status == AT_UPPER)] = 1.0
+        has_free = bool(np.any(status == FREE))
+        # Pricing cache: ``d``/``score`` stay valid across bound flips
+        # (the basis is untouched, only ``sign[q]`` changes), so a flip
+        # iteration skips the BTRAN + pricing product entirely.
+        score = None
         while True:
             if iterations >= max_iterations:
                 raise _Exhausted(iterations)
             if since_refactor >= _REFACTOR_EVERY:
-                binv[...] = self._refactor(basic)
+                fac.refactor(basic)
                 since_refactor = 0
-            x = self._full_solution(basic, status, binv, lb, ub)
+                x = self._full_solution(basic, status, fac, lb, ub)
+                x_b = x[basic].copy()
+                score = None
             if since_refactor == _MONITOR_AT and self.m:
                 # Residual monitor: halfway through the refactor cycle,
-                # check how far the product-form inverse has drifted and
-                # refactorize early instead of pivoting on stale data.
-                resid = float(np.max(np.abs(self.a @ x - self.b)))
+                # check how far the product-form updates (and the
+                # incremental x) have drifted and refactorize early
+                # instead of pivoting on stale data.
+                x[basic] = x_b
+                resid = float(np.max(np.abs(self._ax(x) - self.b)))
                 if resid > self._resid_tol:
-                    binv[...] = self._refactor(basic)
+                    fac.refactor(basic)
                     since_refactor = 0
                     self._monitor_refactors += 1
-                    x = self._full_solution(basic, status, binv, lb, ub)
-            y = cost[basic] @ binv
-            d = cost - y @ a
-            movable = ub > lb
-            eligible = (
-                ((status == AT_LOWER) & (d < -_EPS) & movable)
-                | ((status == AT_UPPER) & (d > _EPS) & movable)
-                | ((status == FREE) & (np.abs(d) > _EPS))
-            )
-            q = int(np.argmax(eligible))  # Bland: smallest improving index
-            if not eligible[q]:
+                    x = self._full_solution(basic, status, fac, lb, ub)
+                    x_b = x[basic].copy()
+                    score = None
+            if score is None:
+                y = fac.btran(cost[basic])
+                d = cost - self._aty(y)
+                score = sign * d
+                if has_free:
+                    free = status == FREE
+                    has_free = bool(free.any())
+                    if has_free:
+                        score = np.where(free, np.abs(d), score)
+            if dantzig and degenerate_run < _BLAND_AFTER:
+                # Dantzig: the most improving reduced cost (ties break
+                # to the smallest index via argmax's first-hit rule).
+                q = int(np.argmax(score))
+            else:
+                q = int(np.argmax(score > _EPS))  # Bland: smallest index
+            if not score[q] > _EPS:
+                # Recompute x once at the exit so the reported objective
+                # (phase 1 compares it against PHASE1_EPS) is free of
+                # the incremental accumulation.
+                x = self._full_solution(basic, status, fac, lb, ub)
                 objective = float(cost @ x)
                 return SolveStatus.OPTIMAL, objective, iterations
             direction = 1.0 if d[q] < 0.0 else -1.0
-            w = binv @ a[:, q]
+            w = fac.ftran(self._column(q))
             # Basic variables move by -direction * w per unit step.
-            x_b = x[basic]
             dx = -direction * w
-            ratios = np.full(self.m, math.inf)
-            dec = dx < -_EPS
-            inc = dx > _EPS
-            lo_room = x_b - lb[basic]
-            hi_room = ub[basic] - x_b
-            with np.errstate(invalid="ignore"):
-                ratios[dec] = lo_room[dec] / -dx[dec]
-                ratios[inc] = hi_room[inc] / dx[inc]
-            ratios[ratios < 0.0] = 0.0  # tiny infeasibility noise
-            t_rows = float(ratios.min()) if self.m else math.inf
+            if self.m:
+                room = np.where(dx < 0.0, x_b - lb_b, ub_b - x_b)
+                den = np.abs(dx)
+                ratios = np.where(den > _EPS, room / np.maximum(den, _EPS), math.inf)
+                np.maximum(ratios, 0.0, out=ratios)  # infeasibility noise
+                t_rows = float(ratios.min())
+            else:
+                t_rows = math.inf
             t_flip = ub[q] - lb[q] if status[q] != FREE else math.inf
             if not math.isfinite(t_rows) and not math.isfinite(t_flip):
                 return SolveStatus.UNBOUNDED, math.nan, iterations
             if t_flip <= t_rows:
                 status[q] = AT_UPPER if status[q] == AT_LOWER else AT_LOWER
+                x[q] = ub[q] if status[q] == AT_UPPER else lb[q]
+                sign[q] = -sign[q]
+                score[q] = -score[q]  # d[q] unchanged; cache stays valid
+                if self.m:
+                    x_b += t_flip * dx
                 iterations += 1
                 since_refactor += 1
+                degenerate_run = 0  # a flip moves by ub-lb > 0
                 continue
             # Exact minimum ratio; Bland tie-break (smallest basis
             # index) only inside the numerical band around it.
             band = np.flatnonzero(ratios <= t_rows + _EPS)
-            r = int(min(band, key=lambda i: basic[i]))
-            status[basic[r]] = AT_LOWER if dx[r] < 0.0 else AT_UPPER
-            self._update_inverse(binv, w, r)
+            r = int(band[np.argmin(basic[band])])
+            leaving = int(basic[r])
+            x_b += t_rows * dx
+            x[q] += direction * t_rows
+            to_lower = dx[r] < 0.0
+            status[leaving] = AT_LOWER if to_lower else AT_UPPER
+            sign[leaving] = (-1.0 if to_lower else 1.0) if movable[leaving] else 0.0
+            # Snap the leaving variable onto its bound exactly: the
+            # incremental step left it within a ratio-test epsilon.
+            x[leaving] = lb[leaving] if to_lower else ub[leaving]
+            x_b[r] = x[q]
+            lb_b[r] = lb[q]
+            ub_b[r] = ub[q]
+            sign[q] = 0.0
+            score = None  # basis changed: pricing cache is stale
+            fac.update(w, r)
             basic[r] = q
             status[q] = BASIC
             iterations += 1
             since_refactor += 1
+            if t_rows > _EPS:
+                degenerate_run = 0
+            else:
+                degenerate_run += 1
 
     # -- dual simplex ----------------------------------------------------
 
@@ -585,7 +898,7 @@ class CompiledModel:
         self,
         basic: np.ndarray,
         status: np.ndarray,
-        binv: np.ndarray,
+        fac,
         lb: np.ndarray,
         ub: np.ndarray,
         cost: np.ndarray,
@@ -596,17 +909,24 @@ class CompiledModel:
         Returns the pivot count on success; ``-(pivots + 1)`` when the
         dual is unbounded (the LP is infeasible).  Raises
         :class:`_Exhausted` at the cap — warm callers fall back cold.
+
+        Reduced costs are maintained incrementally — a dual pivot on row
+        ``r`` with entering ``q`` maps ``d <- d - (d_q / rho_q) rho``
+        using the pivot row ``rho`` the ratio test already computed —
+        and recovered exactly at every refactorization, saving a BTRAN
+        and a pricing product per pivot.
         """
-        a = self.a
         pivots = 0
         since_refactor = 0
+        d = cost - self._aty(fac.btran(cost[basic]))
         while True:
             if pivots >= max_iterations:
                 raise _Exhausted(pivots)
             if since_refactor >= _REFACTOR_EVERY:
-                binv[...] = self._refactor(basic)
+                fac.refactor(basic)
                 since_refactor = 0
-            x = self._full_solution(basic, status, binv, lb, ub)
+                d = cost - self._aty(fac.btran(cost[basic]))
+            x = self._full_solution(basic, status, fac, lb, ub)
             x_b = x[basic]
             below = x_b < lb[basic] - _FEAS_EPS
             above = x_b > ub[basic] + _FEAS_EPS
@@ -623,9 +943,7 @@ class CompiledModel:
             worst = float(violation[violated].max())
             band = violated[violation[violated] >= worst - _FEAS_EPS]
             r = int(min(band, key=lambda i: basic[i]))
-            rho = binv[r] @ a
-            y = cost[basic] @ binv
-            d = cost - y @ a
+            rho = self._aty(fac.row(r))
             movable = (ub > lb) & (status != BASIC)
             if below[r]:
                 eligible = movable & (
@@ -646,7 +964,8 @@ class CompiledModel:
                 # violated basic: moving y along it increases y @ b
                 # forever while keeping every reduced cost eligible —
                 # exactly a Farkas ray for the certifier.
-                self._dual_ray = (-binv[r] if below[r] else binv[r]).copy()
+                row_r = fac.row(r)
+                self._dual_ray = (-row_r if below[r] else row_r).copy()
                 return -(pivots + 1)
             # Dual ratio test: keep every reduced cost sign-consistent.
             sign = np.where(status[idx] == AT_LOWER, 1.0, -1.0)
@@ -681,9 +1000,16 @@ class CompiledModel:
                 raise _SingularBasis()  # vanishing pivot: go cold
             for j in flips:
                 status[j] = AT_UPPER if status[j] == AT_LOWER else AT_LOWER
-            w = binv @ a[:, q]
-            status[basic[r]] = AT_LOWER if below[r] else AT_UPPER
-            self._update_inverse(binv, w, r)
+            w = fac.ftran(self._column(q))
+            leaving = int(basic[r])
+            status[leaving] = AT_LOWER if below[r] else AT_UPPER
+            # Incremental pricing: the unique rank-1 update that zeroes
+            # the entering reduced cost along the pivot row.
+            theta_d = float(d[q] / rho[q])
+            d -= theta_d * rho
+            d[q] = 0.0
+            d[leaving] = -theta_d
+            fac.update(w, r)
             basic[r] = q
             status[q] = BASIC
             pivots += 1
@@ -692,7 +1018,7 @@ class CompiledModel:
     # -- phase-1 cleanup -------------------------------------------------
 
     def _evict_artificials(
-        self, basic: np.ndarray, status: np.ndarray, binv: np.ndarray
+        self, basic: np.ndarray, status: np.ndarray, fac
     ) -> None:
         """Degenerate-pivot lingering zero-valued artificials out of the
         basis where a real column can replace them; redundant rows keep
@@ -701,14 +1027,14 @@ class CompiledModel:
         for r in range(self.m):
             if basic[r] < total:
                 continue
-            row = binv[r] @ self.a[:, :total]
+            row = self._aty(fac.row(r))[:total]
             nonbasic = status[:total] != BASIC
             candidates = np.flatnonzero(nonbasic & (np.abs(row) > _PIVOT_EPS))
             if candidates.size == 0:
                 continue
             q = int(candidates[0])
-            w = binv @ self.a[:, q]
+            w = fac.ftran(self._column(q))
             status[basic[r]] = AT_LOWER
-            self._update_inverse(binv, w, r)
+            fac.update(w, r)
             basic[r] = q
             status[q] = BASIC

@@ -43,6 +43,9 @@ constant                  meaning
                           the checker itself never rounds)
 ``MILP_GAP_RTOL``         relative slack when auditing a reported MILP
                           gap against the replayed incumbent and bound
+``CUT_VIOLATION_EPS``     minimum violation of the fractional optimum a
+                          root cutting plane must achieve to be kept (a
+                          weaker cut is not worth a denser LP)
 ========================  =============================================
 """
 
@@ -82,3 +85,6 @@ CERT_EPS = Fraction(1, 10**6)
 
 #: Relative slack when auditing a reported MILP gap.
 MILP_GAP_RTOL = 1e-4
+
+#: Minimum violation for a root cut to be kept.
+CUT_VIOLATION_EPS = 1e-4

@@ -1,0 +1,106 @@
+"""Certificates must survive equilibration: duals and Farkas rays come
+out of the *scaled* solve but are checked against the *caller's* rows.
+
+The compiled engine equilibrates opt-in (``scale=True``, power-of-two
+row/column scales — DESIGN.md §10) and owes its callers duals in the
+original row units: scaling row ``i`` by ``R_i`` multiplies its dual by
+``1/R_i``, so a forgotten ``R * y'`` unscale produces a certificate
+that fails exactly on badly scaled models — the ones scaling exists
+for.  The exact-arithmetic checkers in :mod:`repro.certify.lp` are the
+independent referee: these tests pin that every verdict of a scaled
+solve (OPTIMAL duals and INFEASIBLE Farkas rays, sparse and dense
+engine alike) certifies against the unscaled arrays.  No live bug —
+the regression test is the deliverable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.certify.lp import certify_lp
+from repro.ilp.compiled import CompiledModel
+from repro.ilp.solution import SolveStatus
+
+#: Rows spread across ~9 orders of magnitude, so unscaled and scaled
+#: duals differ by large powers of two and a missed unscale cannot
+#: hide inside the certificate tolerance.
+_WILD = [1e-4, 1.0, 3e4]
+
+
+def _wild_feasible():
+    c = np.array([-2.0, 1.0, -1.0])
+    a_ub = np.array(
+        [
+            [1e-4 * 2.0, 1e-4 * 1.0, 0.0],
+            [3.0, -1.0, 2.0],
+            [0.0, 3e4 * 1.0, 3e4 * 1.5],
+        ]
+    )
+    b_ub = np.array([1e-4 * 5.0, 4.0, 3e4 * 6.0])
+    a_eq = np.array([[1.0, 1.0, 1.0]])
+    b_eq = np.array([3.0])
+    bounds = [(0.0, 4.0)] * 3
+    return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+
+def _wild_infeasible():
+    # Two rescaled copies of the same hyperplane with incompatible
+    # right-hand sides: 1e-4 (x+y) <= 1e-4 and 3e4 (x+y) >= 2 * 3e4.
+    c = np.array([1.0, 1.0])
+    a_ub = np.array(
+        [
+            [1e-4 * 1.0, 1e-4 * 1.0],
+            [-3e4 * 1.0, -3e4 * 1.0],
+        ]
+    )
+    b_ub = np.array([1e-4 * 1.0, -3e4 * 2.0])
+    a_eq = np.zeros((0, 2))
+    b_eq = np.zeros(0)
+    bounds = [(0.0, 10.0)] * 2
+    return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+
+@pytest.mark.parametrize("engine", ["sparse", "dense"])
+class TestScaledCertificates:
+    def test_optimal_duals_certify_in_caller_units(self, engine: str) -> None:
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _wild_feasible()
+        compiled = CompiledModel(
+            c, a_ub, b_ub, a_eq, b_eq, scale=True, engine=engine
+        )
+        assert compiled.row_scale is not None  # scaling actually engaged
+        result = compiled.solve(bounds, want_duals=True)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.duals is not None
+        cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+        assert cert.ok, [str(v) for v in cert.violations]
+        assert "weak-duality-gap" in cert.checks
+
+    def test_farkas_ray_certifies_in_caller_units(self, engine: str) -> None:
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _wild_infeasible()
+        compiled = CompiledModel(
+            c, a_ub, b_ub, a_eq, b_eq, scale=True, engine=engine
+        )
+        assert compiled.row_scale is not None
+        result = compiled.solve(bounds, want_duals=True)
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.farkas is not None
+        cert = certify_lp(result, c, a_ub, b_ub, a_eq, b_eq, bounds)
+        assert cert.ok, [str(v) for v in cert.violations]
+        assert cert.status == "certified"
+
+    def test_scaled_and_unscaled_agree(self, engine: str) -> None:
+        # The two solves walk different numerics but must land on the
+        # same optimum; certifying both closes the loop.
+        c, a_ub, b_ub, a_eq, b_eq, bounds = _wild_feasible()
+        plain = CompiledModel(c, a_ub, b_ub, a_eq, b_eq, engine=engine)
+        scaled = CompiledModel(
+            c, a_ub, b_ub, a_eq, b_eq, scale=True, engine=engine
+        )
+        res_p = plain.solve(bounds, want_duals=True)
+        res_s = scaled.solve(bounds, want_duals=True)
+        assert res_p.status is res_s.status is SolveStatus.OPTIMAL
+        assert res_s.objective == pytest.approx(res_p.objective, abs=1e-7)
+        for res in (res_p, res_s):
+            cert = certify_lp(res, c, a_ub, b_ub, a_eq, b_eq, bounds)
+            assert cert.ok, [str(v) for v in cert.violations]

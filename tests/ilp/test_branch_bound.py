@@ -60,7 +60,9 @@ class TestBranchBound:
 
     def test_node_limit_degrades_gracefully(self):
         m, _ = knapsack_model()
-        sol = solve_branch_bound(m, max_nodes=1)
+        # Root cuts would solve this at the root with a proof; disable
+        # them so the node limit actually binds.
+        sol = solve_branch_bound(m, max_nodes=1, cuts=False)
         assert sol.status in (SolveStatus.FEASIBLE, SolveStatus.NO_SOLUTION)
 
     def test_equality_constrained_milp(self):

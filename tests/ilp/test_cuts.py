@@ -1,0 +1,219 @@
+"""Root cutting planes: validity by brute force, certification, and
+end-to-end equivalence.
+
+A cut is a *theorem* about the model — every mixed-integer feasible
+point must satisfy it.  The instances here are small enough to
+enumerate the full integer box, so validity is checked against ground
+truth rather than against the generator's own arithmetic; the
+:func:`repro.certify.certify_cut` replay must then agree.  Finally the
+branch & bound must reach the same optimum with the cut loop on and
+off, and under ``certify=strict`` an invalid cut smuggled into the
+separation round must be rejected, not applied.
+"""
+
+import itertools
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.certify.cuts import certify_cut
+from repro.ilp import Model, SolveStatus, quicksum
+from repro.ilp.branch_bound import solve_branch_bound
+from repro.ilp.compiled import CompiledModel
+from repro.ilp.cuts import Cut, cover_cuts, generate_cuts, gomory_cuts
+
+
+def _enumerate_feasible(a_ub, b_ub, a_eq, b_eq, bounds, integrality):
+    """Every mixed-integer feasible point of a small all-integer box."""
+    assert all(integrality), "enumeration needs a pure-integer model"
+    ranges = [
+        range(int(math.ceil(lo)), int(math.floor(hi)) + 1)
+        for lo, hi in bounds
+    ]
+    for point in itertools.product(*ranges):
+        x = np.array(point, dtype=float)
+        if a_ub.size and np.any(a_ub @ x > b_ub + 1e-9):
+            continue
+        if a_eq.size and np.any(np.abs(a_eq @ x - b_eq) > 1e-9):
+            continue
+        yield x
+
+
+def _assert_valid_and_certified(cuts, a_ub, b_ub, a_eq, b_eq, bounds, integrality):
+    assert cuts, "expected at least one cut"
+    feasible = list(
+        _enumerate_feasible(a_ub, b_ub, a_eq, b_eq, bounds, integrality)
+    )
+    assert feasible
+    for cut in cuts:
+        for x in feasible:
+            assert cut.row @ x <= cut.rhs + 1e-9, (
+                f"{cut.kind} cut violates feasible point {x}"
+            )
+        cert = certify_cut(
+            cut, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+        )
+        assert cert.status == "certified", [str(v) for v in cert.violations]
+
+
+class TestCoverCuts:
+    def test_cover_cuts_are_valid_and_separate(self):
+        # Fractional knapsack optimum: 3x0 + 4x1 + 5x2 <= 6 maximizing
+        # the sum rests at a fractional vertex every cover cuts off.
+        a_ub = np.array([[3.0, 4.0, 5.0]])
+        b_ub = np.array([6.0])
+        a_eq = np.zeros((0, 3))
+        b_eq = np.zeros(0)
+        bounds = [(0.0, 1.0)] * 3
+        integrality = np.ones(3, dtype=bool)
+        compiled = CompiledModel(
+            np.array([-1.0, -1.0, -1.0]), a_ub, b_ub, a_eq, b_eq
+        )
+        relax = compiled.solve(bounds)
+        assert relax.status is SolveStatus.OPTIMAL
+        cuts = cover_cuts(a_ub, b_ub, bounds, integrality, relax.x)
+        _assert_valid_and_certified(
+            cuts, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+        )
+        for cut in cuts:
+            assert cut.kind == "cover"
+            # Separation: the fractional optimum violates the cut.
+            assert cut.row @ relax.x > cut.rhs + 1e-6
+
+    def test_negative_coefficients_complement(self):
+        # A row with a negative coefficient: validity must survive the
+        # complement mapping z = 1 - x.
+        a_ub = np.array([[4.0, -3.0, 5.0]])
+        b_ub = np.array([3.0])
+        a_eq = np.zeros((0, 3))
+        b_eq = np.zeros(0)
+        bounds = [(0.0, 1.0)] * 3
+        integrality = np.ones(3, dtype=bool)
+        x_star = np.array([0.9, 0.1, 0.7])  # any fractional probe point
+        cuts = cover_cuts(a_ub, b_ub, bounds, integrality, x_star)
+        if cuts:  # separation depends on the probe; validity must not
+            _assert_valid_and_certified(
+                cuts, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+            )
+            assert any(c.complemented for c in cuts)
+
+
+class TestGomoryCuts:
+    def test_gomory_cuts_are_valid_and_separate(self):
+        # 2x + 2y <= 3 over the unit box maximizing x + y: the LP rests
+        # at (1, 1/2) while the best integer point scores only 1.
+        c = np.array([-1.0, -1.0])
+        a_ub = np.array([[2.0, 2.0]])
+        b_ub = np.array([3.0])
+        a_eq = np.zeros((0, 2))
+        b_eq = np.zeros(0)
+        bounds = [(0.0, 1.0), (0.0, 1.0)]
+        integrality = np.ones(2, dtype=bool)
+        compiled = CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+        relax = compiled.solve(bounds)
+        assert relax.status is SolveStatus.OPTIMAL
+        frac = relax.x - np.floor(relax.x)
+        assert np.any((frac > 1e-6) & (frac < 1.0 - 1e-6))
+        cuts = gomory_cuts(
+            a_ub, b_ub, a_eq, b_eq, bounds, integrality, relax, compiled
+        )
+        _assert_valid_and_certified(
+            cuts, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+        )
+        for cut in cuts:
+            assert cut.kind == "gomory"
+            assert cut.lam is not None and cut.shifts is not None
+            assert cut.row @ relax.x > cut.rhs + 1e-9
+
+    def test_generate_cuts_mixes_families(self):
+        # A model with both a binary knapsack row and general-integer
+        # fractionality exercises both generators in one round.
+        c = np.array([-5.0, -4.0, -3.0, -2.0])
+        a_ub = np.array(
+            [
+                [3.0, 4.0, 5.0, 0.0],
+                [2.0, 0.0, 1.0, 3.0],
+            ]
+        )
+        b_ub = np.array([6.0, 7.0])
+        a_eq = np.zeros((0, 4))
+        b_eq = np.zeros(0)
+        bounds = [(0.0, 1.0)] * 3 + [(0.0, 4.0)]
+        integrality = np.ones(4, dtype=bool)
+        compiled = CompiledModel(c, a_ub, b_ub, a_eq, b_eq)
+        relax = compiled.solve(bounds)
+        assert relax.status is SolveStatus.OPTIMAL
+        cuts = generate_cuts(
+            a_ub, b_ub, a_eq, b_eq, bounds, integrality, relax, compiled
+        )
+        _assert_valid_and_certified(
+            cuts, a_ub, b_ub, a_eq, b_eq, bounds, integrality
+        )
+
+
+class TestEndToEndEquivalence:
+    def _random_milp(self, rng: random.Random) -> Model:
+        n = rng.randint(3, 6)
+        model = Model("cuts-equiv")
+        xs = [model.add_binary(f"x{i}") for i in range(n)]
+        for _ in range(rng.randint(1, 4)):
+            coefs = [rng.randint(0, 6) for _ in range(n)]
+            if not any(coefs):
+                continue
+            model.add_constr(
+                quicksum(c * x for c, x in zip(coefs, xs))
+                <= rng.randint(3, 10)
+            )
+        model.maximize(quicksum(rng.randint(1, 8) * x for x in xs))
+        return model
+
+    def test_seeded_random_milps_agree(self):
+        rng = random.Random(1958)  # Gomory's cutting-plane paper
+        for _ in range(30):
+            model = self._random_milp(rng)
+            on = solve_branch_bound(model, cuts=True, presolve=False)
+            off = solve_branch_bound(model, cuts=False, presolve=False)
+            assert on.status is off.status is SolveStatus.OPTIMAL
+            assert on.objective == pytest.approx(off.objective, abs=1e-6)
+            assert model.check_solution(on.values) == []
+            assert "cuts_added" in on.stats
+            assert off.stats["cuts_added"] == 0
+
+    def test_strict_certification_rejects_invalid_cut(self, monkeypatch):
+        # Smuggle an *invalid* inequality (it cuts off the optimum) into
+        # the separation round: strict mode must refuse to apply it and
+        # still reach the true optimum.
+        import repro.ilp.cuts as cuts_mod
+
+        def poisoned(a_ub, b_ub, a_eq, b_eq, bounds, integrality, relax,
+                     tableau_model, max_cuts=16):
+            n = len(bounds)
+            row = np.zeros(n)
+            row[0] = 1.0
+            # claims x0 <= 0, with a payload that cannot re-derive it
+            return [
+                Cut(
+                    row=row, rhs=0.0, kind="gomory",
+                    lam=[0] * (a_ub.shape[0] + a_eq.shape[0]),
+                    shifts=np.zeros(n, dtype=np.int8),
+                )
+            ]
+
+        # solve_branch_bound imports generate_cuts at call time, so the
+        # patch point is the cuts module itself.
+        monkeypatch.setattr(cuts_mod, "generate_cuts", poisoned)
+        model = Model("poisoned")
+        x = model.add_binary("x0")
+        y = model.add_binary("x1")
+        # Fractional root (x = 1, y = 1/2) so the separation round runs.
+        model.add_constr(2 * x + 2 * y <= 3)
+        model.maximize(2 * x + y)
+        sol = solve_branch_bound(
+            model, cuts=True, presolve=False, certify="strict"
+        )
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(2.0)  # x0 = 1 survived
+        assert sol.stats["cuts_rejected"] >= 1
+        assert sol.stats["cuts_added"] == 0

@@ -83,7 +83,11 @@ class TestUnboundedBelowRoot:
         x = m.add_integer("x", ub=10)
         m.add_constr(2 * x <= 3)
         m.maximize(x)
-        sol = solve_branch_bound(m)
+        # Presolve would fold 2x <= 3 into the bound (making the faked
+        # ceil child trivially empty), and the cut loop and rounding
+        # dive would bypass the monkeypatch; disable all three to keep
+        # the scenario intact.
+        sol = solve_branch_bound(m, presolve=False, cuts=False, dive=False)
         # Both children were dropped unexplored: the search must report
         # "unknown", not certify infeasibility.
         assert sol.status is SolveStatus.NO_SOLUTION
