@@ -16,7 +16,13 @@ Commands:
 * ``audit CASE [--policy N] [--certify audit|strict] [--json FILE]
   [--time-budget S]`` — synthesize one benchmark case and run the
   independent design audit (DESIGN.md §10); exits nonzero in strict
-  mode when any violation survives.
+  mode when any violation survives;
+* ``lifetime CASE [--wear-budget N] [--fail-prob P] [--faults SITE...]
+  [--mode compare|adaptive|static] [--json FILE]`` — run the
+  fault-adaptive lifetime engine (DESIGN.md §12): repeat the assay
+  under a stochastic + wear-driven failure model, remapping around
+  dead hardware, and report repetitions-to-failure adaptive vs.
+  static.
 
 ``--time-budget S`` bounds the whole synthesis to ``S`` seconds of
 wall clock; when the budget runs short the run degrades along the
@@ -132,6 +138,32 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         certify=args.certify,
     )
     return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.experiments.lifetime import main as lifetime_main
+
+    return lifetime_main(
+        args.case,
+        policy_index=args.policy,
+        mapper=args.mapper,
+        grid=args.grid,
+        wear_budget=args.wear_budget,
+        valve_fail_prob=args.fail_prob,
+        edge_fail_prob=args.edge_fail_prob,
+        wear_acceleration=args.wear_acceleration,
+        seed=args.seed,
+        max_runs=args.max_runs,
+        mode=args.mode,
+        remap_budget=args.remap_budget,
+        max_attempts=args.max_attempts,
+        preventive_horizon=args.preventive_horizon,
+        warm_start=not args.no_warm_start,
+        faults=args.faults,
+        faults_seed=args.faults_seed,
+        json_path=args.json,
+        show_events=args.events,
+    )
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -250,6 +282,92 @@ def build_parser() -> argparse.ArgumentParser:
         "(degrades instead of overrunning)",
     )
     p_audit.set_defaults(func=_cmd_audit)
+
+    p_life = sub.add_parser(
+        "lifetime",
+        help="fault-adaptive lifetime: repetitions-to-failure with "
+        "remapping around dead hardware (DESIGN.md §12)",
+    )
+    p_life.add_argument("case", help="benchmark case name (see 'cases')")
+    p_life.add_argument(
+        "--policy", type=int, default=1, help="policy index (default 1)"
+    )
+    p_life.add_argument(
+        "--mapper", default="auto",
+        choices=["auto", "greedy", "ilp", "windowed_ilp", "parallel"],
+        help="mapping engine used for every (re)synthesis",
+    )
+    p_life.add_argument(
+        "--grid", type=int, default=None, metavar="N",
+        help="grid side length (default: the case grid + 2 per side — "
+        "remapping needs spare area)",
+    )
+    p_life.add_argument(
+        "--wear-budget", type=int, default=None, metavar="N",
+        help="reliable actuations per valve/edge (default 4000)",
+    )
+    p_life.add_argument(
+        "--fail-prob", type=float, default=0.0, metavar="P",
+        help="per-run random death probability of each used valve cell",
+    )
+    p_life.add_argument(
+        "--edge-fail-prob", type=float, default=0.0, metavar="P",
+        help="per-run random death probability of each used channel edge",
+    )
+    p_life.add_argument(
+        "--wear-acceleration", type=float, default=0.0, metavar="A",
+        help="extra death hazard per unit wear fraction (worn valves "
+        "fail more often)",
+    )
+    p_life.add_argument(
+        "--seed", type=int, default=0, help="failure-model RNG seed"
+    )
+    p_life.add_argument(
+        "--max-runs", type=int, default=200,
+        help="stop after this many successful repetitions (default 200)",
+    )
+    p_life.add_argument(
+        "--mode", default="compare",
+        choices=["compare", "adaptive", "static"],
+        help="compare (default) runs both the adaptive and the static "
+        "engine on identical seeded failures",
+    )
+    p_life.add_argument(
+        "--remap-budget", type=float, default=None, metavar="S",
+        help="wall-clock budget per remap attempt in seconds (attempts "
+        "back off geometrically; default unbounded)",
+    )
+    p_life.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="remap attempts per failure before the chip is scrap",
+    )
+    p_life.add_argument(
+        "--preventive-horizon", type=int, default=1, metavar="N",
+        help="remap preventively when the design has <= N runs left "
+        "(wear leveling; negative disables)",
+    )
+    p_life.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable the incremental warm-start remap attempt",
+    )
+    p_life.add_argument(
+        "--faults", action="append", metavar="SITE[:SPEC][@AFTER]",
+        help="arm a chaos site for the run, e.g. chip.valve_dead:2@3 "
+        "(fire twice, skipping 3 checks) or chip.edge_dead:p0.05 "
+        "(5%% per check); repeatable",
+    )
+    p_life.add_argument(
+        "--faults-seed", type=int, default=0,
+        help="seed for probabilistic chaos plans",
+    )
+    p_life.add_argument(
+        "--events", action="store_true",
+        help="print the per-failure event log",
+    )
+    p_life.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON"
+    )
+    p_life.set_defaults(func=_cmd_lifetime)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.architecture.control_pins import (
     ControlPinReport,
     assign_control_pins,
 )
+from repro.architecture.health import ChipHealth
 
 __all__ = [
     "Valve",
@@ -50,4 +51,5 @@ __all__ = [
     "ring_edges",
     "ControlPinReport",
     "assign_control_pins",
+    "ChipHealth",
 ]

@@ -6,23 +6,33 @@ from typing import Dict, List, Optional
 
 from repro.errors import ArchitectureError
 from repro.geometry import GridSpec, Point
+from repro.architecture.health import ChipHealth
 from repro.architecture.port import ChipPort, PortKind
 from repro.architecture.valve_grid import VirtualValveGrid
 
 
 class Chip:
-    """A valve-centered biochip: grid + ports.
+    """A valve-centered biochip: grid + ports (+ a health mask).
 
     The default port layout matches the paper's PCR example (Section 4):
     two input ports and one output port.  Ports sit on boundary cells of
     the grid; routing paths start/end there (Section 3.5).
+
+    ``health`` records hardware that has failed in the field (dead valve
+    cells, dead channel edges); a freshly manufactured chip is fully
+    healthy.  Mapping, routing and the design audit all treat the mask
+    as hard exclusions (see :mod:`repro.architecture.health`).
     """
 
     def __init__(
-        self, spec: GridSpec, ports: Optional[List[ChipPort]] = None
+        self,
+        spec: GridSpec,
+        ports: Optional[List[ChipPort]] = None,
+        health: Optional[ChipHealth] = None,
     ) -> None:
         self.spec = spec
         self.grid = VirtualValveGrid(spec)
+        self.health = health if health is not None else ChipHealth.healthy()
         self.ports: Dict[str, ChipPort] = {}
         for port in ports if ports is not None else self.default_ports(spec):
             self.add_port(port)

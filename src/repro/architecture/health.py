@@ -1,0 +1,117 @@
+"""Chip health masks: which valves and channel segments are dead.
+
+The paper's premise is that valves wear out; the fault-adaptive
+lifetime engine (:mod:`repro.resilience.remap`) keeps a chip in service
+by re-synthesizing around failed hardware.  The contract between the
+two layers is this module: a :class:`ChipHealth` is an immutable mask
+of dead valve cells and dead channel edges that the mapping model
+(candidate enumeration), the router (Dijkstra move filter) and the
+design auditor all treat as **hard exclusions** — a placement whose
+rectangle touches a dead cell or whose flow crosses a dead segment is
+not a candidate, a route may not enter a dead cell or traverse a dead
+edge, and the auditor flags any design that does.
+
+Health masks are value objects: killing hardware returns a *new*
+``ChipHealth``, so a remap history is a sequence of masks, each one a
+superset of the last (dead hardware never resurrects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Sequence
+
+from repro.architecture.channel_edges import ChannelEdge, edge_between
+from repro.geometry import Point, Rect
+
+
+@dataclass(frozen=True)
+class ChipHealth:
+    """Immutable record of dead valve cells and dead channel edges."""
+
+    dead_cells: FrozenSet[Point] = field(default_factory=frozenset)
+    dead_edges: FrozenSet[ChannelEdge] = field(default_factory=frozenset)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def healthy(cls) -> "ChipHealth":
+        return cls()
+
+    def kill_cells(self, cells: Iterable[Point]) -> "ChipHealth":
+        """A new mask with ``cells`` additionally dead."""
+        return ChipHealth(
+            dead_cells=self.dead_cells | frozenset(cells),
+            dead_edges=self.dead_edges,
+        )
+
+    def kill_edges(self, edges: Iterable[ChannelEdge]) -> "ChipHealth":
+        """A new mask with ``edges`` additionally dead."""
+        return ChipHealth(
+            dead_cells=self.dead_cells,
+            dead_edges=self.dead_edges | frozenset(edges),
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def is_healthy(self) -> bool:
+        return not self.dead_cells and not self.dead_edges
+
+    @property
+    def dead_count(self) -> int:
+        return len(self.dead_cells) + len(self.dead_edges)
+
+    def is_cell_dead(self, cell: Point) -> bool:
+        return cell in self.dead_cells
+
+    def is_edge_dead(self, edge: ChannelEdge) -> bool:
+        return edge in self.dead_edges
+
+    def blocks_rect(self, rect: Rect) -> bool:
+        """May a device occupy ``rect``?  False only if fully healthy.
+
+        A device needs every valve of its footprint (ring valves pump,
+        interior and wall valves form the region) and every channel
+        segment inside it (the circulation flow crosses them), so any
+        dead cell in the rectangle — or any dead edge with both of its
+        cells inside — rules the placement out.
+        """
+        if self.dead_cells and any(rect.contains(c) for c in self.dead_cells):
+            return True
+        if self.dead_edges:
+            for edge in self.dead_edges:
+                a, b = edge.cells
+                if rect.contains(a) and rect.contains(b):
+                    return True
+        return False
+
+    def blocks_path(self, cells: Sequence[Point]) -> bool:
+        """May a transport flow along ``cells``?  Checks cells and hops."""
+        if self.dead_cells and any(c in self.dead_cells for c in cells):
+            return True
+        if self.dead_edges:
+            for a, b in zip(cells, cells[1:]):
+                if edge_between(a, b) in self.dead_edges:
+                    return True
+        return False
+
+    # -- reporting --------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (lifetime reports, CLI output)."""
+        return {
+            "dead_cells": [[c.x, c.y] for c in sorted(self.dead_cells)],
+            "dead_edges": [
+                [e.x, e.y, "h" if e.horizontal else "v"]
+                for e in sorted(self.dead_edges)
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_healthy:
+            return "ChipHealth(healthy)"
+        return (
+            f"ChipHealth({len(self.dead_cells)} dead cells, "
+            f"{len(self.dead_edges)} dead edges)"
+        )

@@ -19,6 +19,11 @@ from repro.assays.exponential_dilution import (
     exponential_dilution_graph,
     exponential_dilution_policy1,
 )
+from repro.assays.fuzzer import (
+    fuzz_case,
+    fuzz_graph,
+    fuzz_policy1,
+)
 from repro.assays.registry import (
     BenchmarkCase,
     CASES,
@@ -37,6 +42,9 @@ __all__ = [
     "interpolating_dilution_policy1",
     "exponential_dilution_graph",
     "exponential_dilution_policy1",
+    "fuzz_case",
+    "fuzz_graph",
+    "fuzz_policy1",
     "BenchmarkCase",
     "CASES",
     "get_case",

@@ -1,0 +1,138 @@
+"""Seeded random-assay fuzzer: structurally valid sequencing graphs.
+
+The four Table-1 cases pin down the paper's numbers, but they exercise
+only four DAG shapes.  The fuzzer generates arbitrary-but-valid assays —
+random mixing DAGs with tree and lattice features (fan-out products,
+non-1:1 ratios, the standard mixer size classes) — so the synthesis
+pipeline, the remap engine and the certification layer can be hammered
+with inputs nobody hand-picked.  Generation is fully deterministic in
+``(seed, operations)``: the same pair always yields the same graph, so a
+failing fuzz case is a reproducible bug report.
+
+Fuzz cases plug into the registry by name: ``fuzz``, ``fuzz:<seed>``
+and ``fuzz:<seed>:<ops>`` are accepted anywhere a benchmark case name
+is (``python -m repro lifetime fuzz:7:40 ...``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import AssayError
+from repro.assay.operation import MixRatio
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.baseline.policies import Policy
+
+#: The paper's mixer size classes (Table 1's ``#m`` columns).
+MIXER_SIZES: Tuple[int, ...] = (4, 6, 8, 10)
+
+#: Hard cap on the requested operation count ("up to ~100 ops").
+MAX_OPERATIONS = 100
+
+#: Non-1:1 two-input ratios the fuzzer sprinkles in.
+_RATIOS: Tuple[Tuple[int, int], ...] = ((1, 2), (1, 3), (2, 3), (1, 4))
+
+
+def fuzz_graph(seed: int = 0, operations: int = 40) -> SequencingGraph:
+    """Generate a random valid sequencing graph of ``operations`` ops.
+
+    Roughly a third of the operations are dispensed inputs, the rest
+    are mixing operations.  Each mix consumes one or two available
+    products; a product occasionally stays available after being
+    consumed (fan-out, as in the dilution lattices).  Volumes are
+    non-decreasing from parents to children, as in the hand-written
+    cases: early mixes are small, the final combinations large.
+    """
+    if not 4 <= operations <= MAX_OPERATIONS:
+        raise AssayError(
+            f"fuzz graph size must be in [4, {MAX_OPERATIONS}], "
+            f"got {operations}"
+        )
+    rng = random.Random(seed)
+    graph = SequencingGraph(f"fuzz:{seed}:{operations}")
+
+    n_inputs = max(2, operations // 3)
+    n_mixes = operations - n_inputs
+    # Available products: (name, volume class index; inputs count as -1
+    # so any mixer size can consume them).
+    available: List[Tuple[str, int]] = []
+    for i in range(n_inputs):
+        graph.add_input(f"in{i}", volume=2)
+        available.append((f"in{i}", -1))
+
+    for k in range(n_mixes):
+        # Leave enough products for the remaining mixes to each find a
+        # parent; take two whenever the pool allows it.
+        remaining = n_mixes - k - 1
+        take_two = len(available) >= 2 and (
+            len(available) - 2 >= min(remaining, 1) or rng.random() < 0.5
+        )
+        count = 2 if take_two else 1
+        picks = rng.sample(range(len(available)), count)
+        parents = [available[i] for i in picks]
+        # Fan-out: a consumed product sometimes stays available, like a
+        # dilution-lattice node feeding two children.
+        for i in sorted(picks, reverse=True):
+            if rng.random() >= 0.15:
+                available.pop(i)
+        floor = max(tier for _, tier in parents)
+        tier = rng.randint(max(floor, 0), len(MIXER_SIZES) - 1)
+        volume = MIXER_SIZES[tier]
+        ratio = None
+        if count == 2 and rng.random() < 0.2:
+            ratio = MixRatio(rng.choice(_RATIOS))
+        name = f"m{k + 1}"
+        graph.add_mix(
+            name, [p for p, _ in parents],
+            duration=volume, volume=volume, ratio=ratio,
+        )
+        available.append((name, tier))
+
+    graph.validate()
+    return graph
+
+
+def fuzz_policy1(graph: SequencingGraph) -> Policy:
+    """p1 for a fuzz graph: one mixer per size class the graph uses."""
+    sizes = sorted({op.volume for op in graph.mix_operations()})
+    return Policy(index=1, mixers={size: 1 for size in sizes}, detectors=0)
+
+
+def _grid_side(operations: int) -> int:
+    """Grid heuristic matched to the Table-1 cases (9..15 for 15..103
+    operations): enough area for one device bank plus routing slack."""
+    return min(16, 9 + operations // 16)
+
+
+def fuzz_case(seed: int = 0, operations: int = 40):
+    """A :class:`~repro.assays.registry.BenchmarkCase` for a fuzz graph."""
+    from repro.geometry import GridSpec
+    from repro.assays.registry import BenchmarkCase
+
+    graph = fuzz_graph(seed, operations)
+    side = _grid_side(operations)
+    return BenchmarkCase(
+        name=f"fuzz:{seed}:{operations}",
+        title=f"Fuzz (seed {seed}, {operations} ops)",
+        build_graph=lambda: fuzz_graph(seed, operations),
+        policy1=lambda: fuzz_policy1(graph),
+        grid=GridSpec(side, side),
+        total_operations=len(graph),
+        mix_operations=len(graph.mix_operations()),
+    )
+
+
+def fuzz_case_from_name(name: str):
+    """Parse ``fuzz[:seed[:ops]]`` into a benchmark case."""
+    parts = name.split(":")
+    if parts[0] != "fuzz" or len(parts) > 3:
+        raise AssayError(f"bad fuzz case name {name!r}; use fuzz:<seed>:<ops>")
+    try:
+        seed = int(parts[1]) if len(parts) > 1 else 0
+        operations = int(parts[2]) if len(parts) > 2 else 40
+    except ValueError:
+        raise AssayError(
+            f"bad fuzz case name {name!r}; seed and ops must be integers"
+        ) from None
+    return fuzz_case(seed, operations)

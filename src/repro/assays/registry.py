@@ -107,11 +107,16 @@ CASES: Dict[str, BenchmarkCase] = {
 
 
 def get_case(name: str) -> BenchmarkCase:
+    if name == "fuzz" or name.startswith("fuzz:"):
+        from repro.assays.fuzzer import fuzz_case_from_name
+
+        return fuzz_case_from_name(name)
     try:
         return CASES[name]
     except KeyError:
         raise AssayError(
-            f"unknown benchmark case {name!r}; available: {sorted(CASES)}"
+            f"unknown benchmark case {name!r}; available: {sorted(CASES)} "
+            f"or fuzz:<seed>:<ops>"
         ) from None
 
 

@@ -60,6 +60,7 @@ def audit(result: SynthesisResult) -> AuditReport:
     _check_actuation(result, report)
     _check_ledger(result, report)
     _check_lifetime(result, report)
+    _check_health(result, report)
     if TELEMETRY.enabled:
         TELEMETRY.count("certify.audits")
         if report.violations:
@@ -457,7 +458,14 @@ def _check_lifetime(result: SynthesisResult, report: AuditReport) -> None:
             measured=wear,
         )
         return
-    estimate = synthesis_lifetime(result)
+    estimate = synthesis_lifetime(result, allow_dead=True)
+    if estimate.is_dead_on_arrival:
+        report.add(
+            "lifetime-claim", "setting1",
+            "design is dead on arrival: one run exceeds the wear budget",
+            measured=wear, expected=DEFAULT_WEAR_BUDGET,
+        )
+        return
     expected_runs = DEFAULT_WEAR_BUDGET // wear
     if estimate.runs != expected_runs or estimate.wear_per_run != wear:
         report.add(
@@ -465,3 +473,41 @@ def _check_lifetime(result: SynthesisResult, report: AuditReport) -> None:
             "lifetime estimate is inconsistent with the claimed wear",
             measured=estimate.runs, expected=expected_runs,
         )
+
+
+# ---------------------------------------------------------------------------
+# health (dead hardware)
+# ---------------------------------------------------------------------------
+
+
+def _check_health(result: SynthesisResult, report: AuditReport) -> None:
+    """No device footprint and no routed path may touch dead hardware.
+
+    This is the oracle half of the fault-adaptive remapping contract
+    (DESIGN.md §12): the chip carries its :class:`ChipHealth` mask, and
+    a remapped design that still drives a dead valve or pumps fluid
+    across a dead channel segment is invalid — a mapper or router bug,
+    not a judgment call.
+    """
+    report.ran("health")
+    health = result.chip.health
+    if health.is_healthy:
+        return
+    for name, device in sorted(result.devices.items()):
+        if health.blocks_rect(device.rect):
+            dead = sorted(
+                c for c in device.rect.cells() if health.is_cell_dead(c)
+            )
+            where = f"dead cell {dead[0]}" if dead else "a dead channel edge"
+            report.add(
+                "dead-valve-use", name,
+                f"device footprint {device.rect} covers {where}",
+                measured=len(dead) if dead else 1, expected=0,
+            )
+    for route in result.routes:
+        if health.blocks_path(route.cells):
+            report.add(
+                "dead-route-use", route.event.label,
+                "routed path enters a dead cell or crosses a dead channel "
+                "edge",
+            )

@@ -34,41 +34,67 @@ class LifetimeEstimate:
     def is_single_use(self) -> bool:
         return self.runs <= 1
 
+    @property
+    def is_dead_on_arrival(self) -> bool:
+        """One run already exceeds the budget: the chip cannot complete
+        even a single assay.  Distinct from :attr:`is_single_use` (which
+        also covers the legitimate one-run chip) — a dead-on-arrival
+        estimate means the synthesis parameters and the wear budget are
+        irreconcilable, and callers should treat the design as unusable
+        rather than short-lived."""
+        return self.runs == 0
 
-def _estimate(wear_budget: int, wear_per_run: int) -> LifetimeEstimate:
+
+def _estimate(
+    wear_budget: int, wear_per_run: int, allow_dead: bool = False
+) -> LifetimeEstimate:
     if wear_budget <= 0:
         raise SynthesisError("wear budget must be positive")
     if wear_per_run <= 0:
         raise SynthesisError("one run must actuate at least one valve")
-    return LifetimeEstimate(
+    estimate = LifetimeEstimate(
         wear_budget=wear_budget,
         wear_per_run=wear_per_run,
         runs=wear_budget // wear_per_run,
     )
+    if estimate.is_dead_on_arrival and not allow_dead:
+        raise SynthesisError(
+            f"design is dead on arrival: one run wears the hottest valve "
+            f"{wear_per_run} times but the budget is only {wear_budget}"
+        )
+    return estimate
 
 
 def synthesis_lifetime(
     result: SynthesisResult,
     wear_budget: int = DEFAULT_WEAR_BUDGET,
     setting: int = 1,
+    allow_dead: bool = False,
 ) -> LifetimeEstimate:
     """Lifetime of a dynamic-device chip repeating the same assay.
 
     Repetition reuses the same synthesis result, so every run adds the
-    same per-valve wear; the most-worn valve dies first.
+    same per-valve wear; the most-worn valve dies first.  A design whose
+    single run already exceeds the budget raises :class:`SynthesisError`
+    ("dead on arrival") unless ``allow_dead`` is set, in which case the
+    estimate comes back with ``runs=0`` and
+    :attr:`LifetimeEstimate.is_dead_on_arrival` set.
     """
     metrics = (
         result.metrics.setting1 if setting == 1 else result.metrics.setting2
     )
-    return _estimate(wear_budget, metrics.max_total)
+    return _estimate(wear_budget, metrics.max_total, allow_dead=allow_dead)
 
 
 def traditional_lifetime(
     design: TraditionalDesign,
     wear_budget: int = DEFAULT_WEAR_BUDGET,
+    allow_dead: bool = False,
 ) -> LifetimeEstimate:
     """Lifetime of the traditional design repeating the same assay."""
-    return _estimate(wear_budget, design.max_pump_actuations)
+    return _estimate(
+        wear_budget, design.max_pump_actuations, allow_dead=allow_dead
+    )
 
 
 def lifetime_gain(

@@ -876,6 +876,7 @@ class WindowedILPMapper(BaseMapper):
             routing_convenient=spec.routing_convenient,
             parent_pairs=set(spec.parent_pairs),
             discouraged_cells=discouraged,
+            health=spec.health,
         )
 
     def _solve_window(

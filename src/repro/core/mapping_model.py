@@ -33,6 +33,7 @@ from repro.errors import SynthesisError
 from repro.geometry import GridSpec, Point
 from repro.architecture.device import DynamicDevice, Placement
 from repro.architecture.device_types import min_device_dimension, types_for_volume
+from repro.architecture.health import ChipHealth
 from repro.ilp import LinExpr, Model, Var, quicksum
 from repro.core.tasks import MappingTask
 
@@ -51,8 +52,11 @@ def _enumerate_candidates(
     anchor_stride: int,
     blocked_cells: FrozenSet[Point],
     volume: int,
+    health: Optional[ChipHealth] = None,
 ) -> Tuple[Placement, ...]:
-    key = (grid, anchor_stride, blocked_cells, volume)
+    if health is not None and health.is_healthy:
+        health = None  # one cache entry for every fully-healthy mask
+    key = (grid, anchor_stride, blocked_cells, volume, health)
     cached = _CANDIDATE_CACHE.get(key)
     if cached is None:
         candidates: List[Placement] = []
@@ -63,6 +67,8 @@ def _enumerate_candidates(
                 if blocked_cells and any(
                     rect.contains(c) for c in blocked_cells
                 ):
+                    continue
+                if health is not None and health.blocks_rect(rect):
                     continue
                 candidates.append(Placement(dtype, rect.corner))
         cached = _CANDIDATE_CACHE[key] = tuple(candidates)
@@ -102,6 +108,10 @@ class MappingSpec:
     #: explicitly so parent/child relations survive when one side is a
     #: committed device.  Derived from the tasks when left empty.
     parent_pairs: Set[Pair] = field(default_factory=set)
+    #: hardware health mask: candidates touching a dead valve cell or a
+    #: dead channel edge are excluded outright (fault-adaptive remapping,
+    #: DESIGN.md §12).  None means fully healthy.
+    health: Optional[ChipHealth] = None
 
     def __post_init__(self) -> None:
         if not self.parent_pairs:
@@ -129,12 +139,18 @@ class MappingSpec:
     def candidate_placements(self, task: MappingTask) -> Tuple[Placement, ...]:
         """All legal placements of one task on the grid (memoized)."""
         candidates = _enumerate_candidates(
-            self.grid, self.anchor_stride, self.blocked_cells, task.volume
+            self.grid, self.anchor_stride, self.blocked_cells, task.volume,
+            self.health,
         )
         if not candidates:
+            dead = (
+                f" with {self.health.dead_count} dead resources"
+                if self.health is not None and not self.health.is_healthy
+                else ""
+            )
             raise SynthesisError(
                 f"{task.name}: no feasible placement on the "
-                f"{self.grid.width}x{self.grid.height} grid"
+                f"{self.grid.width}x{self.grid.height} grid{dead}"
             )
         return candidates
 

@@ -31,6 +31,7 @@ from repro.assay.schedule import Schedule
 from repro.assay.sequencing_graph import SequencingGraph
 from repro.architecture.chip import Chip
 from repro.architecture.device import DynamicDevice
+from repro.architecture.health import ChipHealth
 from repro.architecture.port import ChipPort
 from repro.core.actuation import AccountingPolicy, ActuationAccountant
 from repro.core.events import build_transport_events
@@ -81,6 +82,17 @@ class SynthesisConfig:
     #: result), or ``"strict"`` (additionally raise
     #: :class:`~repro.errors.CertificationError` on any violation).
     certify: str = "off"
+    #: hardware health mask (DESIGN.md §12): dead valve cells / channel
+    #: edges are hard exclusions for mapping and routing.  None means a
+    #: fully healthy chip; the fault-adaptive lifetime engine
+    #: (:mod:`repro.resilience.remap`) re-synthesizes with the current
+    #: mask after every detected failure.
+    health: Optional[ChipHealth] = None
+    #: pre-existing per-cell load added into the mapping objective
+    #: (eq. 2's p_i terms).  The lifetime engine passes the chip's
+    #: accumulated wear here, so every remap *levels* wear: new
+    #: placements prefer fresh cells over nearly-exhausted ones.
+    base_load: Optional[Dict] = None
 
     def resolve_mapper(self, n_tasks: int) -> BaseMapper:
         if self.mapper is not None:
@@ -124,12 +136,14 @@ class ReliabilitySynthesizer:
             spec = MappingSpec(
                 grid=config.grid,
                 tasks=tasks,
+                base_load=dict(config.base_load or {}),
                 forbidden_overlaps=set(forbidden),
                 blocked_cells=blocked,
                 anchor_stride=config.anchor_stride,
                 distance_limit=config.distance_limit,
                 routing_convenient=routing_convenient,
                 allow_storage_overlap=config.allow_storage_overlap,
+                health=config.health,
             )
             mapping = self._map_once(spec, mapper, deadline, ladder)
             violations = storage_plan.overlap_violations(mapping.placements)
@@ -204,7 +218,7 @@ class ReliabilitySynthesizer:
         # L1-L2: read inputs, build the virtual valve architecture.
         graph.validate()
         schedule.validate()
-        chip = Chip(config.grid, config.ports)
+        chip = Chip(config.grid, config.ports, config.health)
         tasks = build_tasks(graph, schedule)
         if not tasks:
             raise SynthesisError("the assay has no mixing operations to map")

@@ -12,7 +12,12 @@ This package makes failure handling a first-class, tested subsystem
   ``resilience.*`` telemetry, ``SynthesisResult.resilience`` and the
   ``python -m repro profile`` report;
 * :class:`FaultInjector` (singleton :data:`FAULTS`) — seeded,
-  site-keyed failure injection powering the chaos test suite.
+  site-keyed failure injection powering the chaos test suite;
+* :mod:`repro.resilience.remap` — the fault-adaptive lifetime engine
+  (DESIGN.md §12): repeats an assay under a stochastic + wear-driven
+  failure model and re-synthesizes around dead hardware.  Its names are
+  re-exported lazily (module ``__getattr__``) because the engine
+  imports the synthesis pipeline, which itself imports this package.
 """
 
 from repro.resilience.deadline import Deadline
@@ -23,6 +28,17 @@ from repro.resilience.report import (
     ResilienceReport,
 )
 
+_REMAP_EXPORTS = (
+    "AdaptiveLifetimeEngine",
+    "FailureModel",
+    "FailureProcess",
+    "LifetimeComparison",
+    "LifetimeEvent",
+    "LifetimeReport",
+    "RemapPolicy",
+    "compare_lifetimes",
+)
+
 __all__ = [
     "Deadline",
     "DegradationLadder",
@@ -31,4 +47,13 @@ __all__ = [
     "FaultSpec",
     "ResilienceEvent",
     "ResilienceReport",
+    *_REMAP_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _REMAP_EXPORTS:
+        from repro.resilience import remap
+
+        return getattr(remap, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

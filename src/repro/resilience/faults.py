@@ -23,6 +23,10 @@ site                effect when fired
 ``certify.audit``   the design auditor receives a tampered copy of the
                     result (shifted placement + understated objective);
                     chaos tests assert the tampering is *caught*
+``chip.valve_dead`` the lifetime engine's most-worn used valve cell
+                    dies after the current assay run (fault-adaptive
+                    remapping, DESIGN.md §12)
+``chip.edge_dead``  likewise for the most-worn used channel edge
 ==================  ====================================================
 
 Design constraints (mirrored by ``tests/resilience/test_faults.py``):

@@ -19,12 +19,18 @@ from repro.obs import TELEMETRY
 #: marks an obstacle.
 CostFn = Callable[[Point], float]
 
+#: Move filter: may the flow hop from cell a to adjacent cell b?  Used
+#: for dead channel edges (``ChipHealth.dead_edges``); ``None`` means
+#: every 4-adjacent hop is allowed and keeps the hot path branch-free.
+EdgeFn = Callable[[Point, Point], bool]
+
 
 def dijkstra_path(
     grid: GridSpec,
     sources: Iterable[Point],
     targets: Iterable[Point],
     cost_of: CostFn,
+    edge_ok: Optional[EdgeFn] = None,
 ) -> Optional[List[Point]]:
     """Cheapest 4-connected path from any source to any target.
 
@@ -34,7 +40,8 @@ def dijkstra_path(
 
     Source cells are entered for free (the fluid is already there);
     target cells still pay their own cost, so a target inside a blocked
-    region is unreachable.
+    region is unreachable.  ``edge_ok`` additionally vetoes individual
+    hops (dead channel segments) independent of cell costs.
     """
     target_set: Set[Point] = {t for t in targets if grid.in_bounds(t)}
     if not target_set:
@@ -68,6 +75,8 @@ def dijkstra_path(
             path.reverse()
             break
         for v in grid.neighbors4(u):
+            if edge_ok is not None and not edge_ok(u, v):
+                continue
             step = cost_of(v)
             if math.isinf(step):
                 continue

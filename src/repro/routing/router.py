@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 from repro.errors import RoutingError
 from repro.geometry import GridSpec, Point
 from repro.obs import TELEMETRY
+from repro.architecture.channel_edges import edge_between
 from repro.architecture.chip import Chip
 from repro.architecture.device import DeviceKind, DynamicDevice
 from repro.resilience import Deadline
@@ -146,6 +147,11 @@ class Router:
         t = event.time
         sources = ctx.endpoint_cells(event.source, event.source_is_port)
         targets = ctx.endpoint_cells(event.target, event.target_is_port)
+        if not ctx.chip.health.is_healthy:
+            # a path may not *start* on a dead cell either; sources are
+            # entered for free so cost_of never sees them
+            dead = ctx.chip.health.dead_cells
+            sources = [c for c in sources if c not in dead]
         endpoint_ok = set(sources) | set(targets)
 
         blocked: Set[Point] = set()
@@ -169,7 +175,16 @@ class Router:
         for other in concurrent:
             congested.update(other.cells)
 
+        # Dead hardware is a hard exclusion: a route may not enter a
+        # dead valve cell (not even as an endpoint) nor hop a dead
+        # channel segment.  Healthy chips skip both checks entirely.
+        health = ctx.chip.health
+        dead_cells = health.dead_cells
+        dead_edges = health.dead_edges
+
         def cost_of(cell: Point) -> float:
+            if dead_cells and cell in dead_cells:
+                return math.inf
             if cell in blocked and cell not in endpoint_ok:
                 return math.inf
             cost = BASE_COST
@@ -179,7 +194,12 @@ class Router:
                 cost += CROSS_PENALTY
             return cost
 
-        cells = dijkstra_path(ctx.grid, sources, targets, cost_of)
+        edge_ok = None
+        if dead_edges:
+            def edge_ok(a: Point, b: Point) -> bool:
+                return edge_between(a, b) not in dead_edges
+
+        cells = dijkstra_path(ctx.grid, sources, targets, cost_of, edge_ok)
         if cells is None:
             return None
         return RoutedPath(event, cells)

@@ -6,7 +6,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
+from repro.geometry import GridSpec, Point
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.architecture.health import ChipHealth
     from repro.core.result import SynthesisResult
 
 
@@ -56,6 +59,10 @@ def render_layout(result: "SynthesisResult", t: int) -> str:
     """
     spec = result.chip.spec
     grid: Dict[tuple, str] = {}
+    health = result.chip.health
+    if not health.is_healthy:
+        for cell in health.dead_cells:
+            grid[(cell.x, cell.y)] = "X"
     alive = sorted(result.active_devices(t), key=lambda d: (d.start, d.operation))
     for letter_index, device in enumerate(alive):
         letter = chr(ord("A") + letter_index % 26)
@@ -69,6 +76,36 @@ def render_layout(result: "SynthesisResult", t: int) -> str:
     legend = ", ".join(
         f"{chr(ord('A') + i % 26)}={d.operation}" for i, d in enumerate(alive)
     )
+    if not health.is_healthy:
+        legend = (legend + "  " if legend else "") + "X=dead"
     return (f"t = {t}tu  {legend}\n" if legend else f"t = {t}tu\n") + "\n".join(
         lines
     )
+
+
+def render_health(spec: GridSpec, health: "ChipHealth") -> str:
+    """The dead-hardware map of a chip at double resolution.
+
+    Valve cells occupy even rows/columns (``o`` healthy, ``X`` dead);
+    the channel segment between two adjacent cells occupies the
+    character between them (``x`` when the segment's edge valve is
+    dead, blank otherwise).  This is the picture to read next to a
+    remap event: which valves and channels the engine had to avoid.
+    """
+    width = 2 * spec.width - 1
+    lines: List[str] = []
+    for y in range(spec.height - 1, -1, -1):
+        row = [" "] * width
+        for x in range(spec.width):
+            row[2 * x] = "X" if health.is_cell_dead(Point(x, y)) else "o"
+        for edge in health.dead_edges:
+            if edge.horizontal and edge.y == y:
+                row[2 * edge.x + 1] = "x"
+        lines.append("".join(row))
+        if y > 0:
+            gap = [" "] * width
+            for edge in health.dead_edges:
+                if not edge.horizontal and edge.y == y - 1:
+                    gap[2 * edge.x] = "x"
+            lines.append("".join(gap))
+    return "\n".join(lines)

@@ -2,27 +2,40 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.architecture.health import ChipHealth
 from repro.architecture.valve_grid import VirtualValveGrid
+from repro.geometry import Point
 
 #: Wear buckets, lightest to heaviest.
 _GLYPHS = " .:-=+*#%@"
 
+#: Dead-hardware marker (fault-adaptive remapping, DESIGN.md §12).
+_DEAD = "X"
 
-def render_heatmap(grid: VirtualValveGrid) -> str:
+
+def render_heatmap(
+    grid: VirtualValveGrid, health: Optional[ChipHealth] = None
+) -> str:
     """Relative wear of every valve as a character density map.
 
     The heaviest-worn valve maps to ``@``; valves removed from the
-    design (never actuated) print as spaces.
+    design (never actuated) print as spaces.  With a ``health`` mask,
+    dead valve cells print ``X`` regardless of their wear, so a remap
+    result shows the hardware the engine routed around.
     """
     matrix = grid.total_actuation_matrix()
     peak = matrix.max()
+    height = grid.spec.height
     lines: List[str] = []
-    for row in matrix:
+    for row_index, row in enumerate(matrix):
         glyphs = []
-        for value in row:
-            if value == 0:
+        for x, value in enumerate(row):
+            cell = Point(x, height - 1 - row_index)
+            if health is not None and health.is_cell_dead(cell):
+                glyphs.append(_DEAD)
+            elif value == 0:
                 glyphs.append(_GLYPHS[0])
             else:
                 bucket = 1 + int((len(_GLYPHS) - 2) * value / peak)

@@ -1,0 +1,89 @@
+"""Unit tests for the chip health mask (dead valves / channel edges)."""
+
+import pytest
+
+from repro.architecture.channel_edges import ChannelEdge
+from repro.architecture.chip import Chip
+from repro.architecture.health import ChipHealth
+from repro.geometry import GridSpec, Point, Rect
+
+
+class TestConstruction:
+    def test_healthy_mask_is_empty(self):
+        h = ChipHealth.healthy()
+        assert h.is_healthy
+        assert h.dead_count == 0
+
+    def test_kill_cells_returns_new_mask(self):
+        h = ChipHealth.healthy()
+        h2 = h.kill_cells([Point(1, 1)])
+        assert h.is_healthy  # original untouched
+        assert h2.is_cell_dead(Point(1, 1))
+        assert h2.dead_count == 1
+
+    def test_kill_edges_returns_new_mask(self):
+        edge = ChannelEdge(0, 0, horizontal=True)
+        h = ChipHealth.healthy().kill_edges([edge])
+        assert h.is_edge_dead(edge)
+        assert not h.is_cell_dead(Point(0, 0))
+
+    def test_masks_only_grow(self):
+        h = ChipHealth.healthy().kill_cells([Point(0, 0)])
+        h2 = h.kill_cells([Point(1, 1)])
+        assert h2.dead_cells >= h.dead_cells
+        assert h2.dead_count == 2
+
+    def test_kill_is_idempotent(self):
+        h = ChipHealth.healthy().kill_cells([Point(0, 0)])
+        assert h.kill_cells([Point(0, 0)]).dead_count == 1
+
+
+class TestBlocking:
+    def test_dead_cell_blocks_containing_rect(self):
+        h = ChipHealth.healthy().kill_cells([Point(2, 2)])
+        assert h.blocks_rect(Rect(1, 1, 3, 3))
+        assert not h.blocks_rect(Rect(3, 3, 3, 3))
+
+    def test_dead_edge_blocks_rect_containing_both_cells(self):
+        edge = ChannelEdge(2, 2, horizontal=True)  # (2,2)-(3,2)
+        h = ChipHealth.healthy().kill_edges([edge])
+        assert h.blocks_rect(Rect(2, 2, 3, 2))
+        # only one endpoint inside: the segment is outside the device
+        assert not h.blocks_rect(Rect(0, 0, 3, 3))
+
+    def test_dead_cell_blocks_path(self):
+        h = ChipHealth.healthy().kill_cells([Point(1, 0)])
+        assert h.blocks_path([Point(0, 0), Point(1, 0), Point(2, 0)])
+        assert not h.blocks_path([Point(0, 1), Point(1, 1)])
+
+    def test_dead_edge_blocks_path_hop(self):
+        h = ChipHealth.healthy().kill_edges(
+            [ChannelEdge(0, 0, horizontal=True)]
+        )
+        assert h.blocks_path([Point(0, 0), Point(1, 0)])
+        # same cells visited, but not over the dead hop
+        assert not h.blocks_path([Point(1, 0), Point(1, 1)])
+
+    def test_healthy_mask_blocks_nothing(self):
+        h = ChipHealth.healthy()
+        assert not h.blocks_rect(Rect(0, 0, 9, 9))
+        assert not h.blocks_path([Point(0, 0), Point(0, 1)])
+
+
+class TestReporting:
+    def test_as_dict_round_trip_friendly(self):
+        h = ChipHealth.healthy().kill_cells([Point(1, 2)]).kill_edges(
+            [ChannelEdge(3, 4, horizontal=False)]
+        )
+        d = h.as_dict()
+        assert d["dead_cells"] == [[1, 2]]
+        assert d["dead_edges"] == [[3, 4, "v"]]
+
+    def test_chip_defaults_to_healthy(self):
+        chip = Chip(GridSpec(5, 5))
+        assert chip.health.is_healthy
+
+    def test_chip_carries_mask(self):
+        mask = ChipHealth.healthy().kill_cells([Point(0, 0)])
+        chip = Chip(GridSpec(5, 5), health=mask)
+        assert chip.health.is_cell_dead(Point(0, 0))

@@ -1,0 +1,104 @@
+"""Tests for the seeded random-assay fuzzer."""
+
+import pytest
+
+from repro.errors import AssayError
+from repro.assays import fuzz_case, fuzz_graph, fuzz_policy1, get_case
+from repro.assays.fuzzer import MAX_OPERATIONS, MIXER_SIZES
+from repro.assays.registry import schedule_for
+
+
+class TestGeneration:
+    def test_exact_operation_count(self):
+        for ops in (4, 17, 40, MAX_OPERATIONS):
+            assert len(fuzz_graph(0, ops)) == ops
+
+    def test_every_seed_yields_a_valid_graph(self):
+        for seed in range(20):
+            graph = fuzz_graph(seed, 30)
+            graph.validate()  # raises on structural violations
+
+    def test_deterministic_in_seed(self):
+        a = fuzz_graph(5, 40)
+        b = fuzz_graph(5, 40)
+        assert [op.name for op in a.operations()] == [
+            op.name for op in b.operations()
+        ]
+        assert [op.volume for op in a.operations()] == [
+            op.volume for op in b.operations()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = fuzz_graph(1, 40)
+        b = fuzz_graph(2, 40)
+        assert [
+            (op.name, op.volume, [p.name for p in a.parents(op.name)])
+            for op in a.operations()
+        ] != [
+            (op.name, op.volume, [p.name for p in b.parents(op.name)])
+            for op in b.operations()
+        ]
+
+    def test_volumes_are_standard_sizes(self):
+        graph = fuzz_graph(3, 60)
+        assert all(
+            op.volume in MIXER_SIZES for op in graph.mix_operations()
+        )
+
+    def test_volumes_never_shrink_downstream(self):
+        graph = fuzz_graph(7, 60)
+        for op in graph.mix_operations():
+            for parent in graph.mix_parents(op.name):
+                assert parent.volume <= op.volume
+
+    def test_size_bounds_rejected(self):
+        with pytest.raises(AssayError, match="fuzz graph size"):
+            fuzz_graph(0, 3)
+        with pytest.raises(AssayError, match="fuzz graph size"):
+            fuzz_graph(0, MAX_OPERATIONS + 1)
+
+
+class TestPolicy:
+    def test_policy_covers_used_sizes(self):
+        graph = fuzz_graph(4, 50)
+        policy = fuzz_policy1(graph)
+        used = {op.volume for op in graph.mix_operations()}
+        assert set(policy.mixers) == used
+        assert all(count == 1 for count in policy.mixers.values())
+
+
+class TestRegistry:
+    def test_get_case_parses_fuzz_names(self):
+        case = get_case("fuzz:7:30")
+        assert case.name == "fuzz:7:30"
+        assert case.total_operations == 30
+        case.graph()  # count validation inside BenchmarkCase
+
+    def test_get_case_defaults(self):
+        assert get_case("fuzz").total_operations == 40
+        assert get_case("fuzz:3").total_operations == 40
+
+    def test_bad_fuzz_names_rejected(self):
+        with pytest.raises(AssayError):
+            get_case("fuzz:a:b")
+        with pytest.raises(AssayError):
+            get_case("fuzz:1:2:3")
+
+    def test_unknown_case_error_mentions_fuzz(self):
+        with pytest.raises(AssayError, match="fuzz"):
+            get_case("nonexistent")
+
+    def test_grid_scales_with_size(self):
+        small = fuzz_case(0, 10).grid
+        large = fuzz_case(0, 100).grid
+        assert small.width < large.width
+
+    def test_fuzz_case_schedules(self):
+        case = get_case("fuzz:7:30")
+        schedule = schedule_for(case, case.policy1())
+        assert schedule.makespan > 0
+
+    def test_policies_sequence_grows(self):
+        case = get_case("fuzz:2:24")
+        p1, p2 = case.policies(2)
+        assert sum(p2.mixers.values()) >= sum(p1.mixers.values())

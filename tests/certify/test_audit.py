@@ -49,6 +49,7 @@ def test_clean_result_audits_clean(clean_result) -> None:
     assert report.ok, [str(v) for v in report.violations]
     assert set(report.checks) == {
         "devices", "storage", "routes", "actuation", "ledger", "lifetime",
+        "health",
     }
 
 

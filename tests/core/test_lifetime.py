@@ -51,7 +51,68 @@ class TestEstimates:
     def test_single_use_detection(self):
         estimate = LifetimeEstimate(wear_budget=100, wear_per_run=90, runs=1)
         assert estimate.is_single_use
+        assert not estimate.is_dead_on_arrival  # one run still completes
 
     def test_invalid_budget(self, pcr_result):
         with pytest.raises(SynthesisError):
             synthesis_lifetime(pcr_result, wear_budget=0)
+
+
+class TestDeadOnArrival:
+    """wear_per_run > wear_budget must never pass silently as runs=0."""
+
+    def test_synthesis_lifetime_raises_by_default(self, pcr_result):
+        wear = pcr_result.metrics.setting1.max_total
+        with pytest.raises(SynthesisError, match="dead on arrival"):
+            synthesis_lifetime(pcr_result, wear_budget=wear - 1)
+
+    def test_allow_dead_returns_flagged_estimate(self, pcr_result):
+        wear = pcr_result.metrics.setting1.max_total
+        estimate = synthesis_lifetime(
+            pcr_result, wear_budget=wear - 1, allow_dead=True
+        )
+        assert estimate.runs == 0
+        assert estimate.is_dead_on_arrival
+        assert estimate.is_single_use  # DOA is a subset of single-use
+
+    def test_traditional_lifetime_raises_too(self):
+        case = get_case("pcr")
+        graph = case.graph()
+        policy = case.policy1()
+        design = traditional_design(graph, policy, schedule_for(case, policy))
+        with pytest.raises(SynthesisError, match="dead on arrival"):
+            traditional_lifetime(design, wear_budget=10)
+        estimate = traditional_lifetime(design, wear_budget=10, allow_dead=True)
+        assert estimate.is_dead_on_arrival
+
+    def test_exact_budget_is_one_run_not_doa(self):
+        estimate = LifetimeEstimate(wear_budget=90, wear_per_run=90, runs=1)
+        assert not estimate.is_dead_on_arrival
+
+    def test_audit_flags_doa_instead_of_raising(self, pcr_result):
+        """The auditor must report a DOA design as a violation, not crash."""
+        from types import SimpleNamespace
+
+        from repro.certify.audit import _check_lifetime
+        from repro.certify.report import AuditReport
+
+        report = AuditReport("ok")
+        _check_lifetime(pcr_result, report)  # healthy result: no flags
+        assert not any(
+            v.kind == "lifetime-claim" for v in report.violations
+        )
+
+        doa = SimpleNamespace(
+            metrics=SimpleNamespace(
+                setting1=SimpleNamespace(
+                    max_total=DEFAULT_WEAR_BUDGET + 1
+                )
+            )
+        )
+        report = AuditReport("doa")
+        _check_lifetime(doa, report)  # must not raise
+        flagged = [
+            v for v in report.violations if v.kind == "lifetime-claim"
+        ]
+        assert len(flagged) == 1
+        assert "dead on arrival" in flagged[0].detail

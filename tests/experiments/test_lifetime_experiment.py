@@ -1,0 +1,58 @@
+"""Tests for the lifetime experiment driver (``repro lifetime``)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.faults import FaultSpec
+from repro.experiments.lifetime import GRID_MARGIN, parse_fault, run_lifetime
+
+
+class TestParseFault:
+    def test_bare_site_fires_once(self):
+        site, spec = parse_fault("chip.valve_dead")
+        assert site == "chip.valve_dead"
+        assert spec == FaultSpec(times=1, after=0, prob=None)
+
+    def test_count_and_after(self):
+        site, spec = parse_fault("chip.valve_dead:2@3")
+        assert spec == FaultSpec(times=2, after=3, prob=None)
+
+    def test_probability_spec(self):
+        site, spec = parse_fault("chip.edge_dead:p0.25")
+        assert spec == FaultSpec(times=None, after=0, prob=0.25)
+
+    def test_after_without_count(self):
+        site, spec = parse_fault("routing.route:@5")
+        assert spec == FaultSpec(times=1, after=5, prob=None)
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ReproError, match="empty site"):
+            parse_fault(":1")
+
+
+class TestRunLifetime:
+    def test_compare_payload_shape(self):
+        payload = run_lifetime(
+            "fuzz:1:12", mapper="greedy", wear_budget=100000,
+            max_runs=3, mode="compare",
+        )
+        assert set(payload) >= {"adaptive", "static", "gain", "case", "grid"}
+        assert payload["adaptive"]["runs"] == 3
+        assert payload["static"]["runs"] == 3
+        assert payload["gain"] == 1.0  # nothing died: same service life
+
+    def test_grid_margin_default(self):
+        payload = run_lifetime(
+            "fuzz:1:12", mapper="greedy", wear_budget=100000,
+            max_runs=1, mode="static",
+        )
+        from repro.assays import get_case
+
+        case = get_case("fuzz:1:12")
+        assert payload["grid"] == max(
+            case.grid.width, case.grid.height
+        ) + GRID_MARGIN
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="unknown mode"):
+            run_lifetime("pcr", mode="chaotic")

@@ -84,6 +84,18 @@ class TestDeterminism:
     def test_different_seed_different_fires(self):
         assert self.probabilistic_run(1) != self.probabilistic_run(2)
 
+    def test_reentry_replays_the_same_stream(self, injector):
+        """Re-arming resets the crc32(site)^seed RNGs: the probabilistic
+        stream replays identically across inject re-entry."""
+        plan = {"x": FaultSpec(times=None, prob=0.5)}
+        streams = []
+        for _ in range(2):
+            with injector.inject(plan, seed=9):
+                streams.append(
+                    [injector.should_fire("x") for _ in range(32)]
+                )
+        assert streams[0] == streams[1]
+
     def test_sites_draw_independent_streams(self, injector):
         plan = {
             "a": FaultSpec(times=None, prob=0.5),
@@ -107,7 +119,51 @@ class TestModuleSingleton:
 
         src = pathlib.Path(repro.__file__).parent
         code = "\n".join(
-            p.read_text() for p in src.rglob("*.py") if "resilience" not in p.parts
+            p.read_text() for p in src.rglob("*.py") if p.name != "faults.py"
         )
-        for site in ("bb.time_limit", "scipy.milp", "mapper.pool", "routing.route"):
+        for site in (
+            "bb.time_limit",
+            "scipy.milp",
+            "mapper.pool",
+            "routing.route",
+            "chip.valve_dead",
+            "chip.edge_dead",
+        ):
             assert f'should_fire("{site}")' in code, site
+
+
+class TestChipSitesZeroOverhead:
+    """The chip.* sites cost one attribute read when disarmed."""
+
+    def test_disarmed_injected_failures_never_consult_the_plan(
+        self, monkeypatch
+    ):
+        from repro.geometry import Point
+        from repro.resilience import FailureModel, FailureProcess
+        import repro.resilience.faults as faults_module
+
+        process = FailureProcess(FailureModel())
+
+        def boom(self, site):  # pragma: no cover - must not run
+            raise AssertionError("should_fire consulted while disarmed")
+
+        monkeypatch.setattr(faults_module.FaultInjector, "should_fire", boom)
+        assert not faults_module.FAULTS.armed
+        dead_c, dead_e = process.injected_failures({Point(0, 0): 1}, {})
+        assert dead_c == [] and dead_e == []
+
+    def test_armed_chip_sites_kill_the_most_worn_resource(self):
+        from repro.geometry import Point
+        from repro.architecture.channel_edges import ChannelEdge
+        from repro.resilience import FAULTS, FailureModel, FailureProcess
+
+        process = FailureProcess(FailureModel())
+        cells = {Point(0, 0): 5, Point(1, 0): 9}
+        edges = {
+            ChannelEdge(0, 0, horizontal=True): 3,
+            ChannelEdge(0, 0, horizontal=False): 8,
+        }
+        with FAULTS.inject({"chip.valve_dead": 1, "chip.edge_dead": 1}):
+            dead_c, dead_e = process.injected_failures(cells, edges)
+        assert dead_c == [Point(1, 0)]
+        assert dead_e == [ChannelEdge(0, 0, horizontal=False)]

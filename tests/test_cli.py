@@ -18,6 +18,16 @@ class TestParser:
         args = build_parser().parse_args(["synth", "assay.txt"])
         assert args.grid == 10 and args.schedule is None
 
+    def test_lifetime_args(self):
+        args = build_parser().parse_args([
+            "lifetime", "pcr", "--wear-budget", "500", "--mode", "adaptive",
+            "--faults", "chip.valve_dead:2@3", "--faults", "chip.edge_dead",
+        ])
+        assert args.case == "pcr"
+        assert args.wear_budget == 500
+        assert args.mode == "adaptive"
+        assert args.faults == ["chip.valve_dead:2@3", "chip.edge_dead"]
+
 
 class TestCommands:
     def test_cases_listing(self, capsys):
@@ -64,6 +74,26 @@ class TestCommands:
         assert main(["speedup", "pcr"]) == 0
         out = capsys.readouterr().out
         assert "speedup" in out and "pcr" in out
+
+    def test_lifetime_command(self, tmp_path, capsys):
+        """The whole adaptive-lifetime loop through the CLI, with chaos."""
+        out_file = tmp_path / "life.json"
+        assert main([
+            "lifetime", "fuzz:1:12", "--mapper", "greedy",
+            "--wear-budget", "100000", "--max-runs", "4",
+            "--mode", "adaptive", "--faults", "chip.valve_dead:1@1",
+            "--events", "--json", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out
+        assert "chaos faults fired" in out
+        assert "valve-dead" in out
+        import json
+
+        data = json.loads(out_file.read_text())
+        assert data["adaptive"]["runs"] == 4
+        assert data["faults_fired"] == {"chip.valve_dead": 1}
+        assert len(data["adaptive"]["final_health"]["dead_cells"]) == 1
 
     def test_synth_simulate_and_export(self, tmp_path, capsys):
         assay = tmp_path / "assay.txt"

@@ -87,3 +87,56 @@ class TestHeatmap:
     def test_summary_empty_grid(self):
         g = VirtualValveGrid(GridSpec(2, 2))
         assert actuation_summary(g) == "no actuated valves"
+
+
+class TestDeadHardwareRendering:
+    """Remap results must show the hardware the engine routed around."""
+
+    def health(self):
+        from repro.architecture.channel_edges import ChannelEdge
+        from repro.architecture.health import ChipHealth
+
+        return ChipHealth.healthy().kill_cells([Point(1, 0)]).kill_edges(
+            [ChannelEdge(2, 0, horizontal=True)]
+        )
+
+    def test_heatmap_marks_dead_cells(self):
+        g = VirtualValveGrid(GridSpec(4, 4))
+        g.actuate([Point(0, 0)], ValveRole.PUMP, 80)
+        g.actuate([Point(1, 0)], ValveRole.PUMP, 80)
+        text = render_heatmap(g, self.health())
+        bottom = text.splitlines()[-1]  # row y=0 prints last
+        assert bottom[0] == "@"  # worn but alive
+        assert bottom[1] == "X"  # dead overrides wear
+
+    def test_heatmap_without_health_unchanged(self):
+        g = VirtualValveGrid(GridSpec(4, 4))
+        g.actuate([Point(0, 0)], ValveRole.PUMP, 80)
+        assert "X" not in render_heatmap(g)
+
+    def test_render_health_map(self):
+        from repro.viz.ascii_chip import render_health
+
+        text = render_health(GridSpec(4, 4), self.health())
+        lines = text.splitlines()
+        # 4 cell rows interleaved with 3 channel gaps
+        assert len(lines) == 7
+        bottom = lines[-1]
+        assert bottom[2 * 1] == "X"  # dead cell (1, 0)
+        assert bottom[2 * 2 + 1] == "x"  # dead edge (2,0)-(3,0)
+        assert bottom[0] == "o"  # healthy cell
+
+    def test_layout_marks_dead_cells(self, pcr_result):
+        from dataclasses import replace
+
+        from repro.architecture.chip import Chip
+        from repro.architecture.health import ChipHealth
+
+        mask = ChipHealth.healthy().kill_cells([Point(8, 8)])
+        chip = Chip(
+            pcr_result.chip.spec, list(pcr_result.chip.ports.values()), mask
+        )
+        wounded = replace(pcr_result, chip=chip)
+        text = render_layout(wounded, 2)
+        assert "X=dead" in text.splitlines()[0]
+        assert "X" in text
