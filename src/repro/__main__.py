@@ -136,6 +136,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         probe=not args.no_probe,
         time_budget=args.time_budget,
         certify=args.certify,
+        race=args.race,
     )
     return 0
 
@@ -238,9 +239,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.add_argument(
         "--mapper", default="auto",
-        choices=["auto", "greedy", "ilp", "windowed_ilp", "parallel"],
+        choices=["auto", "greedy", "ilp", "windowed_ilp", "parallel",
+                 "anytime"],
         help="mapping engine (default: automatic selection; 'parallel' "
-        "is the windowed mapper with process-pool refinement)",
+        "is the windowed mapper with process-pool refinement; 'anytime' "
+        "races LNS against the exact ILP, see DESIGN.md §13)",
+    )
+    p_prof.add_argument(
+        "--race", action="store_true",
+        help="force the anytime mapper and append a race-anatomy "
+        "section (first feasible, certified incumbents, gap timeline, "
+        "winning lane); uses --time-budget, default 1 s",
     )
     p_prof.add_argument(
         "--json", metavar="FILE", help="also write the report as JSON"
@@ -294,7 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_life.add_argument(
         "--mapper", default="auto",
-        choices=["auto", "greedy", "ilp", "windowed_ilp", "parallel"],
+        choices=["auto", "greedy", "ilp", "windowed_ilp", "parallel",
+                 "anytime"],
         help="mapping engine used for every (re)synthesis",
     )
     p_life.add_argument(

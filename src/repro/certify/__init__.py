@@ -7,6 +7,8 @@ never reuses solver or pipeline internals:
   certificates (duality gap, Farkas rays);
 * :func:`certify_solution` — MILP incumbent replay against the
   original :class:`~repro.ilp.model.Model`;
+* :func:`certify_assignment` — the same replay for a bare variable
+  assignment (heuristic incumbents of the anytime race);
 * :func:`certify_cut` — Chvátal–Gomory / cover-cut validity replay for
   the root cutting planes of :mod:`repro.ilp.branch_bound`;
 * :func:`audit` — whole-design audits of a
@@ -15,7 +17,12 @@ never reuses solver or pipeline internals:
 
 from repro.certify.audit import audit
 from repro.certify.cuts import certify_cut
-from repro.certify.lp import Certificate, certify_lp, certify_solution
+from repro.certify.lp import (
+    Certificate,
+    certify_assignment,
+    certify_lp,
+    certify_solution,
+)
 from repro.certify.report import AuditReport, Violation
 
 __all__ = [
@@ -23,6 +30,7 @@ __all__ = [
     "Certificate",
     "Violation",
     "audit",
+    "certify_assignment",
     "certify_cut",
     "certify_lp",
     "certify_solution",

@@ -501,3 +501,25 @@ def certify_solution(model, solution, eps: Fraction = CERT_EPS) -> Certificate:
                     expected=float(gap_cap),
                 )
     return cert
+
+
+def certify_assignment(model, values, eps: Fraction = CERT_EPS) -> "Certificate":
+    """Replay a bare variable assignment as a FEASIBLE incumbent.
+
+    The heuristic lanes of the anytime mapper produce assignments
+    (``{Var: value}``), not :class:`~repro.ilp.solution.Solution`
+    objects; this wraps one — objective evaluated from the model itself,
+    never trusted from the producer — and runs the exact MILP replay of
+    :func:`certify_solution` on it.  Used to certify every heuristic
+    incumbent before it is offered to the branch & bound search
+    (DESIGN.md §13).
+    """
+    from repro.ilp.solution import Solution
+
+    shadow = Solution(
+        SolveStatus.FEASIBLE,
+        objective=model.objective.evaluate(values),
+        values=dict(values),
+        backend="assignment-replay",
+    )
+    return certify_solution(model, shadow, eps=eps)

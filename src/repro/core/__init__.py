@@ -30,6 +30,8 @@ from repro.core.mappers import (
     MappingResult,
     WindowedILPMapper,
 )
+from repro.core.lns import LargeNeighborhoodSearch
+from repro.core.anytime import AnytimeMapper
 from repro.core.storage import StoragePlan, product_volume
 from repro.core.actuation import ActuationAccountant, AccountingPolicy
 from repro.core.role_rotation import RoleRotatingMixer
@@ -64,8 +66,10 @@ __all__ = [
     "build_tasks",
     "MappingModelBuilder",
     "MappingSpec",
+    "AnytimeMapper",
     "GreedyMapper",
     "ILPMapper",
+    "LargeNeighborhoodSearch",
     "LoadLedger",
     "MappingResult",
     "WindowedILPMapper",

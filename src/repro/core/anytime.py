@@ -1,0 +1,581 @@
+"""The anytime mapper tier: a heuristic lane racing the exact ILP.
+
+DESIGN.md §13.  Under a finite time budget the synthesizer no longer
+bets the whole mapping stage on the ILP finishing in time — it runs two
+lanes against the same deadline:
+
+* the **heuristic lane** (this thread): the greedy balancer produces a
+  feasible mapping in milliseconds, then
+  :class:`~repro.core.lns.LargeNeighborhoodSearch` keeps improving it
+  round by round;
+* the **exact lane** (a daemon thread): the monolithic branch & bound
+  on the very same :class:`~repro.core.mapping_model.BuiltMapping`
+  (the rolling-horizon mapper beyond ``ilp_task_limit`` tasks).
+
+The lanes meet at an :class:`~repro.ilp.incumbent.IncumbentPool`.
+Every heuristic incumbent is *completed* into a full variable
+assignment (:func:`~repro.core.mapping_model.complete_solution`),
+replay-checked against the model, **certified** by
+:func:`repro.certify.certify_assignment`, and only then offered to the
+pool — the branch & bound adopts it as an upper bound (pruning, and
+stopping instantly when the offer matches the proven root bound), never
+trusting it blindly.  When the budget expires the orchestrator adopts
+whichever lane holds the best certified objective; ties go to the exact
+lane, whose solution also carries an optimality status.  A heuristic
+win engages the ``anytime_heuristic`` resilience rung: the answer is
+certified feasible with a known objective, just not proven optimal.
+
+Injection requires the pure-python ``branch_bound`` backend (the HiGHS
+wrapper exposes no incumbent callback); with ``backend="auto"`` the
+monolithic lane therefore picks ``branch_bound`` and the windowed lane
+keeps the HiGHS default.  ``heuristic=False`` degenerates to the exact
+lane alone, run synchronously — byte-identical to :class:`ILPMapper` —
+which the equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.architecture.device import Placement
+from repro.errors import SynthesisError
+from repro.ilp.incumbent import IncumbentPool
+from repro.ilp.solution import SolveStatus
+from repro.obs import TELEMETRY
+from repro.resilience import Deadline, DegradationLadder
+from repro.core.lns import LargeNeighborhoodSearch
+from repro.core.mapping_model import (
+    MappingModelBuilder,
+    MappingSpec,
+    Pair,
+    complete_solution,
+)
+from repro.core.mappers import (
+    BaseMapper,
+    GreedyMapper,
+    ILPMapper,
+    MappingResult,
+    WindowedILPMapper,
+)
+from repro.core.tasks import MappingTask
+
+#: Seconds granted to the exact thread after the race ends to notice
+#: its own time limit and return (it is abandoned past this).  The
+#: solvers poll their deadline inside the LP pivot loops, so the lane
+#: lands within milliseconds of its limit — the grace only covers
+#: scheduling jitter.
+_JOIN_GRACE = 0.25
+
+#: LNS round cap when neither a deadline nor ``time_limit`` bounds the
+#: race (the exact lane then runs to optimality anyway).
+_UNBOUNDED_LNS_ROUNDS = 64
+
+
+def _used_overlaps(
+    spec: MappingSpec,
+    ordered: List[MappingTask],
+    placements: Dict[str, Placement],
+) -> List[Pair]:
+    """The (parent, child) storage overlaps a placement map uses."""
+    overlaps = set()
+    for i, a in enumerate(ordered):
+        pa = placements.get(a.name)
+        if pa is None:
+            continue
+        for b in ordered[i + 1:]:
+            pb = placements.get(b.name)
+            if pb is None:
+                continue
+            if not (a.start < b.end and b.start < a.end):
+                continue
+            if not pa.rect.overlaps(pb.rect):
+                continue
+            pair = spec.storage_pair(a.name, b.name)
+            if pair is not None:
+                overlaps.add(pair)
+    return sorted(overlaps)
+
+
+class AnytimeMapper(BaseMapper):
+    """Race a heuristic improvement loop against the exact ILP.
+
+    Parameters mirror the mappers it orchestrates: ``backend`` picks
+    the exact lane's solver (``"auto"`` = ``branch_bound`` for the
+    monolithic model so incumbents can be injected, the HiGHS default
+    for windowed), ``ilp_task_limit``/``window_size`` are the same
+    monolithic-vs-windowed switch :class:`SynthesisConfig` uses, and
+    ``seed`` drives the LNS destroy sets.  ``heuristic=False`` disables
+    the heuristic lane entirely (exact-only, synchronous).
+    """
+
+    name = "anytime"
+
+    def __init__(
+        self,
+        backend: str = "auto",
+        *,
+        heuristic: bool = True,
+        seed: int = 0,
+        ilp_task_limit: int = 8,
+        window_size: int = 5,
+        time_limit: Optional[float] = None,
+        lns_max_rounds: Optional[int] = None,
+        lns_stall_limit: Optional[int] = 400,
+        **solver_kwargs,
+    ) -> None:
+        self.backend = backend
+        self.heuristic = heuristic
+        self.seed = seed
+        self.ilp_task_limit = ilp_task_limit
+        self.window_size = window_size
+        self.time_limit = time_limit
+        self.lns_max_rounds = lns_max_rounds
+        # Without a stall cap the heuristic lane spins non-improving
+        # rounds against the exact thread for the GIL; stalling out
+        # instead hands the exact lane the whole interpreter.
+        self.lns_stall_limit = lns_stall_limit
+        self.solver_kwargs = solver_kwargs
+
+    # -- entry -----------------------------------------------------------
+
+    def map_tasks(
+        self,
+        spec: MappingSpec,
+        *,
+        deadline: Optional[Deadline] = None,
+        ladder: Optional[DegradationLadder] = None,
+    ) -> MappingResult:
+        monolithic = len(spec.tasks) <= self.ilp_task_limit
+        if monolithic:
+            return self._race_monolithic(spec, deadline, ladder)
+        return self._race_windowed(spec, deadline, ladder)
+
+    def _exact_backend(self, monolithic: bool) -> str:
+        if self.backend != "auto":
+            return self.backend
+        return "branch_bound" if monolithic else "scipy"
+
+    # -- the monolithic race ---------------------------------------------
+
+    def _race_monolithic(
+        self,
+        spec: MappingSpec,
+        deadline: Optional[Deadline],
+        ladder: Optional[DegradationLadder],
+    ) -> MappingResult:
+        start = time.monotonic()
+        backend = self._exact_backend(monolithic=True)
+        limit = self.time_limit
+        if deadline is not None:
+            limit = deadline.limit(limit)
+        ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
+
+        if not self.heuristic:
+            # Exact-only mode: synchronous, no pool — byte-identical to
+            # ILPMapper on the same spec (the equivalence tests pin it).
+            built = MappingModelBuilder(spec).build()
+            return self._exact_only(spec, built, backend, limit, start)
+
+        # 1. First feasible mapping before anything else — the packer
+        #    answers in milliseconds; even the model build is slower.
+        try:
+            greedy = GreedyMapper().map_tasks(spec, deadline=deadline)
+        except SynthesisError:
+            # No heuristic start at all — the exact lane alone decides.
+            built = MappingModelBuilder(spec).build()
+            return self._exact_only(spec, built, backend, limit, start)
+        first_feasible = time.monotonic() - start
+
+        built = MappingModelBuilder(spec).build()
+        model = built.model
+        pool = IncumbentPool()
+        injectable = backend == "branch_bound"
+        stats: Dict[str, float] = {
+            "offers_made": 0.0,
+            "offers_incomplete": 0.0,
+            "offers_invalid": 0.0,
+            "offers_uncertified": 0.0,
+            "offers_certified": 0.0,
+            "injectable": float(injectable),
+        }
+        best_certified: Dict[str, object] = {}
+
+        # Deferred import: repro.certify pulls in the audit machinery,
+        # which imports repro.core back.
+        from repro.certify import certify_assignment
+
+        def offer(placements: Dict[str, Placement], source: str) -> None:
+            """Complete → check → certify → inject one incumbent."""
+            stats["offers_made"] += 1
+            values = complete_solution(built, placements)
+            if values is None:
+                stats["offers_incomplete"] += 1
+                return
+            if model.check_solution(values):
+                stats["offers_invalid"] += 1
+                return
+            cert = certify_assignment(model, values)
+            if cert.status != "certified":
+                stats["offers_uncertified"] += 1
+                return
+            stats["offers_certified"] += 1
+            objective = model.objective.evaluate(values)
+            peak = int(round(values[built.w]))
+            if injectable:
+                x = np.zeros(model.num_vars)
+                for var, value in values.items():
+                    x[var.index] = value
+                pool.offer(x, objective, source=source)
+            else:
+                pool.note("offer", source, objective)
+            if not best_certified or peak < best_certified["peak"]:
+                best_certified.update(
+                    placements=dict(placements),
+                    peak=peak,
+                    objective=objective,
+                    seconds=time.monotonic() - start,
+                )
+
+        # The packer's incumbent goes in before the exact lane even
+        # starts: the branch & bound sees it at the root.
+        stats["first_feasible_seconds"] = first_feasible
+        placements = dict(greedy.placements)
+        offer(placements, "packer")
+
+        # 2. Exact lane in a worker thread, polling the pool per node.
+        slot: Dict[str, object] = {}
+        done = threading.Event()
+        solver_kwargs = dict(self.solver_kwargs)
+        if injectable:
+            solver_kwargs["incumbent"] = pool
+
+        # The lane's limit is re-taken *now*: the packer, the model
+        # build and the first certificate already spent part of the
+        # budget, and a limit measured from the race start would let
+        # the solver run past the mapping deadline by that much.
+        lane_start = time.monotonic()
+        lane_limit = limit
+        if deadline is not None:
+            lane_limit = deadline.limit(self.time_limit)
+        elif limit is not None:
+            lane_limit = max(0.0, limit - (lane_start - start))
+
+        def exact_lane() -> None:
+            try:
+                slot["solution"] = model.solve(
+                    backend=backend, time_limit=lane_limit, **solver_kwargs
+                )
+            except Exception as exc:  # noqa: BLE001 - reported via slot
+                slot["error"] = exc
+            finally:
+                done.set()
+
+        # Non-daemon on purpose: the lane is deadline-bounded, and a
+        # daemon thread still inside a solver at interpreter shutdown
+        # can abort the whole process.
+        thread = threading.Thread(target=exact_lane, name="anytime-exact")
+        thread.start()
+
+        # 3. LNS rounds until the budget runs out or the exact lane is
+        #    done (its answer dominates every further heuristic round).
+        max_rounds = self.lns_max_rounds
+        if max_rounds is None and deadline is None and limit is None:
+            max_rounds = _UNBOUNDED_LNS_ROUNDS
+        lns = LargeNeighborhoodSearch(spec, seed=self.seed)
+        lns_stats = lns.run(
+            placements,
+            deadline=deadline,
+            max_rounds=max_rounds,
+            stall_limit=self.lns_stall_limit,
+            should_stop=done.is_set,
+            on_improve=lambda snapshot, peak: offer(snapshot, "lns"),
+        )
+        stats.update(lns_stats)
+
+        # 4. Collect the exact lane.
+        timeout = None
+        if deadline is not None:
+            timeout = deadline.remaining() + _JOIN_GRACE
+        elif lane_limit is not None:
+            timeout = (
+                max(0.0, lane_limit - (time.monotonic() - lane_start))
+                + _JOIN_GRACE
+            )
+        thread.join(timeout)
+        stats["exact_abandoned"] = float(thread.is_alive())
+        solution = slot.get("solution")
+        exact_ok = (
+            solution is not None
+            and not thread.is_alive()
+            and solution.status.has_solution
+        )
+        return self._pick_winner(
+            spec, built, ordered, stats, pool, best_certified,
+            solution if exact_ok else None, ladder, start,
+        )
+
+    def _exact_only(self, spec, built, backend, limit, start) -> MappingResult:
+        solution = built.model.solve(
+            backend=backend, time_limit=limit, **self.solver_kwargs
+        )
+        if not solution.status.has_solution:
+            raise SynthesisError(
+                f"dynamic-device mapping ILP is {solution.status.value} "
+                f"({built.model!r})"
+            )
+        wall = time.monotonic() - start
+        stats: Dict[str, float] = {
+            "solve_seconds": wall,
+            "solver_nodes": float(solution.nodes_explored),
+            "race_winner_heuristic": 0.0,
+        }
+        for key, value in solution.stats.items():
+            stats[f"solver_{key}"] = float(value)
+        if TELEMETRY.enabled:
+            TELEMETRY.count("anytime.races")
+        return MappingResult(
+            placements=built.extract_placements(solution),
+            objective=int(round(solution.value(built.w))),
+            mapper=self.name,
+            used_overlaps=built.extract_overlaps(solution),
+            wall_time=wall,
+            optimal=solution.status is SolveStatus.OPTIMAL,
+            stats=stats,
+        )
+
+    def _pick_winner(
+        self,
+        spec: MappingSpec,
+        built,
+        ordered: List[MappingTask],
+        stats: Dict[str, float],
+        pool: IncumbentPool,
+        best_certified: Dict[str, object],
+        solution,
+        ladder: Optional[DegradationLadder],
+        start: float,
+    ) -> MappingResult:
+        """Adopt the best certified objective; ties go to the exact lane."""
+        exact_peak = None
+        if solution is not None:
+            exact_peak = int(round(solution.value(built.w)))
+            stats["exact_objective"] = float(exact_peak)
+            stats["solver_nodes"] = float(solution.nodes_explored)
+            for key, value in solution.stats.items():
+                stats[f"solver_{key}"] = float(value)
+        if best_certified:
+            stats["heuristic_objective"] = float(best_certified["peak"])
+            stats["seconds_to_best_certified"] = float(
+                best_certified["seconds"]
+            )
+        stats["race_timeline"] = pool.timeline_snapshot()
+
+        heuristic_wins = best_certified and (
+            exact_peak is None or best_certified["peak"] < exact_peak
+        )
+        if exact_peak is None and not best_certified:
+            raise SynthesisError(
+                "anytime race produced no solution: the exact lane "
+                "returned nothing inside the budget and no heuristic "
+                "incumbent certified"
+            )
+        stats["race_winner_heuristic"] = float(bool(heuristic_wins))
+        wall = time.monotonic() - start
+        if TELEMETRY.enabled:
+            TELEMETRY.count("anytime.races")
+            TELEMETRY.count(
+                "anytime.lns_rounds", int(stats.get("lns_rounds", 0))
+            )
+            if heuristic_wins:
+                TELEMETRY.count("anytime.race_winner_heuristic")
+            else:
+                TELEMETRY.count("anytime.race_winner_exact")
+        if heuristic_wins:
+            if ladder is not None:
+                ladder.engage(
+                    "mapping",
+                    DegradationLadder.ANYTIME_HEURISTIC,
+                    f"certified heuristic peak {best_certified['peak']}"
+                    + (
+                        f" beat exact {exact_peak}"
+                        if exact_peak is not None
+                        else " with no exact answer in budget"
+                    ),
+                )
+            placements = dict(best_certified["placements"])
+            return MappingResult(
+                placements=placements,
+                objective=int(best_certified["peak"]),
+                mapper=self.name,
+                used_overlaps=_used_overlaps(spec, ordered, placements),
+                wall_time=wall,
+                optimal=False,
+                stats=stats,
+            )
+        return MappingResult(
+            placements=built.extract_placements(solution),
+            objective=int(exact_peak),
+            mapper=self.name,
+            used_overlaps=built.extract_overlaps(solution),
+            wall_time=wall,
+            optimal=solution.status is SolveStatus.OPTIMAL,
+            stats=stats,
+        )
+
+    # -- the windowed race -----------------------------------------------
+
+    def _race_windowed(
+        self,
+        spec: MappingSpec,
+        deadline: Optional[Deadline],
+        ladder: Optional[DegradationLadder],
+    ) -> MappingResult:
+        """Beyond ``ilp_task_limit``: race the rolling-horizon mapper.
+
+        The monolithic model is out of reach here, so there is no
+        completion/injection — the heuristic lane tracks its incumbents
+        by ledger peak and the race is decided on raw objectives.  The
+        windowed result keeps its own internal degradations; a
+        heuristic win engages ``anytime_heuristic`` exactly like the
+        monolithic race.
+        """
+        start = time.monotonic()
+        backend = self._exact_backend(monolithic=False)
+        ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
+        exact_mapper = WindowedILPMapper(
+            window_size=self.window_size, backend=backend
+        )
+        if not self.heuristic:
+            return self._result_from_windowed(
+                exact_mapper.map_tasks(spec, deadline=deadline, ladder=ladder),
+                start,
+            )
+
+        stats: Dict[str, float] = {"injectable": 0.0}
+        slot: Dict[str, object] = {}
+        done = threading.Event()
+        # The lane gets a private ladder so an abandoned thread cannot
+        # keep appending events to the run's report after we returned;
+        # its rungs merge into the real ladder once it finishes.
+        lane_ladder = DegradationLadder(deadline=deadline)
+
+        def exact_lane() -> None:
+            try:
+                slot["result"] = exact_mapper.map_tasks(
+                    spec, deadline=deadline, ladder=lane_ladder
+                )
+            except Exception as exc:  # noqa: BLE001 - reported via slot
+                slot["error"] = exc
+            finally:
+                done.set()
+
+        # Non-daemon on purpose: the lane is deadline-bounded, and a
+        # daemon thread still inside a solver at interpreter shutdown
+        # can abort the whole process.
+        thread = threading.Thread(target=exact_lane, name="anytime-exact")
+        thread.start()
+
+        best: Dict[str, object] = {}
+
+        def track(placements: Dict[str, Placement], peak: int) -> None:
+            if not best or peak < best["peak"]:
+                best.update(
+                    placements=dict(placements),
+                    peak=peak,
+                    seconds=time.monotonic() - start,
+                )
+
+        try:
+            greedy = GreedyMapper().map_tasks(spec, deadline=deadline)
+            stats["first_feasible_seconds"] = time.monotonic() - start
+            placements = dict(greedy.placements)
+            track(placements, greedy.objective)
+            max_rounds = self.lns_max_rounds
+            if max_rounds is None and deadline is None:
+                max_rounds = _UNBOUNDED_LNS_ROUNDS
+            lns = LargeNeighborhoodSearch(spec, seed=self.seed)
+            stats.update(lns.run(
+                placements,
+                deadline=deadline,
+                max_rounds=max_rounds,
+                stall_limit=self.lns_stall_limit,
+                should_stop=done.is_set,
+                on_improve=track,
+            ))
+        except SynthesisError:
+            pass  # heuristic lane dead: the exact lane alone decides
+
+        timeout = None
+        if deadline is not None:
+            timeout = deadline.remaining() + _JOIN_GRACE
+        thread.join(timeout)
+        stats["exact_abandoned"] = float(thread.is_alive())
+        exact = slot.get("result") if not thread.is_alive() else None
+        if not thread.is_alive() and ladder is not None:
+            # Telemetry already counted when the lane engaged its rungs.
+            ladder.report.events.extend(lane_ladder.report.events)
+
+        wall = time.monotonic() - start
+        if TELEMETRY.enabled:
+            TELEMETRY.count("anytime.races")
+            TELEMETRY.count(
+                "anytime.lns_rounds", int(stats.get("lns_rounds", 0))
+            )
+        if exact is not None and (not best or exact.objective <= best["peak"]):
+            if TELEMETRY.enabled:
+                TELEMETRY.count("anytime.race_winner_exact")
+            stats["race_winner_heuristic"] = 0.0
+            merged = dict(exact.stats)
+            merged.update(stats)
+            return MappingResult(
+                placements=exact.placements,
+                objective=exact.objective,
+                mapper=self.name,
+                used_overlaps=exact.used_overlaps,
+                wall_time=wall,
+                optimal=exact.optimal,
+                stats=merged,
+            )
+        if not best:
+            error = slot.get("error")
+            if isinstance(error, Exception):
+                raise error
+            raise SynthesisError(
+                "anytime race produced no solution inside the budget"
+            )
+        if TELEMETRY.enabled:
+            TELEMETRY.count("anytime.race_winner_heuristic")
+        if ladder is not None:
+            ladder.engage(
+                "mapping",
+                DegradationLadder.ANYTIME_HEURISTIC,
+                f"heuristic peak {best['peak']}"
+                + (
+                    f" beat windowed {exact.objective}"
+                    if exact is not None
+                    else " with no exact answer in budget"
+                ),
+            )
+        stats["race_winner_heuristic"] = 1.0
+        stats["heuristic_objective"] = float(best["peak"])
+        stats["seconds_to_best_certified"] = float(best["seconds"])
+        placements = dict(best["placements"])
+        return MappingResult(
+            placements=placements,
+            objective=int(best["peak"]),
+            mapper=self.name,
+            used_overlaps=_used_overlaps(spec, ordered, placements),
+            wall_time=wall,
+            optimal=False,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _result_from_windowed(result: MappingResult, start: float) -> MappingResult:
+        result.stats["race_winner_heuristic"] = 0.0
+        result.wall_time = time.monotonic() - start
+        return result

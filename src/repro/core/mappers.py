@@ -192,6 +192,57 @@ class LoadLedger:
         return dict(self._load)
 
 
+def window_subspec(
+    spec: MappingSpec,
+    window: List[MappingTask],
+    ordered: List[MappingTask],
+    placements: Dict[str, Placement],
+    discouraged: frozenset = frozenset(),
+) -> MappingSpec:
+    """A sub-problem over ``window``: every other placed task fixed.
+
+    Placed tasks outside the window become :class:`DynamicDevice`
+    constants and their pump rates fold into ``base_load``, so the
+    sub-problem's objective is the true whole-chip peak.  Shared by the
+    rolling-horizon mapper's windows and by the LNS repair step
+    (:mod:`repro.core.lns`), which re-places a destroyed task set
+    against everything it kept.
+    """
+    from repro.architecture.device import DynamicDevice
+
+    fixed: Dict[str, DynamicDevice] = dict(spec.fixed)
+    base_load: Dict[Point, int] = dict(spec.base_load)
+    window_names = {t.name for t in window}
+    for task in ordered:
+        placement = placements.get(task.name)
+        if placement is None or task.name in window_names:
+            continue
+        fixed[task.name] = DynamicDevice(
+            operation=task.name,
+            placement=placement,
+            start=task.start,
+            end=task.end,
+            mix_start=task.mix_start,
+        )
+        for cell in placement.pump_cells():
+            base_load[cell] = base_load.get(cell, 0) + task.pump_rate
+    return MappingSpec(
+        grid=spec.grid,
+        tasks=window,
+        fixed=fixed,
+        base_load=base_load,
+        forbidden_overlaps=set(spec.forbidden_overlaps),
+        blocked_cells=spec.blocked_cells,
+        anchor_stride=spec.anchor_stride,
+        distance_limit=spec.distance_limit,
+        allow_storage_overlap=spec.allow_storage_overlap,
+        routing_convenient=spec.routing_convenient,
+        parent_pairs=set(spec.parent_pairs),
+        discouraged_cells=discouraged,
+        health=spec.health,
+    )
+
+
 class BaseMapper:
     """Common interface: :meth:`map_tasks` on a :class:`MappingSpec`.
 
@@ -845,39 +896,7 @@ class WindowedILPMapper(BaseMapper):
         discouraged: frozenset = frozenset(),
     ) -> MappingSpec:
         """The window's sub-problem: every placed task fixed as a constant."""
-        from repro.architecture.device import DynamicDevice
-
-        fixed: Dict[str, DynamicDevice] = dict(spec.fixed)
-        base_load: Dict[Point, int] = dict(spec.base_load)
-        window_names = {t.name for t in window}
-        for task in ordered:
-            placement = placements.get(task.name)
-            if placement is None or task.name in window_names:
-                continue
-            fixed[task.name] = DynamicDevice(
-                operation=task.name,
-                placement=placement,
-                start=task.start,
-                end=task.end,
-                mix_start=task.mix_start,
-            )
-            for cell in placement.pump_cells():
-                base_load[cell] = base_load.get(cell, 0) + task.pump_rate
-        return MappingSpec(
-            grid=spec.grid,
-            tasks=window,
-            fixed=fixed,
-            base_load=base_load,
-            forbidden_overlaps=set(spec.forbidden_overlaps),
-            blocked_cells=spec.blocked_cells,
-            anchor_stride=spec.anchor_stride,
-            distance_limit=spec.distance_limit,
-            allow_storage_overlap=spec.allow_storage_overlap,
-            routing_convenient=spec.routing_convenient,
-            parent_pairs=set(spec.parent_pairs),
-            discouraged_cells=discouraged,
-            health=spec.health,
-        )
+        return window_subspec(spec, window, ordered, placements, discouraged)
 
     def _solve_window(
         self,

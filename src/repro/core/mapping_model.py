@@ -34,7 +34,7 @@ from repro.geometry import GridSpec, Point
 from repro.architecture.device import DynamicDevice, Placement
 from repro.architecture.device_types import min_device_dimension, types_for_volume
 from repro.architecture.health import ChipHealth
-from repro.ilp import LinExpr, Model, Var, quicksum
+from repro.ilp import Constraint, LinExpr, Model, Var, quicksum
 from repro.core.tasks import MappingTask
 
 Pair = Tuple[str, str]
@@ -156,6 +156,21 @@ class MappingSpec:
 
 
 @dataclass
+class _Disjunction:
+    """One big-M non-overlap disjunction, kept for solution completion.
+
+    ``terms`` are the original (un-relaxed) boundary comparisons — they
+    are *not* model rows; :meth:`Model.add_big_m_disjunction` only adds
+    their relaxed twins.  ``aux`` are the ``c1..c4`` binaries in term
+    order, ``relax`` the optional ``c5`` overlap permission.
+    """
+
+    terms: List[Constraint]
+    aux: List[Var]
+    relax: Optional[Var]
+
+
+@dataclass
 class BuiltMapping:
     """The ILP plus the metadata needed to read a solution back."""
 
@@ -164,6 +179,13 @@ class BuiltMapping:
     w: Var
     selections: Dict[str, List[Tuple[Placement, Var]]]
     c5_vars: Dict[Pair, Var]
+    #: recorded big-M disjunctions, per-cell load expressions (selection
+    #: terms plus the cell's base-load constant) and the committed-load
+    #: residual: everything :func:`complete_solution` needs to lift a
+    #: geometric placement assignment to a full variable-value vector.
+    disjunctions: List[_Disjunction] = field(default_factory=list)
+    load_exprs: List[LinExpr] = field(default_factory=list)
+    load_residual: int = 0
 
     def extract_placements(self, solution) -> Dict[str, Placement]:
         """Chosen placement per task from a solved model."""
@@ -216,8 +238,10 @@ class MappingModelBuilder:
                 name=f"one_device[{task.name}]",
             )
 
-        self._add_load_constraints(model, w, selections)
-        c5_vars = self._add_non_overlap(model, selections)
+        load_exprs, load_residual = self._add_load_constraints(
+            model, w, selections
+        )
+        c5_vars, disjunctions = self._add_non_overlap(model, selections)
         self._add_routing_convenient(model, selections)
 
         # Primary objective: the largest pump load (eq. 10).  When
@@ -243,7 +267,12 @@ class MappingModelBuilder:
                 weight * c * var for c, var in penalty_terms
             )
         model.minimize(objective)
-        return BuiltMapping(model, spec, w, selections, c5_vars)
+        return BuiltMapping(
+            model, spec, w, selections, c5_vars,
+            disjunctions=disjunctions,
+            load_exprs=load_exprs,
+            load_residual=load_residual,
+        )
 
     # -- eq. (2) + (9): pump loads ------------------------------------------
 
@@ -252,7 +281,7 @@ class MappingModelBuilder:
         model: Model,
         w: Var,
         selections: Dict[str, List[Tuple[Placement, Var]]],
-    ) -> None:
+    ) -> Tuple[List[LinExpr], int]:
         spec = self.spec
         rate = {task.name: task.pump_rate for task in spec.tasks}
         cell_terms: Dict[Point, List[Tuple[int, Var]]] = {}
@@ -260,10 +289,12 @@ class MappingModelBuilder:
             for placement, var in options:
                 for cell in placement.pump_cells():
                     cell_terms.setdefault(cell, []).append((rate[name], var))
+        load_exprs: List[LinExpr] = []
         for cell, terms in sorted(cell_terms.items()):
             load = quicksum(r * var for r, var in terms) + spec.base_load.get(
                 cell, 0
             )
+            load_exprs.append(load)
             model.add_constr(
                 load <= w, name=f"load[{cell.x},{cell.y}]"
             )
@@ -278,6 +309,7 @@ class MappingModelBuilder:
         )
         if residual:
             model.add_constr(w >= residual, name="load[committed]")
+        return load_exprs, residual
 
     # -- eqs. (3)-(8) + (12): non-overlap -------------------------------------
 
@@ -313,10 +345,11 @@ class MappingModelBuilder:
         self,
         model: Model,
         selections: Dict[str, List[Tuple[Placement, Var]]],
-    ) -> Dict[Pair, Var]:
+    ) -> Tuple[Dict[Pair, Var], List[_Disjunction]]:
         spec = self.spec
         big_m = spec.grid.width + spec.grid.height
         c5_vars: Dict[Pair, Var] = {}
+        disjunctions: List[_Disjunction] = []
 
         names = [t.name for t in spec.tasks]
         fixed_names = sorted(spec.fixed)
@@ -343,18 +376,20 @@ class MappingModelBuilder:
                 c5_vars[pair] = relax
             a_le, a_ri, a_do, a_up = self._boundaries(a, selections)
             b_le, b_ri, b_do, b_up = self._boundaries(b, selections)
-            model.add_big_m_disjunction(
-                [
-                    a_ri <= b_le,  # a left of b
-                    b_ri <= a_le,  # b left of a
-                    a_up <= b_do,  # a below b
-                    b_up <= a_do,  # b below a
-                ],
+            terms = [
+                a_ri <= b_le,  # a left of b
+                b_ri <= a_le,  # b left of a
+                a_up <= b_do,  # a below b
+                b_up <= a_do,  # b below a
+            ]
+            aux = model.add_big_m_disjunction(
+                terms,
                 big_m=big_m,
                 name=f"no_overlap[{a},{b}]",
                 relax_var=relax,
             )
-        return c5_vars
+            disjunctions.append(_Disjunction(terms, aux, relax))
+        return c5_vars, disjunctions
 
     # -- eqs. (13)-(16): routing-convenient mapping -----------------------------
 
@@ -381,3 +416,65 @@ class MappingModelBuilder:
             model.add_constr(c_le - p_ri <= d - 1, f"{name}.le")
             model.add_constr(c_up - p_do >= 1 - d, f"{name}.up")
             model.add_constr(c_do - p_up <= d - 1, f"{name}.do")
+
+
+def complete_solution(
+    built: BuiltMapping, placements: Dict[str, Placement]
+) -> Optional[Dict[Var, float]]:
+    """Lift a geometric placement assignment to full model values.
+
+    The heuristic lanes of the anytime mapper (DESIGN.md §13) produce
+    placements, not variable vectors; the B&B incumbent injection and
+    the MILP replay certificate both need every model variable valued.
+    This derives them mechanically: selections become the one-hot
+    indicators, each non-overlap disjunction activates its first
+    geometrically satisfied term (falling back to the ``c5`` overlap
+    permission when no side separates the pair), and ``w`` is the
+    maximum pump load the placements actually induce.
+
+    Returns None when the placements cannot satisfy the model — a task
+    placed outside its candidate set (e.g. the greedy fallback tier
+    dropped the anchor stride or the distance limit) or an overlap with
+    no ``c5`` permission.  A non-None result is *mechanically* complete
+    but deliberately not trusted: callers re-validate with
+    :meth:`Model.check_solution` (the near rows, for one, are not
+    examined here) and certify by exact MILP replay before the vector
+    reaches a solver.
+    """
+    values: Dict[Var, float] = {}
+    for name, options in built.selections.items():
+        chosen = placements.get(name)
+        if chosen is None:
+            return None
+        hit = False
+        for placement, var in options:
+            selected = placement == chosen
+            values[var] = 1.0 if selected else 0.0
+            hit = hit or selected
+        if not hit:
+            return None
+    for disjunction in built.disjunctions:
+        satisfied = next(
+            (
+                k
+                for k, term in enumerate(disjunction.terms)
+                if term.satisfied_by(values)
+            ),
+            None,
+        )
+        if satisfied is None:
+            if disjunction.relax is None:
+                return None  # true overlap with no storage permission
+            values[disjunction.relax] = 1.0
+            for aux in disjunction.aux:
+                values[aux] = 1.0  # eq. 8 with c5 = 1: all rows off
+        else:
+            if disjunction.relax is not None:
+                values[disjunction.relax] = 0.0
+            for k, aux in enumerate(disjunction.aux):
+                values[aux] = 0.0 if k == satisfied else 1.0
+    w_value = built.load_residual
+    for expr in built.load_exprs:
+        w_value = max(w_value, int(round(expr.evaluate(values))))
+    values[built.w] = float(w_value)
+    return values

@@ -35,6 +35,7 @@ from repro.architecture.health import ChipHealth
 from repro.architecture.port import ChipPort
 from repro.core.actuation import AccountingPolicy, ActuationAccountant
 from repro.core.events import build_transport_events
+from repro.core.anytime import AnytimeMapper
 from repro.core.mappers import (
     BaseMapper,
     GreedyMapper,
@@ -55,7 +56,10 @@ class SynthesisConfig:
 
     ``mapper=None`` selects automatically: the monolithic ILP up to
     ``ilp_task_limit`` mixing operations, the rolling-horizon windowed
-    ILP beyond (see DESIGN.md §3.2).
+    ILP beyond (see DESIGN.md §3.2) — unless ``time_budget`` is finite,
+    in which case the anytime race tier
+    (:class:`~repro.core.anytime.AnytimeMapper`, DESIGN.md §13) becomes
+    the default mapping engine.
     """
 
     grid: GridSpec
@@ -97,6 +101,17 @@ class SynthesisConfig:
     def resolve_mapper(self, n_tasks: int) -> BaseMapper:
         if self.mapper is not None:
             return self.mapper
+        if self.time_budget is not None:
+            # A finite budget selects the anytime tier (DESIGN.md §13):
+            # a heuristic lane races the exact ILP so budget expiry
+            # degrades to the best certified incumbent instead of a
+            # lost solve.  The tier picks its own lane backends —
+            # incumbent injection needs the pure-python branch & bound;
+            # ``ilp_backend`` keeps governing the non-anytime mappers.
+            return AnytimeMapper(
+                ilp_task_limit=self.ilp_task_limit,
+                window_size=self.window_size,
+            )
         if n_tasks <= self.ilp_task_limit:
             return ILPMapper(backend=self.ilp_backend)
         return WindowedILPMapper(

@@ -27,11 +27,17 @@ import time
 from typing import Dict, List, Optional
 
 from repro import obs
+from repro.core.anytime import AnytimeMapper
 from repro.core.mappers import BaseMapper, GreedyMapper, ILPMapper, WindowedILPMapper
 from repro.errors import ReproError
 
 #: Mapper names accepted by the CLI; None = automatic selection.
-MAPPER_CHOICES = ("auto", "greedy", "ilp", "windowed_ilp", "parallel")
+MAPPER_CHOICES = (
+    "auto", "greedy", "ilp", "windowed_ilp", "parallel", "anytime"
+)
+
+#: Budget for the ``--race`` probe when the profile run has none.
+DEFAULT_RACE_BUDGET = 1.0
 
 
 def _make_mapper(name: str) -> Optional[BaseMapper]:
@@ -46,6 +52,10 @@ def _make_mapper(name: str) -> Optional[BaseMapper]:
     if name == "parallel":
         # The windowed mapper with process-pool refinement solving.
         return WindowedILPMapper(parallel=True)
+    if name == "anytime":
+        # The race tier (DESIGN.md §13); pair with --time-budget, or
+        # it degenerates to the exact lane plus a bounded LNS warm-up.
+        return AnytimeMapper()
     raise ReproError(
         f"unknown mapper {name!r}; choose from {', '.join(MAPPER_CHOICES)}"
     )
@@ -82,6 +92,55 @@ def _solver_probe(case) -> Dict[str, float]:
     return probe
 
 
+def _race_probe(case, budget: float) -> dict:
+    """Run one anytime race on the case's full mapping problem.
+
+    A standalone :class:`AnytimeMapper` run (outside the synthesis
+    pipeline, like :func:`_solver_probe`) so the report can show the
+    race anatomy — first feasible, certified incumbents, the
+    incumbent-gap timeline, and which lane won at budget expiry.
+    """
+    from repro.assays import schedule_for
+    from repro.core.mapping_model import MappingSpec
+    from repro.core.tasks import build_tasks
+    from repro.resilience import Deadline
+
+    graph = case.graph()
+    policy = case.policies(1)[0]
+    schedule = schedule_for(case, policy)
+    tasks = build_tasks(graph, schedule)
+    spec = MappingSpec(grid=case.grid, tasks=tasks)
+    start = time.perf_counter()
+    result = AnytimeMapper().map_tasks(spec, deadline=Deadline(budget))
+    stats = result.stats
+    report = {
+        "budget_seconds": budget,
+        "wall_seconds": time.perf_counter() - start,
+        "objective": result.objective,
+        "optimal": result.optimal,
+        "winner": (
+            "heuristic"
+            if stats.get("race_winner_heuristic") else "exact"
+        ),
+        "timeline": stats.get("race_timeline", []),
+    }
+    for key in (
+        "first_feasible_seconds",
+        "seconds_to_best_certified",
+        "heuristic_objective",
+        "exact_objective",
+        "lns_rounds",
+        "lns_accepted",
+        "offers_made",
+        "offers_certified",
+        "injectable",
+        "exact_abandoned",
+    ):
+        if key in stats:
+            report[key] = stats[key]
+    return report
+
+
 def run_profile(
     case_name: str,
     policy_index: int = 1,
@@ -89,12 +148,16 @@ def run_profile(
     probe: bool = True,
     time_budget: Optional[float] = None,
     certify: str = "off",
+    race: bool = False,
 ) -> dict:
     """Profile one benchmark case; returns the JSON-ready report.
 
     ``certify`` forwards to :attr:`SynthesisConfig.certify`; with
     ``"audit"``/``"strict"`` the report grows an ``audit`` section and
-    the ``certify.*`` telemetry counters appear.
+    the ``certify.*`` telemetry counters appear.  ``race=True`` forces
+    the anytime mapper for the synthesis and appends a ``race`` section
+    profiling one standalone race (budgeted by ``time_budget``, default
+    :data:`DEFAULT_RACE_BUDGET`).
     """
     from repro.assays import get_case, schedule_for
     from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
@@ -104,6 +167,8 @@ def run_profile(
     policy = case.policies(policy_index)[policy_index - 1]
     schedule = schedule_for(case, policy)
 
+    if race and mapper == "auto":
+        mapper = "anytime"
     obs.reset()
     obs.enable()
     try:
@@ -118,6 +183,11 @@ def run_profile(
         ).synthesize(graph, schedule)
         wall = time.perf_counter() - start
         probe_stats = _solver_probe(case) if probe else None
+        race_stats = (
+            _race_probe(case, time_budget or DEFAULT_RACE_BUDGET)
+            if race
+            else None
+        )
         telemetry = obs.snapshot()
     finally:
         obs.disable()
@@ -145,6 +215,8 @@ def run_profile(
         report["audit"] = result.audit.as_dict()
     if probe_stats is not None:
         report["solver_probe"] = probe_stats
+    if race_stats is not None:
+        report["race"] = race_stats
     return report
 
 
@@ -222,6 +294,31 @@ def format_report(report: dict) -> str:
                 f"dual pivots {probe['dual_pivots']:.0f}, "
                 f"cold fallbacks {probe['warm_fallbacks']:.0f})"
             )
+    race = report.get("race")
+    if race:
+        lines.append(
+            f"  anytime race ({race['budget_seconds']:g} s budget): "
+            f"{race['winner']} lane won with objective "
+            f"{race['objective']}"
+            f"{' (proven optimal)' if race['optimal'] else ''}"
+        )
+        if "first_feasible_seconds" in race:
+            lines.append(
+                f"    first feasible in "
+                f"{race['first_feasible_seconds']*1000:.1f} ms, "
+                f"best certified at "
+                f"{race.get('seconds_to_best_certified', float('nan')):.3f}"
+                f" s, {race.get('lns_rounds', 0):.0f} LNS rounds "
+                f"({race.get('lns_accepted', 0):.0f} accepted)"
+            )
+        timeline = race.get("timeline") or []
+        incumbents = [e for e in timeline if e["kind"] == "incumbent"]
+        if incumbents:
+            series = ", ".join(
+                f"{e['objective']:g}@{e['t']:.2f}s[{e['source']}]"
+                for e in incumbents
+            )
+            lines.append(f"    incumbent gap timeline: {series}")
     return "\n".join(lines)
 
 
@@ -233,10 +330,11 @@ def main(
     probe: bool = True,
     time_budget: Optional[float] = None,
     certify: str = "off",
+    race: bool = False,
 ) -> dict:
     report = run_profile(
         case_name, policy_index=policy_index, mapper=mapper, probe=probe,
-        time_budget=time_budget, certify=certify,
+        time_budget=time_budget, certify=certify, race=race,
     )
     if json_path:
         with open(json_path, "w") as fh:

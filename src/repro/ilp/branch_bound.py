@@ -44,7 +44,8 @@ import numpy as np
 
 from repro.errors import CertificationError, SolverError
 from repro.ilp.compiled import Basis, CompiledModel
-from repro.ilp.model import Model
+from repro.ilp.incumbent import IncumbentPool
+from repro.ilp.model import Model, ObjectiveSense
 from repro.ilp.simplex import LpResult
 from repro.ilp.solution import Solution, SolveStatus
 from repro.ilp.tolerances import GAP_EPS, INTEGRALITY_EPS
@@ -59,6 +60,43 @@ _INT_TOL = INTEGRALITY_EPS
 #: children once the open-node heap grows past this size; basis-less
 #: nodes simply cold start (correctness is unaffected).
 _MAX_STORED_BASES = 10_000
+
+#: Standard-form row count below which warm starts are not even worth
+#: probing: on sub-ms LPs the cold path's identity-basis fast path and
+#: cached Dantzig pricing solve a node faster than the dual repair's
+#: per-node LU refactor alone, so tiny models silently run cold.  Both
+#: mapping probes clear this bar and keep their warm-start wins (PCR
+#: m=82: warm 0.088 s vs cold 0.104 s median after warmup; exponential
+#: m=217: ~4x).  The BENCH_ilp.json "regression" that once suggested a
+#: much higher threshold (PCR warm 0.288 s vs cold 0.101 s) was a
+#: measurement-order artifact — the warm run was timed first in a cold
+#: process and absorbed the lazy scipy imports and first-``splu``
+#: warmup; ``bench_record.py`` now does an untimed warmup solve.
+#: ``warm_start_min_rows=0`` forces warm starts regardless of size.
+_WARM_START_MIN_ROWS = 48
+
+#: Runtime warm-start governor: explored-node count after which the
+#: governor starts interleaving forced cold probe solves.  Trees smaller
+#: than this cannot lose enough absolute wall to warm overhead for the
+#: probe to pay (and probing them would wash out their measured warm
+#: wins — the PCR probe's whole tree is ~13 nodes).
+_GOVERNOR_PROBE_AFTER = 32
+#: Timed solves of each kind (warm / forced-cold) the governor collects
+#: before deciding.
+_GOVERNOR_PROBE_SAMPLES = 4
+#: Disable warm starts for the rest of the search when the mean warm
+#: solve is this many times slower than the mean cold probe solve.  The
+#: margin is deliberately wide and asymmetric: keeping warm starts on a
+#: marginally losing model wastes a few percent, while disabling them
+#: on a winning one forfeits up to 4x (the exponential probe), and a
+#: wide margin keeps the 4-sample wall-time decision deterministic on
+#: models far from the boundary (the CI-gated probes sit at ratios of
+#: ~1.0 and ~0.2; the dense models that lose sit at 5-9x).
+_GOVERNOR_DISABLE_FACTOR = 2.0
+
+#: Relative feasibility tolerance when replaying an externally injected
+#: incumbent against the presolved arrays.
+_EXTERNAL_FEAS_TOL = 1e-6
 
 
 @dataclass(order=True)
@@ -138,6 +176,71 @@ class _Pseudocosts:
         return best_j, best_frac
 
 
+class _WarmStartGovernor:
+    """Runtime pivot-cost gate: keep warm starts only while they pay.
+
+    Standard-form row count alone does not predict the dual repair's
+    payoff — the sparse big-M mapping models win from m≈80 up, while
+    dense knapsack-style models lose at every size tested and even a
+    fine-stride (stride=1) mapping model loses at m=83, despite far
+    fewer simplex iterations in every case: the per-node LU refactor
+    and Python dual-pivot loop can dominate the iterations saved.  So
+    once the search has explored ``probe_after`` nodes (small trees
+    never accumulate enough warm overhead to be worth probing), the
+    governor forces alternate basis-carrying nodes to solve cold,
+    times both populations, and after ``samples`` of each disables
+    warm starts for the remainder of the search when the mean warm
+    solve is ``factor``x slower than the mean cold solve.  The gate is
+    a pure wall-time policy: statuses and objectives are unaffected.
+    """
+
+    __slots__ = (
+        "probe_after", "samples", "factor",
+        "warm_wall", "warm_n", "cold_wall", "cold_n",
+        "decided", "disable",
+    )
+
+    def __init__(
+        self,
+        probe_after: int = _GOVERNOR_PROBE_AFTER,
+        samples: int = _GOVERNOR_PROBE_SAMPLES,
+        factor: float = _GOVERNOR_DISABLE_FACTOR,
+    ) -> None:
+        self.probe_after = probe_after
+        self.samples = samples
+        self.factor = factor
+        self.warm_wall = 0.0
+        self.warm_n = 0
+        self.cold_wall = 0.0
+        self.cold_n = 0
+        self.decided = False
+        self.disable = False
+
+    def probing(self, nodes_explored: int) -> bool:
+        return not self.decided and nodes_explored >= self.probe_after
+
+    def force_cold(self) -> bool:
+        """Solve this basis-carrying node cold as a probe sample?"""
+        return self.cold_n < self.samples and self.cold_n <= self.warm_n
+
+    def record(self, warm: bool, wall: float) -> None:
+        """Feed one timed node solve; flips ``decided`` when enough
+        samples of both kinds are in."""
+        if self.decided:
+            return
+        if warm:
+            self.warm_wall += wall
+            self.warm_n += 1
+        else:
+            self.cold_wall += wall
+            self.cold_n += 1
+        if self.warm_n >= self.samples and self.cold_n >= self.samples:
+            self.decided = True
+            warm_mean = self.warm_wall / self.warm_n
+            cold_mean = self.cold_wall / self.cold_n
+            self.disable = warm_mean > self.factor * cold_mean
+
+
 def _solve_relaxation(
     c: np.ndarray,
     a_ub: np.ndarray,
@@ -150,6 +253,7 @@ def _solve_relaxation(
     compiled: Optional[CompiledModel] = None,
     basis: Optional[Basis] = None,
     want_duals: bool = False,
+    deadline: Optional[float] = None,
 ) -> LpResult:
     if compiled is not None:
         # The standard-form conversion was compiled once for the whole
@@ -158,7 +262,7 @@ def _solve_relaxation(
         assert compiled is not None
         return compiled.solve(
             bounds, basis=basis, max_iterations=lp_max_iterations,
-            want_duals=want_duals,
+            want_duals=want_duals, deadline=deadline,
         )
     # scipy linprog engine (HiGHS LP): used to accelerate the from-scratch
     # tree search on larger relaxations.
@@ -207,24 +311,33 @@ def _root_cut_loop(
     cut_rounds: int,
     certify: str,
     cut_stats: Dict[str, float],
-) -> Tuple[CompiledModel, np.ndarray, np.ndarray, Optional[Basis]]:
+    deadline: Optional[float] = None,
+) -> Tuple[
+    CompiledModel, np.ndarray, np.ndarray, Optional[Basis], Optional[float]
+]:
     """Separate root cutting planes for up to ``cut_rounds`` rounds.
 
     Returns the (possibly rebuilt) compiled model, the grown ``a_ub`` /
-    ``b_ub``, and — when the final root solve matches the final arrays —
-    the optimal root basis as a warm-start seed for the root node.
+    ``b_ub``, the optimal root basis as a warm-start seed for the root
+    node (when the final root solve matches the final arrays), and the
+    final root relaxation objective — the proven root bound an injected
+    external incumbent is compared against.
     """
     from repro.ilp.cuts import generate_cuts
 
     if certify != "off":
         from repro.certify.cuts import certify_cut
 
-    relax = compiled.solve(root_bounds, max_iterations=lp_max_iterations)
+    relax = compiled.solve(
+        root_bounds, max_iterations=lp_max_iterations, deadline=deadline
+    )
     if relax.status is not SolveStatus.OPTIMAL or relax.x is None:
-        return compiled, a_ub, b_ub, None
+        return compiled, a_ub, b_ub, None, None
     obj = relax.objective
     basis = relax.basis
     for _ in range(cut_rounds):
+        if deadline is not None and time.monotonic() > deadline:
+            break  # out of time: keep whatever rounds already paid off
         if all(
             abs(relax.x[j] - round(relax.x[j])) <= _INT_TOL
             for j in range(len(root_bounds))
@@ -260,7 +373,7 @@ def _root_cut_loop(
             engine=engine,
         )
         cand_relax = cand_compiled.solve(
-            root_bounds, max_iterations=lp_max_iterations
+            root_bounds, max_iterations=lp_max_iterations, deadline=deadline
         )
         if cand_relax.status is not SolveStatus.OPTIMAL or cand_relax.x is None:
             break  # numerical trouble on the cut rows: keep old arrays
@@ -275,7 +388,7 @@ def _root_cut_loop(
         relax, obj, basis = cand_relax, cand_relax.objective, cand_relax.basis
         cut_stats["cuts_added"] += len(kept)
         cut_stats["cut_rounds_run"] += 1
-    return compiled, a_ub, b_ub, basis
+    return compiled, a_ub, b_ub, basis, obj
 
 
 def solve_branch_bound(
@@ -286,6 +399,7 @@ def solve_branch_bound(
     absolute_gap: float = GAP_EPS,
     lp_max_iterations: int = 200_000,
     warm_start: bool = True,
+    warm_start_min_rows: int = _WARM_START_MIN_ROWS,
     max_stored_bases: int = _MAX_STORED_BASES,
     certify: str = "off",
     lp_scaling: bool = False,
@@ -294,6 +408,7 @@ def solve_branch_bound(
     cuts: bool = True,
     cut_rounds: int = 3,
     dive: bool = True,
+    incumbent: Optional[IncumbentPool] = None,
 ) -> Solution:
     """Optimize ``model`` by branch & bound.
 
@@ -326,9 +441,30 @@ def solve_branch_bound(
     from its parent's optimal basis through the dual simplex instead of
     a two-phase cold start; ``warm_start=False`` keeps the cold-start
     path (statuses and objectives are identical either way — asserted in
-    ``tests/ilp/test_warm_start.py``).  ``max_stored_bases`` bounds the
-    warm-start memory: once the open-node heap outgrows it, children are
-    pushed without a basis snapshot and cold start on arrival.
+    ``tests/ilp/test_warm_start.py``).  ``warm_start_min_rows`` gates
+    warm starts by standard-form size: below the threshold the dual
+    repair's per-node refactor costs more wall than the cold fast path
+    it replaces, so small models silently run cold
+    (``stats["warm_start_gated"]``; pass 0 to force warm starts).
+    Above the threshold a runtime governor still watches the payoff:
+    after 32 explored nodes it interleaves a few forced cold probe
+    solves (``stats["warm_probe_solves"]``) and permanently disables
+    warm starts for the rest of the search when the mean warm solve is
+    measurably slower than the mean cold one
+    (``stats["warm_start_disabled"]`` — row count alone does not
+    predict the payoff; see :class:`_WarmStartGovernor`).
+    ``max_stored_bases`` bounds the warm-start memory: once the open-node
+    heap outgrows it, children are pushed without a basis snapshot and
+    cold start on arrival.
+
+    ``incumbent`` (an :class:`repro.ilp.incumbent.IncumbentPool`) wires
+    this search into the anytime race (DESIGN.md §13): externally
+    offered solution vectors are polled once per node, float-replayed
+    against the presolved arrays, and adopted as upper bounds; the
+    search's own integral incumbents and final bound are published back
+    to the pool's timeline.  An injected incumbent that already matches
+    the root relaxation bound (within ``absolute_gap``) terminates the
+    search immediately with OPTIMAL — no nodes are enumerated.
 
     ``dive`` runs a depth-first rounding dive from the root relaxation
     before the best-first loop: repeatedly fix the most fractional
@@ -362,6 +498,11 @@ def solve_branch_bound(
         from repro.certify.lp import certify_lp, certify_solution
 
     start = time.monotonic()
+    # Absolute LP deadline: every simplex solve in the search (root,
+    # cut loop, dive, nodes) polls it, so a hard relaxation cannot
+    # overshoot ``time_limit`` by minutes of pivoting (the node loop's
+    # own check only runs *between* nodes).
+    lp_deadline = start + time_limit if time_limit is not None else None
     c, a_ub, b_ub, a_eq, b_eq, root_bounds, integrality = model.to_arrays()
     int_indices = [j for j, flag in enumerate(integrality) if flag]
 
@@ -393,6 +534,22 @@ def solve_branch_bound(
         else None
     )
 
+    warm_gated = False
+    if (
+        warm_start
+        and compiled is not None
+        and compiled.m < warm_start_min_rows
+    ):
+        # See _WARM_START_MIN_ROWS: below this size the cold path is
+        # faster per node than the dual repair it would replace.
+        warm_start = False
+        warm_gated = True
+    governor = (
+        _WarmStartGovernor()
+        if warm_start and compiled is not None
+        else None
+    )
+
     cut_stats: Dict[str, float] = {
         "cuts_added": 0,
         "cuts_rejected": 0,  # failed certification
@@ -401,12 +558,13 @@ def solve_branch_bound(
         "cut_wall_time": 0.0,
     }
     root_basis: Optional[Basis] = None
+    root_obj: Optional[float] = None
     if cuts and compiled is not None and int_indices:
         cut_start = time.perf_counter()
-        compiled, a_ub, b_ub, root_basis = _root_cut_loop(
+        compiled, a_ub, b_ub, root_basis, root_obj = _root_cut_loop(
             compiled, c, a_ub, b_ub, a_eq, b_eq, root_bounds, integrality,
             lp_max_iterations, lp_scaling, engine, cut_rounds, certify,
-            cut_stats,
+            cut_stats, deadline=lp_deadline,
         )
         cut_stats["cut_wall_time"] = time.perf_counter() - cut_start
 
@@ -435,10 +593,97 @@ def solve_branch_bound(
     }
     stats.update(presolve_stats)
     stats.update(cut_stats)
+    stats["warm_start_gated"] = 1.0 if warm_gated else 0.0
+    stats["warm_start_disabled"] = 0.0  # governor turned warm off mid-search
+    stats["warm_probe_solves"] = 0  # forced cold probe solves
     stats["dive_solves"] = 0
     stats["dive_found_incumbent"] = 0
+    stats["external_offers_seen"] = 0
+    stats["external_incumbents"] = 0  # offers adopted as upper bounds
+    stats["external_rejected"] = 0  # offers failing the float replay
+    stats["root_bound_stop"] = 0  # injected incumbent met the root bound
 
-    if dive and compiled is not None and int_indices:
+    sense_sign = (
+        -1.0 if model.objective_sense is ObjectiveSense.MAXIMIZE else 1.0
+    )
+    ext_version = 0
+
+    def _external_feasible(x: np.ndarray) -> bool:
+        """Float replay of an offered vector on the presolved arrays.
+
+        Presolve only tightens integer bounds and strengthens big-M
+        coefficients over the integer-feasible set, so any genuinely
+        feasible integral offer passes; cut rows are valid inequalities
+        for every integral point by construction.
+        """
+        for j, (lo, hi) in enumerate(root_bounds):
+            if x[j] < lo - _EXTERNAL_FEAS_TOL or x[j] > hi + _EXTERNAL_FEAS_TOL:
+                return False
+        for j in int_indices:
+            if abs(x[j] - round(x[j])) > _INT_TOL:
+                return False
+        if a_ub.size and np.any(
+            a_ub @ x > b_ub + _EXTERNAL_FEAS_TOL * (1.0 + np.abs(b_ub))
+        ):
+            return False
+        if a_eq.size and np.any(
+            np.abs(a_eq @ x - b_eq)
+            > _EXTERNAL_FEAS_TOL * (1.0 + np.abs(b_eq))
+        ):
+            return False
+        return True
+
+    def _poll_external() -> bool:
+        """Adopt the pool's best offer when it beats the incumbent."""
+        nonlocal best_obj, best_x, ext_version
+        if incumbent is None or incumbent.version == ext_version:
+            return False
+        x_ext, _claimed, _source, ext_version = incumbent.take()
+        if x_ext is None or x_ext.shape[0] != c.shape[0]:
+            return False
+        stats["external_offers_seen"] += 1
+        if not _external_feasible(x_ext):
+            stats["external_rejected"] += 1
+            return False
+        obj = float(c @ x_ext)
+        if obj < best_obj:
+            best_obj = obj
+            best_x = x_ext
+            stats["external_incumbents"] += 1
+            return True
+        return False
+
+    _poll_external()
+    root_stop = False
+    if (
+        best_x is not None
+        and stats["external_incumbents"]
+        and compiled is not None
+    ):
+        # Satellite of the anytime race: an injected incumbent that
+        # already matches the proven root bound needs no enumeration.
+        if root_obj is None:
+            relax0 = compiled.solve(
+                root_bounds,
+                basis=root_basis if warm_start else None,
+                max_iterations=lp_max_iterations,
+                deadline=lp_deadline,
+            )
+            stats["simplex_iterations"] += relax0.iterations
+            if relax0.status is SolveStatus.OPTIMAL:
+                root_obj = relax0.objective
+                if warm_start:
+                    root_basis = relax0.basis
+        if root_obj is not None and best_obj <= root_obj + absolute_gap:
+            stats["root_bound_stop"] = 1
+            root_stop = True
+
+    if (
+        dive
+        and compiled is not None
+        and int_indices
+        and best_x is None
+    ):
         dive_bounds = list(root_bounds)
         dive_basis = root_basis if warm_start else None
         for _ in range(len(int_indices) + 1):
@@ -446,6 +691,7 @@ def solve_branch_bound(
                 dive_bounds,
                 basis=dive_basis,
                 max_iterations=lp_max_iterations,
+                deadline=lp_deadline,
             )
             stats["dive_solves"] += 1
             stats["simplex_iterations"] += relax.iterations
@@ -470,6 +716,10 @@ def solve_branch_bound(
                     best_obj = relax.objective
                     best_x = relax.x.copy()
                     stats["dive_found_incumbent"] = 1
+                    if incumbent is not None:
+                        incumbent.note(
+                            "incumbent", "bb", sense_sign * best_obj
+                        )
                 break
             lo, hi = dive_bounds[frac_j]
             fix = float(min(max(round(relax.x[frac_j]), lo), hi))
@@ -480,7 +730,7 @@ def solve_branch_bound(
         -math.inf, next(counter), list(root_bounds),
         basis=root_basis if warm_start else None,
     )
-    heap: List[_Node] = [root]
+    heap: List[_Node] = [] if root_stop else [root]
     pseudo = _Pseudocosts()
 
     while heap:
@@ -494,19 +744,38 @@ def solve_branch_bound(
         if FAULTS.armed and FAULTS.should_fire("bb.time_limit"):
             exhausted = False
             break
+        if incumbent is not None and incumbent.version != ext_version:
+            _poll_external()
         node = heapq.heappop(heap)
         if node.bound >= best_obj - absolute_gap:
             stats["nodes_pruned_bound"] += 1
             continue  # cannot improve the incumbent
         node_basis = node.basis if warm_start else None
+        probing = (
+            governor is not None
+            and warm_start
+            and governor.probing(int(stats["nodes_explored"]))
+        )
+        if probing and node_basis is not None and governor.force_cold():
+            # Governor probe: sample the cold path's per-node cost on
+            # this very search (see _WarmStartGovernor).
+            node_basis = None
+            stats["warm_probe_solves"] += 1
         if node_basis is not None:
             stats["basis_reuse_hits"] += 1
         lp_start = time.perf_counter()
         relax = _solve_relaxation(
             c, a_ub, b_ub, a_eq, b_eq, node.bounds, lp_engine,
             lp_max_iterations, compiled, node_basis, certifying,
+            deadline=lp_deadline,
         )
-        stats["lp_wall_time"] += time.perf_counter() - lp_start
+        lp_wall = time.perf_counter() - lp_start
+        stats["lp_wall_time"] += lp_wall
+        if probing:
+            governor.record(node_basis is not None, lp_wall)
+            if governor.decided and governor.disable:
+                warm_start = False
+                stats["warm_start_disabled"] = 1.0
         if certifying:
             cert = certify_lp(relax, c, a_ub, b_ub, a_eq, b_eq, node.bounds)
             if cert.status == "certified":
@@ -574,6 +843,8 @@ def solve_branch_bound(
             if relax.objective < best_obj:
                 best_obj = relax.objective
                 best_x = x.copy()
+                if incumbent is not None:
+                    incumbent.note("incumbent", "bb", sense_sign * best_obj)
             continue
         stats["nodes_branched"] += 1
         value = x[branch_var]
@@ -624,6 +895,9 @@ def solve_branch_bound(
     else:
         heap_min = min((n.bound for n in heap), default=math.inf)
         stats["best_bound"] = min(heap_min, best_obj - absolute_gap)
+
+    if incumbent is not None and math.isfinite(stats["best_bound"]):
+        incumbent.note("bound", "bb", sense_sign * stats["best_bound"])
 
     if best_x is None:
         status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.NO_SOLUTION
@@ -677,7 +951,14 @@ def _finish(
             "basis_reuse_hits",
             "warm_starts",
             "warm_fallbacks",
+            "warm_start_gated",
+            "warm_start_disabled",
+            "warm_probe_solves",
             "dual_pivots",
+            "external_offers_seen",
+            "external_incumbents",
+            "external_rejected",
+            "root_bound_stop",
             "cuts_added",
             "cuts_rejected",
             "presolve_rows_dropped",

@@ -348,6 +348,11 @@ class CompiledModel:
         self._monitor_refactors = 0
         #: Dual-unbounded ray of the last warm solve (set by ``_dual``).
         self._dual_ray: Optional[np.ndarray] = None
+        #: Absolute ``time.monotonic()`` deadline for the current solve
+        #: (set per :meth:`solve` call); the pivot loops poll it so a
+        #: hard LP cannot overshoot a caller's time limit by the full
+        #: iteration cap.
+        self._lp_deadline: Optional[float] = None
 
     def _equilibrate(self) -> None:
         """Two sweeps of geometric-mean row/column scaling.
@@ -458,6 +463,7 @@ class CompiledModel:
         basis: Optional[Basis] = None,
         max_iterations: int = 200_000,
         want_duals: bool = False,
+        deadline: Optional[float] = None,
     ) -> LpResult:
         """Minimize the compiled objective under per-call ``bounds``.
 
@@ -470,7 +476,15 @@ class CompiledModel:
         ``cold_fallback``).  With ``want_duals`` it also carries the
         row duals at OPTIMAL and a Farkas ray at INFEASIBLE, both in the
         caller's (unscaled) row units, for :mod:`repro.certify`.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp: the
+        pivot loops poll it every 64 iterations and give up with
+        ``NO_SOLUTION`` once past it, so a time-limited search (the
+        anytime race, budgeted synthesis) is bounded by the deadline
+        rather than by however long ``max_iterations`` pivots take on a
+        hard relaxation.
         """
+        self._lp_deadline = deadline
         lb, ub = self._extended_bounds(bounds)
         if np.any(lb[: self.n] > ub[: self.n]):
             return LpResult(SolveStatus.INFEASIBLE)
@@ -796,6 +810,12 @@ class CompiledModel:
         while True:
             if iterations >= max_iterations:
                 raise _Exhausted(iterations)
+            if (
+                self._lp_deadline is not None
+                and (iterations & 63) == 0
+                and time.monotonic() > self._lp_deadline
+            ):
+                raise _Exhausted(iterations)
             if since_refactor >= _REFACTOR_EVERY:
                 fac.refactor(basic)
                 since_refactor = 0
@@ -921,6 +941,12 @@ class CompiledModel:
         d = cost - self._aty(fac.btran(cost[basic]))
         while True:
             if pivots >= max_iterations:
+                raise _Exhausted(pivots)
+            if (
+                self._lp_deadline is not None
+                and (pivots & 63) == 0
+                and time.monotonic() > self._lp_deadline
+            ):
                 raise _Exhausted(pivots)
             if since_refactor >= _REFACTOR_EVERY:
                 fac.refactor(basic)

@@ -29,6 +29,10 @@ rung                      meaning
 ``deadline_greedy``       the mapping-stage deadline expired mid-roll;
                           the remaining tasks were placed greedily and
                           refinement was skipped
+``anytime_heuristic``     the anytime race (DESIGN.md §13) ended with
+                          the heuristic lane ahead: the adopted mapping
+                          is certified feasible with a known objective
+                          but not proven optimal
 ``routing_relaxed``       routing failed after the rip-up budget and
                           every reserved-corridor attempt; the run was
                           re-synthesized with the routing-convenient
@@ -132,6 +136,7 @@ class DegradationLadder:
     WHOLE_GREEDY = "whole_greedy"
     MAPPING_GREEDY = "mapping_greedy"
     DEADLINE_GREEDY = "deadline_greedy"
+    ANYTIME_HEURISTIC = "anytime_heuristic"
     ROUTING_RELAXED = "routing_relaxed"
     ROUTING_OVERRUN = "routing_overrun"
 
@@ -143,6 +148,7 @@ class DegradationLadder:
         WHOLE_GREEDY,
         MAPPING_GREEDY,
         DEADLINE_GREEDY,
+        ANYTIME_HEURISTIC,
         ROUTING_RELAXED,
         ROUTING_OVERRUN,
     )

@@ -1,0 +1,242 @@
+"""The anytime mapper tier (DESIGN.md §13).
+
+Three contracts pinned here:
+
+* **equivalence** — with the heuristic lane disabled the anytime
+  mapper degenerates to the pure monolithic ILP, byte-identical
+  placements included; with the LNS budget merely exhausted the race
+  still ends at the exact lane's objective;
+* **the race** — first feasible in milliseconds, incumbents certified
+  before injection, the solver sees them, a heuristic win engages the
+  ``anytime_heuristic`` rung, and the race never returns a worse
+  objective than the exact mapper alone would within the same model;
+* **fuzz** — on generated assays (``fuzz:<seed>:<ops>``) every adopted
+  heuristic mapping completes to a full variable assignment that
+  replays clean against a fresh model build and certifies, and a whole
+  budgeted synthesis stays simulator-valid and audit-clean.
+"""
+
+import warnings
+
+import pytest
+
+from repro.assays import get_case, schedule_for
+from repro.certify import certify_assignment
+from repro.core import ChipSimulator, ReliabilitySynthesizer, SynthesisConfig
+from repro.core.anytime import AnytimeMapper
+from repro.core.lns import LargeNeighborhoodSearch
+from repro.core.mappers import GreedyMapper, ILPMapper, LoadLedger
+from repro.core.mapping_model import (
+    MappingModelBuilder,
+    MappingSpec,
+    complete_solution,
+)
+from repro.core.tasks import build_tasks
+from repro.errors import DegradedResultWarning
+from repro.resilience import Deadline, DegradationLadder
+
+
+def spec_for(case_name, n_tasks=None, stride=1):
+    case = get_case(case_name)
+    schedule = schedule_for(case, case.policies(1)[0])
+    tasks = build_tasks(case.graph(), schedule)
+    if n_tasks is not None:
+        tasks = tasks[:n_tasks]
+    return MappingSpec(grid=case.grid, tasks=tasks, anchor_stride=stride)
+
+
+def assert_model_valid(spec, placements):
+    """The placements complete to a certified assignment of a fresh
+    model build — the offer pipeline's own validity contract."""
+    built = MappingModelBuilder(spec).build()
+    values = complete_solution(built, placements)
+    assert values is not None
+    assert built.model.check_solution(values) == []
+    cert = certify_assignment(built.model, values)
+    assert cert.status == "certified"
+    return int(round(values[built.w]))
+
+
+class TestEquivalence:
+    def test_exact_only_mode_is_byte_identical_to_ilp(self):
+        anytime = AnytimeMapper(
+            heuristic=False, backend="branch_bound"
+        ).map_tasks(spec_for("pcr", 2, 3))
+        ilp = ILPMapper(backend="branch_bound").map_tasks(
+            spec_for("pcr", 2, 3)
+        )
+        assert anytime.placements == ilp.placements
+        assert anytime.objective == ilp.objective
+        assert anytime.optimal and ilp.optimal
+        assert anytime.used_overlaps == ilp.used_overlaps
+        assert anytime.mapper == "anytime"
+
+    def test_exhausted_lns_budget_matches_ilp_objective(self):
+        # Zero LNS rounds leaves only the packer incumbent; the bound
+        # it injects may reshape the search tree, so placements are not
+        # byte-pinned here — the certified objective is.
+        anytime = AnytimeMapper(lns_max_rounds=0).map_tasks(
+            spec_for("pcr", 2, 3)
+        )
+        ilp = ILPMapper(backend="branch_bound").map_tasks(
+            spec_for("pcr", 2, 3)
+        )
+        assert anytime.objective == ilp.objective
+        assert anytime.optimal
+
+    def test_windowed_exact_only_delegates(self):
+        spec = spec_for("pcr")  # 8 tasks > limit of 4 below
+        result = AnytimeMapper(
+            heuristic=False, ilp_task_limit=4, window_size=3
+        ).map_tasks(spec)
+        assert result.placements  # every task placed
+        assert set(result.placements) == {t.name for t in spec.tasks}
+
+
+class TestRace:
+    def test_probe_race_matches_exact_optimum(self):
+        spec = spec_for("pcr", 2, 3)
+        result = AnytimeMapper(seed=1).map_tasks(
+            spec, deadline=Deadline(5.0)
+        )
+        ilp = ILPMapper(backend="branch_bound").map_tasks(
+            spec_for("pcr", 2, 3)
+        )
+        # Never worse than the ILP alone, and here the budget is ample
+        # so the exact lane finishes and proves it.
+        assert result.objective == ilp.objective
+        assert result.optimal
+        assert result.stats["race_winner_heuristic"] == 0.0
+
+    def test_first_feasible_is_fast_and_certified(self):
+        spec = spec_for("pcr")  # the full case
+        result = AnytimeMapper(seed=0).map_tasks(
+            spec, deadline=Deadline(1.0)
+        )
+        stats = result.stats
+        assert stats["first_feasible_seconds"] < 0.1
+        assert stats["offers_certified"] >= 1
+        assert stats["seconds_to_best_certified"] < 1.0
+        # The certified incumbent is never worse than the bare packer.
+        greedy = GreedyMapper().map_tasks(spec_for("pcr"))
+        assert result.objective <= greedy.objective
+
+    def test_injected_incumbent_reaches_the_solver(self):
+        result = AnytimeMapper(seed=1).map_tasks(
+            spec_for("pcr", 2, 3), deadline=Deadline(5.0)
+        )
+        assert result.stats["injectable"] == 1.0
+        assert result.stats["solver_external_offers_seen"] >= 1
+        assert result.stats["solver_external_rejected"] == 0
+
+    def test_heuristic_win_engages_the_rung(self):
+        # stride-1 exponential sub-model: far too hard for the exact
+        # lane inside the budget, trivially packable by the heuristic.
+        spec = spec_for("exponential_dilution", 5, 1)
+        ladder = DegradationLadder()
+        result = AnytimeMapper(seed=1).map_tasks(
+            spec, deadline=Deadline(0.75), ladder=ladder
+        )
+        assert result.stats["race_winner_heuristic"] == 1.0
+        assert not result.optimal
+        assert ladder.fired(DegradationLadder.ANYTIME_HEURISTIC) == 1
+        # The adopted mapping is certified against a fresh build.
+        peak = assert_model_valid(
+            spec_for("exponential_dilution", 5, 1), result.placements
+        )
+        assert peak == result.objective
+
+    def test_race_timeline_is_recorded(self):
+        result = AnytimeMapper(seed=1).map_tasks(
+            spec_for("pcr", 2, 3), deadline=Deadline(5.0)
+        )
+        timeline = result.stats["race_timeline"]
+        kinds = {event["kind"] for event in timeline}
+        assert "offer" in kinds
+        assert "incumbent" in kinds
+        times = [event["t"] for event in timeline]
+        assert times == sorted(times)
+
+
+class TestLNS:
+    def test_improves_or_keeps_and_stays_model_valid(self):
+        spec = spec_for("exponential_dilution", 5, 1)
+        greedy = GreedyMapper().map_tasks(spec)
+        placements = dict(greedy.placements)
+        before = LoadLedger.from_placements(
+            spec, sorted(spec.tasks, key=lambda t: (t.start, t.name)),
+            placements,
+        ).measure()
+        stats = LargeNeighborhoodSearch(spec, seed=3).run(
+            placements, max_rounds=40
+        )
+        after = LoadLedger.from_placements(
+            spec, sorted(spec.tasks, key=lambda t: (t.start, t.name)),
+            placements,
+        ).measure()
+        assert after <= before
+        assert stats["lns_rounds"] <= 40
+        assert stats["lns_peak"] == after[0]
+        assert_model_valid(
+            spec_for("exponential_dilution", 5, 1), placements
+        )
+
+    def test_deterministic_in_seed(self):
+        def run(seed):
+            spec = spec_for("pcr")
+            placements = dict(GreedyMapper().map_tasks(spec).placements)
+            LargeNeighborhoodSearch(spec, seed=seed).run(
+                placements, max_rounds=25
+            )
+            return placements
+
+        assert run(11) == run(11)
+
+    def test_stall_limit_stops_early(self):
+        spec = spec_for("pcr", 2, 3)
+        placements = dict(GreedyMapper().map_tasks(spec).placements)
+        stats = LargeNeighborhoodSearch(spec, seed=0).run(
+            placements, max_rounds=500, stall_limit=5
+        )
+        assert stats["lns_rounds"] <= 5 + stats["lns_accepted"] * 5
+
+
+@pytest.mark.parametrize("seed,ops", [(3, 6), (11, 7), (29, 6)])
+class TestFuzzObjectiveGap:
+    def test_race_beats_or_ties_packer_and_certifies(self, seed, ops):
+        case = get_case(f"fuzz:{seed}:{ops}")
+        schedule = schedule_for(case, case.policies(1)[0])
+        tasks = build_tasks(case.graph(), schedule)
+        spec = MappingSpec(grid=case.grid, tasks=tasks)
+        result = AnytimeMapper(seed=seed).map_tasks(
+            spec, deadline=Deadline(1.0)
+        )
+        greedy = GreedyMapper().map_tasks(
+            MappingSpec(grid=case.grid, tasks=tasks)
+        )
+        assert result.objective <= greedy.objective
+        peak = assert_model_valid(
+            MappingSpec(grid=case.grid, tasks=tasks), result.placements
+        )
+        assert peak == result.objective
+
+
+class TestFuzzSynthesis:
+    def test_budgeted_fuzz_synthesis_is_valid_and_audit_clean(self):
+        case = get_case("fuzz:5:8")
+        graph = case.graph()
+        schedule = schedule_for(case, case.policies(1)[0])
+        config = SynthesisConfig(
+            grid=case.grid, time_budget=15.0, certify="strict"
+        )
+        with warnings.catch_warnings():
+            # A tight budget may legitimately degrade to the certified
+            # heuristic; strict certification still gates the result.
+            warnings.simplefilter("ignore", DegradedResultWarning)
+            result = ReliabilitySynthesizer(config).synthesize(
+                graph, schedule
+            )
+        assert result.metrics.mapper == "anytime"
+        assert result.audit is not None and result.audit.ok
+        report = ChipSimulator(result).run()
+        assert report.products_delivered >= 1

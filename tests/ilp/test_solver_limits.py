@@ -70,7 +70,7 @@ class TestUnboundedBelowRoot:
         # one: OPTIMAL-fractional at the root, UNBOUNDED below it.
         calls = {"n": 0}
 
-        def flaky_relaxation(c, a_ub, b_ub, a_eq, b_eq, bounds, *args):
+        def flaky_relaxation(c, a_ub, b_ub, a_eq, b_eq, bounds, *args, **kwargs):
             calls["n"] += 1
             if calls["n"] == 1:
                 return LpResult(

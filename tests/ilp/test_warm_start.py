@@ -51,9 +51,13 @@ def _solve_both(model: Model, **kwargs):
     # purpose: these tests isolate the warm-start machinery, and all
     # three stages would otherwise close many roots (or pre-seed an
     # incumbent) before a single branching (dual-simplex) step.
+    # warm_start_min_rows=0 bypasses the small-model wall-time gate —
+    # these instances are far below it, and the point here is
+    # equivalence, not speed.
     warm = model.solve(
         backend="branch_bound", lp_engine="simplex", warm_start=True,
-        presolve=False, cuts=False, dive=False, **kwargs
+        warm_start_min_rows=0, presolve=False, cuts=False, dive=False,
+        **kwargs
     )
     cold = model.solve(
         backend="branch_bound", lp_engine="simplex", warm_start=False,
@@ -100,6 +104,105 @@ class TestRandomizedEquivalence:
         assert warm.stats["warm_starts"] > 0
         # Warm starting is the point: strictly fewer pivots overall.
         assert warm.stats["simplex_iterations"] < cold.stats["simplex_iterations"]
+
+
+class TestWarmStartGates:
+    """The size gate and the runtime payoff governor."""
+
+    def test_tiny_models_are_row_gated(self):
+        model = Model("tiny")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constr(x + y <= 1)
+        model.maximize(2 * x + 3 * y)
+        solution = model.solve(
+            backend="branch_bound", lp_engine="simplex", warm_start=True
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats["warm_start_gated"] == 1
+        assert solution.stats["warm_starts"] == 0
+        # ... and the bypass works.
+        forced = model.solve(
+            backend="branch_bound", lp_engine="simplex", warm_start=True,
+            warm_start_min_rows=0,
+        )
+        assert forced.stats["warm_start_gated"] == 0
+
+    def test_governor_decision_rule(self):
+        from repro.ilp.branch_bound import _WarmStartGovernor
+
+        gov = _WarmStartGovernor(probe_after=32, samples=2, factor=2.0)
+        assert not gov.probing(31)
+        assert gov.probing(32)
+        # Alternation: first a cold probe, then a warm sample, ...
+        assert gov.force_cold()
+        gov.record(False, 1.0)
+        assert not gov.force_cold()
+        gov.record(True, 10.0)
+        assert gov.force_cold()
+        gov.record(False, 1.0)
+        assert not gov.decided
+        gov.record(True, 10.0)
+        # Warm mean 10 vs cold mean 1 with factor 2: decisively off.
+        assert gov.decided
+        assert gov.disable
+        assert not gov.probing(100)  # probing ends with the decision
+
+    def test_governor_keeps_decisively_faster_warm(self):
+        from repro.ilp.branch_bound import _WarmStartGovernor
+
+        gov = _WarmStartGovernor(samples=2, factor=2.0)
+        for warm, wall in (
+            (False, 4.0), (True, 1.0), (False, 4.0), (True, 1.0)
+        ):
+            gov.record(warm, wall)
+        assert gov.decided
+        assert not gov.disable
+
+    def test_governor_keeps_borderline_warm(self):
+        # The asymmetric margin: a marginally slower warm path stays on
+        # (disabling a winner costs far more than keeping a near-tie).
+        from repro.ilp.branch_bound import _WarmStartGovernor
+
+        gov = _WarmStartGovernor(samples=2, factor=2.0)
+        for warm, wall in (
+            (False, 1.0), (True, 1.5), (False, 1.0), (True, 1.5)
+        ):
+            gov.record(warm, wall)
+        assert gov.decided
+        assert not gov.disable
+
+    def test_governor_probe_preserves_answers(self):
+        # A dense random model above the row gate with a tree past the
+        # probe threshold: whatever the wall-time decision, statuses
+        # and objectives must match the cold path and probes must have
+        # actually run.
+        rng = random.Random(5)
+        model = Model("dense")
+        xs = [model.add_binary(f"x{i}") for i in range(30)]
+        for _ in range(64):
+            coefs = [rng.randint(1, 9) for _ in range(30)]
+            model.add_constr(
+                quicksum(c * x for c, x in zip(coefs, xs))
+                <= rng.randint(90, 150)
+            )
+        model.maximize(
+            quicksum(rng.randint(1, 20) * x for x in xs)
+        )
+        warm = model.solve(
+            backend="branch_bound", lp_engine="simplex", warm_start=True,
+            presolve=False, cuts=False, dive=False,
+        )
+        cold = model.solve(
+            backend="branch_bound", lp_engine="simplex", warm_start=False,
+            presolve=False, cuts=False, dive=False,
+        )
+        assert warm.status is cold.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective)
+        assert warm.stats["warm_start_gated"] == 0
+        assert warm.stats["warm_probe_solves"] > 0
+        assert cold.stats["warm_probe_solves"] == 0
+        assert model.check_solution(warm.values) == []
 
 
 class TestStatuses:
@@ -217,7 +320,7 @@ class TestCompiledModelDirect:
         model.maximize(quicksum(v * x for v, x in zip(values, xs)))
         clean = model.solve(
             backend="branch_bound", lp_engine="simplex", warm_start=True,
-            presolve=False, cuts=False, dive=False,
+            warm_start_min_rows=0, presolve=False, cuts=False, dive=False,
         )
 
         from repro.ilp import compiled as compiled_mod
@@ -234,7 +337,7 @@ class TestCompiledModelDirect:
         try:
             corrupted = model.solve(
                 backend="branch_bound", lp_engine="simplex", warm_start=True,
-                presolve=False, cuts=False, dive=False,
+                warm_start_min_rows=0, presolve=False, cuts=False, dive=False,
             )
         finally:
             compiled_mod.CompiledModel.solve = original

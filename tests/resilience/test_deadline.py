@@ -162,6 +162,7 @@ class TestDegradationLadder:
             "whole_greedy",
             "mapping_greedy",
             "deadline_greedy",
+            "anytime_heuristic",
             "routing_relaxed",
             "routing_overrun",
         }
