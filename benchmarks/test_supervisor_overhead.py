@@ -1,0 +1,38 @@
+"""Supervised-mode overhead: < 10% wall on an unfaulted PCR synthesis.
+
+The acceptance bar for the crash-safety layer (DESIGN.md §14): running
+every exact solve in a watched subprocess — fork, pipe, heartbeat
+thread, watchdog polling — must cost less than 10% wall time against
+the plain in-process run when nothing goes wrong.  A small absolute
+allowance damps scheduler noise on sub-second baselines.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.assays import get_case, schedule_for
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+
+
+def _run_pcr(supervised: bool) -> float:
+    case = get_case("pcr")
+    graph = case.graph()
+    policy = case.policies(1)[0]
+    schedule = schedule_for(case, policy)
+    config = SynthesisConfig(grid=case.grid, supervised=supervised)
+    start = time.monotonic()
+    ReliabilitySynthesizer(config).synthesize(graph, schedule)
+    return time.monotonic() - start
+
+
+def test_supervised_overhead_under_ten_percent():
+    # Warm both paths once (imports, candidate caches), then measure.
+    _run_pcr(supervised=False)
+    base = min(_run_pcr(supervised=False) for _ in range(2))
+    supervised = min(_run_pcr(supervised=True) for _ in range(2))
+    budget = max(1.1 * base, base + 0.5)
+    assert supervised <= budget, (
+        f"supervised {supervised:.2f} s vs plain {base:.2f} s "
+        f"(allowed {budget:.2f} s)"
+    )

@@ -5,10 +5,14 @@ Commands:
 * ``table1 [case ...]`` — regenerate Table 1 (all cases by default);
 * ``figures [figN ...]`` — regenerate the paper's figures;
 * ``cases`` — list the benchmark assays;
-* ``synth ASSAY_FILE [--grid N] [--schedule SCHEDULE_FILE]
-  [--time-budget S]`` — synthesize a user assay written in the text
-  format (see :mod:`repro.assay.textio`), printing metrics and
-  placements;
+* ``synth ASSAY [--grid N] [--schedule SCHEDULE_FILE]
+  [--time-budget S] [--supervised] [--checkpoint DIR]`` — synthesize a
+  user assay written in the text format (see
+  :mod:`repro.assay.textio`) or a benchmark case from the registry,
+  printing metrics and placements; ``--supervised`` runs the exact
+  solves in watched subprocesses and ``--checkpoint DIR`` journals
+  certified window solutions so a crashed run resumes where it died
+  (DESIGN.md §14);
 * ``profile CASE [--policy N] [--mapper M] [--json FILE]
   [--time-budget S] [--certify LEVEL]`` — run one benchmark case with
   solver telemetry enabled and report the hot-path counters (see
@@ -39,6 +43,7 @@ from typing import List, Optional
 from repro.assay.scheduler import ListScheduler, SchedulerConfig
 from repro.assay.textio import graph_from_text, schedule_from_text
 from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.errors import ReproError
 from repro.geometry import GridSpec
 from repro.viz import actuation_summary, render_gantt, render_heatmap
 
@@ -77,23 +82,58 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_synth_input(args: argparse.Namespace):
+    """Resolve ``synth``'s ASSAY argument to ``(graph, schedule, grid)``.
+
+    The argument is either a text-format assay file (see
+    :mod:`repro.assay.textio`) or the name of a benchmark case from the
+    registry (see ``python -m repro cases``) — files win when both
+    exist.  Registry cases default to their own grid; ``--grid`` always
+    overrides.
+    """
+    path = Path(args.assay)
+    if path.exists():
+        graph = graph_from_text(path.read_text())
+        graph.validate()
+        grid = GridSpec(args.grid or 10, args.grid or 10)
+        if args.schedule:
+            schedule = schedule_from_text(
+                Path(args.schedule).read_text(), graph
+            )
+            schedule.validate()
+        else:
+            schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+        return graph, schedule, grid
+
+    from repro.assays import get_case, list_cases, schedule_for
+
+    try:
+        case = get_case(args.assay)
+    except ReproError:
+        names = ", ".join(c.name for c in list_cases())
+        raise ReproError(
+            f"{args.assay!r} is neither an assay file nor a benchmark "
+            f"case (known cases: {names})"
+        ) from None
+    graph = case.graph()
+    policy = case.policies(1)[0]
+    schedule = schedule_for(case, policy)
+    grid = (
+        GridSpec(args.grid, args.grid) if args.grid else case.grid
+    )
+    return graph, schedule, grid
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
-    text = Path(args.assay).read_text()
-    graph = graph_from_text(text)
-    graph.validate()
-    if args.schedule:
-        schedule = schedule_from_text(
-            Path(args.schedule).read_text(), graph
-        )
-        schedule.validate()
-    else:
-        schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+    graph, schedule, grid = _load_synth_input(args)
 
     print(render_gantt(schedule))
     result = ReliabilitySynthesizer(
         SynthesisConfig(
-            grid=GridSpec(args.grid, args.grid),
+            grid=grid,
             time_budget=args.time_budget,
+            supervised=args.supervised,
+            checkpoint=args.checkpoint,
         )
     ).synthesize(graph, schedule)
     m = result.metrics
@@ -137,6 +177,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         time_budget=args.time_budget,
         certify=args.certify,
         race=args.race,
+        supervised=args.supervised,
+        checkpoint=args.checkpoint,
     )
     return 0
 
@@ -207,13 +249,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_speed.add_argument("cases", nargs="*", help="benchmark case names")
     p_speed.set_defaults(func=_cmd_speedup)
 
-    p_synth = sub.add_parser("synth", help="synthesize a text-format assay")
-    p_synth.add_argument("assay", help="assay description file")
+    p_synth = sub.add_parser(
+        "synth",
+        help="synthesize a text-format assay or a benchmark case",
+    )
+    p_synth.add_argument(
+        "assay",
+        help="assay description file, or a benchmark case name "
+        "(see 'cases')",
+    )
     p_synth.add_argument(
         "--schedule", help="schedule file (default: list-schedule it)"
     )
     p_synth.add_argument(
-        "--grid", type=int, default=10, help="grid side length (default 10)"
+        "--grid", type=int, default=None, metavar="N",
+        help="grid side length (default 10 for assay files, the case "
+        "grid for benchmark cases)",
     )
     p_synth.add_argument(
         "--simulate", action="store_true",
@@ -227,6 +278,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--time-budget", type=float, default=None, metavar="S",
         help="wall-clock budget in seconds for the whole synthesis "
         "(degrades instead of overrunning)",
+    )
+    p_synth.add_argument(
+        "--supervised", action="store_true",
+        help="run exact solves in supervised subprocesses with a "
+        "heartbeat watchdog and retry-with-backoff (DESIGN.md §14)",
+    )
+    p_synth.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="append certified window solutions to DIR/journal.jsonl "
+        "and resume from it after a crash (DESIGN.md §14)",
     )
     p_synth.set_defaults(func=_cmd_synth)
 
@@ -267,6 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--certify", default="off", choices=["off", "audit", "strict"],
         help="run the certification layer during the profiled synthesis "
         "(default off; see DESIGN.md §10)",
+    )
+    p_prof.add_argument(
+        "--supervised", action="store_true",
+        help="run exact solves in supervised subprocesses and report "
+        "the supervisor.* counters (DESIGN.md §14)",
+    )
+    p_prof.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal certified window solutions to DIR and report "
+        "the checkpoint.* counters (DESIGN.md §14)",
     )
     p_prof.set_defaults(func=_cmd_profile)
 

@@ -173,8 +173,19 @@ class AnytimeMapper(BaseMapper):
         if deadline is not None:
             limit = deadline.limit(limit)
         ordered = sorted(spec.tasks, key=lambda t: (t.start, t.name))
+        supervised = self.supervisor is not None
 
         if not self.heuristic:
+            if supervised or self.journal is not None:
+                # Crash-safe exact-only: delegate to the (supervised,
+                # journaled) exact mapper — same model, same answer.
+                result = self._exact_mapper(limit).map_tasks(
+                    spec, deadline=deadline, ladder=ladder
+                )
+                result.mapper = self.name
+                result.stats.setdefault("race_winner_heuristic", 0.0)
+                result.wall_time = time.monotonic() - start
+                return result
             # Exact-only mode: synchronous, no pool — byte-identical to
             # ILPMapper on the same spec (the equivalence tests pin it).
             built = MappingModelBuilder(spec).build()
@@ -193,7 +204,10 @@ class AnytimeMapper(BaseMapper):
         built = MappingModelBuilder(spec).build()
         model = built.model
         pool = IncumbentPool()
-        injectable = backend == "branch_bound"
+        # Incumbent injection needs an in-process branch & bound; a
+        # supervised exact lane solves in a subprocess, so the pool
+        # degrades to a scoreboard (offers are noted, not injected).
+        injectable = backend == "branch_bound" and not supervised
         stats: Dict[str, float] = {
             "offers_made": 0.0,
             "offers_incomplete": 0.0,
@@ -266,9 +280,18 @@ class AnytimeMapper(BaseMapper):
 
         def exact_lane() -> None:
             try:
-                slot["solution"] = model.solve(
-                    backend=backend, time_limit=lane_limit, **solver_kwargs
-                )
+                if supervised:
+                    # The watched-subprocess path (DESIGN.md §14): the
+                    # thread only dispatches and waits; kills/retries
+                    # happen in the supervisor.
+                    slot["result"] = self._exact_mapper(
+                        lane_limit
+                    ).map_tasks(spec, deadline=deadline)
+                else:
+                    slot["solution"] = model.solve(
+                        backend=backend, time_limit=lane_limit,
+                        **solver_kwargs
+                    )
             except Exception as exc:  # noqa: BLE001 - reported via slot
                 slot["error"] = exc
             finally:
@@ -307,6 +330,15 @@ class AnytimeMapper(BaseMapper):
             )
         thread.join(timeout)
         stats["exact_abandoned"] = float(thread.is_alive())
+        if supervised:
+            stats["supervised"] = 1.0
+            exact_result = (
+                slot.get("result") if not thread.is_alive() else None
+            )
+            return self._pick_winner_result(
+                spec, ordered, stats, pool, best_certified,
+                exact_result, ladder, start,
+            )
         solution = slot.get("solution")
         exact_ok = (
             solution is not None
@@ -316,6 +348,99 @@ class AnytimeMapper(BaseMapper):
         return self._pick_winner(
             spec, built, ordered, stats, pool, best_certified,
             solution if exact_ok else None, ladder, start,
+        )
+
+    def _exact_mapper(self, limit: Optional[float]) -> ILPMapper:
+        """The monolithic exact lane as a crash-safe :class:`ILPMapper`."""
+        mapper = ILPMapper(
+            backend=self._exact_backend(monolithic=True),
+            time_limit=limit,
+            **self.solver_kwargs,
+        )
+        mapper.journal = self.journal
+        mapper.supervisor = self.supervisor
+        return mapper
+
+    def _pick_winner_result(
+        self,
+        spec: MappingSpec,
+        ordered: List[MappingTask],
+        stats: Dict[str, float],
+        pool: IncumbentPool,
+        best_certified: Dict[str, object],
+        exact: Optional[MappingResult],
+        ladder: Optional[DegradationLadder],
+        start: float,
+    ) -> MappingResult:
+        """The supervised-lane twin of :meth:`_pick_winner`.
+
+        The exact lane returned a :class:`MappingResult` (solved in a
+        watched subprocess) instead of a raw solver solution; the
+        decision rule is identical — best certified objective wins,
+        ties to the exact lane.
+        """
+        exact_peak = exact.objective if exact is not None else None
+        if exact is not None:
+            stats["exact_objective"] = float(exact_peak)
+        if best_certified:
+            stats["heuristic_objective"] = float(best_certified["peak"])
+            stats["seconds_to_best_certified"] = float(
+                best_certified["seconds"]
+            )
+        stats["race_timeline"] = pool.timeline_snapshot()
+        heuristic_wins = best_certified and (
+            exact_peak is None or best_certified["peak"] < exact_peak
+        )
+        if exact_peak is None and not best_certified:
+            raise SynthesisError(
+                "anytime race produced no solution: the supervised exact "
+                "lane returned nothing inside the budget and no "
+                "heuristic incumbent certified"
+            )
+        stats["race_winner_heuristic"] = float(bool(heuristic_wins))
+        wall = time.monotonic() - start
+        if TELEMETRY.enabled:
+            TELEMETRY.count("anytime.races")
+            TELEMETRY.count(
+                "anytime.lns_rounds", int(stats.get("lns_rounds", 0))
+            )
+            TELEMETRY.count(
+                "anytime.race_winner_heuristic"
+                if heuristic_wins
+                else "anytime.race_winner_exact"
+            )
+        if heuristic_wins:
+            if ladder is not None:
+                ladder.engage(
+                    "mapping",
+                    DegradationLadder.ANYTIME_HEURISTIC,
+                    f"certified heuristic peak {best_certified['peak']}"
+                    + (
+                        f" beat exact {exact_peak}"
+                        if exact_peak is not None
+                        else " with no exact answer in budget"
+                    ),
+                )
+            placements = dict(best_certified["placements"])
+            return MappingResult(
+                placements=placements,
+                objective=int(best_certified["peak"]),
+                mapper=self.name,
+                used_overlaps=_used_overlaps(spec, ordered, placements),
+                wall_time=wall,
+                optimal=False,
+                stats=stats,
+            )
+        merged = dict(exact.stats)
+        merged.update(stats)
+        return MappingResult(
+            placements=exact.placements,
+            objective=exact.objective,
+            mapper=self.name,
+            used_overlaps=exact.used_overlaps,
+            wall_time=wall,
+            optimal=exact.optimal,
+            stats=merged,
         )
 
     def _exact_only(self, spec, built, backend, limit, start) -> MappingResult:
@@ -449,6 +574,9 @@ class AnytimeMapper(BaseMapper):
         exact_mapper = WindowedILPMapper(
             window_size=self.window_size, backend=backend
         )
+        # Crash-safety wiring rides along into every window solve.
+        exact_mapper.journal = self.journal
+        exact_mapper.supervisor = self.supervisor
         if not self.heuristic:
             return self._result_from_windowed(
                 exact_mapper.map_tasks(spec, deadline=deadline, ladder=ladder),

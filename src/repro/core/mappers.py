@@ -43,7 +43,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import SolverError, SynthesisError
+from repro.errors import SolverError, SynthesisError, WorkerCrashError
 from repro.geometry import Point
 from repro.architecture.device import Placement
 from repro.ilp.solution import SolveStatus
@@ -60,6 +60,21 @@ _DEFAULT_FUTURE_TIMEOUT = 300.0
 #: Sentinel marking a speculative window whose future failed (pool
 #: crash / timeout): the apply loop re-solves exactly these serially.
 _SERIAL_RETRY = object()
+
+
+def _solve_spec_job(payload):
+    """Supervised-worker entry point: one exact solve of a full spec.
+
+    Top-level and picklable, like :func:`_solve_window_job`.  The
+    worker's mapper gets no journal and no supervisor (no recursive
+    supervision, no journal writes from children — the parent records
+    the result it receives); deterministic failures propagate back as
+    exceptions through the supervisor's result channel.
+    """
+    spec, backend, limit, solver_kwargs = payload
+    return ILPMapper(
+        backend=backend, time_limit=limit, **solver_kwargs
+    ).map_tasks(spec)
 
 
 def _solve_window_job(payload):
@@ -250,9 +265,20 @@ class BaseMapper:
     and loop checks); ``ladder`` records any degradation rungs taken.
     Both default to None — unbudgeted, unrecorded — so existing callers
     are unaffected.
+
+    ``journal`` / ``supervisor`` opt the mapper into the crash-safety
+    machinery of DESIGN.md §14: a
+    :class:`repro.resilience.CheckpointJournal` replays certified
+    solutions for byte-identical subproblems (and records new ones),
+    a :class:`repro.resilience.WorkerSupervisor` moves exact solves
+    into watched subprocesses.  Both default to None — no journal, no
+    supervision — and are plain attributes so the synthesizer can wire
+    them onto whatever mapper the configuration resolved.
     """
 
     name = "base"
+    journal = None
+    supervisor = None
 
     def map_tasks(
         self,
@@ -286,10 +312,60 @@ class ILPMapper(BaseMapper):
         deadline: Optional[Deadline] = None,
         ladder: Optional[DegradationLadder] = None,
     ) -> MappingResult:
-        start = time.monotonic()
+        if self.journal is not None:
+            replayed = self.journal.replay(spec)
+            if replayed is not None:
+                return replayed
         limit = self.time_limit
         if deadline is not None:
             limit = deadline.limit(limit)
+        if self.supervisor is not None:
+            result = self._map_supervised(spec, limit, deadline, ladder)
+        else:
+            result = self._map_inline(spec, limit)
+        if self.journal is not None:
+            self.journal.record(spec, result)
+        return result
+
+    def _map_supervised(
+        self,
+        spec: MappingSpec,
+        limit: Optional[float],
+        deadline: Optional[Deadline],
+        ladder: Optional[DegradationLadder],
+    ) -> MappingResult:
+        """One supervised solve, falling back in-process on exhaustion.
+
+        The worker re-raises deterministic failures (an infeasible
+        window raises :class:`SynthesisError` here exactly as the
+        inline path would); only lost workers — crash, hang, RSS kill —
+        exhaust the supervisor's retries, engage ``worker_serial`` and
+        re-run the solve unsupervised.
+        """
+        payload = (spec, self.backend, limit, self.solver_kwargs)
+        try:
+            result = self.supervisor.run(
+                _solve_spec_job, payload, deadline=deadline, label=self.name
+            )
+        except WorkerCrashError as crash:
+            if ladder is not None:
+                ladder.engage(
+                    "mapping",
+                    DegradationLadder.WORKER_SERIAL,
+                    f"supervised solve lost ({crash}); re-solving in-process",
+                )
+            if TELEMETRY.enabled:
+                TELEMETRY.count("supervisor.serial_fallbacks")
+            result = self._map_inline(spec, limit)
+            result.stats["worker_serial"] = 1.0
+            return result
+        result.stats["supervised"] = 1.0
+        return result
+
+    def _map_inline(
+        self, spec: MappingSpec, limit: Optional[float]
+    ) -> MappingResult:
+        start = time.monotonic()
         built = MappingModelBuilder(spec).build()
         solution = built.model.solve(
             backend=self.backend,
@@ -392,6 +468,8 @@ class WindowedILPMapper(BaseMapper):
             "parallel_stale": 0,
             "parallel_fallback": 0,
             "pool_serial_windows": 0,
+            "pool_recreated": 0,
+            "pool_failures": 0,
         }
         executor = None
         if self.parallel:
@@ -543,136 +621,182 @@ class WindowedILPMapper(BaseMapper):
                 ledger.remove(task, new[task.name])
             restore(saved, window)
 
-        # Refinement: coordinate descent over windows, now with *all*
-        # other placements fixed.  Each window re-solve can only keep or
-        # lower the maximum load (its previous assignment stays
-        # feasible); a window whose re-solve fails keeps its old
-        # placement (refinement is opportunistic).  Passes alternate the
-        # window offset so wear stacked across an unlucky rolling-pass
-        # window boundary is also re-optimized jointly.
-        for pass_index in range(self.refine_passes):
-            if deadline is not None and deadline.expired:
-                break  # refinement is optional polish; the roll stands
-            offset = (self.window_size // 2) if pass_index % 2 == 0 else 0
-            windows = self._refine_windows(ordered, offset)
-            speculative: Optional[List] = None
-            if executor is not None and len(windows) > 1:
-                speculative, pool_ok = self._speculate(
-                    executor, spec, windows, ordered, placements,
-                    ledger, stats, deadline=deadline,
-                )
-                if not pool_ok:
-                    # Pool died (worker crash, hung future, pickling
-                    # trouble): the windows whose futures completed keep
-                    # their speculative results; only the failed ones
-                    # re-solve serially, and later passes run serially.
-                    stats["parallel_fallback"] = 1
-                    if ladder is not None:
-                        ladder.engage(
-                            "pool",
-                            DegradationLadder.POOL_SERIAL,
-                            f"pass {pass_index}: re-solving failed "
-                            "windows serially",
+        # Pool-failure recovery state: one recreate per map_tasks call,
+        # then serial for good.  The recreated pool is owned here (the
+        # caller's ``finally`` only knows the original), hence the
+        # ``try``/``finally`` around the refinement loops.
+        pool_failures = 0
+        pool_recreates_left = 1
+        recreated_pool = None
+
+        try:
+            # Refinement: coordinate descent over windows, now with *all*
+            # other placements fixed.  Each window re-solve can only keep or
+            # lower the maximum load (its previous assignment stays
+            # feasible); a window whose re-solve fails keeps its old
+            # placement (refinement is opportunistic).  Passes alternate the
+            # window offset so wear stacked across an unlucky rolling-pass
+            # window boundary is also re-optimized jointly.
+            for pass_index in range(self.refine_passes):
+                if deadline is not None and deadline.expired:
+                    break  # refinement is optional polish; the roll stands
+                offset = (self.window_size // 2) if pass_index % 2 == 0 else 0
+                windows = self._refine_windows(ordered, offset)
+                speculative: Optional[List] = None
+                if executor is not None and len(windows) > 1:
+                    speculative, pool_exc = self._speculate(
+                        executor, spec, windows, ordered, placements,
+                        ledger, stats, deadline=deadline,
+                    )
+                    if pool_exc is not None:
+                        # Pool died (worker crash, hung future, pickling
+                        # trouble): the windows whose futures completed keep
+                        # their speculative results and only the failed ones
+                        # re-solve serially.  The pool itself is recreated
+                        # once (a single crashed worker should not cost the
+                        # rest of the run its parallelism); a second failure
+                        # degrades the remaining passes to serial for good.
+                        pool_failures += 1
+                        stats["pool_failures"] = pool_failures
+                        crash = WorkerCrashError(
+                            f"refinement pool failed on pass {pass_index}: "
+                            f"{pool_exc}",
+                            attempts=pool_failures,
+                            outcomes=("pool",) * pool_failures,
                         )
-                    executor.shutdown(cancel_futures=True)
-                    executor = None
-            for index, window in enumerate(windows):
+                        executor.shutdown(cancel_futures=True)
+                        executor = None
+                        if pool_recreates_left > 0:
+                            pool_recreates_left -= 1
+                            try:
+                                from concurrent.futures import (
+                                    ProcessPoolExecutor,
+                                )
+
+                                executor = recreated_pool = ProcessPoolExecutor(
+                                    max_workers=self.max_workers
+                                )
+                            except (ImportError, OSError, ValueError):
+                                executor = None
+                        if executor is not None:
+                            stats["pool_recreated"] = 1
+                            if TELEMETRY.enabled:
+                                TELEMETRY.count("mapper.pool_recreated")
+                            if ladder is not None:
+                                ladder.engage(
+                                    "pool",
+                                    DegradationLadder.WORKER_RETRY,
+                                    f"{crash}; pool recreated",
+                                )
+                        else:
+                            stats["parallel_fallback"] = 1
+                            if ladder is not None:
+                                ladder.engage(
+                                    "pool",
+                                    DegradationLadder.POOL_SERIAL,
+                                    f"{crash}; re-solving failed windows "
+                                    "serially",
+                                )
+                for index, window in enumerate(windows):
+                    if deadline is not None and deadline.expired:
+                        break
+                    stats["refine_probes"] += 1
+                    discouraged = ledger.peak_cells()
+                    previous_peak = ledger.peak()
+                    saved = pop_window(window)
+                    saved_overlaps = list(overlaps)
+                    serial_retry = (
+                        speculative is None
+                        or speculative[index] is _SERIAL_RETRY
+                    )
+                    if serial_retry and speculative is not None:
+                        stats["pool_serial_windows"] += 1
+                    if not serial_retry:
+                        result = speculative[index]
+                        if result is None:
+                            stats["refine_infeasible"] += 1
+                            restore(saved, window)
+                            continue
+                        if not self._applies_cleanly(
+                            spec, window, ordered, placements, result
+                        ):
+                            # An earlier window of this pass moved a device
+                            # the speculative solve assumed fixed.
+                            stats["parallel_stale"] += 1
+                            restore(saved, window)
+                            continue
+                    else:
+                        try:
+                            result = self._solve_window(
+                                spec, window, ordered, placements,
+                                discouraged=discouraged, stats=stats,
+                                deadline=deadline, ladder=ladder,
+                            )
+                        except SynthesisError:
+                            stats["refine_infeasible"] += 1
+                            restore(saved, window)
+                            continue
+                    merge_overlaps(result)
+                    new = commit(result, window)
+                    if ledger.peak() > previous_peak:
+                        stats["refine_rejected"] += 1
+                        roll_back(new, saved, window)  # keep the better one
+                        overlaps = saved_overlaps
+                    else:
+                        stats["refine_accepted"] += 1
+
+            # Targeted refinement: repeatedly re-solve the tasks that pump
+            # the worst-loaded valve *together*.  Wear stacking is a
+            # same-cell phenomenon, so this attacks exactly the group the
+            # fixed window partitions may have split.  Progress is measured
+            # lexicographically — (max load, number of valves at the max) —
+            # so plateau moves that thin out the set of critical valves
+            # still count as improvements.
+            for _ in range(2 * len(ordered)):
                 if deadline is not None and deadline.expired:
                     break
-                stats["refine_probes"] += 1
+                measure = ledger.measure()
                 discouraged = ledger.peak_cells()
-                previous_peak = ledger.peak()
+                worst_cell = min(discouraged, default=None)
+                culprits = [
+                    task
+                    for task in ordered
+                    if worst_cell is not None
+                    and worst_cell in placements[task.name].pump_cells()
+                ]
+                if len(culprits) < 2:
+                    break
+                stats["targeted_rounds"] += 1
+                window = culprits[: self.window_size]
                 saved = pop_window(window)
                 saved_overlaps = list(overlaps)
-                serial_retry = (
-                    speculative is None
-                    or speculative[index] is _SERIAL_RETRY
-                )
-                if serial_retry and speculative is not None:
-                    stats["pool_serial_windows"] += 1
-                if not serial_retry:
-                    result = speculative[index]
-                    if result is None:
-                        stats["refine_infeasible"] += 1
-                        restore(saved, window)
-                        continue
-                    if not self._applies_cleanly(
-                        spec, window, ordered, placements, result
-                    ):
-                        # An earlier window of this pass moved a device
-                        # the speculative solve assumed fixed.
-                        stats["parallel_stale"] += 1
-                        restore(saved, window)
-                        continue
-                else:
-                    try:
-                        result = self._solve_window(
-                            spec, window, ordered, placements,
-                            discouraged=discouraged, stats=stats,
-                            deadline=deadline, ladder=ladder,
-                        )
-                    except SynthesisError:
-                        stats["refine_infeasible"] += 1
-                        restore(saved, window)
-                        continue
+                try:
+                    result = self._solve_window(
+                        spec, window, ordered, placements,
+                        discouraged=discouraged, stats=stats,
+                        deadline=deadline, ladder=ladder,
+                    )
+                except SynthesisError:
+                    restore(saved, window)
+                    break
                 merge_overlaps(result)
                 new = commit(result, window)
-                if ledger.peak() > previous_peak:
-                    stats["refine_rejected"] += 1
-                    roll_back(new, saved, window)  # keep the better one
+                if ledger.measure() >= measure:
+                    roll_back(new, saved, window)  # no improvement: stop
                     overlaps = saved_overlaps
-                else:
-                    stats["refine_accepted"] += 1
+                    break
+                stats["targeted_accepted"] += 1
 
-        # Targeted refinement: repeatedly re-solve the tasks that pump
-        # the worst-loaded valve *together*.  Wear stacking is a
-        # same-cell phenomenon, so this attacks exactly the group the
-        # fixed window partitions may have split.  Progress is measured
-        # lexicographically — (max load, number of valves at the max) —
-        # so plateau moves that thin out the set of critical valves
-        # still count as improvements.
-        for _ in range(2 * len(ordered)):
-            if deadline is not None and deadline.expired:
-                break
-            measure = ledger.measure()
-            discouraged = ledger.peak_cells()
-            worst_cell = min(discouraged, default=None)
-            culprits = [
-                task
-                for task in ordered
-                if worst_cell is not None
-                and worst_cell in placements[task.name].pump_cells()
-            ]
-            if len(culprits) < 2:
-                break
-            stats["targeted_rounds"] += 1
-            window = culprits[: self.window_size]
-            saved = pop_window(window)
-            saved_overlaps = list(overlaps)
-            try:
-                result = self._solve_window(
-                    spec, window, ordered, placements,
-                    discouraged=discouraged, stats=stats,
-                    deadline=deadline, ladder=ladder,
-                )
-            except SynthesisError:
-                restore(saved, window)
-                break
-            merge_overlaps(result)
-            new = commit(result, window)
-            if ledger.measure() >= measure:
-                roll_back(new, saved, window)  # no improvement: stop
-                overlaps = saved_overlaps
-                break
-            stats["targeted_accepted"] += 1
-
-        return MappingResult(
-            placements=placements,
-            objective=ledger.peak(),
-            mapper=self.name,
-            used_overlaps=sorted(set(overlaps)),
-            optimal=all_optimal and len(ordered) <= self.window_size,
-        )
+            return MappingResult(
+                placements=placements,
+                objective=ledger.peak(),
+                mapper=self.name,
+                used_overlaps=sorted(set(overlaps)),
+                optimal=all_optimal and len(ordered) <= self.window_size,
+            )
+        finally:
+            if recreated_pool is not None:
+                recreated_pool.shutdown(cancel_futures=True)
 
     # -- reference implementations ---------------------------------------
     #
@@ -779,13 +903,14 @@ class WindowedILPMapper(BaseMapper):
         cells; ``_solve_window`` already excludes each window's own
         tasks from the fixed set, so the snapshot can be passed whole.
 
-        Returns ``(results, pool_ok)``.  Recovery is window-granular:
-        each future is waited on with its own timeout, and the first
-        pool failure (``BrokenProcessPool``, a timed-out future, a
-        submit error) marks that window — and any still pending after
-        it — as :data:`_SERIAL_RETRY` while the windows already
-        gathered keep their results.  The caller re-solves only the
-        marked windows serially.
+        Returns ``(results, pool_exc)`` — ``pool_exc`` is None while the
+        pool is healthy, else the first failure (``BrokenProcessPool``,
+        a timed-out future, a submit error).  Recovery is
+        window-granular: each future is waited on with its own timeout,
+        and the first pool failure marks that window — and any still
+        pending after it — as :data:`_SERIAL_RETRY` while the windows
+        already gathered keep their results.  The caller re-solves only
+        the marked windows serially.
         """
         from concurrent.futures import TimeoutError as FutureTimeout
         from concurrent.futures.process import BrokenProcessPool
@@ -805,7 +930,7 @@ class WindowedILPMapper(BaseMapper):
             else max(2.0 * limit + 10.0, 15.0)
         )
         results: List = []
-        pool_ok = True
+        pool_exc: Optional[BaseException] = None
         futures = []
         try:
             futures = [
@@ -818,10 +943,10 @@ class WindowedILPMapper(BaseMapper):
                 )
                 for window in windows
             ]
-        except (BrokenProcessPool, OSError, RuntimeError):
-            pool_ok = False
+        except (BrokenProcessPool, OSError, RuntimeError) as exc:
+            pool_exc = exc
         for future in futures:
-            if not pool_ok:
+            if pool_exc is not None:
                 future.cancel()
                 results.append(_SERIAL_RETRY)
                 continue
@@ -832,8 +957,8 @@ class WindowedILPMapper(BaseMapper):
                     )
                 results.append(future.result(timeout=wait))
             except (BrokenProcessPool, FutureTimeout, OSError,
-                    RuntimeError):
-                pool_ok = False
+                    RuntimeError) as exc:
+                pool_exc = exc
                 results.append(_SERIAL_RETRY)
         while len(results) < len(windows):
             results.append(_SERIAL_RETRY)
@@ -846,7 +971,7 @@ class WindowedILPMapper(BaseMapper):
             if r is not None and r.mapper == GreedyMapper.name
         )
         stats["window_seconds"] += time.perf_counter() - start
-        return results, pool_ok
+        return results, pool_exc
 
     @staticmethod
     def _applies_cleanly(
@@ -898,6 +1023,19 @@ class WindowedILPMapper(BaseMapper):
         """The window's sub-problem: every placed task fixed as a constant."""
         return window_subspec(spec, window, ordered, placements, discouraged)
 
+    def _ilp(self, limit: Optional[float]) -> ILPMapper:
+        """An inner exact mapper carrying this mapper's crash-safety wiring.
+
+        The journal and supervisor ride along so every serial window
+        solve is checkpointed/supervised; pool workers build their own
+        ``WindowedILPMapper`` (see :func:`_solve_window_job`) and get
+        neither.
+        """
+        mapper = ILPMapper(backend=self.backend, time_limit=limit)
+        mapper.journal = self.journal
+        mapper.supervisor = self.supervisor
+        return mapper
+
     def _solve_window(
         self,
         spec: MappingSpec,
@@ -927,9 +1065,9 @@ class WindowedILPMapper(BaseMapper):
         )
         result: Optional[MappingResult] = None
         try:
-            result = ILPMapper(
-                backend=self.backend, time_limit=limit
-            ).map_tasks(window_spec)
+            result = self._ilp(limit).map_tasks(
+                window_spec, deadline=deadline, ladder=ladder
+            )
         except (SynthesisError, SolverError) as error:
             if len(window) > 1 and (deadline is None or not deadline.expired):
                 if stats is not None:
@@ -987,9 +1125,9 @@ class WindowedILPMapper(BaseMapper):
                 spec, half, ordered, staged, discouraged
             )
             try:
-                result = ILPMapper(
-                    backend=self.backend, time_limit=limit
-                ).map_tasks(half_spec)
+                result = self._ilp(limit).map_tasks(
+                    half_spec, deadline=deadline
+                )
             except (SynthesisError, SolverError):
                 return None
             for task in half:

@@ -46,7 +46,13 @@ from repro.core.mapping_model import MappingSpec, Pair
 from repro.core.result import SettingMetrics, SynthesisMetrics, SynthesisResult
 from repro.core.storage import StoragePlan
 from repro.core.tasks import MappingTask, build_tasks
-from repro.resilience import Deadline, DegradationLadder, ResilienceReport
+from repro.resilience import (
+    CheckpointJournal,
+    Deadline,
+    DegradationLadder,
+    ResilienceReport,
+    WorkerSupervisor,
+)
 from repro.routing.router import Router, RoutingContext
 
 
@@ -97,6 +103,15 @@ class SynthesisConfig:
     #: accumulated wear here, so every remap *levels* wear: new
     #: placements prefer fresh cells over nearly-exhausted ones.
     base_load: Optional[Dict] = None
+    #: run exact mapping solves in watched subprocesses (DESIGN.md §14):
+    #: a heartbeat watchdog SIGKILLs hung/oversized workers and retries
+    #: with seeded exponential backoff before degrading in-process.
+    supervised: bool = False
+    #: directory of the crash-safe checkpoint journal (DESIGN.md §14);
+    #: window solutions are appended (fsync'd, CRC-guarded) as they are
+    #: proven, and a re-run against the same directory replays every
+    #: certified record instead of re-solving.  None disables.
+    checkpoint: Optional[str] = None
 
     def resolve_mapper(self, n_tasks: int) -> BaseMapper:
         if self.mapper is not None:
@@ -240,6 +255,51 @@ class ReliabilitySynthesizer:
         storage_plan = StoragePlan(graph, schedule)
         mapper = config.resolve_mapper(len(tasks))
 
+        # Crash-safety wiring (DESIGN.md §14): the checkpoint journal
+        # and/or worker supervisor attach to whatever mapper resolved,
+        # and detach afterwards so a caller-owned mapper instance is
+        # returned exactly as it came in.
+        journal = None
+        supervisor = None
+        if config.checkpoint is not None:
+            journal = CheckpointJournal(config.checkpoint, ladder=ladder)
+        if config.supervised:
+            supervisor = WorkerSupervisor(ladder=ladder, site="synthesis")
+        crash_safe = journal is not None or supervisor is not None
+        if crash_safe:
+            mapper.journal = journal
+            mapper.supervisor = supervisor
+        try:
+            return self._synthesize_stages(
+                graph, schedule, chip, tasks, storage_plan, mapper,
+                journal, deadline, mapping_deadline, routing_deadline,
+                ladder, report, start_time,
+            )
+        finally:
+            if crash_safe:
+                mapper.journal = None
+                mapper.supervisor = None
+            if journal is not None:
+                journal.close()
+
+    def _synthesize_stages(
+        self,
+        graph: SequencingGraph,
+        schedule: Schedule,
+        chip: Chip,
+        tasks: List[MappingTask],
+        storage_plan: StoragePlan,
+        mapper: BaseMapper,
+        journal: Optional[CheckpointJournal],
+        deadline: Optional[Deadline],
+        mapping_deadline: Optional[Deadline],
+        routing_deadline: Optional[Deadline],
+        ladder: DegradationLadder,
+        report: ResilienceReport,
+        start_time: float,
+    ) -> SynthesisResult:
+        config = self.config
+
         # Escalating placement reservations: 1) only the port cells;
         # 2) the full port neighborhoods (an enclosed port gets a
         # corridor); 3) the whole chip boundary ring (a guaranteed
@@ -293,6 +353,10 @@ class ReliabilitySynthesizer:
                     f"and relaxed routing-convenient constraints: "
                     f"{relaxed_error}"
                 )
+
+        if journal is not None:
+            for key, value in journal.stats().items():
+                mapping.stats[f"checkpoint_{key}"] = value
 
         # L20 + evaluation: actuation accounting for both settings; the
         # non-actuated virtual valves simply never appear in the grids.

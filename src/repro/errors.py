@@ -91,6 +91,64 @@ class BindingError(ReproError):
     """Traditional-design binding failed (no mixer of a required size...)."""
 
 
+class WorkerCrashError(SynthesisError):
+    """A supervised or pooled worker process died instead of answering.
+
+    Raised by :class:`repro.resilience.supervisor.WorkerSupervisor` when
+    every watched attempt was lost to a crash, a missed heartbeat, an
+    RSS-budget kill or a deadline kill, and recorded by the process-pool
+    recovery path in :mod:`repro.core.mappers`.  Unlike the bare
+    ``RuntimeError``/``OSError`` it replaces, it carries the forensic
+    record the ladder and the tests need: how many attempts were made,
+    how each one ended, and the backoff schedule walked between them.
+
+    Derives from :class:`SynthesisError` on purpose: every existing
+    ladder handler that catches a failed mapping solve also catches a
+    crashed worker, so supervision composes with the degradation
+    ladder instead of adding a new failure channel.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int = 0,
+        exit_code: "int | None" = None,
+        signal: "int | None" = None,
+        outcomes: "tuple[str, ...]" = (),
+        backoff_history: "tuple[float, ...]" = (),
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.exit_code = exit_code
+        self.signal = signal
+        self.outcomes = tuple(outcomes)
+        self.backoff_history = tuple(backoff_history)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        how = (
+            f"signal {self.signal}"
+            if self.signal is not None
+            else f"exit code {self.exit_code}"
+            if self.exit_code is not None
+            else "no exit status"
+        )
+        backoff = ", ".join(f"{d:.3f}s" for d in self.backoff_history)
+        return (
+            f"{base} [attempts={self.attempts}, last={how}, "
+            f"outcomes={'/'.join(self.outcomes) or 'none'}, "
+            f"backoff=[{backoff}]]"
+        )
+
+
+class CheckpointError(ReproError):
+    """The checkpoint journal itself is unusable (unwritable directory,
+    unreadable file).  Individual corrupt *records* never raise — they
+    are skipped with a :class:`CorruptJournalWarning` so a damaged
+    journal costs only the damaged entries, never the run."""
+
+
 class TimeLimitError(ReproError):
     """A whole-run time budget (``Deadline``) expired.
 
@@ -110,6 +168,17 @@ class CertificationError(ReproError):
     original model or design rules.  In ``"audit"`` mode the same
     failures are recorded on the result (``Solution.stats`` /
     ``SynthesisResult.audit``) without raising.
+    """
+
+
+class CorruptJournalWarning(UserWarning):
+    """A checkpoint-journal record failed its CRC or failed to parse.
+
+    Emitted once per damaged record (truncated tail line, flipped
+    bytes, garbage) with the record index and the reason; the journal
+    keeps loading the remaining records.  A warning rather than an
+    error because the journal is an *optimization* — a lost record only
+    means the corresponding window is re-solved.
     """
 
 

@@ -9,6 +9,11 @@ enabled and emits a JSON + text report of the hot-path counters:
   backend);
 * ``resilience.*`` — degradation-ladder rung engagements (DESIGN.md
   §9); a clean run has none;
+* ``supervisor.*`` / ``checkpoint.*`` — crash-safety counters
+  (DESIGN.md §14): supervised-worker attempts, retries and kills, and
+  checkpoint-journal hits/misses/appends/rejections; present when the
+  run uses ``--supervised`` or ``--checkpoint`` and summarized in a
+  ``crash_safety`` report section;
 * ``bb.*`` / ``simplex.*`` — the from-scratch branch & bound and
   simplex.  The full synthesis usually runs on HiGHS, so these are
   exercised by a **solver probe**: a small mapping sub-model (the
@@ -149,6 +154,8 @@ def run_profile(
     time_budget: Optional[float] = None,
     certify: str = "off",
     race: bool = False,
+    supervised: bool = False,
+    checkpoint: Optional[str] = None,
 ) -> dict:
     """Profile one benchmark case; returns the JSON-ready report.
 
@@ -157,7 +164,10 @@ def run_profile(
     the ``certify.*`` telemetry counters appear.  ``race=True`` forces
     the anytime mapper for the synthesis and appends a ``race`` section
     profiling one standalone race (budgeted by ``time_budget``, default
-    :data:`DEFAULT_RACE_BUDGET`).
+    :data:`DEFAULT_RACE_BUDGET`).  ``supervised``/``checkpoint``
+    forward to the crash-safety layer (DESIGN.md §14); either one adds
+    a ``crash_safety`` section summarizing the ``supervisor.*`` and
+    ``checkpoint.*`` counters.
     """
     from repro.assays import get_case, schedule_for
     from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
@@ -179,6 +189,8 @@ def run_profile(
                 mapper=_make_mapper(mapper),
                 time_budget=time_budget,
                 certify=certify,
+                supervised=supervised,
+                checkpoint=checkpoint,
             )
         ).synthesize(graph, schedule)
         wall = time.perf_counter() - start
@@ -213,6 +225,30 @@ def run_profile(
         report["resilience"] = result.resilience.as_dict()
     if result.audit is not None:
         report["audit"] = result.audit.as_dict()
+    if supervised or checkpoint:
+        counters = telemetry["counters"]
+        timers = telemetry["timers"]
+        section = {
+            "supervised": supervised,
+            "checkpoint_dir": checkpoint,
+            "supervisor": {
+                name[len("supervisor."):]: value
+                for name, value in sorted(counters.items())
+                if name.startswith("supervisor.")
+            },
+            "journal": {
+                name[len("checkpoint."):]: value
+                for name, value in sorted(counters.items())
+                if name.startswith("checkpoint.")
+            },
+        }
+        wall = timers.get("supervisor.worker_wall")
+        if wall is not None:
+            section["worker_wall_seconds"] = wall["seconds"]
+        backoff = timers.get("supervisor.backoff")
+        if backoff is not None:
+            section["backoff_seconds"] = backoff["seconds"]
+        report["crash_safety"] = section
     if probe_stats is not None:
         report["solver_probe"] = probe_stats
     if race_stats is not None:
@@ -278,6 +314,36 @@ def format_report(report: dict) -> str:
                     f"    [{violation['kind']}] {violation['subject']}: "
                     f"{violation['detail']}"
                 )
+    crash = report.get("crash_safety")
+    if crash:
+        sup = crash["supervisor"]
+        journal = crash["journal"]
+        bits = []
+        if crash["supervised"]:
+            attempts = sup.get("attempts", 0)
+            retries = sup.get("retries", 0)
+            kills = sum(
+                v for k, v in sup.items() if k.startswith("kills_")
+            )
+            bits.append(
+                f"supervised ({attempts:.0f} attempt(s), "
+                f"{retries:.0f} retried, {kills:.0f} killed"
+                + (
+                    f", {crash['worker_wall_seconds']:.2f} s in workers"
+                    if "worker_wall_seconds" in crash
+                    else ""
+                )
+                + ")"
+            )
+        if crash["checkpoint_dir"]:
+            bits.append(
+                f"journal {crash['checkpoint_dir']} "
+                f"({journal.get('hits', 0):.0f} hit(s), "
+                f"{journal.get('misses', 0):.0f} miss(es), "
+                f"{journal.get('appends', 0):.0f} appended, "
+                f"{journal.get('rejected', 0):.0f} rejected)"
+            )
+        lines.append("  crash safety: " + "; ".join(bits))
     probe = report.get("solver_probe")
     if probe:
         lines.append(
@@ -331,10 +397,13 @@ def main(
     time_budget: Optional[float] = None,
     certify: str = "off",
     race: bool = False,
+    supervised: bool = False,
+    checkpoint: Optional[str] = None,
 ) -> dict:
     report = run_profile(
         case_name, policy_index=policy_index, mapper=mapper, probe=probe,
         time_budget=time_budget, certify=certify, race=race,
+        supervised=supervised, checkpoint=checkpoint,
     )
     if json_path:
         with open(json_path, "w") as fh:

@@ -83,6 +83,23 @@ def solve_scipy(
         TELEMETRY.count("scipy.mip_nodes", int(stats.get("mip_node_count", 0)))
         TELEMETRY.add_time("scipy.milp", wall)
 
+    if res.status not in (0, 1, 2, 3):
+        # HiGHS reported a solve error (status 4) — seen on specific
+        # small MILPs where the presolved problem trips an internal
+        # assertion.  The model itself is fine, so re-solve with the
+        # from-scratch branch & bound instead of reporting NO_SOLUTION
+        # for a feasible model.
+        if TELEMETRY.enabled:
+            TELEMETRY.count("scipy.solve_errors")
+        remaining = None
+        if time_limit is not None:
+            remaining = max(0.01, time_limit - wall)
+        fallback = model.solve(
+            backend="branch_bound", time_limit=remaining, certify=certify
+        )
+        fallback.stats["scipy_solve_error"] = 1.0
+        return fallback
+
     if res.status == 2:
         return Solution(
             SolveStatus.INFEASIBLE, backend="scipy", wall_time=wall, stats=stats

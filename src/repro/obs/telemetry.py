@@ -32,6 +32,19 @@ Counter names are dotted paths, one prefix per subsystem:
   ``certify.milp_failed``), design audits run, violations found and
   audit wall time (``certify.audits``, ``certify.audit_violations``,
   ``certify.audit``) (``repro.certify``)
+* ``supervisor.*`` — supervised-worker activity (DESIGN.md §14):
+  ``attempts``, ``retries``, ``kills_crash`` / ``kills_hang`` /
+  ``kills_oom`` / ``kills_deadline``, ``serial_fallbacks`` (supervised
+  solve exhausted its retries and re-ran in-process), and the
+  ``worker_wall`` / ``backoff`` timers
+  (``repro.resilience.supervisor``)
+* ``checkpoint.*`` — crash-safe journal activity (DESIGN.md §14):
+  ``appends``, ``hits``, ``misses``, ``rejected`` (replayed record
+  failed re-certification), ``corrupt_records`` and
+  ``write_failures`` (``repro.resilience.checkpoint``)
+* ``scipy.*`` — HiGHS MILP solves, node counts and ``solve_errors``
+  (HiGHS status-4 runs that fell back to branch & bound)
+  (``repro.ilp.scipy_backend``)
 """
 
 from __future__ import annotations

@@ -13,6 +13,11 @@ This package makes failure handling a first-class, tested subsystem
   ``python -m repro profile`` report;
 * :class:`FaultInjector` (singleton :data:`FAULTS`) — seeded,
   site-keyed failure injection powering the chaos test suite;
+* :class:`WorkerSupervisor` / :class:`BackoffPolicy` — supervised
+  subprocess execution (heartbeat watchdog, hard kills, seeded
+  exponential-backoff retries) for crash-safe solves (DESIGN.md §14);
+* :class:`CheckpointJournal` — the append-only, CRC-guarded journal of
+  certified window solutions behind ``synth --checkpoint`` resume;
 * :mod:`repro.resilience.remap` — the fault-adaptive lifetime engine
   (DESIGN.md §12): repeats an assay under a stochastic + wear-driven
   failure model and re-synthesizes around dead hardware.  Its names are
@@ -20,6 +25,8 @@ This package makes failure handling a first-class, tested subsystem
   imports the synthesis pipeline, which itself imports this package.
 """
 
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.checkpoint import CheckpointJournal, spec_key
 from repro.resilience.deadline import Deadline
 from repro.resilience.faults import FAULTS, FaultInjector, FaultSpec
 from repro.resilience.report import (
@@ -27,6 +34,7 @@ from repro.resilience.report import (
     ResilienceEvent,
     ResilienceReport,
 )
+from repro.resilience.supervisor import WorkerSupervisor, run_supervised
 
 _REMAP_EXPORTS = (
     "AdaptiveLifetimeEngine",
@@ -40,6 +48,8 @@ _REMAP_EXPORTS = (
 )
 
 __all__ = [
+    "BackoffPolicy",
+    "CheckpointJournal",
     "Deadline",
     "DegradationLadder",
     "FAULTS",
@@ -47,6 +57,9 @@ __all__ = [
     "FaultSpec",
     "ResilienceEvent",
     "ResilienceReport",
+    "WorkerSupervisor",
+    "run_supervised",
+    "spec_key",
     *_REMAP_EXPORTS,
 ]
 

@@ -1,0 +1,70 @@
+"""Capped exponential backoff with deterministic, site-keyed jitter.
+
+Retry schedules in this repository must be *reproducible*: the chaos
+suite asserts exact recovery sequences, and a flaky sleep between
+attempts would make every such test timing-dependent.  So the jitter is
+not :func:`random.random` off the global RNG — each backoff schedule
+draws from a private :class:`random.Random` seeded with
+``crc32(site) ^ seed``, the same site-keyed scheme
+:class:`repro.resilience.faults.FaultInjector` uses for probabilistic
+fault plans.  Two supervisors created with the same site and seed sleep
+the same schedule, in any process, under any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """``delay(n) = min(cap, base * factor**n)``, jittered.
+
+    ``jitter`` is the randomized *fraction* of each delay: with
+    ``jitter=0.5`` an attempt sleeps between 50% and 100% of its
+    nominal delay (never longer — backoff bounds recovery latency, so
+    jitter may only shave it).  ``jitter=0`` is fully deterministic.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.factor < 1.0 or self.cap < 0:
+            raise ValueError(
+                f"invalid backoff policy (base={self.base}, "
+                f"factor={self.factor}, cap={self.cap})"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def rng(self, site: str, seed: int = 0) -> random.Random:
+        """The schedule's private RNG — ``crc32(site) ^ seed`` keyed."""
+        return random.Random(zlib.crc32(site.encode()) ^ seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before retry ``attempt`` (0-based), jittered."""
+        nominal = min(self.cap, self.base * self.factor ** attempt)
+        if self.jitter:
+            nominal *= (1.0 - self.jitter) + self.jitter * rng.random()
+        return nominal
+
+    def schedule(
+        self, attempts: int, site: str, seed: int = 0
+    ) -> List[float]:
+        """The full (deterministic) schedule for ``attempts`` retries."""
+        rng = self.rng(site, seed)
+        return [self.delay(i, rng) for i in range(attempts)]
+
+    def delays(self, site: str, seed: int = 0) -> Iterator[float]:
+        """An endless delay iterator (the supervisor's retry loop)."""
+        rng = self.rng(site, seed)
+        attempt = 0
+        while True:
+            yield self.delay(attempt, rng)
+            attempt += 1

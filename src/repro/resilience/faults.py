@@ -27,6 +27,15 @@ site                effect when fired
                     dies after the current assay run (fault-adaptive
                     remapping, DESIGN.md §12)
 ``chip.edge_dead``  likewise for the most-worn used channel edge
+``worker.crash``    the supervisor SIGKILLs a freshly started watched
+                    worker — the real crash-recovery path, not a
+                    simulation (DESIGN.md §14)
+``worker.hang``     the supervisor's watchdog treats the worker's
+                    heartbeat as stale and kills it
+``worker.oom``      the watchdog treats the worker's RSS as over its
+                    soft budget and kills it
+``checkpoint.corrupt``  the journal flips one byte of the record being
+                    appended, exercising the load-time CRC skip path
 ==================  ====================================================
 
 Design constraints (mirrored by ``tests/resilience/test_faults.py``):

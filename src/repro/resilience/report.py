@@ -19,6 +19,15 @@ rung                      meaning
                           crash, per-future timeout); the windows whose
                           futures failed were re-solved serially, the
                           completed ones were kept
+``worker_retry``          a supervised worker was lost (crash, missed
+                          heartbeat, RSS kill) or the broken process
+                          pool was recreated; the work was retried
+                          after a seeded exponential backoff
+``worker_serial``         supervised retries were exhausted; the solve
+                          re-ran in-process (unsupervised) instead
+``checkpoint_resume``     certified window solutions were replayed from
+                          the crash-safe checkpoint journal instead of
+                          being re-solved (DESIGN.md §14)
 ``whole_greedy``          a window dead-ended even for greedy; the
                           whole mapping restarted on the greedy
                           balancer (the pre-ladder last resort)
@@ -133,6 +142,9 @@ class DegradationLadder:
     WINDOW_SHRINK = "window_shrink"
     WINDOW_GREEDY = "window_greedy"
     POOL_SERIAL = "pool_serial"
+    WORKER_RETRY = "worker_retry"
+    WORKER_SERIAL = "worker_serial"
+    CHECKPOINT_RESUME = "checkpoint_resume"
     WHOLE_GREEDY = "whole_greedy"
     MAPPING_GREEDY = "mapping_greedy"
     DEADLINE_GREEDY = "deadline_greedy"
@@ -145,6 +157,9 @@ class DegradationLadder:
         WINDOW_SHRINK,
         WINDOW_GREEDY,
         POOL_SERIAL,
+        WORKER_RETRY,
+        WORKER_SERIAL,
+        CHECKPOINT_RESUME,
         WHOLE_GREEDY,
         MAPPING_GREEDY,
         DEADLINE_GREEDY,

@@ -1,0 +1,395 @@
+"""Supervised worker execution: heartbeats, watchdog kills, retries.
+
+DESIGN.md §14.  The in-process deadline machinery (PR 4/8) bounds every
+*cooperative* solver loop — the simplex pivot poll, the rip-up loop —
+but it cannot reach a worker that stops cooperating: a runaway native
+``scipy.milp`` call that never returns to Python, a worker OOM-killed
+by the kernel, a segfault in a BLAS kernel.  Those failure modes need
+*process-level* supervision, and that is what this module provides:
+
+* the work runs in a **watched subprocess** whose only contract is a
+  heartbeat: a worker-side thread ticks a shared monotonic timestamp
+  every ``heartbeat_interval`` seconds while the real work runs;
+* a parent-side **watchdog thread** hard-kills (SIGKILL) any worker
+  that misses heartbeats for ``heartbeat_timeout`` seconds, exceeds a
+  soft ``rss_limit_mb`` resident-set budget, or overruns the attempt's
+  :class:`~repro.resilience.Deadline` past a small grace;
+* lost attempts are **retried** with capped exponential backoff whose
+  jitter is deterministic (:class:`~repro.resilience.backoff.BackoffPolicy`,
+  seeded by ``crc32(site) ^ seed`` exactly like the fault injector), up
+  to ``max_attempts``; each retry engages the ``worker_retry`` ladder
+  rung, and exhaustion raises a structured
+  :class:`~repro.errors.WorkerCrashError` carrying the full forensic
+  record (attempt outcomes, last signal/exit code, backoff history);
+* a worker that *answers* with an exception (a deterministic
+  :class:`SynthesisError`, say) is **not** retried — the exception
+  re-raises in the parent, because re-running deterministic failures
+  only burns budget.
+
+Chaos sites (parent-side, like every other site — the worker's own
+injector is disarmed): ``worker.crash`` SIGKILLs the freshly started
+worker, ``worker.hang`` makes the watchdog treat the heartbeat as
+stale, ``worker.oom`` makes it treat the RSS as over budget.  All
+three drive the *real* kill/retry/backoff machinery, so the chaos
+suite proves the genuine recovery path.
+
+Telemetry (``supervisor.*``): attempts, retries, kills by reason,
+backoff seconds, worker wall time — surfaced by
+``python -m repro profile`` next to the resilience section.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import WorkerCrashError
+from repro.obs import TELEMETRY
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FAULTS
+from repro.resilience.report import DegradationLadder
+
+#: Seconds past an expired deadline before the watchdog kills a worker.
+#: The worker's own solver limit (baked into its payload) normally ends
+#: the attempt first; the grace only covers scheduling jitter.
+_DEADLINE_GRACE = 0.5
+
+#: How often the watchdog samples heartbeat/RSS/deadline.
+_POLL_INTERVAL = 0.02
+
+
+def _read_rss_mb(pid: int) -> Optional[float]:
+    """Resident set size of ``pid`` in MiB via /proc (None off Linux)."""
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return pages * os.sysconf("SC_PAGE_SIZE") / (1024.0 * 1024.0)
+
+
+def _supervised_entry(conn, beat, interval: float, fn, payload) -> None:
+    """Worker-process entry point: heartbeat thread + the real work.
+
+    Must stay a picklable top-level function (spawn compatibility).
+    The heartbeat uses :func:`time.monotonic`, which is system-wide on
+    every platform we run on, so the parent can age it directly.
+    """
+    stop = threading.Event()
+
+    def tick() -> None:
+        while not stop.is_set():
+            beat.value = time.monotonic()
+            stop.wait(interval)
+
+    ticker = threading.Thread(
+        target=tick, name="supervisor-heartbeat", daemon=True
+    )
+    ticker.start()
+    try:
+        result = fn(payload)
+        message: Tuple[str, object] = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            import pickle
+
+            pickle.dumps(exc)
+            message = ("err", exc)
+        except Exception:
+            message = ("err", RuntimeError(f"worker failed: {exc!r}"))
+    finally:
+        stop.set()
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """Forensics of one supervised attempt."""
+
+    attempt: int
+    outcome: str  # ok | error | crash | hang | oom | deadline
+    wall: float
+    exit_code: Optional[int] = None
+    signal: Optional[int] = None
+    backoff: float = 0.0  # seconds slept *after* this attempt
+
+
+class _Watchdog(threading.Thread):
+    """Kills one worker on stale heartbeat, RSS overrun or deadline.
+
+    The kill reason lands in :attr:`reason`; the main thread (blocked
+    on the result pipe) reads it after noticing the death.  Forced
+    flags (``force_hang`` / ``force_oom``) implement the chaos sites
+    without weakening the production checks.
+    """
+
+    def __init__(
+        self,
+        process,
+        beat,
+        *,
+        heartbeat_timeout: float,
+        rss_limit_mb: Optional[float],
+        deadline: Optional[Deadline],
+        force_hang: bool = False,
+        force_oom: bool = False,
+    ) -> None:
+        super().__init__(name="supervisor-watchdog", daemon=True)
+        self._process = process
+        self._beat = beat
+        self._heartbeat_timeout = heartbeat_timeout
+        self._rss_limit_mb = rss_limit_mb
+        self._deadline = deadline
+        self._force_hang = force_hang
+        self._force_oom = force_oom
+        self._halt = threading.Event()
+        self._expired_since: Optional[float] = None
+        self.reason: Optional[str] = None
+        self.rss_peak_mb: float = 0.0
+
+    def stop(self) -> None:
+        self._halt.set()
+
+    def _kill(self, reason: str) -> None:
+        self.reason = reason
+        try:
+            self._process.kill()
+        except (OSError, AttributeError):  # already gone
+            pass
+
+    def run(self) -> None:
+        while not self._halt.wait(_POLL_INTERVAL):
+            if not self._process.is_alive():
+                return
+            now = time.monotonic()
+            if self._force_hang or (
+                now - self._beat.value > self._heartbeat_timeout
+            ):
+                self._kill("hang")
+                return
+            if self._rss_limit_mb is not None or self._force_oom:
+                rss = _read_rss_mb(self._process.pid)
+                if rss is not None:
+                    self.rss_peak_mb = max(self.rss_peak_mb, rss)
+                over = (
+                    rss is not None
+                    and self._rss_limit_mb is not None
+                    and rss > self._rss_limit_mb
+                )
+                if self._force_oom or over:
+                    self._kill("oom")
+                    return
+            if self._deadline is not None and self._deadline.expired:
+                # Give the worker's own solver limit a grace window to
+                # return a degraded-but-valid answer before the hammer.
+                if self._expired_since is None:
+                    self._expired_since = now
+                elif now - self._expired_since > _DEADLINE_GRACE:
+                    self._kill("deadline")
+                    return
+
+
+@dataclass
+class WorkerSupervisor:
+    """Run picklable jobs in watched subprocesses with bounded retries.
+
+    One supervisor instance is shared by a whole synthesis run (the
+    mappers hold a reference); it is stateless between :meth:`run`
+    calls except for the telemetry and ladder it reports into.
+    ``site`` keys both the backoff jitter stream and the ladder detail
+    strings, so two runs with the same seed sleep identical schedules.
+    """
+
+    max_attempts: int = 3
+    heartbeat_interval: float = 0.05
+    #: a worker silent for this long is declared hung and killed.  The
+    #: default is deliberately generous: its job is catching *infinite*
+    #: native hangs, not racing slow solves (deadlines do that).
+    heartbeat_timeout: float = 30.0
+    rss_limit_mb: Optional[float] = None
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    seed: int = 0
+    site: str = "supervisor"
+    ladder: Optional[DegradationLadder] = None
+    start_method: Optional[str] = None  # None = fork where available
+
+    def _context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-posix fallback
+            return multiprocessing.get_context()
+
+    # -- one attempt ------------------------------------------------------
+
+    def _attempt(
+        self,
+        fn: Callable,
+        payload,
+        deadline: Optional[Deadline],
+        chaos_crash: bool,
+        chaos_hang: bool,
+        chaos_oom: bool,
+    ) -> Tuple[str, object, Optional[int], Optional[int]]:
+        """Returns ``(outcome, result_or_exc, exit_code, signal)``."""
+        ctx = self._context()
+        recv, send = ctx.Pipe(duplex=False)
+        beat = ctx.Value("d", time.monotonic())
+        process = ctx.Process(
+            target=_supervised_entry,
+            args=(send, beat, self.heartbeat_interval, fn, payload),
+            name="repro-supervised-worker",
+            daemon=True,
+        )
+        process.start()
+        send.close()
+        if chaos_crash:
+            # A real SIGKILL mid-flight — the genuine crash-recovery
+            # path, not a simulation of it.
+            process.kill()
+        watchdog = _Watchdog(
+            process,
+            beat,
+            heartbeat_timeout=self.heartbeat_timeout,
+            rss_limit_mb=self.rss_limit_mb,
+            deadline=deadline,
+            force_hang=chaos_hang,
+            force_oom=chaos_oom,
+        )
+        watchdog.start()
+        try:
+            message = None
+            while True:
+                if recv.poll(_POLL_INTERVAL):
+                    try:
+                        message = recv.recv()
+                    except (EOFError, OSError):
+                        message = None  # died mid-send: treat as crash
+                    break
+                if not process.is_alive():
+                    # Dead without a message *unless* one raced in
+                    # between the poll and the death check.
+                    if recv.poll(0):
+                        try:
+                            message = recv.recv()
+                        except (EOFError, OSError):
+                            message = None
+                    break
+        finally:
+            watchdog.stop()
+            process.join(timeout=5.0)
+            watchdog.join(timeout=5.0)
+            recv.close()
+        exit_code = process.exitcode
+        signal = -exit_code if exit_code is not None and exit_code < 0 else None
+        if message is not None:
+            kind, value = message
+            return ("ok" if kind == "ok" else "error"), value, exit_code, signal
+        reason = watchdog.reason or "crash"
+        return reason, None, exit_code, signal
+
+    # -- the retry loop ---------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable,
+        payload,
+        *,
+        deadline: Optional[Deadline] = None,
+        label: str = "worker",
+    ):
+        """Execute ``fn(payload)`` in a watched subprocess, retrying.
+
+        Returns the worker's result.  Raises the worker's own exception
+        unchanged when the worker *answered* with one (deterministic
+        failures are not retried), :class:`WorkerCrashError` when every
+        attempt was lost to a crash/hang/oom/deadline kill.
+        """
+        rng = self.backoff.rng(self.site, self.seed)
+        records: List[AttemptRecord] = []
+        backoff_history: List[float] = []
+        last_exit: Optional[int] = None
+        last_signal: Optional[int] = None
+        for attempt in range(self.max_attempts):
+            chaos_crash = FAULTS.armed and FAULTS.should_fire("worker.crash")
+            chaos_hang = FAULTS.armed and FAULTS.should_fire("worker.hang")
+            chaos_oom = FAULTS.armed and FAULTS.should_fire("worker.oom")
+            started = time.monotonic()
+            outcome, value, exit_code, signal = self._attempt(
+                fn, payload, deadline, chaos_crash, chaos_hang, chaos_oom
+            )
+            wall = time.monotonic() - started
+            if TELEMETRY.enabled:
+                TELEMETRY.count("supervisor.attempts")
+                TELEMETRY.add_time("supervisor.worker_wall", wall)
+                if outcome not in ("ok", "error"):
+                    TELEMETRY.count(f"supervisor.kills_{outcome}")
+            if outcome == "ok":
+                records.append(AttemptRecord(attempt, "ok", wall))
+                return value
+            if outcome == "error":
+                # The worker answered with an exception: deterministic,
+                # so retrying would only repeat it.  Re-raise as-is.
+                raise value
+            last_exit, last_signal = exit_code, signal
+            delay = 0.0
+            retriable = (
+                attempt + 1 < self.max_attempts
+                and outcome != "deadline"
+                and (deadline is None or not deadline.expired)
+            )
+            if retriable:
+                delay = self.backoff.delay(attempt, rng)
+                if deadline is not None:
+                    delay = min(delay, deadline.remaining())
+                backoff_history.append(delay)
+                if self.ladder is not None:
+                    self.ladder.engage(
+                        "worker",
+                        DegradationLadder.WORKER_RETRY,
+                        f"{label}: attempt {attempt + 1} lost to "
+                        f"{outcome} (exit={exit_code}, signal={signal}); "
+                        f"retrying after {delay:.3f}s",
+                    )
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("supervisor.retries")
+                    TELEMETRY.add_time("supervisor.backoff", delay)
+                if delay > 0:
+                    time.sleep(delay)
+            records.append(
+                AttemptRecord(attempt, outcome, wall, exit_code, signal, delay)
+            )
+            if not retriable:
+                break
+        outcomes = tuple(r.outcome for r in records)
+        raise WorkerCrashError(
+            f"supervised {label} lost after {len(records)} attempt(s)",
+            attempts=len(records),
+            exit_code=last_exit,
+            signal=last_signal,
+            outcomes=outcomes,
+            backoff_history=tuple(backoff_history),
+        )
+
+
+def run_supervised(
+    fn: Callable,
+    payload,
+    *,
+    deadline: Optional[Deadline] = None,
+    label: str = "worker",
+    **kwargs,
+):
+    """One-shot convenience wrapper around :class:`WorkerSupervisor`."""
+    return WorkerSupervisor(**kwargs).run(
+        fn, payload, deadline=deadline, label=label
+    )

@@ -1,0 +1,65 @@
+"""BackoffPolicy: capped exponential growth, deterministic jitter."""
+
+import pytest
+
+from repro.resilience import BackoffPolicy
+
+
+class TestShape:
+    def test_unjittered_schedule_is_exact(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=1.0, jitter=0.0)
+        assert policy.schedule(5, "site") == [0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def test_cap_bounds_every_delay(self):
+        policy = BackoffPolicy(base=0.5, factor=3.0, cap=0.75, jitter=0.5)
+        for delay in policy.schedule(8, "site"):
+            assert delay <= 0.75
+
+    def test_jitter_only_shaves_never_extends(self):
+        policy = BackoffPolicy(base=0.2, factor=2.0, cap=10.0, jitter=0.5)
+        for attempt, delay in enumerate(policy.schedule(6, "site")):
+            nominal = min(10.0, 0.2 * 2.0 ** attempt)
+            assert 0.5 * nominal <= delay <= nominal
+
+    def test_delays_iterator_matches_schedule(self):
+        policy = BackoffPolicy()
+        stream = policy.delays("mapper", seed=7)
+        assert [next(stream) for _ in range(4)] == policy.schedule(
+            4, "mapper", seed=7
+        )
+
+
+class TestDeterminism:
+    def test_same_site_and_seed_sleep_identically(self):
+        policy = BackoffPolicy(jitter=1.0)
+        assert policy.schedule(6, "synthesis", seed=3) == policy.schedule(
+            6, "synthesis", seed=3
+        )
+
+    def test_site_keys_the_jitter_stream(self):
+        policy = BackoffPolicy(jitter=1.0)
+        assert policy.schedule(6, "a", seed=0) != policy.schedule(
+            6, "b", seed=0
+        )
+
+    def test_seed_perturbs_the_jitter_stream(self):
+        policy = BackoffPolicy(jitter=1.0)
+        assert policy.schedule(6, "a", seed=0) != policy.schedule(
+            6, "a", seed=1
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base": -0.1},
+            {"factor": 0.5},
+            {"cap": -1.0},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)

@@ -1,0 +1,250 @@
+"""CheckpointJournal: round-trips, content keys, corruption, tampering.
+
+The journal's contract is asymmetric by design: the write path is one
+hashed JSON line per solve, and ALL trust lives on the replay path —
+CRC at load, full model re-check plus exact-arithmetic certification at
+replay.  The fuzz tests therefore never expect an exception from
+loading: a damaged journal costs re-solves, never a crash and never a
+wrong answer.
+"""
+
+import json
+import os
+import warnings
+import zlib
+
+import pytest
+
+from repro.core.mappers import ILPMapper
+from repro.core.mapping_model import MappingSpec
+from repro.core.tasks import MappingTask
+from repro.errors import CheckpointError, CorruptJournalWarning
+from repro.geometry import GridSpec
+from repro.resilience import FAULTS, CheckpointJournal, DegradationLadder, spec_key
+from repro.resilience.checkpoint import _JOURNAL_NAME
+
+
+def task(name, start, end, volume=8, parents=()):
+    return MappingTask(
+        name=name,
+        volume=volume,
+        pump_rate=40,
+        start=start,
+        mix_start=start,
+        end=end,
+        mix_parents=tuple(parents),
+    )
+
+
+def small_spec(n=3, grid=8):
+    tasks = []
+    t = 0
+    for i in range(n):
+        parents = (f"m{i - 1}",) if i else ()
+        tasks.append(task(f"m{i}", t, t + 4, parents=parents))
+        t += 7
+    return MappingSpec(GridSpec(grid, grid), tasks)
+
+
+@pytest.fixture
+def solved():
+    spec = small_spec()
+    return spec, ILPMapper().map_tasks(spec)
+
+
+def journal_path(directory):
+    return os.path.join(directory, _JOURNAL_NAME)
+
+
+class TestRoundTrip:
+    def test_record_then_replay_after_reopen(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+            assert journal.appended == 1
+
+        ladder = DegradationLadder()
+        with CheckpointJournal(str(tmp_path), ladder=ladder) as journal:
+            assert len(journal) == 1
+            replayed = journal.replay(spec)
+        assert replayed is not None
+        assert replayed.objective == result.objective
+        assert replayed.placements == result.placements
+        assert replayed.stats["checkpoint_replayed"] == 1.0
+        assert ladder.fired(DegradationLadder.CHECKPOINT_RESUME) == 1
+
+    def test_miss_on_unknown_spec(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+            assert journal.replay(small_spec(n=2)) is None
+            assert journal.misses == 1
+
+    def test_unwritable_directory_raises(self, solved):
+        with pytest.raises(CheckpointError):
+            CheckpointJournal("/proc/definitely/not/writable")
+
+
+class TestSpecKey:
+    def test_key_is_stable(self):
+        assert spec_key(small_spec()) == spec_key(small_spec())
+
+    def test_key_sees_grid(self):
+        assert spec_key(small_spec(grid=8)) != spec_key(small_spec(grid=9))
+
+    def test_key_sees_tasks(self):
+        assert spec_key(small_spec(n=3)) != spec_key(small_spec(n=4))
+
+    def test_key_sees_health(self):
+        from repro.architecture.health import ChipHealth
+        from repro.geometry import Point
+
+        sick = small_spec()
+        sick.health = ChipHealth(dead_cells=frozenset({Point(2, 2)}))
+        assert spec_key(sick) != spec_key(small_spec())
+
+    def test_key_ignores_solver_choice(self):
+        # Same spec solved by any backend shares the record.
+        spec = small_spec()
+        key = spec_key(spec)
+        assert key == spec_key(spec)  # no hidden mutable state consumed
+
+
+class TestCorruptionFuzz:
+    def _corrupt_and_load(self, tmp_path, mutate):
+        path = journal_path(tmp_path)
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.readlines()
+        with open(path, "w", encoding="utf-8") as f:
+            f.writelines(mutate(lines))
+        with pytest.warns(CorruptJournalWarning):
+            journal = CheckpointJournal(str(tmp_path))
+        journal.close()
+        return journal
+
+    def test_truncated_tail_skips_last_record(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+        journal = self._corrupt_and_load(
+            tmp_path, lambda lines: lines[:-1] + [lines[-1][: len(lines[-1]) // 2]]
+        )
+        assert journal.corrupt == 1
+        assert len(journal) == 0
+
+    def test_flipped_byte_fails_crc(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+
+        def flip(lines):
+            line = lines[0]
+            middle = len(line) // 2
+            swap = "#" if line[middle] != "#" else "@"
+            return [line[:middle] + swap + line[middle + 1:]]
+
+        journal = self._corrupt_and_load(tmp_path, flip)
+        assert journal.corrupt == 1
+        assert len(journal) == 0
+
+    def test_garbage_lines_are_skipped(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+
+        def garbage(lines):
+            return ["not json at all\n", "\x00\xff binary-ish\n"] + lines + [
+                '{"key": "x"}\n'  # parseable, wrong shape
+            ]
+
+        journal = self._corrupt_and_load(tmp_path, garbage)
+        assert journal.corrupt == 3
+        assert len(journal) == 1  # the good record survived
+        replayed = journal.replay(spec)
+        assert replayed is not None
+        assert replayed.objective == result.objective
+
+    def test_empty_lines_are_not_corruption(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+        path = journal_path(tmp_path)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", CorruptJournalWarning)
+            journal = CheckpointJournal(str(tmp_path))
+        journal.close()
+        assert journal.corrupt == 0
+        assert len(journal) == 1
+
+
+class TestTamperRejection:
+    def _rewrite_payload(self, tmp_path, edit):
+        """Tamper with the payload and RECOMPUTE the CRC — the line is
+        valid JSONL, so only replay certification can catch it."""
+        path = journal_path(tmp_path)
+        with open(path, "r", encoding="utf-8") as f:
+            record = json.loads(f.readline())
+        edit(record["payload"])
+        body = {"key": record["key"], "payload": record["payload"]}
+        canon = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        record["crc"] = zlib.crc32(canon.encode())
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps(record) + "\n")
+
+    def test_overlapping_placements_rejected(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+
+        def collide(payload):
+            first = next(iter(payload["placements"]))
+            for name in payload["placements"]:
+                payload["placements"][name] = list(
+                    payload["placements"][first]
+                )
+
+        self._rewrite_payload(tmp_path, collide)
+        journal = CheckpointJournal(str(tmp_path))
+        with pytest.warns(CorruptJournalWarning):
+            assert journal.replay(spec) is None
+        assert journal.rejected == 1
+        journal.close()
+
+    def test_lying_objective_rejected(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+        self._rewrite_payload(
+            tmp_path, lambda payload: payload.update(objective=1)
+        )
+        journal = CheckpointJournal(str(tmp_path))
+        with pytest.warns(CorruptJournalWarning):
+            assert journal.replay(spec) is None
+        assert journal.rejected == 1
+        journal.close()
+
+
+class TestChaosSite:
+    def test_checkpoint_corrupt_flips_one_append(self, tmp_path, solved):
+        spec, result = solved
+        with FAULTS.inject({"checkpoint.corrupt": 1}):
+            with CheckpointJournal(str(tmp_path)) as journal:
+                journal.record(spec, result)
+            assert FAULTS.fired("checkpoint.corrupt") == 1
+        with pytest.warns(CorruptJournalWarning):
+            journal = CheckpointJournal(str(tmp_path))
+        assert journal.corrupt == 1
+        assert journal.replay(spec) is None  # miss — record lost, not wrong
+        journal.close()
+
+    def test_last_write_wins_on_duplicate_keys(self, tmp_path, solved):
+        spec, result = solved
+        with CheckpointJournal(str(tmp_path)) as journal:
+            journal.record(spec, result)
+            journal.record(spec, result)
+        journal = CheckpointJournal(str(tmp_path))
+        assert len(journal) == 1
+        assert journal.replay(spec) is not None
+        journal.close()

@@ -1,0 +1,148 @@
+"""End-to-end crash/resume: SIGKILL a checkpointed synthesis, resume it.
+
+The one test the whole crash-safety layer exists for (DESIGN.md §14):
+
+1. a driver process runs a supervised, checkpointed, windowed
+   synthesis of a deep mixing tree;
+2. the parent polls the journal and SIGKILLs the driver the moment at
+   least one window record is durable — a real, unannounced ``kill -9``
+   mid-run;
+3. a resumed run pointed at the same checkpoint directory must replay
+   the surviving records (``checkpoint_resume`` rung, journal hits),
+   re-solve only what is absent, and land on the *same* certified
+   mapping objective with a clean independent audit as an
+   uninterrupted reference run.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+
+import pytest
+
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.sequencing_graph import SequencingGraph
+from repro.core.mappers import WindowedILPMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.errors import DegradedResultWarning
+from repro.geometry import GridSpec
+from repro.resilience import DegradationLadder
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO, "src")
+
+#: The driver re-builds the identical assay from this module, so the
+#: window spec keys of both processes agree byte for byte.
+DRIVER = """\
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {repo!r})
+from tests.resilience.test_crash_resume import build_deep_assay, make_config
+from repro.core.synthesis import ReliabilitySynthesizer
+
+graph, schedule = build_deep_assay()
+config = make_config(checkpoint={ckpt!r}, supervised=True)
+ReliabilitySynthesizer(config).synthesize(graph, schedule)
+"""
+
+
+def build_deep_assay():
+    """A 7-mix binary tree — enough windows that a kill lands mid-run."""
+    graph = SequencingGraph("deep")
+    for i in range(8):
+        graph.add_input(f"in{i}", volume=4)
+    for i in range(4):
+        graph.add_mix(f"a{i}", (f"in{2 * i}", f"in{2 * i + 1}"),
+                      duration=6, volume=8)
+    for i in range(2):
+        graph.add_mix(f"b{i}", (f"a{2 * i}", f"a{2 * i + 1}"),
+                      duration=6, volume=8)
+    graph.add_mix("c", ("b0", "b1"), duration=4, volume=8)
+    schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+    return graph, schedule
+
+
+def make_config(checkpoint=None, supervised=False):
+    return SynthesisConfig(
+        grid=GridSpec(10, 10),
+        mapper=WindowedILPMapper(window_size=2),
+        certify="audit",
+        checkpoint=checkpoint,
+        supervised=supervised,
+    )
+
+
+def _journal_records(ckpt):
+    path = os.path.join(ckpt, "journal.jsonl")
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return sum(1 for line in f if line.strip())
+    except OSError:
+        return 0
+
+
+@pytest.mark.slow
+def test_sigkill_mid_synthesis_then_resume(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+
+    # Uninterrupted reference (no checkpoint involved).
+    graph, schedule = build_deep_assay()
+    reference = ReliabilitySynthesizer(make_config()).synthesize(
+        graph, schedule
+    )
+    assert reference.audit is not None and reference.audit.ok
+
+    # Crash: kill -9 the driver as soon as one record is durable.
+    driver = subprocess.Popen(
+        [sys.executable, "-c", DRIVER.format(src=SRC, repo=REPO, ckpt=ckpt)],
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 120.0
+    try:
+        while _journal_records(ckpt) < 1:
+            if driver.poll() is not None:
+                stderr = driver.stderr.read().decode(errors="replace")
+                pytest.fail(
+                    f"driver exited (rc={driver.returncode}) before the "
+                    f"first journal record:\n{stderr}"
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("no journal record within 120 s")
+            time.sleep(0.005)
+    finally:
+        if driver.poll() is None:
+            driver.send_signal(signal.SIGKILL)
+        driver.wait(timeout=30.0)
+        driver.stderr.close()
+    assert driver.returncode == -signal.SIGKILL
+    survived = _journal_records(ckpt)
+    assert survived >= 1
+
+    # Resume: replay what survived, re-solve only what is absent.
+    graph, schedule = build_deep_assay()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        resumed = ReliabilitySynthesizer(
+            make_config(checkpoint=ckpt)
+        ).synthesize(graph, schedule)
+    hits = resumed.resilience.count(DegradationLadder.CHECKPOINT_RESUME)
+    assert hits >= 1
+    assert any(w.category is DegradedResultWarning for w in caught)
+
+    # The resumed design is the reference design: same certified
+    # mapping objective, clean independent audit.
+    assert resumed.metrics.mapping_objective == (
+        reference.metrics.mapping_objective
+    )
+    assert resumed.audit is not None and resumed.audit.ok
+    assert resumed.metrics.setting1.max_total == (
+        reference.metrics.setting1.max_total
+    )
+    assert resumed.metrics.setting2.max_total == (
+        reference.metrics.setting2.max_total
+    )

@@ -159,6 +159,9 @@ class TestDegradationLadder:
             "window_shrink",
             "window_greedy",
             "pool_serial",
+            "worker_retry",
+            "worker_serial",
+            "checkpoint_resume",
             "whole_greedy",
             "mapping_greedy",
             "deadline_greedy",

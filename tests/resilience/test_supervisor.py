@@ -1,0 +1,158 @@
+"""WorkerSupervisor unit suite: every outcome of a watched attempt.
+
+Worker functions live at module top level so they stay picklable under
+any multiprocessing start method.  All sleeps and backoff delays are
+kept in the low tens of milliseconds — the whole suite must stay fast
+enough for tier 1.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import SynthesisError, WorkerCrashError
+from repro.resilience import (
+    FAULTS,
+    BackoffPolicy,
+    Deadline,
+    DegradationLadder,
+    WorkerSupervisor,
+    run_supervised,
+)
+from repro.resilience.supervisor import _read_rss_mb
+
+#: Fast retries so exhaustion tests finish in milliseconds.
+FAST = BackoffPolicy(base=0.01, factor=2.0, cap=0.05, jitter=0.0)
+
+
+def _double(payload):
+    return payload * 2
+
+
+def _boom(payload):
+    raise SynthesisError(f"deterministic failure on {payload!r}")
+
+
+def _suicide(payload):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep(payload):
+    time.sleep(payload)
+    return "slept"
+
+
+class TestHappyPath:
+    def test_result_crosses_the_process_boundary(self):
+        assert WorkerSupervisor(backoff=FAST).run(_double, 21) == 42
+
+    def test_run_supervised_wrapper(self):
+        assert run_supervised(_double, (1, 2), backoff=FAST) == (1, 2, 1, 2)
+
+
+class TestDeterministicErrors:
+    def test_worker_exception_reraises_unchanged(self):
+        with pytest.raises(SynthesisError, match="deterministic"):
+            WorkerSupervisor(backoff=FAST).run(_boom, "x")
+
+    def test_worker_exception_is_not_retried(self):
+        ladder = DegradationLadder()
+        with pytest.raises(SynthesisError):
+            WorkerSupervisor(backoff=FAST, ladder=ladder).run(_boom, "x")
+        assert not ladder.report.degraded
+
+
+class TestCrashRecovery:
+    def test_crash_every_attempt_raises_structured_error(self):
+        ladder = DegradationLadder()
+        supervisor = WorkerSupervisor(
+            max_attempts=2, backoff=FAST, ladder=ladder
+        )
+        with pytest.raises(WorkerCrashError) as info:
+            supervisor.run(_suicide, None, label="ilp")
+        crash = info.value
+        assert crash.attempts == 2
+        assert crash.outcomes == ("crash", "crash")
+        assert crash.signal == signal.SIGKILL
+        assert len(crash.backoff_history) == 1
+        assert "ilp" in str(crash)
+        # One retry happened between the two attempts.
+        assert ladder.fired(DegradationLadder.WORKER_RETRY) == 1
+
+    def test_chaos_crash_then_recover(self):
+        ladder = DegradationLadder()
+        supervisor = WorkerSupervisor(
+            max_attempts=3, backoff=FAST, ladder=ladder
+        )
+        with FAULTS.inject({"worker.crash": 1}):
+            assert supervisor.run(_double, 5) == 10
+        assert ladder.fired(DegradationLadder.WORKER_RETRY) == 1
+
+    def test_chaos_hang_kills_and_recovers(self):
+        # The worker must outlive the watchdog's first poll (20 ms) or
+        # it legitimately beats the forced-stale check and wins.
+        ladder = DegradationLadder()
+        supervisor = WorkerSupervisor(
+            max_attempts=2, backoff=FAST, ladder=ladder
+        )
+        with FAULTS.inject({"worker.hang": 1}):
+            assert supervisor.run(_sleep, 0.3) == "slept"
+        assert ladder.fired(DegradationLadder.WORKER_RETRY) == 1
+        detail = ladder.report.events[0].detail
+        assert "hang" in detail
+
+    def test_chaos_oom_kills_and_recovers(self):
+        ladder = DegradationLadder()
+        supervisor = WorkerSupervisor(
+            max_attempts=2, backoff=FAST, ladder=ladder
+        )
+        with FAULTS.inject({"worker.oom": 1}):
+            assert supervisor.run(_sleep, 0.3) == "slept"
+        assert ladder.fired(DegradationLadder.WORKER_RETRY) == 1
+
+
+class TestResourceKills:
+    def test_real_rss_budget_kills_the_worker(self):
+        # Any live Python process exceeds 1 MiB resident, so the
+        # watchdog's genuine /proc-based check fires (no chaos flag).
+        supervisor = WorkerSupervisor(
+            max_attempts=1, backoff=FAST, rss_limit_mb=1.0
+        )
+        with pytest.raises(WorkerCrashError) as info:
+            supervisor.run(_sleep, 5.0)
+        assert info.value.outcomes == ("oom",)
+
+    def test_deadline_kill_is_not_retried(self):
+        supervisor = WorkerSupervisor(max_attempts=3, backoff=FAST)
+        start = time.monotonic()
+        with pytest.raises(WorkerCrashError) as info:
+            supervisor.run(_sleep, 30.0, deadline=Deadline(0.1))
+        assert info.value.outcomes == ("deadline",)
+        # One grace window, not three 30 s sleeps.
+        assert time.monotonic() - start < 10.0
+
+    def test_read_rss_of_this_process(self):
+        rss = _read_rss_mb(os.getpid())
+        assert rss is not None and rss > 1.0
+
+    def test_read_rss_of_dead_pid_is_none(self):
+        assert _read_rss_mb(2 ** 22 + 12345) is None
+
+
+class TestBackoffDeterminism:
+    def test_same_site_and_seed_record_identical_backoff(self):
+        jittered = BackoffPolicy(base=0.005, cap=0.01, jitter=1.0)
+
+        def history():
+            supervisor = WorkerSupervisor(
+                max_attempts=3, backoff=jittered, site="mapping", seed=11
+            )
+            with pytest.raises(WorkerCrashError) as info:
+                supervisor.run(_suicide, None)
+            return info.value.backoff_history
+
+        first, second = history(), history()
+        assert first == second
+        assert first == tuple(jittered.schedule(2, "mapping", seed=11))

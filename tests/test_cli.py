@@ -15,8 +15,17 @@ class TestParser:
         assert args.cases == ["pcr"]
 
     def test_synth_defaults(self):
+        # grid defaults to None so benchmark cases can bring their own
+        # grid; assay files fall back to 10 at load time.
         args = build_parser().parse_args(["synth", "assay.txt"])
-        assert args.grid == 10 and args.schedule is None
+        assert args.grid is None and args.schedule is None
+        assert args.supervised is False and args.checkpoint is None
+
+    def test_synth_crash_safety_flags(self):
+        args = build_parser().parse_args(
+            ["synth", "pcr", "--supervised", "--checkpoint", "ckpt"]
+        )
+        assert args.supervised is True and args.checkpoint == "ckpt"
 
     def test_lifetime_args(self):
         args = build_parser().parse_args([
