@@ -26,11 +26,27 @@ Commands:
   fault-adaptive lifetime engine (DESIGN.md §12): repeat the assay
   under a stochastic + wear-driven failure model, remapping around
   dead hardware, and report repetitions-to-failure adaptive vs.
-  static.
+  static;
+* ``serve [--host H] [--port P] [--grid N] [--workers N]
+  [--queue-capacity N] [--time-budget S] [--cache-dir DIR]`` — run the
+  resilient synthesis-as-a-service engine (DESIGN.md §15): an NDJSON
+  TCP server with a canonical result cache, single-flight dedup,
+  admission control/load shedding and a per-problem circuit breaker.
 
 ``--time-budget S`` bounds the whole synthesis to ``S`` seconds of
 wall clock; when the budget runs short the run degrades along the
 ladder of DESIGN.md §9 and the report says which rungs engaged.
+
+Exit codes (consistent across every command, tested by
+``tests/test_cli.py``):
+
+* ``0`` — success;
+* ``1`` — the operation itself failed (infeasible synthesis, strict
+  audit violations, a solver fault): a one-line ``error:`` message on
+  stderr, never a raw traceback;
+* ``2`` — the *user's input* was invalid (malformed assay/schedule
+  file, unknown case name, bad arguments — argparse's own convention):
+  the structured parse error on stderr, never a raw traceback.
 """
 
 from __future__ import annotations
@@ -43,7 +59,12 @@ from typing import List, Optional
 from repro.assay.scheduler import ListScheduler, SchedulerConfig
 from repro.assay.textio import graph_from_text, schedule_from_text
 from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
-from repro.errors import ReproError
+from repro.errors import (
+    AssayError,
+    GeometryError,
+    ReproError,
+    SchedulingError,
+)
 from repro.geometry import GridSpec
 from repro.viz import actuation_summary, render_gantt, render_heatmap
 
@@ -111,7 +132,9 @@ def _load_synth_input(args: argparse.Namespace):
         case = get_case(args.assay)
     except ReproError:
         names = ", ".join(c.name for c in list_cases())
-        raise ReproError(
+        # An unknown name is the user's typo, not an operation failure:
+        # AssayError so main() maps it to exit code 2.
+        raise AssayError(
             f"{args.assay!r} is neither an assay file nor a benchmark "
             f"case (known cases: {names})"
         ) from None
@@ -207,6 +230,40 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         json_path=args.json,
         show_events=args.events,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.engine import ServeConfig, ServeEngine, ServeServer
+
+    config = ServeConfig(
+        grid=GridSpec(args.grid, args.grid),
+        queue_capacity=args.queue_capacity,
+        workers=args.workers,
+        time_budget=args.time_budget,
+        cache_dir=args.cache_dir,
+        supervised=args.supervised,
+    )
+
+    async def run() -> None:
+        server = ServeServer(ServeEngine(config), args.host, args.port)
+        await server.start()
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"(grid {args.grid}x{args.grid}, {args.workers} worker(s), "
+            f"queue {args.queue_capacity})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("serve: shut down")
+    return 0
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -449,13 +506,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", help="also write the report as JSON"
     )
     p_life.set_defaults(func=_cmd_lifetime)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resilient synthesis service (DESIGN.md §15)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7415,
+        help="TCP port (0 picks a free one; default 7415)",
+    )
+    p_serve.add_argument(
+        "--grid", type=int, default=10, metavar="N",
+        help="grid side length every assay is synthesized onto",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="concurrent solver threads"
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=int, default=16,
+        help="bounded job queue; submissions past capacity are rejected",
+    )
+    p_serve.add_argument(
+        "--time-budget", type=float, default=5.0, metavar="S",
+        help="default per-job synthesis budget in seconds",
+    )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="CRC-guarded on-disk result cache (default: memory only)",
+    )
+    p_serve.add_argument(
+        "--supervised", action="store_true",
+        help="run exact solves in supervised subprocesses (DESIGN.md §14)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (AssayError, SchedulingError, GeometryError) as exc:
+        # The user's input was invalid — same exit code argparse uses
+        # for bad arguments, and never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        # The operation failed (infeasible, solver fault, bad journal).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

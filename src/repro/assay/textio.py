@@ -15,13 +15,20 @@ descriptions as readable files:
     o1 @ 0 on mixer8.0
 
 Blank lines and ``#`` comments are ignored.
+
+Parsing is *hardened* for service use (DESIGN.md §15): every malformed
+spec raises a structured :class:`~repro.errors.AssaySpecError` (or its
+schedule twin :class:`~repro.errors.ScheduleSpecError`) carrying the
+1-based line, the column when a specific token is to blame, and the
+offending source line — never a bare ``ValueError``/``KeyError`` stack
+trace.  The serve engine forwards these as clean client errors.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
-from repro.errors import AssayError, SchedulingError
+from repro.errors import AssayError, AssaySpecError, ScheduleSpecError, SchedulingError
 from repro.assay.operation import MixRatio, Operation, OperationKind
 from repro.assay.schedule import Schedule
 from repro.assay.sequencing_graph import SequencingGraph
@@ -46,56 +53,155 @@ def graph_to_text(graph: SequencingGraph) -> str:
     return "\n".join(lines) + "\n"
 
 
+class _Line:
+    """One source line being parsed, with blame tracking."""
+
+    def __init__(self, lineno: int, raw: str) -> None:
+        self.lineno = lineno
+        self.raw = raw.rstrip("\n")
+        self.code = raw.split("#", 1)[0]
+        self.tokens = self.code.split()
+
+    def column_of(self, token: str) -> Optional[int]:
+        at = self.code.find(token)
+        return at + 1 if at >= 0 else None
+
+    def fail(self, message: str, token: Optional[str] = None) -> "AssaySpecError":
+        return AssaySpecError(
+            message,
+            line=self.lineno,
+            column=self.column_of(token) if token is not None else None,
+            context=self.raw,
+        )
+
+    def fail_schedule(
+        self, message: str, token: Optional[str] = None
+    ) -> "ScheduleSpecError":
+        return ScheduleSpecError(
+            message,
+            line=self.lineno,
+            column=self.column_of(token) if token is not None else None,
+            context=self.raw,
+        )
+
+    def token(self, index: int, what: str) -> str:
+        if index >= len(self.tokens):
+            raise self.fail(f"missing {what}")
+        return self.tokens[index]
+
+    def keywords(self, start: int) -> Dict[str, str]:
+        kwargs: Dict[str, str] = {}
+        for token in self.tokens[start:]:
+            if "=" not in token:
+                continue
+            key, value = token.split("=", 1)
+            if not key or not value:
+                raise self.fail(f"malformed option {token!r}", token)
+            kwargs[key] = value
+        return kwargs
+
+    def names(self, start: int) -> List[str]:
+        return [t for t in self.tokens[start:] if "=" not in t]
+
+    def int_option(
+        self, kwargs: Dict[str, str], key: str, default: Optional[int] = None
+    ) -> int:
+        if key not in kwargs:
+            if default is not None:
+                return default
+            raise self.fail(f"missing required option {key}=<int>")
+        try:
+            return int(kwargs[key])
+        except ValueError:
+            raise self.fail(
+                f"option {key} needs an integer, got {kwargs[key]!r}",
+                f"{key}={kwargs[key]}",
+            ) from None
+
+    def ratio_option(self, kwargs: Dict[str, str]) -> MixRatio:
+        text = kwargs.get("ratio", "1:1")
+        try:
+            parts = tuple(int(p) for p in text.split(":"))
+        except ValueError:
+            raise self.fail(
+                f"ratio needs colon-separated integers, got {text!r}",
+                f"ratio={text}",
+            ) from None
+        try:
+            return MixRatio(parts)
+        except AssayError as exc:
+            raise self.fail(str(exc), f"ratio={text}") from exc
+
+
 def graph_from_text(text: str) -> SequencingGraph:
-    """Parse the text format back into a sequencing graph."""
-    graph: SequencingGraph | None = None
+    """Parse the text format back into a sequencing graph.
+
+    Raises :class:`~repro.errors.AssaySpecError` (with line/column and
+    the offending source line) for any malformed or semantically
+    invalid directive; never a bare ``ValueError``/``KeyError``.
+    """
+    graph: Optional[SequencingGraph] = None
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip() if "#" not in raw[:1] else ""
-        if raw.lstrip().startswith("#"):
-            comment = raw.lstrip()[1:].strip()
+        stripped = raw.lstrip()
+        if stripped.startswith("#"):
+            comment = stripped[1:].strip()
             if comment.startswith("assay ") and graph is None:
                 graph = SequencingGraph(comment.split(None, 1)[1])
             continue
-        line = raw.split("#", 1)[0].strip()
-        if not line:
+        line = _Line(lineno, raw)
+        if not line.tokens:
             continue
         if graph is None:
             graph = SequencingGraph()
-        tokens = line.split()
-        kind = tokens[0]
+        kind = line.tokens[0]
         try:
             if kind == "input":
-                kwargs = dict(t.split("=", 1) for t in tokens[2:] if "=" in t)
-                graph.add_input(tokens[1], volume=int(kwargs.get("volume", 0)))
-            elif kind == "mix":
-                name = tokens[1]
-                parents = [t for t in tokens[2:] if "=" not in t]
-                kwargs = dict(t.split("=", 1) for t in tokens[2:] if "=" in t)
-                ratio = MixRatio(
-                    tuple(int(p) for p in kwargs.get("ratio", "1:1").split(":"))
+                name = line.token(1, "operation name")
+                kwargs = line.keywords(2)
+                graph.add_input(
+                    name, volume=line.int_option(kwargs, "volume", default=0)
                 )
+            elif kind == "mix":
+                name = line.token(1, "operation name")
+                parents = line.names(2)
+                if not parents:
+                    raise line.fail(f"mix {name!r} names no input operations")
+                kwargs = line.keywords(2)
                 graph.add_mix(
                     name,
                     parents,
-                    duration=int(kwargs["duration"]),
-                    volume=int(kwargs["volume"]),
-                    ratio=ratio,
+                    duration=line.int_option(kwargs, "duration"),
+                    volume=line.int_option(kwargs, "volume"),
+                    ratio=line.ratio_option(kwargs),
                 )
             elif kind == "detect":
-                name = tokens[1]
-                parents = [t for t in tokens[2:] if "=" not in t]
-                kwargs = dict(t.split("=", 1) for t in tokens[2:] if "=" in t)
-                graph.add_detect(name, parents[0], duration=int(kwargs["duration"]))
+                name = line.token(1, "operation name")
+                parents = line.names(2)
+                if len(parents) != 1:
+                    raise line.fail(
+                        f"detect {name!r} needs exactly one parent, "
+                        f"got {len(parents)}"
+                    )
+                kwargs = line.keywords(2)
+                graph.add_detect(
+                    name, parents[0], duration=line.int_option(kwargs, "duration")
+                )
             elif kind == "output":
-                name = tokens[1]
+                name = line.token(1, "operation name")
+                parent = line.token(2, "parent operation")
                 graph.add_operation(Operation(name, OperationKind.OUTPUT))
-                graph.add_dependency(tokens[2], name)
+                graph.add_dependency(parent, name)
             else:
-                raise AssayError(f"line {lineno}: unknown directive {kind!r}")
-        except (IndexError, KeyError, ValueError) as exc:
-            raise AssayError(f"line {lineno}: cannot parse {raw!r}") from exc
+                raise line.fail(f"unknown directive {kind!r}", kind)
+        except AssaySpecError:
+            raise
+        except AssayError as exc:
+            # Semantic rejections from the graph/operation layer
+            # (duplicate names, unknown parents, bad volume classes...)
+            # gain their source position on the way out.
+            raise line.fail(str(exc)) from exc
     if graph is None:
-        raise AssayError("empty assay description")
+        raise AssaySpecError("empty assay description")
     return graph
 
 
@@ -112,28 +218,55 @@ def schedule_to_text(schedule: Schedule) -> str:
 
 
 def schedule_from_text(text: str, graph: SequencingGraph) -> Schedule:
-    """Parse start times; the sequencing graph supplies the operations."""
+    """Parse start times; the sequencing graph supplies the operations.
+
+    Raises :class:`~repro.errors.ScheduleSpecError` — which is both an
+    :class:`~repro.errors.AssaySpecError` and a
+    :class:`~repro.errors.SchedulingError` — on malformed lines,
+    non-integer start times, unknown operations and duplicate entries.
+    """
     transport_delay = 3
     entries: List[tuple] = []
     for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _Line(lineno, raw)
         stripped = raw.strip()
         if stripped.startswith("#"):
             for token in stripped[1:].split():
                 if token.startswith("transport_delay="):
-                    transport_delay = int(token.split("=", 1)[1])
+                    value = token.split("=", 1)[1]
+                    try:
+                        transport_delay = int(value)
+                    except ValueError:
+                        raise line.fail_schedule(
+                            f"transport_delay needs an integer, got {value!r}",
+                        ) from None
             continue
-        if not stripped:
+        if not line.tokens:
             continue
-        tokens = stripped.split()
+        tokens = line.tokens
+        if len(tokens) < 3 or tokens[1] != "@":
+            raise line.fail_schedule(
+                "expected '<operation> @ <start> [on <device>]'"
+            )
+        name = tokens[0]
         try:
-            name = tokens[0]
-            assert tokens[1] == "@"
             start = int(tokens[2])
-            device = tokens[4] if len(tokens) > 4 and tokens[3] == "on" else None
-            entries.append((name, start, device))
-        except (IndexError, ValueError, AssertionError) as exc:
-            raise SchedulingError(f"line {lineno}: cannot parse {raw!r}") from exc
+        except ValueError:
+            raise line.fail_schedule(
+                f"start time needs an integer, got {tokens[2]!r}", tokens[2]
+            ) from None
+        device = None
+        if len(tokens) > 3:
+            if tokens[3] != "on" or len(tokens) < 5:
+                raise line.fail_schedule(
+                    "trailing tokens must be 'on <device>'", tokens[3]
+                )
+            device = tokens[4]
+        entries.append((name, start, device, line))
     schedule = Schedule(graph, transport_delay=transport_delay)
-    for name, start, device in entries:
-        schedule.add(name, start, device)
+    for name, start, device, line in entries:
+        try:
+            schedule.add(name, start, device)
+        except (AssayError, SchedulingError) as exc:
+            raise line.fail_schedule(str(exc), name) from exc
     return schedule

@@ -71,6 +71,62 @@ class SchedulingError(ReproError):
     """The scheduler could not produce a feasible schedule."""
 
 
+class AssaySpecError(AssayError):
+    """A text-format assay spec failed to parse or validate.
+
+    Structured so a *server* can return it as a clean client error
+    (DESIGN.md §15) instead of a stack trace: ``line`` and ``column``
+    are 1-based positions when known, ``context`` is the offending
+    source line.  Derives from :class:`AssayError` so every existing
+    ``except AssayError`` keeps working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: "int | None" = None,
+        column: "int | None" = None,
+        context: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.context = context
+
+    def __str__(self) -> str:
+        where = ""
+        if self.line is not None:
+            where = f"line {self.line}"
+            if self.column is not None:
+                where += f", column {self.column}"
+            where += ": "
+        text = f"{where}{self.message}"
+        if self.context is not None:
+            text += f"\n  >> {self.context}"
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for protocol error responses."""
+        return {
+            "error": self.message,
+            "line": self.line,
+            "column": self.column,
+            "context": self.context,
+        }
+
+
+class ScheduleSpecError(AssaySpecError, SchedulingError):
+    """A text-format schedule spec failed to parse or validate.
+
+    Both an :class:`AssaySpecError` (the server returns one structured
+    client-error shape for either input file) and a
+    :class:`SchedulingError` (existing schedule-parsing callers keep
+    their catch clauses).
+    """
+
+
 class ArchitectureError(ReproError):
     """Invalid chip architecture construction or valve operation."""
 
@@ -168,6 +224,25 @@ class CertificationError(ReproError):
     original model or design rules.  In ``"audit"`` mode the same
     failures are recorded on the result (``Solution.stats`` /
     ``SynthesisResult.audit``) without raising.
+    """
+
+
+class AdmissionError(ReproError):
+    """The serve engine refused to queue a job (DESIGN.md §15).
+
+    Raised (or recorded on the rejected job) when the bounded queue is
+    at capacity, or the ``serve.queue_overflow`` chaos site forces an
+    overflow.  Explicit rejection is the last rung of admission
+    control — load shedding (shrunken budgets) comes first.
+    """
+
+
+class CorruptCacheWarning(UserWarning):
+    """A serve result-cache entry failed its CRC or failed to parse.
+
+    The damaged entry is evicted (never served) and the problem is
+    simply re-solved; a warning rather than an error because the cache,
+    like the checkpoint journal, is an optimization.
     """
 
 

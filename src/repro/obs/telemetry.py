@@ -45,6 +45,14 @@ Counter names are dotted paths, one prefix per subsystem:
 * ``scipy.*`` — HiGHS MILP solves, node counts and ``solve_errors``
   (HiGHS status-4 runs that fell back to branch & bound)
   (``repro.ilp.scipy_backend``)
+* ``serve.*`` — synthesis-as-a-service activity (DESIGN.md §15): job
+  lifecycle (``submitted``, ``completed``, ``failed``,
+  ``worker_retries``, the ``solve`` timer), canonical-cache traffic
+  (``cache_hits``, ``cache_misses``, ``cache_stores``,
+  ``cache_evicted``, ``cache_write_failures``, ``coalesced``),
+  admission control (``shed``, ``rejected``) and the circuit breaker
+  (``breaker_trips``, ``breaker_probes``, ``breaker_open``)
+  (``repro.serve``)
 """
 
 from __future__ import annotations

@@ -36,7 +36,6 @@ hits/misses/rejections land in ``checkpoint.*`` telemetry and the
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import warnings
@@ -51,74 +50,14 @@ from repro.obs import TELEMETRY
 from repro.resilience.faults import FAULTS
 from repro.resilience.report import DegradationLadder
 
+# Canonicalization is shared with the serve result cache (DESIGN.md §15):
+# both key content by the same canonical JSON + SHA-256 scheme, and the
+# regression test in tests/serve/test_canonical.py pins spec_key
+# byte-identical so existing journals keep resuming.
+from repro.serve.canonical import canonical_json as _canonical
+from repro.serve.canonical import spec_key
+
 _JOURNAL_NAME = "journal.jsonl"
-
-
-def _canonical(data) -> str:
-    """The one true JSON form — key-sorted, no whitespace."""
-    return json.dumps(data, sort_keys=True, separators=(",", ":"))
-
-
-def _health_fields(health) -> Optional[dict]:
-    if health is None or health.is_healthy:
-        return None
-    return {
-        "dead_cells": sorted([c.x, c.y] for c in health.dead_cells),
-        "dead_edges": sorted(
-            [e.x, e.y, e.horizontal] for e in health.dead_edges
-        ),
-    }
-
-
-def spec_key(spec) -> str:
-    """SHA-256 content hash of a :class:`MappingSpec`.
-
-    Covers everything that influences the solve's feasible set or
-    objective; deliberately excludes solver choices (backend, time
-    limit) so a record written by one backend serves any other — the
-    certificate, not the producer, is the authority.
-    """
-    fixed = sorted(
-        (
-            name,
-            dev.operation,
-            dev.placement.device_type.width,
-            dev.placement.device_type.height,
-            dev.placement.corner.x,
-            dev.placement.corner.y,
-            dev.start,
-            dev.mix_start,
-            dev.end,
-        )
-        for name, dev in spec.fixed.items()
-    )
-    body = {
-        "grid": [spec.grid.width, spec.grid.height],
-        "tasks": [
-            [
-                t.name,
-                t.volume,
-                t.pump_rate,
-                t.start,
-                t.mix_start,
-                t.end,
-                sorted(t.mix_parents),
-            ]
-            for t in sorted(spec.tasks, key=lambda t: t.name)
-        ],
-        "fixed": [list(row) for row in fixed],
-        "base_load": sorted([c.x, c.y, load] for c, load in spec.base_load.items()),
-        "forbidden_overlaps": sorted(list(p) for p in spec.forbidden_overlaps),
-        "blocked_cells": sorted([c.x, c.y] for c in spec.blocked_cells),
-        "discouraged_cells": sorted([c.x, c.y] for c in spec.discouraged_cells),
-        "anchor_stride": spec.anchor_stride,
-        "distance_limit": spec.distance_limit,
-        "allow_storage_overlap": spec.allow_storage_overlap,
-        "routing_convenient": spec.routing_convenient,
-        "parent_pairs": sorted(list(p) for p in spec.parent_pairs),
-        "health": _health_fields(spec.health),
-    }
-    return hashlib.sha256(_canonical(body).encode()).hexdigest()
 
 
 def _serialize_result(result) -> dict:

@@ -50,6 +50,13 @@ rung                      meaning
                           could finish; routing (which cannot return a
                           partial result) was re-run unbounded and the
                           overrun recorded
+``serve_shed``            the serve engine admitted this job under
+                          load-shedding: its time budget was multiplied
+                          down because the queue was filling
+                          (DESIGN.md §15)
+``serve_breaker``         the per-problem circuit breaker was open; the
+                          serve engine answered with a greedy degraded
+                          solve instead of the full pipeline
 ========================  ============================================
 
 Every :meth:`DegradationLadder.engage` call mirrors into a
@@ -151,6 +158,8 @@ class DegradationLadder:
     ANYTIME_HEURISTIC = "anytime_heuristic"
     ROUTING_RELAXED = "routing_relaxed"
     ROUTING_OVERRUN = "routing_overrun"
+    SERVE_SHED = "serve_shed"
+    SERVE_BREAKER = "serve_breaker"
 
     #: every rung, in descent order (documentation + test parametrization).
     RUNGS = (
@@ -166,6 +175,8 @@ class DegradationLadder:
         ANYTIME_HEURISTIC,
         ROUTING_RELAXED,
         ROUTING_OVERRUN,
+        SERVE_SHED,
+        SERVE_BREAKER,
     )
 
     def __init__(

@@ -1,0 +1,105 @@
+"""Bounded-queue admission control and load shedding (DESIGN.md §15).
+
+Overload is handled as a two-stage ladder, mirroring the synthesis
+pipeline's degradation philosophy — degrade before refusing:
+
+1. **shed** — past a queue-depth threshold, admitted jobs get their
+   time budgets multiplied down (the synthesis pipeline already turns
+   a short budget into a degraded-but-valid result via its own
+   ladder), so the server trades answer quality for throughput;
+2. **reject** — at capacity the job is refused *explicitly* with a
+   structured reason, never silently dropped and never allowed to grow
+   the queue without bound.
+
+The ``serve.queue_overflow`` chaos site forces a rejection regardless
+of the actual depth, so the chaos suite can prove the refusal path
+(client gets a clean ``rejected`` event, server stays up) without
+building real backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.obs import TELEMETRY
+from repro.resilience.faults import FAULTS
+
+#: (queue-fraction threshold, budget multiplier), checked highest first.
+DEFAULT_SHED_LEVELS: Tuple[Tuple[float, float], ...] = (
+    (0.75, 0.25),
+    (0.5, 0.5),
+)
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """What to do with one submission, given the queue's state."""
+
+    action: str  # "admit" | "shed" | "reject"
+    budget_multiplier: float = 1.0
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != "reject"
+
+
+class AdmissionController:
+    """Decides admit / shed / reject from the current queue depth."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        shed_levels: Sequence[Tuple[float, float]] = DEFAULT_SHED_LEVELS,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.shed_levels = tuple(
+            sorted(shed_levels, key=lambda level: -level[0])
+        )
+        self.admitted = 0
+        self.shed = 0
+        self.rejected = 0
+
+    def decide(self, depth: int) -> AdmissionDecision:
+        """The admission decision for a submission at queue ``depth``."""
+        if FAULTS.armed and FAULTS.should_fire("serve.queue_overflow"):
+            return self._reject("chaos: forced queue overflow")
+        if depth >= self.capacity:
+            return self._reject(
+                f"queue full ({depth}/{self.capacity}); retry later"
+            )
+        fraction = depth / self.capacity
+        for threshold, multiplier in self.shed_levels:
+            if fraction >= threshold:
+                self.shed += 1
+                self.admitted += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("serve.shed")
+                return AdmissionDecision(
+                    "shed",
+                    budget_multiplier=multiplier,
+                    reason=(
+                        f"queue at {depth}/{self.capacity}; "
+                        f"budget x{multiplier}"
+                    ),
+                )
+        self.admitted += 1
+        return AdmissionDecision("admit")
+
+    def _reject(self, reason: str) -> AdmissionDecision:
+        self.rejected += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("serve.rejected")
+        return AdmissionDecision("reject", budget_multiplier=0.0, reason=reason)
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,340 @@
+"""Canonical problem IR: one content hash per synthesis problem.
+
+Two callers share this module (DESIGN.md §15):
+
+* the **checkpoint journal** (:mod:`repro.resilience.checkpoint`) keys
+  crash-safe records by :func:`spec_key`, a SHA-256 over a canonicalized
+  :class:`~repro.core.mapping_model.MappingSpec`;
+* the **serve result cache** (:mod:`repro.serve.cache`) keys whole
+  synthesis results by :func:`problem_key`, a SHA-256 over the
+  canonicalized *problem IR* — sequencing graph + schedule + chip
+  config + the solver-relevant options.
+
+Both hashes deliberately exclude solver choices (backend, time limit,
+mapper): a record produced by one solver serves any other, because the
+certificate — not the producer — is the authority.
+
+``problem_key`` must be invariant under the three representation
+accidents a million clients will produce:
+
+* **operation reordering** — the order operations were added to the
+  graph (or appear in an ``assay.textio`` file);
+* **node relabeling** — the operation *names*, which are labels chosen
+  by the client, not structure;
+* **dict-order permutations** — the iteration order of any mapping in
+  the chip config (canonical JSON sorts every key).
+
+Relabel invariance is earned with a fixpoint **color refinement** over
+the DAG: every operation starts from a hash of its intrinsic attributes
+(kind, duration, volume, mix ratio, scheduled start) and repeatedly
+absorbs the hashes of its parents (paired positionally with the mix
+ratio parts, so ``1:3 of (a, b)`` never collides with ``1:3 of
+(b, a)``) and of its children, until the coloring stabilizes.  Names
+never enter the hash.
+
+Serving a cached result to a *relabeled* resubmission needs more than
+hash equality: the cache must translate the stored operation names to
+the requester's names.  :func:`canonical_ids` assigns every operation a
+name-free identifier (its refined fingerprint plus a duplicate index),
+and :func:`structure_table` re-expresses the whole problem over those
+identifiers.  Two problems whose structure tables are *equal* are
+isomorphic **by construction of the table itself** — the table lists
+every node attribute and every edge in identifier space — so the cache
+can verify a rename is sound by comparing tables, and treat any
+mismatch (a pathological duplicate-tie-break disagreement) as a miss
+instead of serving a mislabeled design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "canonical_json",
+    "health_fields",
+    "spec_key",
+    "operation_fingerprints",
+    "canonical_ids",
+    "structure_table",
+    "problem_key",
+]
+
+
+def canonical_json(data) -> str:
+    """The one true JSON form — key-sorted, no whitespace.
+
+    Byte-identical to the checkpoint journal's historical serializer;
+    the journal's CRC and content keys depend on that (regression-pinned
+    in ``tests/serve/test_canonical.py``).
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _sha(data) -> str:
+    return hashlib.sha256(canonical_json(data).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# MappingSpec canonicalization (the checkpoint journal's content key)
+# ---------------------------------------------------------------------------
+
+
+def health_fields(health) -> Optional[dict]:
+    """Canonical JSON fields of a :class:`ChipHealth` mask (None = healthy)."""
+    if health is None or health.is_healthy:
+        return None
+    return {
+        "dead_cells": sorted([c.x, c.y] for c in health.dead_cells),
+        "dead_edges": sorted(
+            [e.x, e.y, e.horizontal] for e in health.dead_edges
+        ),
+    }
+
+
+def spec_key(spec) -> str:
+    """SHA-256 content hash of a :class:`MappingSpec`.
+
+    Covers everything that influences the solve's feasible set or
+    objective; deliberately excludes solver choices (backend, time
+    limit) so a record written by one backend serves any other — the
+    certificate, not the producer, is the authority.
+    """
+    fixed = sorted(
+        (
+            name,
+            dev.operation,
+            dev.placement.device_type.width,
+            dev.placement.device_type.height,
+            dev.placement.corner.x,
+            dev.placement.corner.y,
+            dev.start,
+            dev.mix_start,
+            dev.end,
+        )
+        for name, dev in spec.fixed.items()
+    )
+    body = {
+        "grid": [spec.grid.width, spec.grid.height],
+        "tasks": [
+            [
+                t.name,
+                t.volume,
+                t.pump_rate,
+                t.start,
+                t.mix_start,
+                t.end,
+                sorted(t.mix_parents),
+            ]
+            for t in sorted(spec.tasks, key=lambda t: t.name)
+        ],
+        "fixed": [list(row) for row in fixed],
+        "base_load": sorted([c.x, c.y, load] for c, load in spec.base_load.items()),
+        "forbidden_overlaps": sorted(list(p) for p in spec.forbidden_overlaps),
+        "blocked_cells": sorted([c.x, c.y] for c in spec.blocked_cells),
+        "discouraged_cells": sorted([c.x, c.y] for c in spec.discouraged_cells),
+        "anchor_stride": spec.anchor_stride,
+        "distance_limit": spec.distance_limit,
+        "allow_storage_overlap": spec.allow_storage_overlap,
+        "routing_convenient": spec.routing_convenient,
+        "parent_pairs": sorted(list(p) for p in spec.parent_pairs),
+        "health": health_fields(spec.health),
+    }
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Problem IR canonicalization (the serve cache's content key)
+# ---------------------------------------------------------------------------
+
+
+def _attrs(op, schedule) -> list:
+    """The intrinsic, name-free attributes of one operation."""
+    entry = schedule.entries.get(op.name) if schedule is not None else None
+    return [
+        op.kind.value,
+        op.duration,
+        op.volume,
+        sorted(op.ratio.parts) if op.ratio is not None else None,
+        entry.start if entry is not None else None,
+        entry.device if entry is not None else None,
+    ]
+
+
+def _parent_pairs(graph, name) -> List[Tuple[int, str]]:
+    """Parent names paired positionally with their mix-ratio parts.
+
+    When the ratio names exactly one part per parent the association is
+    structural (``1:3 of (a, b)`` pumps three parts of ``b``); otherwise
+    (single-parent multi-part ratios, non-mix operations) the part slot
+    is ``-1`` — ratio parts are always positive, so the sentinel is
+    unambiguous, and keeping it an int keeps the pairs sortable.
+    """
+    parents = graph.parents(name)
+    op = graph.operation(name)
+    parts: Tuple[int, ...]
+    if (
+        op.ratio is not None
+        and len(op.ratio.parts) == len(parents)
+        and len(parents) > 1
+    ):
+        parts = op.ratio.parts
+    else:
+        parts = (-1,) * len(parents)
+    return [(part, parent.name) for part, parent in zip(parts, parents)]
+
+
+def operation_fingerprints(graph, schedule=None) -> Dict[str, str]:
+    """Name-free fingerprint of every operation, by color refinement.
+
+    Round 0 hashes each operation's intrinsic attributes; every
+    subsequent round absorbs the parents' hashes (ratio-paired, order
+    normalized by sorting the pairs) and the children's hashes (paired
+    with the ratio part *this* operation contributes to each child, so
+    "the 1-part parent" and "the 3-part parent" of an asymmetric mix
+    separate even when their own attributes are identical).  The
+    refinement runs to a stable partition (at most ``len(graph)``
+    rounds), so a fingerprint encodes the full ancestor *and*
+    descendant structure — renaming operations cannot change it, and
+    structurally distinct operations separate as far as color
+    refinement can take them.
+    """
+    ops = graph.operations()
+    # part_played[parent][child] = the ratio part parent contributes.
+    part_played: Dict[str, Dict[str, Optional[int]]] = {
+        op.name: {} for op in ops
+    }
+    for op in ops:
+        for part, parent in _parent_pairs(graph, op.name):
+            part_played[parent][op.name] = part
+    colors = {op.name: _sha(_attrs(op, schedule)) for op in ops}
+    for _ in range(max(1, len(ops))):
+        refined = {
+            op.name: _sha(
+                [
+                    colors[op.name],
+                    sorted(
+                        [part, colors[parent]]
+                        for part, parent in _parent_pairs(graph, op.name)
+                    ),
+                    sorted(
+                        [part_played[op.name][child.name], colors[child.name]]
+                        for child in graph.children(op.name)
+                    ),
+                ]
+            )
+            for op in ops
+        }
+        if len(set(refined.values())) == len(set(colors.values())):
+            colors = refined
+            break
+        colors = refined
+    return colors
+
+
+def canonical_ids(graph, schedule=None) -> Dict[str, str]:
+    """A name-free identifier per operation: ``<fingerprint16>.<k>``.
+
+    Operations sharing a fingerprint (structural duplicates color
+    refinement cannot split) get duplicate indices ``k`` assigned in
+    name order.  The assignment within a duplicate group is arbitrary —
+    soundness of a cache rename is established by *structure-table
+    equality* (:func:`structure_table`), never by trusting the indices.
+    """
+    fingerprints = operation_fingerprints(graph, schedule)
+    groups: Dict[str, List[str]] = {}
+    for name in sorted(fingerprints):
+        groups.setdefault(fingerprints[name], []).append(name)
+    ids: Dict[str, str] = {}
+    for fingerprint, names in groups.items():
+        for k, name in enumerate(names):
+            ids[name] = f"{fingerprint[:16]}.{k}"
+    return ids
+
+
+def structure_table(graph, schedule=None, ids: Optional[Dict[str, str]] = None) -> dict:
+    """The whole problem re-expressed over canonical identifiers.
+
+    Maps every canonical id to its node attributes and its (ratio part,
+    parent id) edge list.  Two problems with *equal* tables are
+    isomorphic under the composite rename — the table explicitly lists
+    every attribute and every edge in identifier space, so equality is a
+    complete verification, not a heuristic.
+    """
+    if ids is None:
+        ids = canonical_ids(graph, schedule)
+    table = {}
+    for op in graph.operations():
+        table[ids[op.name]] = {
+            "attrs": _attrs(op, schedule),
+            "parents": sorted(
+                [part, ids[parent]]
+                for part, parent in _parent_pairs(graph, op.name)
+            ),
+        }
+    return table
+
+
+def problem_key(
+    graph,
+    schedule=None,
+    grid=None,
+    *,
+    anchor_stride: int = 1,
+    distance_limit: Optional[int] = None,
+    routing_convenient: bool = True,
+    allow_storage_overlap: bool = True,
+    health=None,
+    extra: Optional[dict] = None,
+) -> str:
+    """SHA-256 content hash of one whole synthesis problem.
+
+    Invariant under operation reordering, node relabeling and dict-order
+    permutations of the chip config; sensitive to everything that
+    changes the feasible set or the objective: graph structure,
+    durations, volumes, mix ratios, scheduled starts, transport delay,
+    grid dimensions, the mapping-constraint switches and the hardware
+    health mask.  Solver *effort* knobs (time budget, mapper, backend,
+    supervision) are deliberately excluded: a certified result answers
+    the problem regardless of how hard its producer worked
+    (cf. :func:`spec_key`).
+
+    The operation part of the hash is the *multiset* of refined
+    fingerprint records — never the duplicate-indexed ids of
+    :func:`canonical_ids`, whose within-group index assignment follows
+    the (arbitrary) names.  Structural duplicates therefore hash
+    identically however they are labeled; the indexed
+    :func:`structure_table` only matters at *serve* time, where table
+    equality proves a rename sound.
+
+    ``extra`` admits forward-compatible solver-relevant options; it is
+    canonical-JSON'd like everything else.
+    """
+    fingerprints = operation_fingerprints(graph, schedule)
+    records = sorted(
+        [
+            fingerprints[op.name],
+            _attrs(op, schedule),
+            sorted(
+                [part, fingerprints[parent]]
+                for part, parent in _parent_pairs(graph, op.name)
+            ),
+        ]
+        for op in graph.operations()
+    )
+    body = {
+        "ir": 1,  # bump to invalidate every cache entry on schema change
+        "ops": records,
+        "transport_delay": (
+            schedule.transport_delay if schedule is not None else None
+        ),
+        "grid": [grid.width, grid.height] if grid is not None else None,
+        "anchor_stride": anchor_stride,
+        "distance_limit": distance_limit,
+        "routing_convenient": routing_convenient,
+        "allow_storage_overlap": allow_storage_overlap,
+        "health": health_fields(health),
+        "extra": extra,
+    }
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()

@@ -1,0 +1,607 @@
+"""The resilient asyncio job engine behind ``python -m repro serve``.
+
+DESIGN.md §15.  One :class:`ServeEngine` owns a bounded job queue, a
+pool of worker tasks (each solve runs in a thread so the event loop
+stays responsive), and the four resilience tiers wired in front of and
+around the solver:
+
+1. **canonical cache** — every submission is reduced to its
+   :func:`~repro.serve.canonical.problem_key`; a cached certified
+   result is *renamed* to the requester's operation labels (verified
+   by structure-table equality — a mismatch is a miss, never a
+   mislabeled answer) and served without touching the queue;
+2. **single-flight** — identical problems submitted while one is
+   solving coalesce onto the in-flight solve's future;
+3. **admission control** — a filling queue first sheds load (admitted
+   jobs get multiplied-down time budgets; the synthesis pipeline's own
+   degradation ladder turns a short budget into a degraded-but-valid
+   result), then rejects explicitly at capacity;
+4. **circuit breaker + retries** — worker losses and budget expiries
+   are retried with the seeded :class:`~repro.resilience.BackoffPolicy`;
+   a problem that keeps failing trips its breaker and is answered with
+   a greedy degraded solve until a half-open probe succeeds.
+
+Every result is produced with ``certify="audit"`` and a failed audit
+fails the job — the engine never serves an uncertified design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.assay.scheduler import ListScheduler, SchedulerConfig
+from repro.assay.textio import graph_from_text, schedule_from_text
+from repro.core.export import design_dict
+from repro.core.mappers import GreedyMapper
+from repro.core.synthesis import ReliabilitySynthesizer, SynthesisConfig
+from repro.errors import (
+    ReproError,
+    SynthesisError,
+    TimeLimitError,
+    WorkerCrashError,
+)
+from repro.geometry import GridSpec
+from repro.obs import TELEMETRY
+from repro.resilience import BackoffPolicy, Deadline, DegradationLadder
+from repro.resilience.faults import FAULTS
+from repro.serve.admission import (
+    DEFAULT_SHED_LEVELS,
+    AdmissionController,
+)
+from repro.serve.breaker import CLOSED, OPEN, CircuitBreaker
+from repro.serve.cache import ResultCache, SingleFlight
+from repro.serve.canonical import canonical_ids, problem_key, structure_table
+from repro.serve.protocol import (
+    Job,
+    JobState,
+    decode_message,
+    encode_message,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one serve engine."""
+
+    #: the chip grid every submitted assay is synthesized onto.
+    grid: GridSpec = field(default_factory=lambda: GridSpec(10, 10))
+    #: bounded job queue; submissions past capacity are rejected.
+    queue_capacity: int = 16
+    #: concurrent solver threads.
+    workers: int = 2
+    #: default per-job wall-clock budget (seconds); clients may ask for
+    #: less, admission shedding multiplies it down.
+    time_budget: float = 5.0
+    #: directory for the CRC-guarded disk cache (None = memory only).
+    cache_dir: Optional[str] = None
+    #: retries after a worker loss / budget expiry before the job fails.
+    retry_attempts: int = 2
+    #: backoff between those retries (seeded, deterministic).
+    backoff: BackoffPolicy = field(
+        default_factory=lambda: BackoffPolicy(base=0.01, cap=0.25)
+    )
+    backoff_seed: int = 0
+    #: consecutive failures before a problem's breaker trips.
+    breaker_threshold: int = 3
+    #: seconds an open breaker waits before letting a probe through.
+    breaker_cooldown: float = 5.0
+    #: (queue-fraction, budget-multiplier) shedding ladder.
+    shed_levels: tuple = DEFAULT_SHED_LEVELS
+    #: time budget for breaker-open degraded greedy solves.
+    degraded_budget: float = 1.0
+    anchor_stride: int = 1
+    supervised: bool = False
+
+
+class ServeEngine:
+    """Accepts assay specs, returns certified (or degraded) designs."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+        self.flights = SingleFlight()
+        self.admission = AdmissionController(
+            self.config.queue_capacity, shed_levels=self.config.shed_levels
+        )
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown,
+        )
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._workers: List["asyncio.Task"] = []
+        self._tasks: List["asyncio.Task"] = []
+        self._next_id = 0
+        self.jobs: Dict[int, Job] = {}
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.degraded_served = 0
+        self._latency: Dict[str, List[float]] = {
+            "cache": [],
+            "coalesced": [],
+            "solve": [],
+            "degraded": [],
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._workers + self._tasks:
+            task.cancel()
+        for task in self._workers + self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._workers = []
+        self._tasks = []
+
+    async def __aenter__(self) -> "ServeEngine":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(
+        self,
+        assay_text: str,
+        schedule_text: Optional[str] = None,
+        *,
+        time_budget: Optional[float] = None,
+    ) -> Job:
+        """Parse, key, and route one submission; returns its :class:`Job`.
+
+        Malformed specs raise :class:`~repro.errors.AssaySpecError`
+        (or any other :class:`~repro.errors.AssayError` /
+        :class:`~repro.errors.SchedulingError` from validation) — those
+        are *client* errors, settled before a job exists.  Every
+        admitted (or rejected) submission gets a Job; await
+        :meth:`Job.wait` and inspect ``state``.
+        """
+        graph = graph_from_text(assay_text)
+        graph.validate()
+        if schedule_text:
+            schedule = schedule_from_text(schedule_text, graph)
+        else:
+            schedule = ListScheduler(SchedulerConfig()).schedule(graph)
+        schedule.validate()
+
+        self._next_id += 1
+        job = Job(self._next_id, time_budget=time_budget)
+        job.graph = graph
+        job.schedule = schedule
+        if job.time_budget is None:
+            job.time_budget = self.config.time_budget
+        job.key = problem_key(
+            graph,
+            schedule,
+            self.config.grid,
+            anchor_stride=self.config.anchor_stride,
+        )
+        self.jobs[job.id] = job
+        self.submitted += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("serve.submitted")
+
+        # Tier 1: the canonical result cache.
+        payload = self.cache.lookup(job.key)
+        if payload is not None:
+            client = self._rename(payload, job)
+            if client is not None:
+                job.finish(client, "cache")
+                self._record_latency(job)
+                return job
+            # Structure-table mismatch: sound renaming is unprovable,
+            # so treat as a miss and solve under this job's own labels.
+
+        # Tier 2: single-flight coalescing.
+        leader, flight = self.flights.claim(job.key)
+        if not leader:
+            job.source = "coalesced"
+            self._tasks.append(
+                asyncio.create_task(self._follow(job, flight))
+            )
+            return job
+        job.leader = True
+        self._admit(job)
+        return job
+
+    def _admit(self, job: Job) -> None:
+        """Tier 3: admission control, then the bounded queue."""
+        decision = self.admission.decide(self._queue.qsize())
+        if not decision.admitted:
+            if job.leader:
+                self.flights.resolve(
+                    job.key, SynthesisError(f"rejected: {decision.reason}")
+                )
+            job.reject({"error": decision.reason})
+            return
+        job.shed_multiplier = decision.budget_multiplier
+        self._queue.put_nowait(job)
+
+    async def _follow(self, job: Job, flight: "asyncio.Future") -> None:
+        """A coalesced job: await the leader, rename, fall back if odd."""
+        value = await flight
+        if isinstance(value, Exception):
+            job.fail({"error": str(value)})
+            return
+        client = self._rename(value, job)
+        if client is not None:
+            job.finish(client, "coalesced")
+            self._record_latency(job)
+            return
+        # Pathological: same problem key but the structure tables
+        # disagree (a refinement tie broken differently).  Solve this
+        # job on its own rather than risk a mislabeled answer.
+        job.source = "solve"
+        self._admit(job)
+
+    # -- workers -----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        try:
+            payload = await asyncio.to_thread(self._solve, job)
+        except ReproError as error:
+            self.failed += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("serve.failed")
+            if job.leader:
+                self.flights.resolve(job.key, error)
+            job.fail({"error": str(error)})
+            return
+        # The payload lives in canonical-id space (cacheable, label
+        # free); the producing job gets it renamed back to its own
+        # labels like any other requester — the tables trivially match.
+        client = self._rename(payload, job)
+        assert client is not None, "self-rename cannot mismatch"
+        if payload["served"] == "degraded":
+            # Breaker-open answers are placeholders: shared with any
+            # coalesced followers (they asked while the breaker was
+            # open too) but never cached — caching would let the
+            # degradation outlive the breaker.
+            self.degraded_served += 1
+            job.source = "degraded"
+        else:
+            self.cache.store(job.key, payload)
+        if job.leader:
+            self.flights.resolve(job.key, payload)
+        job.finish(client, job.source)
+        self.completed += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.count("serve.completed")
+        self._record_latency(job)
+
+    # -- the solve itself (runs in a thread) -------------------------------
+
+    def _solve(self, job: Job) -> dict:
+        """Breaker gate, retry loop, synthesis, audit check."""
+        gate = self.breaker.allow(job.key)
+        if gate == OPEN:
+            result = self._synthesize(
+                job,
+                mapper=GreedyMapper(),
+                budget=self.config.degraded_budget,
+            )
+            result.resilience.record(
+                "serve",
+                DegradationLadder.SERVE_BREAKER,
+                f"breaker open for {job.key[:12]}…; served greedy",
+            )
+            return self._payload(job, result, served="degraded")
+
+        delays = self.config.backoff.delays(
+            "serve.worker", self.config.backoff_seed
+        )
+        error: Optional[ReproError] = None
+        result = None
+        for attempt in range(self.config.retry_attempts + 1):
+            try:
+                if FAULTS.armed and FAULTS.should_fire("serve.worker_loss"):
+                    raise WorkerCrashError(
+                        "chaos: serve worker lost", attempts=attempt + 1
+                    )
+                result = self._synthesize(job)
+                break
+            except (WorkerCrashError, TimeLimitError) as exc:
+                error = exc
+                if attempt >= self.config.retry_attempts:
+                    break
+                job.retries += 1
+                if TELEMETRY.enabled:
+                    TELEMETRY.count("serve.worker_retries")
+                time.sleep(next(delays))
+        if result is None:
+            self.breaker.record_failure(job.key)
+            assert error is not None
+            raise error
+        if result.audit is not None and not result.audit.ok:
+            # A design that fails its own audit is a solver-integrity
+            # failure: count it against the breaker and fail the job —
+            # an uncertified result is never served.
+            self.breaker.record_failure(job.key)
+            raise SynthesisError(
+                f"design audit failed: {result.audit.summary()}"
+            )
+        self.breaker.record_success(job.key)
+        if job.retries:
+            result.resilience.record(
+                "serve",
+                DegradationLadder.WORKER_RETRY,
+                f"serve retried {job.retries} time(s) after worker loss",
+            )
+        if job.shed_multiplier < 1.0:
+            result.resilience.record(
+                "serve",
+                DegradationLadder.SERVE_SHED,
+                f"admitted shedding load: budget x{job.shed_multiplier}",
+            )
+        return self._payload(job, result, served="solve")
+
+    def _synthesize(self, job: Job, mapper=None, budget=None):
+        seconds = (budget or job.time_budget) * job.shed_multiplier
+        deadline = Deadline(seconds)
+        config = SynthesisConfig(
+            grid=self.config.grid,
+            mapper=mapper,
+            time_budget=seconds,
+            anchor_stride=self.config.anchor_stride,
+            certify="audit",
+            supervised=self.config.supervised,
+        )
+        with TELEMETRY.span("serve.solve"):
+            return ReliabilitySynthesizer(config).synthesize(
+                job.graph, job.schedule, deadline=deadline
+            )
+
+    # -- payloads and renaming ---------------------------------------------
+
+    def _payload(self, job: Job, result, served: str) -> dict:
+        """The cacheable, label-free form of one synthesis result.
+
+        Operation names in the design are replaced by canonical ids;
+        the structure table rides along so a future requester with
+        different labels can verify a rename before trusting it.
+        """
+        ids = canonical_ids(job.graph, job.schedule)
+        table = structure_table(job.graph, job.schedule, ids)
+        design = self._renamed_design(design_dict(result), ids)
+        m = result.metrics
+        return {
+            "served": served,
+            "design": design,
+            "table": table,
+            "metrics": {
+                "used_valves": m.used_valves,
+                "role_changing_valves": m.role_changing_valves,
+                "mapping_objective": m.mapping_objective,
+                "mapper": m.mapper,
+                "algorithm_iterations": m.algorithm_iterations,
+                "wall_time": m.wall_time,
+            },
+            "resilience": (
+                result.resilience.as_dict()
+                if result.resilience is not None
+                else None
+            ),
+            "audit": (
+                result.audit.as_dict() if result.audit is not None else None
+            ),
+        }
+
+    @staticmethod
+    def _renamed_design(design: dict, mapping: Dict[str, str]) -> dict:
+        """``design_dict`` output with operation names mapped through.
+
+        Port names and anything else not in ``mapping`` pass through
+        unchanged; the assay label is dropped (it is a label).
+        """
+        design = copy.deepcopy(design)
+        design["assay"] = ""
+        for device in design.get("devices", ()):
+            device["operation"] = mapping.get(
+                device["operation"], device["operation"]
+            )
+        for route in design.get("routes", ()):
+            route["source"] = mapping.get(route["source"], route["source"])
+            route["target"] = mapping.get(route["target"], route["target"])
+        return design
+
+    def _rename(self, payload: dict, job: Job) -> Optional[dict]:
+        """A cached payload re-expressed in ``job``'s labels, or None.
+
+        The requester's structure table must *equal* the stored one —
+        that equality is a complete isomorphism proof (the table lists
+        every attribute and edge in canonical-id space), so a verified
+        rename can never serve a mislabeled design.  Any mismatch is a
+        miss.
+        """
+        ids = canonical_ids(job.graph, job.schedule)
+        table = structure_table(job.graph, job.schedule, ids)
+        if table != payload.get("table"):
+            return None
+        reverse = {cid: name for name, cid in ids.items()}
+        client = self._client_view(payload, job)
+        client["design"] = self._renamed_design(client["design"], reverse)
+        client["design"]["assay"] = job.graph.name
+        return client
+
+    @staticmethod
+    def _client_view(payload: dict, job: Job) -> dict:
+        """What one requester receives (the table stays server-side)."""
+        client = {k: copy.deepcopy(v) for k, v in payload.items() if k != "table"}
+        return client
+
+    # -- introspection -----------------------------------------------------
+
+    def _record_latency(self, job: Job) -> None:
+        latency = job.latency
+        if latency is not None:
+            self._latency.setdefault(job.source, []).append(latency)
+
+    @staticmethod
+    def _percentile(values: List[float], q: float) -> Optional[float]:
+        if not values:
+            return None
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, max(0, int(round(q * len(ordered))) - 1))
+        return ordered[index]
+
+    def status(self) -> dict:
+        """Health/readiness snapshot (the ``status`` protocol op)."""
+        workers_alive = [t for t in self._workers if not t.done()]
+        latency = {
+            source: {
+                "count": len(values),
+                "p50": self._percentile(values, 0.50),
+                "p99": self._percentile(values, 0.99),
+            }
+            for source, values in self._latency.items()
+            if values
+        }
+        return {
+            "ready": bool(workers_alive),
+            "workers": len(workers_alive),
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.config.queue_capacity,
+            },
+            "jobs": {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "degraded_served": self.degraded_served,
+            },
+            "cache": {
+                **self.cache.stats(),
+                "coalesced": float(self.flights.coalesced),
+            },
+            "admission": self.admission.stats(),
+            "breaker": self.breaker.stats(),
+            "latency": latency,
+        }
+
+
+class ServeServer:
+    """NDJSON-over-TCP front end for one :class:`ServeEngine`."""
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self._server: Optional["asyncio.AbstractServer"] = None
+
+    async def start(self) -> None:
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.engine.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _client(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                await self._handle(line, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass
+
+    async def _handle(self, line: bytes, writer) -> None:
+        def send(message: dict) -> None:
+            writer.write(encode_message(message))
+
+        try:
+            request = decode_message(line)
+        except ReproError as exc:
+            send({"event": "error", "error": str(exc)})
+            await writer.drain()
+            return
+        op = request["op"]
+        if op == "ping":
+            send({"event": "pong"})
+        elif op == "status":
+            send({"event": "status", "status": self.engine.status()})
+        elif op == "submit":
+            await self._submit(request, send)
+        else:
+            send({"event": "error", "error": f"unknown op {op!r}"})
+        await writer.drain()
+
+    async def _submit(self, request: dict, send) -> None:
+        from repro.errors import (
+            AssayError,
+            AssaySpecError,
+            SchedulingError,
+        )
+
+        try:
+            job = await self.engine.submit(
+                request.get("assay", ""),
+                request.get("schedule"),
+                time_budget=request.get("time_budget"),
+            )
+        except AssaySpecError as exc:
+            send({"event": "invalid", "error": exc.as_dict()})
+            return
+        except (AssayError, SchedulingError) as exc:
+            send({"event": "invalid", "error": {"error": str(exc)}})
+            return
+        if job.state == JobState.REJECTED:
+            send({"event": "rejected", "job": job.as_dict()})
+            return
+        send({"event": "accepted", "job": job.as_dict()})
+        await job.wait()
+        if job.state == JobState.DONE:
+            send({"event": "done", "job": job.as_dict(), "result": job.payload})
+        elif job.state == JobState.REJECTED:
+            send({"event": "rejected", "job": job.as_dict()})
+        else:
+            send({"event": "failed", "job": job.as_dict()})

@@ -82,3 +82,134 @@ class TestScheduleRoundTrip:
         g = pcr_graph()
         with pytest.raises(SchedulingError, match="line"):
             schedule_from_text("o1 at never\n", g)
+
+
+class TestStructuredGraphErrors:
+    """Malformed specs raise AssaySpecError with position + context."""
+
+    def test_unknown_directive_carries_position(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError) as info:
+            graph_from_text("input a\nfrobnicate x\n")
+        error = info.value
+        assert error.line == 2
+        assert error.column == 1
+        assert error.context == "frobnicate x"
+        assert "frobnicate" in error.message
+
+    def test_missing_operand_no_key_error(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError, match="missing operation name"):
+            graph_from_text("input\n")
+
+    def test_non_integer_option_no_value_error(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError, match="integer"):
+            graph_from_text("input a volume=lots\n")
+
+    def test_missing_required_option(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError, match="duration"):
+            graph_from_text("input a\ninput b\nmix m a b volume=8\n")
+
+    def test_bad_ratio_blames_the_token(self):
+        from repro.errors import AssaySpecError
+
+        text = "input a\ninput b\nmix m a b duration=4 volume=8 ratio=x:y\n"
+        with pytest.raises(AssaySpecError, match="ratio") as info:
+            graph_from_text(text)
+        assert info.value.line == 3
+        assert info.value.column == text.splitlines()[2].find("ratio=") + 1
+
+    def test_mix_without_parents(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError, match="no input"):
+            graph_from_text("mix m duration=4 volume=8\n")
+
+    def test_semantic_error_gains_position(self):
+        from repro.errors import AssaySpecError
+
+        # Unknown parent is rejected by the graph layer; the parser
+        # must re-raise it with the line attached.
+        with pytest.raises(AssaySpecError) as info:
+            graph_from_text("input a\nmix m a ghost duration=4 volume=8\n")
+        assert info.value.line == 2
+
+    def test_detect_with_two_parents(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError, match="exactly one parent"):
+            graph_from_text("input a\ninput b\ndetect d a b duration=2\n")
+
+    def test_empty_spec_still_assay_error(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError, match="empty"):
+            graph_from_text("")
+
+    def test_as_dict_shape(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError) as info:
+            graph_from_text("input a volume=lots\n")
+        data = info.value.as_dict()
+        assert set(data) == {"error", "line", "column", "context"}
+        assert data["line"] == 1
+
+    def test_str_includes_position_and_context(self):
+        from repro.errors import AssaySpecError
+
+        with pytest.raises(AssaySpecError) as info:
+            graph_from_text("frobnicate x\n")
+        text = str(info.value)
+        assert "line 1" in text
+        assert ">> frobnicate x" in text
+
+
+class TestStructuredScheduleErrors:
+    """Schedule parse failures are both AssaySpecError and SchedulingError."""
+
+    def test_both_hierarchies(self):
+        from repro.errors import AssaySpecError, ScheduleSpecError
+
+        g = pcr_graph()
+        with pytest.raises(ScheduleSpecError) as info:
+            schedule_from_text("o1 at never\n", g)
+        assert isinstance(info.value, AssaySpecError)
+        assert isinstance(info.value, SchedulingError)
+        assert info.value.line == 1
+
+    def test_non_integer_start(self):
+        from repro.errors import ScheduleSpecError
+
+        g = pcr_graph()
+        with pytest.raises(ScheduleSpecError, match="integer") as info:
+            schedule_from_text("o1 @ soon\n", g)
+        assert info.value.context == "o1 @ soon"
+
+    def test_bad_trailing_tokens(self):
+        from repro.errors import ScheduleSpecError
+
+        g = pcr_graph()
+        with pytest.raises(ScheduleSpecError, match="on <device>"):
+            schedule_from_text("o1 @ 0 at mixer8.0\n", g)
+
+    def test_unknown_operation_gains_position(self):
+        from repro.errors import ScheduleSpecError
+
+        g = pcr_graph()
+        with pytest.raises(ScheduleSpecError) as info:
+            schedule_from_text("o1 @ 0\nghost @ 4\n", g)
+        assert info.value.line == 2
+
+    def test_bad_transport_delay(self):
+        from repro.errors import ScheduleSpecError
+
+        g = pcr_graph()
+        with pytest.raises(ScheduleSpecError, match="transport_delay"):
+            schedule_from_text("# schedule transport_delay=fast\n", g)

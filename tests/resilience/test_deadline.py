@@ -168,4 +168,6 @@ class TestDegradationLadder:
             "anytime_heuristic",
             "routing_relaxed",
             "routing_overrun",
+            "serve_shed",
+            "serve_breaker",
         }

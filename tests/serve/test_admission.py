@@ -1,0 +1,66 @@
+"""Admission control: admit, shed, reject — in that order of descent."""
+
+import pytest
+
+from repro.resilience.faults import FAULTS
+from repro.serve.admission import AdmissionController, AdmissionDecision
+
+
+class TestDecisions:
+    def test_empty_queue_admits_at_full_budget(self):
+        decision = AdmissionController(8).decide(0)
+        assert decision.action == "admit"
+        assert decision.budget_multiplier == 1.0
+        assert decision.admitted
+
+    def test_half_full_sheds_half_budget(self):
+        decision = AdmissionController(8).decide(4)
+        assert decision.action == "shed"
+        assert decision.budget_multiplier == 0.5
+
+    def test_three_quarters_sheds_harder(self):
+        decision = AdmissionController(8).decide(6)
+        assert decision.action == "shed"
+        assert decision.budget_multiplier == 0.25
+
+    def test_full_queue_rejects_explicitly(self):
+        admission = AdmissionController(8)
+        decision = admission.decide(8)
+        assert decision.action == "reject"
+        assert not decision.admitted
+        assert "queue full" in decision.reason
+        assert admission.rejected == 1
+
+    def test_overfull_rejects_too(self):
+        assert AdmissionController(8).decide(11).action == "reject"
+
+    def test_shed_before_reject_ordering(self):
+        """Every depth below capacity is admitted (possibly shed)."""
+        admission = AdmissionController(4)
+        actions = [admission.decide(d).action for d in range(5)]
+        assert actions == ["admit", "admit", "shed", "shed", "reject"]
+
+    def test_counters(self):
+        admission = AdmissionController(4)
+        for depth in (0, 2, 4):
+            admission.decide(depth)
+        stats = admission.stats()
+        assert stats == {
+            "capacity": 4, "admitted": 2, "shed": 1, "rejected": 1,
+        }
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestChaosOverflow:
+    def test_queue_overflow_site_forces_rejection(self):
+        admission = AdmissionController(8)
+        with FAULTS.inject({"serve.queue_overflow": 1}):
+            forced = admission.decide(0)
+            normal = admission.decide(0)
+        assert forced.action == "reject"
+        assert "chaos" in forced.reason
+        assert normal.action == "admit"
+        assert FAULTS.fired("serve.queue_overflow") == 1

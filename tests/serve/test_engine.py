@@ -1,0 +1,207 @@
+"""The serve engine end-to-end: solve, cache, coalesce, shed, reject."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import AssaySpecError
+from repro.geometry import GridSpec
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.protocol import JobState
+
+ASSAY = """# assay demo
+input a volume=4
+input b volume=4
+mix m1 a b duration=6 volume=8 ratio=1:1
+detect d1 m1 duration=2
+"""
+
+#: same problem, different labels (device names must come back renamed).
+RELABELED = """# assay other
+input x volume=4
+input y volume=4
+mix core x y duration=6 volume=8 ratio=1:1
+detect probe core duration=2
+"""
+
+
+def config(**overrides):
+    defaults = dict(grid=GridSpec(8, 8), workers=2, time_budget=5.0)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSolvePath:
+    def test_solve_serves_an_audited_design(self):
+        async def body():
+            async with ServeEngine(config()) as engine:
+                job = await engine.submit(ASSAY)
+                await job.wait()
+                assert job.state == JobState.DONE, job.error
+                assert job.source == "solve"
+                payload = job.payload
+                assert payload["served"] == "solve"
+                assert payload["audit"] is not None
+                assert payload["audit"]["ok"] is True
+                assert payload["metrics"]["used_valves"] > 0
+                names = {d["operation"] for d in payload["design"]["devices"]}
+                assert names == {"m1"}
+                assert "table" not in payload  # server-side only
+
+        run(body())
+
+    def test_malformed_spec_is_a_client_error(self):
+        async def body():
+            async with ServeEngine(config()) as engine:
+                with pytest.raises(AssaySpecError) as info:
+                    await engine.submit("input\nmix broken\n")
+                assert info.value.line == 1
+                assert engine.submitted == 0  # no job was created
+
+        run(body())
+
+
+class TestCachePath:
+    def test_identical_resubmission_hits_the_cache(self):
+        async def body():
+            async with ServeEngine(config()) as engine:
+                first = await engine.submit(ASSAY)
+                await first.wait()
+                second = await engine.submit(ASSAY)
+                await second.wait()
+                assert second.source == "cache"
+                assert second.state == JobState.DONE
+                assert second.payload["design"] == first.payload["design"]
+                assert engine.cache.hits == 1
+
+        run(body())
+
+    def test_relabeled_resubmission_renames_the_design(self):
+        async def body():
+            async with ServeEngine(config()) as engine:
+                first = await engine.submit(ASSAY)
+                await first.wait()
+                second = await engine.submit(RELABELED)
+                await second.wait()
+                assert second.source == "cache", second.error
+                names = {
+                    d["operation"] for d in second.payload["design"]["devices"]
+                }
+                assert names == {"core"}
+                assert second.payload["design"]["assay"] == "other"
+                # Same placements, different labels.
+                rects = {
+                    (d["x"], d["y"], d["width"], d["height"])
+                    for d in second.payload["design"]["devices"]
+                }
+                assert rects == {
+                    (d["x"], d["y"], d["width"], d["height"])
+                    for d in first.payload["design"]["devices"]
+                }
+
+        run(body())
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        async def body():
+            directory = str(tmp_path / "cache")
+            async with ServeEngine(config(cache_dir=directory)) as engine:
+                job = await engine.submit(ASSAY)
+                await job.wait()
+                assert job.state == JobState.DONE
+            # A *fresh* engine (fresh process, conceptually) hits disk.
+            async with ServeEngine(config(cache_dir=directory)) as fresh:
+                job = await fresh.submit(ASSAY)
+                await job.wait()
+                assert job.source == "cache"
+
+        run(body())
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submissions_share_one_solve(self):
+        async def body():
+            async with ServeEngine(config(workers=1)) as engine:
+                jobs = [await engine.submit(ASSAY) for _ in range(4)]
+                await asyncio.gather(*(j.wait() for j in jobs))
+                sources = sorted(j.source for j in jobs)
+                assert sources == ["coalesced"] * 3 + ["solve"]
+                assert all(j.state == JobState.DONE for j in jobs)
+                assert engine.flights.coalesced == 3
+                # One solve fed four answers.
+                assert engine.completed == 1
+
+        run(body())
+
+
+class TestAdmission:
+    def test_full_queue_rejects_explicitly(self):
+        async def body():
+            # No workers started: the queue only fills.
+            engine = ServeEngine(config(queue_capacity=2))
+            variants = [
+                ASSAY.replace("duration=6", f"duration={d}")
+                for d in (11, 12, 13)
+            ]
+            first = await engine.submit(variants[0])
+            second = await engine.submit(variants[1])
+            third = await engine.submit(variants[2])
+            assert first.state == JobState.QUEUED
+            assert second.state == JobState.QUEUED
+            assert third.state == JobState.REJECTED
+            assert "queue full" in third.error["error"]
+
+        run(body())
+
+    def test_filling_queue_sheds_budget(self):
+        async def body():
+            engine = ServeEngine(config(queue_capacity=4))
+            variants = [
+                ASSAY.replace("duration=6", f"duration={d}")
+                for d in (11, 12, 13, 14)
+            ]
+            jobs = [await engine.submit(v) for v in variants]
+            assert [j.shed_multiplier for j in jobs] == [1.0, 1.0, 0.5, 0.25]
+
+        run(body())
+
+    def test_shed_solve_records_the_rung(self):
+        async def body():
+            engine = ServeEngine(config(queue_capacity=2, workers=1))
+            # Prefill to depth 1 so the next submission sheds.
+            blocker = await engine.submit(
+                ASSAY.replace("duration=6", "duration=9")
+            )
+            shed = await engine.submit(ASSAY)
+            assert shed.shed_multiplier == 0.5
+            await engine.start()
+            await asyncio.gather(blocker.wait(), shed.wait())
+            await engine.stop()
+            assert shed.state == JobState.DONE, shed.error
+            rungs = shed.payload["resilience"]["rungs"]
+            assert rungs.get("serve_shed") == 1
+
+        run(body())
+
+
+class TestStatus:
+    def test_status_shape_and_readiness(self):
+        async def body():
+            engine = ServeEngine(config())
+            assert engine.status()["ready"] is False
+            async with engine:
+                status = engine.status()
+                assert status["ready"] is True
+                assert status["workers"] == 2
+                assert status["queue"] == {"depth": 0, "capacity": 16}
+                job = await engine.submit(ASSAY)
+                await job.wait()
+                status = engine.status()
+                assert status["jobs"]["completed"] == 1
+                assert status["latency"]["solve"]["count"] == 1
+                assert status["latency"]["solve"]["p50"] > 0
+
+        run(body())

@@ -1,0 +1,173 @@
+"""The NDJSON TCP front end: wire protocol and server behavior."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.geometry import GridSpec
+from repro.serve.engine import ServeConfig, ServeEngine, ServeServer
+from repro.serve.protocol import ProtocolError, decode_message, encode_message
+
+ASSAY = """# assay wire
+input a volume=4
+input b volume=4
+mix m1 a b duration=6 volume=8 ratio=1:1
+detect d1 m1 duration=2
+"""
+
+
+class TestMessages:
+    def test_round_trip(self):
+        message = {"op": "submit", "assay": "input a\n"}
+        assert decode_message(encode_message(message)) == message
+
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_message(b"not json at all\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_rejects_missing_op(self):
+        with pytest.raises(ProtocolError, match="op"):
+            decode_message(b'{"assay": "x"}\n')
+
+    def test_rejects_empty_line(self):
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_message(b"   \n")
+
+
+async def _request(port, *messages):
+    """Send messages, return every response line as a dict."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    for message in messages:
+        writer.write(encode_message(message))
+    await writer.drain()
+    writer.write_eof()
+    responses = []
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        responses.append(json.loads(line))
+    writer.close()
+    await writer.wait_closed()
+    return responses
+
+
+def serve_test(body):
+    async def run():
+        engine = ServeEngine(
+            ServeConfig(grid=GridSpec(8, 8), workers=1, time_budget=5.0)
+        )
+        server = ServeServer(engine, port=0)
+        await server.start()
+        try:
+            await body(server)
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+class TestServer:
+    def test_ping(self):
+        async def body(server):
+            responses = await _request(server.port, {"op": "ping"})
+            assert responses == [{"event": "pong"}]
+
+        serve_test(body)
+
+    def test_status(self):
+        async def body(server):
+            responses = await _request(server.port, {"op": "status"})
+            assert responses[0]["event"] == "status"
+            status = responses[0]["status"]
+            assert status["ready"] is True
+            assert status["queue"]["capacity"] == 16
+
+        serve_test(body)
+
+    def test_submit_streams_accept_then_done(self):
+        async def body(server):
+            responses = await _request(
+                server.port, {"op": "submit", "assay": ASSAY}
+            )
+            assert [r["event"] for r in responses] == ["accepted", "done"]
+            done = responses[1]
+            assert done["job"]["state"] == "done"
+            assert done["result"]["audit"]["ok"] is True
+            assert done["result"]["design"]["devices"]
+
+        serve_test(body)
+
+    def test_malformed_assay_returns_structured_error(self):
+        async def body(server):
+            responses = await _request(
+                server.port,
+                {"op": "submit", "assay": "input a\nmix m a\n"},
+            )
+            assert responses[0]["event"] == "invalid"
+            error = responses[0]["error"]
+            assert error["line"] == 2
+            assert "mix" in error["context"]
+
+        serve_test(body)
+
+    def test_protocol_error_keeps_the_connection(self):
+        async def body(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"garbage\n")
+            writer.write(encode_message({"op": "ping"}))
+            await writer.drain()
+            first = json.loads(await reader.readline())
+            second = json.loads(await reader.readline())
+            assert first["event"] == "error"
+            assert second == {"event": "pong"}
+            writer.close()
+            await writer.wait_closed()
+
+        serve_test(body)
+
+    def test_unknown_op(self):
+        async def body(server):
+            responses = await _request(server.port, {"op": "frobnicate"})
+            assert responses[0]["event"] == "error"
+            assert "frobnicate" in responses[0]["error"]
+
+        serve_test(body)
+
+    def test_duplicate_submissions_coalesce_over_the_wire(self):
+        async def body(server):
+            results = await asyncio.gather(
+                _request(server.port, {"op": "submit", "assay": ASSAY}),
+                _request(server.port, {"op": "submit", "assay": ASSAY}),
+            )
+            sources = sorted(
+                r[0]["job"]["source"] for r in results
+            )
+            for responses in results:
+                assert responses[-1]["event"] == "done"
+            # Either coalesced onto one flight or the second arrived
+            # after completion and hit the cache; never two solves.
+            assert sources[0] in ("cache", "coalesced", "solve")
+            assert server.engine.completed == 1
+
+        serve_test(body)
+
+    def test_rejected_submission_over_the_wire(self):
+        async def body(server):
+            from repro.resilience.faults import FAULTS
+
+            with FAULTS.inject({"serve.queue_overflow": 1}):
+                responses = await _request(
+                    server.port, {"op": "submit", "assay": ASSAY}
+                )
+            assert responses[0]["event"] == "rejected"
+            assert "chaos" in responses[0]["job"]["error"]["error"]
+
+        serve_test(body)

@@ -124,3 +124,73 @@ class TestCommands:
 
         data = json.loads(out_file.read_text())
         assert data["assay"] == "mini"
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 7415
+        assert args.grid == 10 and args.workers == 2
+        assert args.queue_capacity == 16 and args.time_budget == 5.0
+        assert args.cache_dir is None and args.supervised is False
+
+    def test_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--grid", "8", "--workers", "4",
+            "--queue-capacity", "32", "--cache-dir", "cache",
+        ])
+        assert args.port == 0 and args.grid == 8
+        assert args.workers == 4 and args.queue_capacity == 32
+        assert args.cache_dir == "cache"
+
+
+class TestExitCodes:
+    """0 = success, 1 = operation failed, 2 = invalid user input —
+    always a clean ``error:`` line on stderr, never a traceback."""
+
+    def test_malformed_assay_file_exits_2(self, tmp_path, capsys):
+        assay = tmp_path / "bad.txt"
+        assay.write_text("input a\nfrobnicate x\n")
+        assert main(["synth", str(assay), "--grid", "8"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "line 2" in err
+        assert "frobnicate" in err
+        assert "Traceback" not in err
+
+    def test_malformed_schedule_file_exits_2(self, tmp_path, capsys):
+        assay = tmp_path / "assay.txt"
+        assay.write_text(
+            "# assay mini\n"
+            "input a volume=4\n"
+            "input b volume=4\n"
+            "mix m a b duration=4 volume=8 ratio=1:1\n"
+        )
+        schedule = tmp_path / "sched.txt"
+        schedule.write_text("m at never\n")
+        assert main(
+            ["synth", str(assay), "--schedule", str(schedule), "--grid", "8"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "line 1" in err
+
+    def test_unknown_case_exits_2(self, capsys):
+        assert main(["synth", "no-such-case-xyz"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "neither an assay file nor a benchmark case" in err
+
+    def test_unknown_profile_case_exits_1(self, capsys):
+        # profile takes registry cases only; an unknown one is an
+        # operation failure surfaced as a ReproError.
+        code = main(["profile", "no-such-case-xyz"])
+        err = capsys.readouterr().err
+        assert code in (1, 2)
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_arguments_exit_2(self):
+        # argparse's own convention, kept consistent.
+        with pytest.raises(SystemExit) as info:
+            main(["synth"])
+        assert info.value.code == 2
