@@ -26,6 +26,7 @@ import json
 import os
 import warnings
 import zlib
+from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from repro.errors import CorruptCacheWarning
@@ -43,15 +44,28 @@ class ResultCache:
     (``{"key", "payload", "crc"}`` in canonical JSON), and lookups
     fall through to disk on a memory miss — so a restarted server keeps
     its cache.
+
+    The in-memory layer is an LRU bounded at ``max_entries`` — a
+    long-running server must not grow without limit.  Trimming the
+    memory layer never loses a disk-backed entry (the record stays on
+    disk and reloads on the next lookup); counted as ``trimmed``, which
+    is bookkeeping, distinct from ``evicted`` (corruption).
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        max_entries: int = 256,
+    ) -> None:
         self.directory = directory
-        self._memory: Dict[str, dict] = {}
+        self.max_entries = max(1, max_entries)
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stored = 0
         self.evicted = 0
+        self.trimmed = 0
         self.write_failures = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
@@ -73,12 +87,13 @@ class ResultCache:
         """
         payload = self._memory.get(key)
         if payload is not None:
+            self._memory.move_to_end(key)
             self._hit()
             return payload
         if self.directory is not None:
             payload = self._load(key)
             if payload is not None:
-                self._memory[key] = payload
+                self._remember(key, payload)
                 self._hit()
                 return payload
         self.misses += 1
@@ -134,7 +149,7 @@ class ResultCache:
         Disk write failures degrade into telemetry — the server must
         not die because a disk filled; the entry still lives in memory.
         """
-        self._memory[key] = payload
+        self._remember(key, payload)
         self.stored += 1
         if TELEMETRY.enabled:
             TELEMETRY.count("serve.cache_stores")
@@ -161,6 +176,16 @@ class ResultCache:
             if TELEMETRY.enabled:
                 TELEMETRY.count("serve.cache_write_failures")
 
+    def _remember(self, key: str, payload: dict) -> None:
+        """Insert as most-recently-used; trim the LRU tail past the cap."""
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.trimmed += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.count("serve.cache_trimmed")
+
     def stats(self) -> Dict[str, float]:
         total = self.hits + self.misses
         return {
@@ -170,6 +195,7 @@ class ResultCache:
             "hit_rate": (self.hits / total) if total else 0.0,
             "stored": float(self.stored),
             "evicted": float(self.evicted),
+            "trimmed": float(self.trimmed),
             "write_failures": float(self.write_failures),
         }
 

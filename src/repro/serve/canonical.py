@@ -185,20 +185,15 @@ def _parent_pairs(graph, name) -> List[Tuple[int, str]]:
     return [(part, parent.name) for part, parent in zip(parts, parents)]
 
 
-def operation_fingerprints(graph, schedule=None) -> Dict[str, str]:
-    """Name-free fingerprint of every operation, by color refinement.
+def _refine(graph, colors: Dict[str, str]) -> Dict[str, str]:
+    """Run color refinement from ``colors`` to a stable partition.
 
-    Round 0 hashes each operation's intrinsic attributes; every
-    subsequent round absorbs the parents' hashes (ratio-paired, order
-    normalized by sorting the pairs) and the children's hashes (paired
-    with the ratio part *this* operation contributes to each child, so
-    "the 1-part parent" and "the 3-part parent" of an asymmetric mix
-    separate even when their own attributes are identical).  The
-    refinement runs to a stable partition (at most ``len(graph)``
-    rounds), so a fingerprint encodes the full ancestor *and*
-    descendant structure — renaming operations cannot change it, and
-    structurally distinct operations separate as far as color
-    refinement can take them.
+    Every round rehashes each operation's own color together with the
+    parents' colors (ratio-paired, order normalized by sorting the
+    pairs) and the children's colors (paired with the ratio part *this*
+    operation contributes to each child).  The partition only ever
+    refines — a round's color includes the previous one — so at most
+    ``len(graph)`` rounds reach a fixpoint.
     """
     ops = graph.operations()
     # part_played[parent][child] = the ratio part parent contributes.
@@ -208,7 +203,6 @@ def operation_fingerprints(graph, schedule=None) -> Dict[str, str]:
     for op in ops:
         for part, parent in _parent_pairs(graph, op.name):
             part_played[parent][op.name] = part
-    colors = {op.name: _sha(_attrs(op, schedule)) for op in ops}
     for _ in range(max(1, len(ops))):
         refined = {
             op.name: _sha(
@@ -227,9 +221,70 @@ def operation_fingerprints(graph, schedule=None) -> Dict[str, str]:
             for op in ops
         }
         if len(set(refined.values())) == len(set(colors.values())):
-            colors = refined
-            break
+            return refined
         colors = refined
+    return colors
+
+
+def operation_fingerprints(graph, schedule=None) -> Dict[str, str]:
+    """Name-free fingerprint of every operation, by color refinement.
+
+    Round 0 hashes each operation's intrinsic attributes; every
+    subsequent round absorbs the parents' hashes (ratio-paired, order
+    normalized by sorting the pairs) and the children's hashes (paired
+    with the ratio part *this* operation contributes to each child, so
+    "the 1-part parent" and "the 3-part parent" of an asymmetric mix
+    separate even when their own attributes are identical).  The
+    refinement runs to a stable partition (at most ``len(graph)``
+    rounds), so a fingerprint encodes the full ancestor *and*
+    descendant structure — renaming operations cannot change it, and
+    structurally distinct operations separate as far as color
+    refinement can take them.
+    """
+    ops = graph.operations()
+    return _refine(graph, {op.name: _sha(_attrs(op, schedule)) for op in ops})
+
+
+#: individualization rounds before falling back to name-order ties —
+#: each round makes at least one more color unique, so this only binds
+#: on degenerate graphs (hundreds of structural twins), where the
+#: fallback costs cache hits, never correctness.
+_MAX_PIVOTS = 64
+
+
+def _discrete_colors(graph, fingerprints: Dict[str, str]) -> Dict[str, str]:
+    """Individualization-refinement: split structural-duplicate groups.
+
+    While duplicate colors remain, take the smallest duplicated color,
+    tentatively *individualize* each member (rehash it with a pivot
+    marker), refine, and keep whichever candidate yields the
+    lexicographically smallest color multiset — an outcome-based choice,
+    so no operation name ever enters the decision.  Automorphic members
+    tie exactly (either pivot gives the same multiset and isomorphic
+    final colorings), so the result is label-invariant for every graph
+    whose refinement-equivalent nodes are genuinely automorphic; the
+    exotic remainder (WL-indistinguishable non-automorphic nodes) at
+    worst produces a table mismatch, which the serve cache treats as a
+    miss, never a mislabeled answer.
+    """
+    colors = dict(fingerprints)
+    for _ in range(_MAX_PIVOTS):
+        groups: Dict[str, List[str]] = {}
+        for name, color in colors.items():
+            groups.setdefault(color, []).append(name)
+        duplicated = {c: ns for c, ns in groups.items() if len(ns) > 1}
+        if not duplicated:
+            break
+        best = None
+        for name in sorted(duplicated[min(duplicated)]):
+            pivoted = dict(colors)
+            pivoted[name] = _sha([colors[name], "pivot"])
+            refined = _refine(graph, pivoted)
+            signature = tuple(sorted(refined.values()))
+            if best is None or signature < best[0]:
+                best = (signature, refined)
+        assert best is not None
+        colors = best[1]
     return colors
 
 
@@ -237,18 +292,26 @@ def canonical_ids(graph, schedule=None) -> Dict[str, str]:
     """A name-free identifier per operation: ``<fingerprint16>.<k>``.
 
     Operations sharing a fingerprint (structural duplicates color
-    refinement cannot split) get duplicate indices ``k`` assigned in
-    name order.  The assignment within a duplicate group is arbitrary —
-    soundness of a cache rename is established by *structure-table
-    equality* (:func:`structure_table`), never by trusting the indices.
+    refinement cannot split) get duplicate indices ``k`` assigned by the
+    canonical order :func:`_discrete_colors` produces — a label-invariant
+    tie-break, so two relabelings of one problem index their twins
+    consistently and the structure tables match (name order would pair
+    twin groups differently across relabelings).  Soundness of a cache
+    rename is still established by *structure-table equality*
+    (:func:`structure_table`), never by trusting the indices.
     """
     fingerprints = operation_fingerprints(graph, schedule)
     groups: Dict[str, List[str]] = {}
     for name in sorted(fingerprints):
         groups.setdefault(fingerprints[name], []).append(name)
+    if any(len(names) > 1 for names in groups.values()):
+        final = _discrete_colors(graph, fingerprints)
+    else:
+        final = fingerprints
     ids: Dict[str, str] = {}
     for fingerprint, names in groups.items():
-        for k, name in enumerate(names):
+        ordered = sorted(names, key=lambda name: (final[name], name))
+        for k, name in enumerate(ordered):
             ids[name] = f"{fingerprint[:16]}.{k}"
     return ids
 

@@ -30,8 +30,9 @@ from __future__ import annotations
 import asyncio
 import copy
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.assay.scheduler import ListScheduler, SchedulerConfig
 from repro.assay.textio import graph_from_text, schedule_from_text
@@ -60,6 +61,7 @@ from repro.serve.protocol import (
     JobState,
     decode_message,
     encode_message,
+    validate_submit_fields,
 )
 
 
@@ -78,6 +80,10 @@ class ServeConfig:
     time_budget: float = 5.0
     #: directory for the CRC-guarded disk cache (None = memory only).
     cache_dir: Optional[str] = None
+    #: in-memory result-cache LRU bound (disk entries are unlimited).
+    cache_entries: int = 256
+    #: per-source latency samples kept for the p50/p99 window.
+    latency_window: int = 512
     #: retries after a worker loss / budget expiry before the job fails.
     retry_attempts: int = 2
     #: backoff between those retries (seeded, deterministic).
@@ -102,7 +108,9 @@ class ServeEngine:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config if config is not None else ServeConfig()
-        self.cache = ResultCache(self.config.cache_dir)
+        self.cache = ResultCache(
+            self.config.cache_dir, max_entries=self.config.cache_entries
+        )
         self.flights = SingleFlight()
         self.admission = AdmissionController(
             self.config.queue_capacity, shed_levels=self.config.shed_levels
@@ -120,11 +128,14 @@ class ServeEngine:
         self.completed = 0
         self.failed = 0
         self.degraded_served = 0
-        self._latency: Dict[str, List[float]] = {
-            "cache": [],
-            "coalesced": [],
-            "solve": [],
-            "degraded": [],
+        # Ring buffers: a long-running server keeps a bounded window of
+        # samples, not every latency it ever saw.
+        window = self.config.latency_window
+        self._latency: Dict[str, Deque[float]] = {
+            "cache": deque(maxlen=window),
+            "coalesced": deque(maxlen=window),
+            "solve": deque(maxlen=window),
+            "degraded": deque(maxlen=window),
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -168,11 +179,15 @@ class ServeEngine:
 
         Malformed specs raise :class:`~repro.errors.AssaySpecError`
         (or any other :class:`~repro.errors.AssayError` /
-        :class:`~repro.errors.SchedulingError` from validation) — those
-        are *client* errors, settled before a job exists.  Every
-        admitted (or rejected) submission gets a Job; await
-        :meth:`Job.wait` and inspect ``state``.
+        :class:`~repro.errors.SchedulingError` from validation), and
+        ill-typed arguments — non-string specs, a non-numeric or
+        non-positive ``time_budget`` — raise
+        :class:`~repro.serve.protocol.ProtocolError`; those are
+        *client* errors, settled before a job exists.  Every admitted
+        (or rejected) submission gets a Job; await :meth:`Job.wait`
+        and inspect ``state``.
         """
+        validate_submit_fields(assay_text, schedule_text, time_budget)
         graph = graph_from_text(assay_text)
         graph.validate()
         if schedule_text:
@@ -193,7 +208,13 @@ class ServeEngine:
             self.config.grid,
             anchor_stride=self.config.anchor_stride,
         )
+        # The registry only tracks live jobs — settled ones drop out
+        # (callers hold their own reference), or a long-running server
+        # leaks every job it ever served.
         self.jobs[job.id] = job
+        job.future.add_done_callback(
+            lambda _future, job_id=job.id: self.jobs.pop(job_id, None)
+        )
         self.submitted += 1
         if TELEMETRY.enabled:
             TELEMETRY.count("serve.submitted")
@@ -213,6 +234,7 @@ class ServeEngine:
         leader, flight = self.flights.claim(job.key)
         if not leader:
             job.source = "coalesced"
+            self._tasks = [t for t in self._tasks if not t.done()]
             self._tasks.append(
                 asyncio.create_task(self._follow(job, flight))
             )
@@ -265,28 +287,45 @@ class ServeEngine:
         job.state = JobState.RUNNING
         try:
             payload = await asyncio.to_thread(self._solve, job)
-        except ReproError as error:
+            # The payload lives in canonical-id space (cacheable, label
+            # free); the producing job gets it renamed back to its own
+            # labels like any other requester — the tables trivially
+            # match.
+            client = self._rename(payload, job)
+            assert client is not None, "self-rename cannot mismatch"
+            if payload["served"] == "degraded":
+                # Breaker-open answers are placeholders: shared with
+                # any coalesced followers (they asked while the breaker
+                # was open too) but never cached — caching would let
+                # the degradation outlive the breaker.
+                self.degraded_served += 1
+                job.source = "degraded"
+            else:
+                self.cache.store(job.key, payload)
+        except asyncio.CancelledError:
+            # Shutdown: the worker task is going away; settle the job
+            # (and any followers) so nobody awaits a dead flight.
+            if job.leader:
+                self.flights.resolve(
+                    job.key, SynthesisError("server shutting down")
+                )
+            job.fail({"error": "server shutting down"})
+            raise
+        except Exception as error:  # noqa: BLE001 - the worker loop
+            # must survive *anything* the solve raises.  An unexpected
+            # exception class fails the job (and every coalesced
+            # follower, via the flight), never the worker — one poison
+            # request per worker would otherwise be a full DoS.
             self.failed += 1
             if TELEMETRY.enabled:
                 TELEMETRY.count("serve.failed")
             if job.leader:
                 self.flights.resolve(job.key, error)
-            job.fail({"error": str(error)})
+            if isinstance(error, ReproError):
+                job.fail({"error": str(error)})
+            else:
+                job.fail({"error": f"{type(error).__name__}: {error}"})
             return
-        # The payload lives in canonical-id space (cacheable, label
-        # free); the producing job gets it renamed back to its own
-        # labels like any other requester — the tables trivially match.
-        client = self._rename(payload, job)
-        assert client is not None, "self-rename cannot mismatch"
-        if payload["served"] == "degraded":
-            # Breaker-open answers are placeholders: shared with any
-            # coalesced followers (they asked while the breaker was
-            # open too) but never cached — caching would let the
-            # degradation outlive the breaker.
-            self.degraded_served += 1
-            job.source = "degraded"
-        else:
-            self.cache.store(job.key, payload)
         if job.leader:
             self.flights.resolve(job.key, payload)
         job.finish(client, job.source)
@@ -306,6 +345,11 @@ class ServeEngine:
                 mapper=GreedyMapper(),
                 budget=self.config.degraded_budget,
             )
+            # The serving invariant holds on the degraded path too: a
+            # breaker-open greedy answer that fails its audit fails the
+            # job — certify="audit" only attaches the report, so the
+            # check must be explicit here.
+            self._require_audit_ok(result)
             result.resilience.record(
                 "serve",
                 DegradationLadder.SERVE_BREAKER,
@@ -338,14 +382,14 @@ class ServeEngine:
             self.breaker.record_failure(job.key)
             assert error is not None
             raise error
-        if result.audit is not None and not result.audit.ok:
+        try:
             # A design that fails its own audit is a solver-integrity
             # failure: count it against the breaker and fail the job —
             # an uncertified result is never served.
+            self._require_audit_ok(result)
+        except SynthesisError:
             self.breaker.record_failure(job.key)
-            raise SynthesisError(
-                f"design audit failed: {result.audit.summary()}"
-            )
+            raise
         self.breaker.record_success(job.key)
         if job.retries:
             result.resilience.record(
@@ -360,6 +404,14 @@ class ServeEngine:
                 f"admitted shedding load: budget x{job.shed_multiplier}",
             )
         return self._payload(job, result, served="solve")
+
+    @staticmethod
+    def _require_audit_ok(result) -> None:
+        """Enforce the serving invariant: a failed audit is a failure."""
+        if result.audit is not None and not result.audit.ok:
+            raise SynthesisError(
+                f"design audit failed: {result.audit.summary()}"
+            )
 
     def _synthesize(self, job: Job, mapper=None, budget=None):
         seconds = (budget or job.time_budget) * job.shed_multiplier
@@ -460,10 +512,14 @@ class ServeEngine:
     def _record_latency(self, job: Job) -> None:
         latency = job.latency
         if latency is not None:
-            self._latency.setdefault(job.source, []).append(latency)
+            bucket = self._latency.get(job.source)
+            if bucket is None:
+                bucket = deque(maxlen=self.config.latency_window)
+                self._latency[job.source] = bucket
+            bucket.append(latency)
 
     @staticmethod
-    def _percentile(values: List[float], q: float) -> Optional[float]:
+    def _percentile(values, q: float) -> Optional[float]:
         if not values:
             return None
         ordered = sorted(values)
@@ -560,19 +616,28 @@ class ServeServer:
 
         try:
             request = decode_message(line)
+            op = request["op"]
+            if op == "ping":
+                send({"event": "pong"})
+            elif op == "status":
+                send({"event": "status", "status": self.engine.status()})
+            elif op == "submit":
+                await self._submit(request, send)
+            else:
+                send({"event": "error", "error": f"unknown op {op!r}"})
+        except (ConnectionError, asyncio.CancelledError):
+            raise
         except ReproError as exc:
             send({"event": "error", "error": str(exc)})
-            await writer.drain()
-            return
-        op = request["op"]
-        if op == "ping":
-            send({"event": "pong"})
-        elif op == "status":
-            send({"event": "status", "status": self.engine.status()})
-        elif op == "submit":
-            await self._submit(request, send)
-        else:
-            send({"event": "error", "error": f"unknown op {op!r}"})
+        except Exception as exc:  # noqa: BLE001 - protocol promise:
+            # a malformed request costs an error event, never the
+            # connection (and never the server).
+            send(
+                {
+                    "event": "error",
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                }
+            )
         await writer.drain()
 
     async def _submit(self, request: dict, send) -> None:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from typing import Any, Dict, Optional
 
@@ -28,6 +29,38 @@ from repro.errors import ReproError
 
 class ProtocolError(ReproError):
     """A wire message was not a JSON object with a known shape."""
+
+
+def validate_submit_fields(
+    assay: Any, schedule: Any, time_budget: Any
+) -> None:
+    """Raise :class:`ProtocolError` unless submit's fields are well-typed.
+
+    Everything here comes straight off the wire, so nothing may be
+    trusted: ``assay`` must be a string, ``schedule`` a string or
+    absent, ``time_budget`` a positive finite number or absent.  The
+    engine calls this too, so embedded (non-TCP) users get the same
+    contract.
+    """
+    if not isinstance(assay, str):
+        raise ProtocolError(
+            f"'assay' must be a string, got {type(assay).__name__}"
+        )
+    if schedule is not None and not isinstance(schedule, str):
+        raise ProtocolError(
+            f"'schedule' must be a string, got {type(schedule).__name__}"
+        )
+    if time_budget is not None:
+        if (
+            isinstance(time_budget, bool)
+            or not isinstance(time_budget, (int, float))
+            or not math.isfinite(time_budget)
+            or time_budget <= 0
+        ):
+            raise ProtocolError(
+                "'time_budget' must be a positive finite number, "
+                f"got {time_budget!r}"
+            )
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:
@@ -57,6 +90,12 @@ def decode_message(line: "bytes | str") -> Dict[str, Any]:
     op = message.get("op")
     if not isinstance(op, str):
         raise ProtocolError("message needs a string 'op' field")
+    if op == "submit":
+        validate_submit_fields(
+            message.get("assay", ""),
+            message.get("schedule"),
+            message.get("time_budget"),
+        )
     return message
 
 

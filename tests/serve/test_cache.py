@@ -26,6 +26,34 @@ class TestMemoryCache:
         assert cache.stats()["hit_rate"] == 0.5
 
 
+class TestMemoryBound:
+    def test_lru_trim_keeps_the_cap(self):
+        cache = ResultCache(max_entries=2)
+        for i in range(3):
+            cache.store(f"{i}" * 64, {"n": i})
+        assert len(cache) == 2
+        assert cache.lookup("0" * 64) is None  # oldest trimmed
+        assert cache.lookup("2" * 64) == {"n": 2}
+        assert cache.stats()["trimmed"] == 1.0
+
+    def test_lookup_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.store("a" * 64, {"n": 0})
+        cache.store("b" * 64, {"n": 1})
+        cache.lookup("a" * 64)  # a becomes most recent
+        cache.store("c" * 64, {"n": 2})  # so b is the one trimmed
+        assert cache.lookup("a" * 64) == {"n": 0}
+        assert cache.lookup("b" * 64) is None
+
+    def test_trimmed_disk_entry_reloads(self, tmp_path):
+        """Memory trimming never loses a disk-backed result."""
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory, max_entries=1)
+        cache.store(KEY, PAYLOAD)
+        cache.store("x" * 64, {"n": 1})  # trims KEY from memory
+        assert cache.lookup(KEY) == PAYLOAD  # reloaded from disk
+
+
 class TestDiskCache:
     def test_survives_a_new_instance(self, tmp_path):
         directory = str(tmp_path / "cache")

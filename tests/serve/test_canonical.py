@@ -196,6 +196,27 @@ class TestStructureTable:
             chain_graph(duration=7)
         )
 
+    def test_twin_groups_pair_consistently_across_relabelings(self):
+        """Regression (hypothesis-found): twin inputs feeding twin mixes.
+
+        Name-order tie-breaking paired the duplicate groups differently
+        under relabeling (mix ``g.0`` ended up with parent ``f.1``
+        instead of ``f.0``), so a relabeled resubmission's table never
+        matched the cached one.  The canonical (individualize-refine)
+        tie-break pairs them consistently.
+        """
+        ops = [("input", 2)] * 4 + [
+            ("mix", 2, 4, (0, 1)),
+            ("mix", 2, 4, (0, 2)),
+        ]
+        base = [f"op{i}" for i in range(len(ops))]
+        shuffled = list(base)
+        random.Random(1).shuffle(shuffled)
+        g1 = _random_problem(ops, base)
+        g2 = _random_problem(ops, [f"node_{s}" for s in shuffled])
+        assert problem_key(g1) == problem_key(g2)
+        assert structure_table(g1) == structure_table(g2)
+
 
 def _random_problem(draw_ops, names):
     """Build a graph from an abstract op list under the given names."""

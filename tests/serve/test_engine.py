@@ -1,13 +1,15 @@
 """The serve engine end-to-end: solve, cache, coalesce, shed, reject."""
 
 import asyncio
+import types
 
 import pytest
 
 from repro.errors import AssaySpecError
 from repro.geometry import GridSpec
+from repro.serve.breaker import OPEN
 from repro.serve.engine import ServeConfig, ServeEngine
-from repro.serve.protocol import JobState
+from repro.serve.protocol import JobState, ProtocolError
 
 ASSAY = """# assay demo
 input a volume=4
@@ -61,6 +63,119 @@ class TestSolvePath:
                     await engine.submit("input\nmix broken\n")
                 assert info.value.line == 1
                 assert engine.submitted == 0  # no job was created
+
+        run(body())
+
+    def test_ill_typed_arguments_are_client_errors(self):
+        """Nothing off the wire is trusted: bad types never reach a worker."""
+
+        async def body():
+            async with ServeEngine(config()) as engine:
+                for budget in ("3", True, 0, -1.0, float("nan"), float("inf")):
+                    with pytest.raises(ProtocolError, match="time_budget"):
+                        await engine.submit(ASSAY, time_budget=budget)
+                with pytest.raises(ProtocolError, match="assay"):
+                    await engine.submit(12345)
+                with pytest.raises(ProtocolError, match="schedule"):
+                    await engine.submit(ASSAY, {"not": "text"})
+                assert engine.submitted == 0
+                # The engine still works afterwards.
+                job = await engine.submit(ASSAY)
+                await job.wait()
+                assert job.state == JobState.DONE
+
+        run(body())
+
+
+class TestWorkerResilience:
+    def test_unexpected_exception_fails_job_not_worker(self):
+        """A poison request settles (with its followers) and the worker
+        pool survives to serve the next submission."""
+
+        async def body():
+            async with ServeEngine(config(workers=1)) as engine:
+                original = engine._solve
+
+                def poisoned(job):
+                    raise RuntimeError("boom")
+
+                engine._solve = poisoned
+                leader = await engine.submit(ASSAY)
+                follower = await engine.submit(ASSAY)
+                await asyncio.gather(leader.wait(), follower.wait())
+                assert leader.state == JobState.FAILED
+                assert "RuntimeError" in leader.error["error"]
+                assert follower.state == JobState.FAILED
+                # All workers are still alive...
+                assert engine.status()["workers"] == 1
+                # ...and the next (healthy) submission completes.
+                engine._solve = original
+                job = await engine.submit(ASSAY)
+                await job.wait()
+                assert job.state == JobState.DONE, job.error
+
+        run(body())
+
+    def test_settled_state_is_pruned(self):
+        """Settled jobs and finished follower tasks do not accumulate."""
+
+        async def body():
+            async with ServeEngine(config()) as engine:
+                # Leader + two coalesced followers (two follower tasks).
+                jobs = [await engine.submit(ASSAY) for _ in range(3)]
+                await asyncio.gather(*(j.wait() for j in jobs))
+                # add_done_callback pruning runs on the loop; yield once.
+                await asyncio.sleep(0)
+                assert engine.jobs == {}
+                assert len(engine._tasks) == 2
+                assert all(t.done() for t in engine._tasks)
+                # The next coalesced submission prunes the dead tasks.
+                variant = ASSAY.replace("duration=6", "duration=7")
+                a = await engine.submit(variant)
+                b = await engine.submit(variant)
+                assert len(engine._tasks) == 1
+                await asyncio.gather(a.wait(), b.wait())
+
+        run(body())
+
+    def test_latency_samples_are_bounded(self):
+        async def body():
+            async with ServeEngine(config(latency_window=4)) as engine:
+                first = await engine.submit(ASSAY)
+                await first.wait()
+                for _ in range(10):
+                    job = await engine.submit(ASSAY)
+                    await job.wait()
+                assert len(engine._latency["cache"]) == 4
+
+        run(body())
+
+
+class TestBreakerAudit:
+    def test_breaker_open_degraded_result_must_pass_audit(self):
+        """The serving invariant holds on the degraded path: a greedy
+        answer with a failing audit fails the job, it is never served."""
+
+        async def body():
+            async with ServeEngine(config(workers=1)) as engine:
+                engine.breaker.allow = lambda key: OPEN
+                original = engine._synthesize
+
+                def tainted(job, mapper=None, budget=None):
+                    result = original(job, mapper=mapper, budget=budget)
+                    result.audit = types.SimpleNamespace(
+                        ok=False,
+                        summary=lambda: "forced audit failure",
+                        as_dict=lambda: {"ok": False},
+                    )
+                    return result
+
+                engine._synthesize = tainted
+                job = await engine.submit(ASSAY)
+                await job.wait()
+                assert job.state == JobState.FAILED
+                assert "audit failed" in job.error["error"]
+                assert engine.degraded_served == 0
 
         run(body())
 

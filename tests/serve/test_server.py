@@ -38,6 +38,32 @@ class TestMessages:
         with pytest.raises(ProtocolError, match="empty"):
             decode_message(b"   \n")
 
+    def test_rejects_non_string_assay(self):
+        with pytest.raises(ProtocolError, match="assay"):
+            decode_message(b'{"op": "submit", "assay": 42}\n')
+
+    def test_rejects_non_string_schedule(self):
+        with pytest.raises(ProtocolError, match="schedule"):
+            decode_message(
+                b'{"op": "submit", "assay": "x", "schedule": [1]}\n'
+            )
+
+    @pytest.mark.parametrize(
+        "budget", ['"3"', "true", "0", "-2", "NaN", "Infinity"]
+    )
+    def test_rejects_bad_time_budget(self, budget):
+        line = (
+            '{"op": "submit", "assay": "x", "time_budget": %s}\n' % budget
+        ).encode()
+        with pytest.raises(ProtocolError, match="time_budget"):
+            decode_message(line)
+
+    def test_accepts_numeric_time_budget(self):
+        message = decode_message(
+            b'{"op": "submit", "assay": "x", "time_budget": 2.5}\n'
+        )
+        assert message["time_budget"] == 2.5
+
 
 async def _request(port, *messages):
     """Send messages, return every response line as a dict."""
@@ -130,6 +156,46 @@ class TestServer:
             assert second == {"event": "pong"}
             writer.close()
             await writer.wait_closed()
+
+        serve_test(body)
+
+    def test_ill_typed_submit_keeps_the_connection(self):
+        """A submit with wrong field types gets an error event — the
+        handler never dies with an unsettled connection."""
+
+        async def body(server):
+            responses = await _request(
+                server.port,
+                {"op": "submit", "assay": 12345},
+                {"op": "submit", "assay": ASSAY, "time_budget": "fast"},
+                {"op": "ping"},
+            )
+            assert [r["event"] for r in responses] == [
+                "error",
+                "error",
+                "pong",
+            ]
+            assert "assay" in responses[0]["error"]
+            assert "time_budget" in responses[1]["error"]
+
+        serve_test(body)
+
+    def test_unexpected_engine_error_maps_to_error_event(self):
+        """The catch-all: an exception the handler did not anticipate
+        becomes an error event, never a dropped connection."""
+
+        async def body(server):
+            async def exploding(*args, **kwargs):
+                raise RuntimeError("wired to fail")
+
+            server.engine.submit = exploding
+            responses = await _request(
+                server.port,
+                {"op": "submit", "assay": ASSAY},
+                {"op": "ping"},
+            )
+            assert [r["event"] for r in responses] == ["error", "pong"]
+            assert "RuntimeError" in responses[0]["error"]
 
         serve_test(body)
 
